@@ -1,0 +1,60 @@
+"""Ablation B — cache probe: subroutine call vs inlined code.
+
+Section 3.4.2: "In large basic blocks, this code can be included into
+the basic block making the subroutine call unnecessary and the parallel
+execution of the cache calculation code and the executed program on the
+VLIW processor possible."  This ablation measures that optimization on
+the two large-block workloads.
+"""
+
+from repro.programs.registry import build
+from repro.refsim.iss import CycleAccurateISS
+from repro.translator.driver import translate
+from repro.vliw.platform import PrototypingPlatform
+
+from conftest import write_report
+
+
+def _measure(name, inline_threshold):
+    obj = build(name)
+    tr = translate(obj, level=3, inline_cache_threshold=inline_threshold)
+    res = PrototypingPlatform(tr.program).run()
+    return tr, res
+
+
+def test_inline_cache_ablation():
+    lines = ["Ablation B — cache analysis: subroutine call vs inline",
+             f"{'program':>9s} {'call cyc':>10s} {'inline cyc':>11s} "
+             f"{'speedup':>8s} {'emu equal':>10s}"]
+    for name in ("ellip", "subband", "fir"):
+        ref = CycleAccurateISS(build(name)).run()
+        _, call_res = _measure(name, None)
+        _, inline_res = _measure(name, 1)
+        speedup = call_res.target_cycles / inline_res.target_cycles
+        equal = call_res.emulated_cycles == inline_res.emulated_cycles
+        lines.append(f"{name:>9s} {call_res.target_cycles:10d} "
+                     f"{inline_res.target_cycles:11d} {speedup:8.2f} "
+                     f"{str(equal):>10s}")
+        # Inlining must not change what is simulated, only how fast.
+        assert equal
+        assert inline_res.exit_code == ref.exit_code
+        # For large-block programs inlining pays off.
+        if name in ("ellip", "subband"):
+            assert speedup > 1.1
+    write_report("ablation_inline_cache.txt", "\n".join(lines))
+
+
+def test_bench_level3_call_variant(benchmark):
+    obj = build("ellip")
+    program = translate(obj, level=3).program
+    result = benchmark.pedantic(
+        lambda: PrototypingPlatform(program).run(), rounds=2, iterations=1)
+    assert result.exit_code is not None
+
+
+def test_bench_level3_inline_variant(benchmark):
+    obj = build("ellip")
+    program = translate(obj, level=3, inline_cache_threshold=1).program
+    result = benchmark.pedantic(
+        lambda: PrototypingPlatform(program).run(), rounds=2, iterations=1)
+    assert result.exit_code is not None

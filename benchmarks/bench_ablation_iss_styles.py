@@ -1,0 +1,65 @@
+"""Ablation A — the Section-2 taxonomy of ISS implementations.
+
+Interpretive simulation decodes on every execution; "JIT compiled"
+simulation caches decoded instructions; compiled simulation (binary
+translation) does all decoding statically.  This ablation measures the
+wall-clock throughput of the three styles on the same workload.
+"""
+
+import time
+
+from repro.programs.registry import build
+from repro.refsim.iss import FunctionalISS, InterpretedISS
+from repro.translator.driver import translate
+from repro.vliw.platform import PrototypingPlatform
+
+from conftest import write_report
+
+
+def _throughput(run, instructions):
+    start = time.perf_counter()
+    run()
+    elapsed = time.perf_counter() - start
+    return instructions / elapsed
+
+
+def test_iss_style_ordering():
+    obj = build("sieve")
+    count = FunctionalISS(obj).run().instructions
+
+    interp = _throughput(lambda: InterpretedISS(obj).run(), count)
+    cached = _throughput(lambda: FunctionalISS(obj).run(), count)
+
+    tr = translate(obj, level=0)
+    translated = _throughput(lambda: PrototypingPlatform(tr.program).run(),
+                             count)
+
+    report = [
+        "Ablation A — ISS implementation styles (host instr/s, sieve)",
+        f"interpretive (decode every step):   {interp:12.0f}",
+        f"cached decode ('JIT compiled'):     {cached:12.0f}",
+        f"compiled (binary translation, sim): {translated:12.0f}",
+        "",
+        "The paper's Section 2: interpretation is slowest; caching the",
+        "decoded form recovers most of the cost; compiled simulation",
+        "moves all decode/translation work to compile time (its host",
+        "throughput here also pays for simulating the VLIW target).",
+    ]
+    write_report("ablation_iss_styles.txt", "\n".join(report))
+
+    # The robust claim: caching decode beats re-decoding every step.
+    assert cached > 1.5 * interp
+
+
+def test_bench_interpreted_iss(benchmark):
+    obj = build("gcd")
+    result = benchmark.pedantic(lambda: InterpretedISS(obj).run(),
+                                rounds=3, iterations=1)
+    assert result.exit_code is not None
+
+
+def test_bench_cached_iss(benchmark):
+    obj = build("gcd")
+    result = benchmark.pedantic(lambda: FunctionalISS(obj).run(),
+                                rounds=3, iterations=1)
+    assert result.exit_code is not None

@@ -1,0 +1,61 @@
+"""Figure 5 — comparison of speed.
+
+Regenerates the MIPS bars (board vs translation at four detail levels)
+and checks the paper's qualitative claims: programs with large basic
+blocks (ellip, subband) emulate fastest with cycle information; sieve's
+small blocks pay the largest annotation penalty; dropping the detail
+level buys speed.
+"""
+
+from repro.eval import paper_data
+from repro.eval.experiments import figure5
+from repro.programs.registry import build
+from repro.translator.driver import translate
+from repro.vliw.platform import PrototypingPlatform
+
+from conftest import write_report
+
+
+def test_figure5_shape(figure5_measurements):
+    report = figure5(figure5_measurements)
+    write_report("figure5_speed.txt", report.text)
+    rows = {row["program"]: row for row in report.rows}
+
+    # Annotated code is slower than unannotated, at every level.
+    for row in rows.values():
+        assert row["level0"] >= row["level1"] >= row["level2"] \
+            >= row["level3"]
+
+    # Large-block programs translate best with cycle information.
+    for big in ("ellip", "subband"):
+        for small in ("gcd", "sieve"):
+            assert rows[big]["level1"] > rows[small]["level1"]
+
+    # The relative annotation cost (L1 vs L0) hits sieve harder than the
+    # large-block programs — the paper's Figure 5 observation.
+    def annotation_cost(name):
+        return 1.0 - rows[name]["level1"] / rows[name]["level0"]
+
+    assert annotation_cost("sieve") > annotation_cost("ellip")
+    assert annotation_cost("sieve") > annotation_cost("subband")
+
+    # Levels 1-2 beat the 48 MHz board (the speed-up that motivates
+    # translation-based emulation).
+    for name in ("ellip", "subband", "fir", "dpcm"):
+        assert rows[name]["level1"] > rows[name]["board"]
+
+
+def test_bench_platform_run_level1(benchmark, figure5_measurements):
+    """Wall-clock of one platform execution (gcd, level 1)."""
+    obj = build("gcd")
+    program = translate(obj, level=1).program
+
+    def run():
+        return PrototypingPlatform(program).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.exit_code is not None
+    benchmark.extra_info["target_cycles"] = result.target_cycles
+    benchmark.extra_info["mips_at_200mhz"] = (
+        result.source_instructions /
+        (result.target_cycles / paper_data.C6X_HZ) / 1e6)

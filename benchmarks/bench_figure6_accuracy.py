@@ -1,0 +1,57 @@
+"""Figure 6 — comparison of cycle accuracy.
+
+Regenerates the simulated-vs-measured cycle counts and checks the
+paper's claims: deviation shrinks with every detail level, the
+branch-prediction level lands within the paper's quoted band, and
+control-flow-dominated programs (gcd) gain the most from dynamic
+branch-prediction correction.
+"""
+
+from repro.eval.experiments import figure6
+from repro.programs.registry import build
+from repro.translator.driver import translate
+
+from conftest import write_report
+
+
+def test_figure6_shape(figure5_measurements):
+    report = figure6(figure5_measurements)
+    write_report("figure6_accuracy.txt", report.text)
+    rows = {row["program"]: row for row in report.rows}
+
+    for name, row in rows.items():
+        dev1 = abs(row["deviation1"])
+        dev2 = abs(row["deviation2"])
+        dev3 = abs(row["deviation3"])
+        # Accuracy improves with the detail level.
+        assert dev3 <= dev2 + 1e-9, name
+        assert dev2 <= dev1 + 1e-9, name
+        # The cache level is nearly exact (only cross-block pipeline
+        # effects remain).
+        assert dev3 < 0.02, name
+        # The branch-prediction level stays within a Figure-6-like band.
+        assert dev2 < 0.15, name
+
+    # Purely static prediction *underestimates* (it cannot see
+    # mispredictions or cache misses).
+    for name, row in rows.items():
+        assert row["deviation1"] <= 0.0, name
+
+    # Branch prediction matters most for control-flow dominated code
+    # ("especially for control flow oriented programs like gcd").
+    gain = {name: abs(row["deviation1"]) - abs(row["deviation2"])
+            for name, row in rows.items()}
+    assert gain["gcd"] > gain["ellip"]
+    assert gain["gcd"] > gain["subband"]
+
+
+def test_bench_translation_level2(benchmark):
+    """Wall-clock of a full level-2 translation (gcd)."""
+    obj = build("gcd")
+
+    def run():
+        return translate(obj, level=2)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["packets"] = result.stats.packets
+    assert result.stats.packets > 0

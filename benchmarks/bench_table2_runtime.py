@@ -1,0 +1,50 @@
+"""Table 2 — software runtime comparison.
+
+Regenerates the comparison with reference [12]'s FPGA prototyping
+platform: RT-level simulation on a workstation (wall clock of our
+stage-level simulator), FPGA emulation at 8 MHz (reference cycles /
+8 MHz), and the translation at three detail levels (target cycles /
+200 MHz).  Checks the crossovers the paper reports.
+"""
+
+from repro.eval import paper_data
+from repro.eval.experiments import table2
+from repro.programs.registry import build
+from repro.refsim.rtlsim import RtlSimulator
+
+from conftest import write_report
+
+
+def test_table2_shape(table2_measurements):
+    report = table2(table2_measurements)
+    write_report("table2_runtime.txt", report.text)
+    rows = {row["program"]: row for row in report.rows}
+
+    for name, row in rows.items():
+        # Levels 1 and 2 are significantly faster than the 8 MHz FPGA
+        # emulation (paper: 3x .. 42x).
+        assert row["level1"] < row["fpga_emulation"] / 2, name
+        assert row["level2"] < row["fpga_emulation"] / 2, name
+        # The cache level is in the same order of magnitude as the FPGA
+        # (paper: "about in the same range").
+        assert row["level3"] < row["fpga_emulation"] * 2, name
+        # The workstation simulation is orders of magnitude slower than
+        # every emulated time.
+        assert row["workstation_sim"] > 100 * row["level3"], name
+
+    # Instruction counts are in the calibrated range of the paper's.
+    for name, row in rows.items():
+        paper_count = paper_data.TABLE2_INSTRUCTIONS[name]
+        assert 0.4 * paper_count <= row["instructions"] <= 2.5 * paper_count
+
+
+def test_bench_rtl_simulator(benchmark):
+    """Wall-clock of the stage-level RTL-style simulation (gcd)."""
+    obj = build("gcd")
+
+    def run():
+        return RtlSimulator(obj).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["cycles"] = result.cycles
+    assert result.cycles > 0

@@ -1,0 +1,22 @@
+"""Static-compilation throughput: how fast the translator itself runs.
+
+Not a paper table, but the static-vs-dynamic argument of Section 2
+rests on translation being a compile-time cost; this tracks it per
+detail level.
+"""
+
+import pytest
+
+from repro.programs.registry import build
+from repro.translator.driver import translate
+
+
+@pytest.mark.parametrize("level", [0, 1, 2, 3])
+def test_bench_translate(benchmark, level):
+    obj = build("sieve")
+    result = benchmark.pedantic(lambda: translate(obj, level=level),
+                                rounds=3, iterations=1)
+    benchmark.extra_info["packets"] = result.stats.packets
+    benchmark.extra_info["code_expansion"] = round(
+        result.stats.code_expansion, 2)
+    assert result.stats.packets > 0

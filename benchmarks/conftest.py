@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark suite.
+
+Measurements are computed once per session and shared; each benchmark
+file checks the *shape* of one table/figure of the paper and times a
+representative kernel.  Full reports (paper vs measured) are written to
+``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.eval.experiments import _measure_all
+from repro.eval.runner import measure_program
+from repro.programs.registry import FIGURE5_PROGRAMS
+
+OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+
+
+def write_report(name: str, text: str) -> None:
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    with open(os.path.join(OUTPUT_DIR, name), "w") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def figure5_measurements():
+    """All six Section-4 workloads at every detail level."""
+    return _measure_all(FIGURE5_PROGRAMS, (0, 1, 2, 3))
+
+
+@pytest.fixture(scope="session")
+def table2_measurements():
+    """The three Table-2 workloads, with RTL wall-clock timing."""
+    return {name: measure_program(name, levels=(1, 2, 3), measure_rtl=True)
+            for name in ("gcd", "fibonacci", "sieve")}

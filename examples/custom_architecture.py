@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Retargeting via the XML architecture description.
+
+The paper's translator is processor-independent: the source core is
+"usually defined in an XML file".  This example loads a modified
+description — slower mispredictions, a tiny direct-mapped instruction
+cache — and shows how both the reference simulator and the generated
+correction code follow it, keeping the cycle accuracy intact.
+"""
+
+from repro.arch.xmlio import source_arch_from_xml, source_arch_to_xml
+from repro.arch.model import default_source_arch
+from repro.programs.registry import build
+from repro.refsim.iss import CycleAccurateISS
+from repro.translator.driver import translate
+from repro.vliw.platform import PrototypingPlatform
+
+CUSTOM_XML = """
+<architecture name="tricore-harsh">
+  <clocks source_hz="40000000" emulation_hz="8000000"/>
+  <pipeline dual_issue="true" load_use_stall="2" mul_result_latency="3"
+            io_access_cycles="4"/>
+  <branch taken_correct="2" not_taken_correct="1" mispredict="6"
+          unconditional="2" call="3" ret="4" loop_taken="1" loop_exit="6"/>
+  <icache enabled="true" ways="1" sets="16" line_size="16"
+          miss_penalty="14"/>
+</architecture>
+"""
+
+
+def run(name: str, arch) -> None:
+    obj = build(name)
+    reference = CycleAccurateISS(obj, arch).run()
+    result = translate(obj, level=3, source=arch)
+    platform = PrototypingPlatform(result.program, source_arch=arch)
+    res = platform.run()
+    assert res.exit_code == reference.exit_code
+    deviation = (res.emulated_cycles - reference.cycles) / reference.cycles
+    print(f"  {name:8s} reference={reference.cycles:7d} cycles  "
+          f"emulated={res.emulated_cycles:7d}  deviation={deviation:+.2%}  "
+          f"(cache misses: {reference.cache_stats.misses})")
+
+
+def main() -> None:
+    default = default_source_arch()
+    print("default description:")
+    print(source_arch_to_xml(default))
+    print()
+
+    harsh = source_arch_from_xml(CUSTOM_XML)
+    print(f"custom '{harsh.name}': mispredict={harsh.branch.mispredict} "
+          f"cycles, {harsh.icache.ways}-way {harsh.icache.size}-byte "
+          f"i-cache, miss={harsh.icache.miss_penalty} cycles\n")
+
+    print("level-3 translation tracks the reference for BOTH descriptions:")
+    print("default architecture:")
+    for name in ("gcd", "fir"):
+        run(name, default)
+    print("harsh architecture:")
+    for name in ("gcd", "fir"):
+        run(name, harsh)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Debugging translated code (Section 3.5): dual translation at work.
+
+Compiles a C program, then drives the debugger — which keeps a
+block-oriented translation for speed and an instruction-oriented one
+for single stepping — through a gdb-RSP-style protocol session:
+breakpoint in the middle of a basic block, register inspection at each
+stop, memory watch, single steps, run to exit.
+"""
+
+from repro.debug.debugger import Debugger
+from repro.debug.rsp import RspClient, RspServer
+from repro.minic.compiler import compile_source
+from repro.objfile.elf import SymbolKind
+
+SOURCE = """
+int squares[8];
+
+int square(int x) {
+    return x * x;
+}
+
+int main() {
+    int i;
+    for (i = 0; i < 8; i += 1) {
+        squares[i] = square(i);
+    }
+    return squares[7];
+}
+"""
+
+
+def main() -> None:
+    obj = compile_source(SOURCE)
+    debugger = Debugger(obj, level=1)
+    client = RspClient(RspServer(debugger))
+
+    square_addr = obj.symbol_addr("square")
+    print(f"function 'square' at {square_addr:#010x}")
+
+    # Break at square's body (past the prologue — a mid-block address,
+    # which forces the instruction-oriented translation).
+    bp = square_addr + 4
+    print(f"Z0 (set breakpoint) -> {client.command(f'Z0,{bp:x}')}")
+
+    for hit in range(3):
+        reply = client.command("c")
+        d4 = debugger.read_register("d4")
+        print(f"continue -> {reply}; stopped at {debugger.src_pc:#010x}, "
+              f"argument d4 = {d4}")
+
+    print("\nsingle stepping through the function:")
+    for _ in range(4):
+        client.command("s")
+        regs = debugger.read_all_registers()
+        print(f"  pc={debugger.src_pc:#010x} d2={regs['d2']} "
+              f"d4={regs['d4']} d8={regs['d8']}")
+
+    # Watch the squares array through the memory interface.
+    squares = obj.symbol_at(obj.symbol_addr("g_squares"),
+                            SymbolKind.OBJECT)
+    base = obj.symbol_addr("g_squares")
+    del squares
+    print(f"\nclear breakpoint -> {client.command(f'z0,{bp:x}')}")
+    reply = client.command("c")
+    print(f"run to completion -> {reply} (W = exited, code in hex)")
+    data = debugger.read_memory(base, 32)
+    values = [int.from_bytes(data[i:i + 4], "little") for i in range(0, 32, 4)]
+    print(f"squares[] in target memory: {values}")
+    print(f"emulated cycles at exit: {debugger.emulated_cycles}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Cycle-accurate I/O: the property the whole system exists for.
+
+Compiles a C program that writes to the UART and reads the cycle
+timer, runs it on the reference core and on the translated platform,
+and prints both bus traces side by side.  The transfers match in order
+and data; the timestamps (in *emulated* cycles) track each other — the
+attached SoC hardware cannot tell the difference.
+"""
+
+from repro.minic.compiler import compile_source
+from repro.refsim.iss import CycleAccurateISS
+from repro.translator.driver import translate
+from repro.vliw.platform import PrototypingPlatform
+
+SOURCE = """
+int main() {
+    int uart = 0xF0000000;
+    int timer = 0xF0000010;
+    int i;
+    int t0 = __io_read(timer);
+    for (i = 0; i < 5; i += 1) {
+        __io_write(uart, 'A' + i);
+    }
+    int t1 = __io_read(timer);
+    return t1 - t0;   // self-measured emulated cycles
+}
+"""
+
+
+def main() -> None:
+    obj = compile_source(SOURCE)
+    reference = CycleAccurateISS(obj).run()
+    translated = translate(obj, level=2)
+    run = PrototypingPlatform(translated.program).run()
+
+    print("bus traces (cycle stamps are in emulated source-clock cycles)\n")
+    print(f"{'reference (board)':>32s} | {'translated (platform)':>32s}")
+    print("-" * 70)
+    for ref, plat in zip(reference.bus_trace, run.bus_trace):
+        ref_text = f"c{ref.cycle:6d} {ref.kind} @{ref.addr:#06x} = {ref.value}"
+        plat_text = f"c{plat.cycle:6d} {plat.kind} @{plat.addr:#06x} = {plat.value}"
+        print(f"{ref_text:>32s} | {plat_text:>32s}")
+
+    print(f"\nUART output:   reference={reference.uart_output!r} "
+          f"platform={run.uart_output!r}")
+    print(f"self-measured: reference={reference.exit_code} cycles, "
+          f"platform={run.exit_code} cycles")
+    assert run.uart_output == reference.uart_output
+    # Timer reads and the exit write carry *measured emulated time*,
+    # which tracks but need not equal the reference; the UART transfers
+    # must match exactly.
+    seq_ref = [(a.kind, a.addr, a.value) for a in reference.bus_trace
+               if a.addr < 0x10]
+    seq_plat = [(a.kind, a.addr, a.value) for a in run.bus_trace
+                if a.addr < 0x10]
+    assert seq_ref == seq_plat
+    assert 0.85 < run.exit_code / reference.exit_code < 1.15
+    print("UART transfer sequences identical; self-measured time within "
+          f"{abs(run.exit_code / reference.exit_code - 1):.1%}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+`pip install -e .` requires the wheel package for PEP 660 editable
+builds with this setuptools version; `python setup.py develop` works
+without it and installs the same editable package.
+"""
+
+from setuptools import setup
+
+setup()

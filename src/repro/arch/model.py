@@ -1,0 +1,252 @@
+"""Architecture description model.
+
+The paper's translator is split into a processor-independent library and
+a description of the *source processor* (pipelines, caches, instruction
+set) that is "usually defined in an XML file".  This module is the typed
+in-memory form of that description; :mod:`repro.arch.xmlio` converts it
+to and from XML.
+
+Two descriptions exist:
+
+* :class:`SourceArch` — the emulated SoC core (TriCore-like): memory
+  map, dual-issue pipeline parameters, branch-cost table, instruction
+  cache geometry, clock rate.
+* :class:`TargetArch` — the prototyping platform's VLIW processor
+  (C6x-like): functional units, delay slots, register files, reserved
+  registers for translator-internal use, clock rate.
+
+The timing numbers here are the *single* source of truth: the reference
+ISS, the static cycle calculator and the generated correction code all
+read the same tables, mirroring the paper's design where the processor
+description drives both prediction and generated code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ArchitectureError
+from repro.utils.bits import is_power_of_two
+
+
+@dataclass(frozen=True)
+class MemoryMap:
+    """Address layout of the source processor."""
+
+    code_base: int = 0x8000_0000
+    code_size: int = 0x0001_0000
+    data_base: int = 0xD000_0000
+    data_size: int = 0x0001_0000
+    io_base: int = 0xF000_0000
+    io_size: int = 0x0001_0000
+
+    @property
+    def stack_top(self) -> int:
+        """Initial stack pointer (top of data RAM, 16-byte aligned)."""
+        return (self.data_base + self.data_size - 16) & ~0xF
+
+    def is_code(self, address: int) -> bool:
+        return self.code_base <= address < self.code_base + self.code_size
+
+    def is_data(self, address: int) -> bool:
+        return self.data_base <= address < self.data_base + self.data_size
+
+    def is_io(self, address: int) -> bool:
+        return self.io_base <= address < self.io_base + self.io_size
+
+    def validate(self) -> None:
+        regions = [
+            (self.code_base, self.code_size, "code"),
+            (self.data_base, self.data_size, "data"),
+            (self.io_base, self.io_size, "io"),
+        ]
+        for base, size, name in regions:
+            if size <= 0:
+                raise ArchitectureError(f"{name} region has non-positive size")
+            if base & 0x3:
+                raise ArchitectureError(f"{name} base is not word aligned")
+        ordered = sorted(regions)
+        for (b0, s0, n0), (b1, _s1, n1) in zip(ordered, ordered[1:]):
+            if b0 + s0 > b1:
+                raise ArchitectureError(f"regions {n0} and {n1} overlap")
+
+
+@dataclass(frozen=True)
+class PipelineModel:
+    """Parameters of the source processor's in-order dual pipeline.
+
+    The model follows the TriCore split into an integer pipeline (IP)
+    and a load/store pipeline (LS).  One IP-class instruction may issue
+    together with an immediately following LS-class instruction when no
+    data dependence exists between them ("dual issue").  Loads and
+    multiplies deliver their results late; a dependent instruction in
+    the shadow stalls.
+    """
+
+    dual_issue: bool = True
+    load_use_stall: int = 1
+    mul_result_latency: int = 2
+    io_access_cycles: int = 2
+
+    def validate(self) -> None:
+        if self.load_use_stall < 0:
+            raise ArchitectureError("load_use_stall must be >= 0")
+        if self.mul_result_latency < 1:
+            raise ArchitectureError("mul_result_latency must be >= 1")
+        if self.io_access_cycles < 0:
+            raise ArchitectureError("io_access_cycles must be >= 0")
+
+
+@dataclass(frozen=True)
+class BranchModel:
+    """Cycle costs of control transfers under static BTFN prediction.
+
+    The predictor is the TriCore-style static scheme: backward
+    conditional branches are predicted taken, forward ones not taken.
+    Costs are total cycles consumed by the branch instruction for each
+    (prediction, outcome) combination; ``min_cost`` is the amount the
+    static cycle calculation can always account for, per Section 3.4.1
+    of the paper ("such a conditional branch needs a minimum number of
+    cycles in all cases").
+    """
+
+    taken_correct: int = 2
+    not_taken_correct: int = 1
+    mispredict: int = 4
+    unconditional: int = 2
+    call: int = 2
+    ret: int = 3
+    loop_taken: int = 1
+    loop_exit: int = 4
+
+    @property
+    def min_conditional(self) -> int:
+        """Cheapest possible cost of a conditional branch."""
+        return min(
+            self.taken_correct,
+            self.not_taken_correct,
+            self.mispredict,
+        )
+
+    @property
+    def min_loop(self) -> int:
+        """Cheapest possible cost of a hardware loop branch."""
+        return min(self.loop_taken, self.loop_exit)
+
+    def conditional_cost(self, taken: bool, predicted_taken: bool) -> int:
+        """Cost of a conditional branch with the given outcome/prediction."""
+        if taken == predicted_taken:
+            return self.taken_correct if taken else self.not_taken_correct
+        return self.mispredict
+
+    def loop_cost(self, taken: bool) -> int:
+        """Cost of the hardware ``loop`` instruction (predicted taken)."""
+        return self.loop_taken if taken else self.loop_exit
+
+    def validate(self) -> None:
+        for name in (
+            "taken_correct",
+            "not_taken_correct",
+            "mispredict",
+            "unconditional",
+            "call",
+            "ret",
+            "loop_taken",
+            "loop_exit",
+        ):
+            if getattr(self, name) < 1:
+                raise ArchitectureError(f"branch cost {name} must be >= 1")
+
+
+@dataclass(frozen=True)
+class ICacheModel:
+    """Geometry and penalty of the source instruction cache."""
+
+    enabled: bool = True
+    ways: int = 2
+    sets: int = 32
+    line_size: int = 32
+    miss_penalty: int = 10
+
+    @property
+    def size(self) -> int:
+        """Total cache capacity in bytes."""
+        return self.ways * self.sets * self.line_size
+
+    def validate(self) -> None:
+        if self.ways < 1:
+            raise ArchitectureError("cache must have at least one way")
+        if not is_power_of_two(self.sets):
+            raise ArchitectureError("number of sets must be a power of two")
+        if not is_power_of_two(self.line_size) or self.line_size < 4:
+            raise ArchitectureError("line size must be a power of two >= 4")
+        if self.miss_penalty < 1:
+            raise ArchitectureError("miss penalty must be >= 1")
+
+
+@dataclass(frozen=True)
+class SourceArch:
+    """Complete description of the emulated source processor."""
+
+    name: str = "tricore-tc10gp"
+    clock_hz: int = 48_000_000
+    emulation_clock_hz: int = 8_000_000
+    memory: MemoryMap = field(default_factory=MemoryMap)
+    pipeline: PipelineModel = field(default_factory=PipelineModel)
+    branch: BranchModel = field(default_factory=BranchModel)
+    icache: ICacheModel = field(default_factory=ICacheModel)
+
+    def validate(self) -> "SourceArch":
+        if self.clock_hz <= 0 or self.emulation_clock_hz <= 0:
+            raise ArchitectureError("clock rates must be positive")
+        self.memory.validate()
+        self.pipeline.validate()
+        self.branch.validate()
+        self.icache.validate()
+        return self
+
+    def with_icache(self, **kwargs) -> "SourceArch":
+        """Return a copy with modified instruction-cache parameters."""
+        return replace(self, icache=replace(self.icache, **kwargs))
+
+
+@dataclass(frozen=True)
+class TargetArch:
+    """Description of the VLIW target processor on the platform."""
+
+    name: str = "tms320c6x"
+    clock_hz: int = 200_000_000
+    registers_per_side: int = 16
+    branch_delay_slots: int = 5
+    load_delay_slots: int = 4
+    mul_delay_slots: int = 1
+    max_issue: int = 8
+    sync_base: int = 0x0180_0000
+    bridge_base: int = 0x0190_0000
+    code_base: int = 0x0000_0000
+    data_base: int = 0x8000_0000
+    data_size: int = 0x0002_0000
+    internal_base: int = 0x8002_0000
+    internal_size: int = 0x0001_0000
+
+    def validate(self) -> "TargetArch":
+        if self.clock_hz <= 0:
+            raise ArchitectureError("clock rate must be positive")
+        if self.registers_per_side < 8 or self.registers_per_side > 32:
+            raise ArchitectureError("registers_per_side must be in [8, 32]")
+        if self.max_issue < 1:
+            raise ArchitectureError("max_issue must be >= 1")
+        for name in ("branch_delay_slots", "load_delay_slots", "mul_delay_slots"):
+            if getattr(self, name) < 0:
+                raise ArchitectureError(f"{name} must be >= 0")
+        return self
+
+
+def default_source_arch() -> SourceArch:
+    """The built-in TriCore-TC10GP-like source description."""
+    return SourceArch().validate()
+
+
+def default_target_arch() -> TargetArch:
+    """The built-in TMS320C6201-like target description."""
+    return TargetArch().validate()

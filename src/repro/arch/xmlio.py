@@ -1,0 +1,246 @@
+"""XML serialization of architecture descriptions.
+
+The paper's compiler reads the source-processor description (pipelines,
+caches, instruction set) from an XML file that a tool turns into C++
+classes.  The Python equivalent here parses the XML directly into the
+dataclasses of :mod:`repro.arch.model`.  A writer is provided so the
+built-in descriptions can be exported, edited and re-loaded.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.arch.model import (
+    BranchModel,
+    ICacheModel,
+    MemoryMap,
+    PipelineModel,
+    SourceArch,
+    TargetArch,
+)
+from repro.errors import ArchitectureError
+
+_TRUE_VALUES = {"1", "true", "yes", "on"}
+_FALSE_VALUES = {"0", "false", "no", "off"}
+
+
+def _get_int(elem: ET.Element, name: str, default: int) -> int:
+    raw = elem.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw, 0)
+    except ValueError as exc:
+        raise ArchitectureError(
+            f"attribute {name!r} of <{elem.tag}> is not an integer: {raw!r}"
+        ) from exc
+
+
+def _get_bool(elem: ET.Element, name: str, default: bool) -> bool:
+    raw = elem.get(name)
+    if raw is None:
+        return default
+    lowered = raw.strip().lower()
+    if lowered in _TRUE_VALUES:
+        return True
+    if lowered in _FALSE_VALUES:
+        return False
+    raise ArchitectureError(
+        f"attribute {name!r} of <{elem.tag}> is not a boolean: {raw!r}"
+    )
+
+
+def source_arch_from_xml(text: str) -> SourceArch:
+    """Parse a ``<architecture>`` document into a :class:`SourceArch`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ArchitectureError(f"malformed architecture XML: {exc}") from exc
+    if root.tag != "architecture":
+        raise ArchitectureError(f"expected <architecture> root, got <{root.tag}>")
+
+    defaults = SourceArch()
+    name = root.get("name", defaults.name)
+
+    clocks = root.find("clocks")
+    clock_hz = defaults.clock_hz
+    emulation_hz = defaults.emulation_clock_hz
+    if clocks is not None:
+        clock_hz = _get_int(clocks, "source_hz", clock_hz)
+        emulation_hz = _get_int(clocks, "emulation_hz", emulation_hz)
+
+    mem = defaults.memory
+    memory_elem = root.find("memory")
+    if memory_elem is not None:
+        mem = MemoryMap(
+            code_base=_get_int(memory_elem, "code_base", mem.code_base),
+            code_size=_get_int(memory_elem, "code_size", mem.code_size),
+            data_base=_get_int(memory_elem, "data_base", mem.data_base),
+            data_size=_get_int(memory_elem, "data_size", mem.data_size),
+            io_base=_get_int(memory_elem, "io_base", mem.io_base),
+            io_size=_get_int(memory_elem, "io_size", mem.io_size),
+        )
+
+    pipe = defaults.pipeline
+    pipe_elem = root.find("pipeline")
+    if pipe_elem is not None:
+        pipe = PipelineModel(
+            dual_issue=_get_bool(pipe_elem, "dual_issue", pipe.dual_issue),
+            load_use_stall=_get_int(pipe_elem, "load_use_stall", pipe.load_use_stall),
+            mul_result_latency=_get_int(
+                pipe_elem, "mul_result_latency", pipe.mul_result_latency
+            ),
+            io_access_cycles=_get_int(
+                pipe_elem, "io_access_cycles", pipe.io_access_cycles
+            ),
+        )
+
+    branch = defaults.branch
+    branch_elem = root.find("branch")
+    if branch_elem is not None:
+        branch = BranchModel(
+            taken_correct=_get_int(branch_elem, "taken_correct", branch.taken_correct),
+            not_taken_correct=_get_int(
+                branch_elem, "not_taken_correct", branch.not_taken_correct
+            ),
+            mispredict=_get_int(branch_elem, "mispredict", branch.mispredict),
+            unconditional=_get_int(branch_elem, "unconditional", branch.unconditional),
+            call=_get_int(branch_elem, "call", branch.call),
+            ret=_get_int(branch_elem, "ret", branch.ret),
+            loop_taken=_get_int(branch_elem, "loop_taken", branch.loop_taken),
+            loop_exit=_get_int(branch_elem, "loop_exit", branch.loop_exit),
+        )
+
+    icache = defaults.icache
+    icache_elem = root.find("icache")
+    if icache_elem is not None:
+        icache = ICacheModel(
+            enabled=_get_bool(icache_elem, "enabled", icache.enabled),
+            ways=_get_int(icache_elem, "ways", icache.ways),
+            sets=_get_int(icache_elem, "sets", icache.sets),
+            line_size=_get_int(icache_elem, "line_size", icache.line_size),
+            miss_penalty=_get_int(icache_elem, "miss_penalty", icache.miss_penalty),
+        )
+
+    arch = SourceArch(
+        name=name,
+        clock_hz=clock_hz,
+        emulation_clock_hz=emulation_hz,
+        memory=mem,
+        pipeline=pipe,
+        branch=branch,
+        icache=icache,
+    )
+    return arch.validate()
+
+
+def source_arch_to_xml(arch: SourceArch) -> str:
+    """Serialize a :class:`SourceArch` to an XML document string."""
+    root = ET.Element("architecture", name=arch.name)
+    ET.SubElement(
+        root,
+        "clocks",
+        source_hz=str(arch.clock_hz),
+        emulation_hz=str(arch.emulation_clock_hz),
+    )
+    mem = arch.memory
+    ET.SubElement(
+        root,
+        "memory",
+        code_base=hex(mem.code_base),
+        code_size=hex(mem.code_size),
+        data_base=hex(mem.data_base),
+        data_size=hex(mem.data_size),
+        io_base=hex(mem.io_base),
+        io_size=hex(mem.io_size),
+    )
+    pipe = arch.pipeline
+    ET.SubElement(
+        root,
+        "pipeline",
+        dual_issue="true" if pipe.dual_issue else "false",
+        load_use_stall=str(pipe.load_use_stall),
+        mul_result_latency=str(pipe.mul_result_latency),
+        io_access_cycles=str(pipe.io_access_cycles),
+    )
+    br = arch.branch
+    ET.SubElement(
+        root,
+        "branch",
+        taken_correct=str(br.taken_correct),
+        not_taken_correct=str(br.not_taken_correct),
+        mispredict=str(br.mispredict),
+        unconditional=str(br.unconditional),
+        call=str(br.call),
+        ret=str(br.ret),
+        loop_taken=str(br.loop_taken),
+        loop_exit=str(br.loop_exit),
+    )
+    ic = arch.icache
+    ET.SubElement(
+        root,
+        "icache",
+        enabled="true" if ic.enabled else "false",
+        ways=str(ic.ways),
+        sets=str(ic.sets),
+        line_size=str(ic.line_size),
+        miss_penalty=str(ic.miss_penalty),
+    )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def target_arch_from_xml(text: str) -> TargetArch:
+    """Parse a ``<target>`` document into a :class:`TargetArch`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ArchitectureError(f"malformed target XML: {exc}") from exc
+    if root.tag != "target":
+        raise ArchitectureError(f"expected <target> root, got <{root.tag}>")
+    defaults = TargetArch()
+    arch = TargetArch(
+        name=root.get("name", defaults.name),
+        clock_hz=_get_int(root, "clock_hz", defaults.clock_hz),
+        registers_per_side=_get_int(
+            root, "registers_per_side", defaults.registers_per_side
+        ),
+        branch_delay_slots=_get_int(
+            root, "branch_delay_slots", defaults.branch_delay_slots
+        ),
+        load_delay_slots=_get_int(root, "load_delay_slots", defaults.load_delay_slots),
+        mul_delay_slots=_get_int(root, "mul_delay_slots", defaults.mul_delay_slots),
+        max_issue=_get_int(root, "max_issue", defaults.max_issue),
+        sync_base=_get_int(root, "sync_base", defaults.sync_base),
+        bridge_base=_get_int(root, "bridge_base", defaults.bridge_base),
+        code_base=_get_int(root, "code_base", defaults.code_base),
+        data_base=_get_int(root, "data_base", defaults.data_base),
+        data_size=_get_int(root, "data_size", defaults.data_size),
+        internal_base=_get_int(root, "internal_base", defaults.internal_base),
+        internal_size=_get_int(root, "internal_size", defaults.internal_size),
+    )
+    return arch.validate()
+
+
+def target_arch_to_xml(arch: TargetArch) -> str:
+    """Serialize a :class:`TargetArch` to an XML document string."""
+    root = ET.Element(
+        "target",
+        name=arch.name,
+        clock_hz=str(arch.clock_hz),
+        registers_per_side=str(arch.registers_per_side),
+        branch_delay_slots=str(arch.branch_delay_slots),
+        load_delay_slots=str(arch.load_delay_slots),
+        mul_delay_slots=str(arch.mul_delay_slots),
+        max_issue=str(arch.max_issue),
+        sync_base=hex(arch.sync_base),
+        bridge_base=hex(arch.bridge_base),
+        code_base=hex(arch.code_base),
+        data_base=hex(arch.data_base),
+        data_size=hex(arch.data_size),
+        internal_base=hex(arch.internal_base),
+        internal_size=hex(arch.internal_size),
+    )
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")

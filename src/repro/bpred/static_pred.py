@@ -1,0 +1,83 @@
+"""Static branch prediction of the source processor.
+
+The TriCore-style scheme: conditional branches are predicted by
+direction (backward = taken, forward = not taken); the hardware
+``loop`` instruction is always predicted taken.  The associated cycle
+costs live in :class:`repro.arch.model.BranchModel`; this module only
+decides the predicted direction, which is a *static* property — the
+translator bakes it into the generated correction code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.model import BranchModel
+from repro.translator.ir import BranchKind
+
+
+def predicted_taken(kind: BranchKind, target: int | None, pc: int) -> bool:
+    """Statically predicted direction of a branch at *pc*.
+
+    Unconditional transfers (jumps, calls, returns, indirect jumps) are
+    trivially "taken"; conditional branches follow BTFN; ``loop`` is
+    predicted taken.
+    """
+    if kind in (BranchKind.JUMP, BranchKind.CALL, BranchKind.CALL_INDIRECT,
+                BranchKind.RET, BranchKind.INDIRECT):
+        return True
+    if kind is BranchKind.LOOP:
+        return True
+    if kind is BranchKind.COND:
+        return target is not None and target <= pc
+    return False
+
+
+@dataclass
+class BranchStats:
+    """Dynamic prediction statistics gathered by the reference ISS."""
+
+    conditional: int = 0
+    mispredicted: int = 0
+    taken: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredicted / self.conditional if self.conditional else 0.0
+
+
+def dynamic_cost(model: BranchModel, kind: BranchKind, taken: bool,
+                 predicted: bool) -> int:
+    """Actual cycles of a branch with the given outcome."""
+    if kind is BranchKind.COND:
+        return model.conditional_cost(taken, predicted)
+    if kind is BranchKind.LOOP:
+        return model.loop_cost(taken)
+    if kind is BranchKind.CALL or kind is BranchKind.CALL_INDIRECT:
+        return model.call
+    if kind is BranchKind.RET:
+        return model.ret
+    if kind in (BranchKind.JUMP, BranchKind.INDIRECT):
+        return model.unconditional
+    return 0
+
+
+def static_cost(model: BranchModel, kind: BranchKind, predicted: bool,
+                assume_predicted_path: bool) -> int:
+    """Cycles the static calculation accounts for a block-ending branch.
+
+    With *assume_predicted_path* (detail level 1, purely static
+    prediction) the cost of the statically predicted outcome is used.
+    Without it (levels >= 2) only the guaranteed minimum is charged and
+    the difference is produced at run time by the correction code.
+    """
+    if kind is BranchKind.COND:
+        if assume_predicted_path:
+            return (model.taken_correct if predicted
+                    else model.not_taken_correct)
+        return model.min_conditional
+    if kind is BranchKind.LOOP:
+        if assume_predicted_path:
+            return model.loop_taken
+        return model.min_loop
+    return dynamic_cost(model, kind, True, predicted)

@@ -1,0 +1,115 @@
+"""Set-associative LRU instruction-cache model.
+
+This is the reference model of the source processor's I-cache.  The
+translator's generated cache-correction code (Section 3.4.2 of the
+paper) simulates exactly the same structure — tag + valid bit combined
+into one word per way, plus per-set LRU information — so the dynamic
+correction cycles must agree with this model, and tests assert that.
+
+Fetch model: an instruction fetch is attributed to the cache line that
+contains its first halfword (straddling 32-bit instructions charge the
+following line when the *next* fetch starts in it).  This matches the
+translator's division of basic blocks into cache analysis blocks by
+first-byte line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.model import ICacheModel
+from repro.utils.bits import log2_exact
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class InstructionCache:
+    """LRU set-associative cache keyed by line address."""
+
+    def __init__(self, model: ICacheModel) -> None:
+        model.validate()
+        self.model = model
+        self._offset_bits = log2_exact(model.line_size)
+        self._index_bits = log2_exact(model.sets)
+        self._tags: list[list[int | None]] = [
+            [None] * model.ways for _ in range(model.sets)
+        ]
+        # _lru[s][w] = age rank of way w in set s; 0 = most recently used.
+        # Initial state makes way 0 the first victim, matching the
+        # zero-initialized LRU words of the translator-generated code.
+        self._lru: list[list[int]] = [
+            list(range(model.ways - 1, -1, -1)) for _ in range(model.sets)
+        ]
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Invalidate all lines and zero the statistics."""
+        ways = self.model.ways
+        for set_ways in self._tags:
+            for way in range(ways):
+                set_ways[way] = None
+        for ages in self._lru:
+            for way in range(ways):
+                ages[way] = ways - 1 - way
+        self.stats = CacheStats()
+
+    def split(self, address: int) -> tuple[int, int]:
+        """Return ``(tag, set_index)`` of *address*."""
+        line = address >> self._offset_bits
+        return line >> self._index_bits, line & (self.model.sets - 1)
+
+    def line_of(self, address: int) -> int:
+        """Line-aligned address containing *address*."""
+        return address & ~(self.model.line_size - 1)
+
+    def _touch(self, set_index: int, way: int) -> None:
+        ages = self._lru[set_index]
+        old = ages[way]
+        for other in range(len(ages)):
+            if ages[other] < old:
+                ages[other] += 1
+        ages[way] = 0
+
+    def lookup(self, address: int) -> bool:
+        """Non-modifying probe: would *address* hit?"""
+        tag, set_index = self.split(address)
+        return tag in self._tags[set_index]
+
+    def access(self, address: int) -> bool:
+        """Access *address*; returns True on hit, updating LRU state."""
+        tag, set_index = self.split(address)
+        ways = self._tags[set_index]
+        for way, stored in enumerate(ways):
+            if stored == tag:
+                self._touch(set_index, way)
+                self.stats.hits += 1
+                return True
+        # miss: replace the least recently used way
+        ages = self._lru[set_index]
+        victim = max(range(len(ages)), key=lambda w: ages[w])
+        ways[victim] = tag
+        self._touch(set_index, victim)
+        self.stats.misses += 1
+        return False
+
+    def access_penalty(self, address: int) -> int:
+        """Access *address*; returns the stall penalty (0 on hit)."""
+        return 0 if self.access(address) else self.model.miss_penalty
+
+    def contents(self) -> list[list[int | None]]:
+        """Snapshot of stored tags (for equivalence tests)."""
+        return [list(ways) for ways in self._tags]

@@ -1,0 +1,189 @@
+"""Command-line entry points.
+
+* ``repro-asm`` — assemble TriCore-like assembly to an object file
+* ``repro-minic`` — compile minic C to an object file (or assembly)
+* ``repro-translate`` — run the cycle-accurate binary translator
+* ``repro-run`` — execute an object file (reference ISS or platform)
+* ``repro-experiments`` — regenerate the paper's tables and figures
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _load_object(path: str):
+    from repro.objfile import elf
+
+    return elf.load(path)
+
+
+def asm_main(argv: list[str] | None = None) -> int:
+    """Assemble a source file into a RELF object file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-asm", description=asm_main.__doc__)
+    parser.add_argument("source")
+    parser.add_argument("-o", "--output", default="a.relf")
+    parser.add_argument("--listing", action="store_true",
+                        help="print a disassembly listing")
+    args = parser.parse_args(argv)
+    from repro.isa.tricore.assembler import assemble
+    from repro.isa.tricore.disassembler import format_listing
+    from repro.objfile import elf
+
+    try:
+        with open(args.source) as handle:
+            obj = assemble(handle.read())
+        elf.save(obj, args.output)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.listing:
+        text = obj.text()
+        print(format_listing(text.data, text.addr))
+    print(f"wrote {args.output} (entry {obj.entry:#010x})")
+    return 0
+
+
+def minic_main(argv: list[str] | None = None) -> int:
+    """Compile a minic C source file."""
+    parser = argparse.ArgumentParser(
+        prog="repro-minic", description=minic_main.__doc__)
+    parser.add_argument("source")
+    parser.add_argument("-o", "--output", default="a.relf")
+    parser.add_argument("-S", "--asm", action="store_true",
+                        help="emit assembly text instead of an object file")
+    args = parser.parse_args(argv)
+    from repro.minic.compiler import compile_source, compile_to_asm
+    from repro.objfile import elf
+
+    try:
+        with open(args.source) as handle:
+            source = handle.read()
+        if args.asm:
+            print(compile_to_asm(source))
+            return 0
+        obj = compile_source(source)
+        elf.save(obj, args.output)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"wrote {args.output} (entry {obj.entry:#010x})")
+    return 0
+
+
+def translate_main(argv: list[str] | None = None) -> int:
+    """Translate an object file to a cycle-annotated VLIW program."""
+    parser = argparse.ArgumentParser(
+        prog="repro-translate", description=translate_main.__doc__)
+    parser.add_argument("object")
+    parser.add_argument("--level", type=int, default=2,
+                        choices=(0, 1, 2, 3),
+                        help="detail level of cycle accuracy")
+    parser.add_argument("--arch", help="source architecture XML file")
+    parser.add_argument("--listing", action="store_true",
+                        help="print the translated program")
+    parser.add_argument("--run", action="store_true",
+                        help="execute on the platform after translating")
+    args = parser.parse_args(argv)
+    from repro.arch.xmlio import source_arch_from_xml
+    from repro.translator.driver import translate
+    from repro.vliw.platform import PrototypingPlatform
+
+    try:
+        obj = _load_object(args.object)
+        arch = None
+        if args.arch:
+            with open(args.arch) as handle:
+                arch = source_arch_from_xml(handle.read())
+        result = translate(obj, level=args.level, source=arch)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    stats = result.stats
+    print(f"translated {stats.source_instructions} source instructions "
+          f"({stats.basic_blocks} blocks) into {stats.packets} packets "
+          f"at level {args.level}")
+    print(f"code expansion {stats.code_expansion:.2f}x; accesses: "
+          f"{stats.accesses_data} data, {stats.accesses_io} io, "
+          f"{stats.accesses_unknown} unknown; "
+          f"{stats.spilled_registers} spilled registers")
+    if args.listing:
+        print(result.program.listing())
+    if args.run:
+        run = PrototypingPlatform(result.program, source_arch=arch).run()
+        print(f"exit={run.exit_code} target_cycles={run.target_cycles} "
+              f"emulated_cycles={run.emulated_cycles} "
+              f"cpi={run.target_cpi:.2f}")
+        if run.uart_output:
+            print(f"uart: {run.uart_output!r}")
+    return 0
+
+
+def run_main(argv: list[str] | None = None) -> int:
+    """Execute an object file on a reference simulator."""
+    parser = argparse.ArgumentParser(
+        prog="repro-run", description=run_main.__doc__)
+    parser.add_argument("object")
+    parser.add_argument("--simulator", default="cycle",
+                        choices=("functional", "cycle", "interpreted", "rtl"),
+                        help="which reference simulator to use")
+    parser.add_argument("--arch", help="source architecture XML file")
+    parser.add_argument("--max-instructions", type=int, default=50_000_000)
+    args = parser.parse_args(argv)
+    from repro.arch.xmlio import source_arch_from_xml
+    from repro.refsim.iss import (
+        CycleAccurateISS,
+        FunctionalISS,
+        InterpretedISS,
+    )
+    from repro.refsim.rtlsim import RtlSimulator
+
+    classes = {
+        "functional": FunctionalISS,
+        "cycle": CycleAccurateISS,
+        "interpreted": InterpretedISS,
+        "rtl": RtlSimulator,
+    }
+    try:
+        obj = _load_object(args.object)
+        arch = None
+        if args.arch:
+            with open(args.arch) as handle:
+                arch = source_arch_from_xml(handle.read())
+        simulator = classes[args.simulator](obj, arch)
+        if args.simulator == "rtl":
+            result = simulator.run()
+        else:
+            result = simulator.run(max_instructions=args.max_instructions)
+    except (OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"exit={result.exit_code} instructions={result.instructions} "
+          f"cycles={result.cycles} cpi={result.cpi:.3f}")
+    if result.uart_output:
+        print(f"uart: {result.uart_output!r}")
+    return 0
+
+
+def experiments_main(argv: list[str] | None = None) -> int:
+    """Regenerate the paper's tables and figures."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments", description=experiments_main.__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="skip Table 2 (the slow RTL measurements)")
+    parser.add_argument("-o", "--output",
+                        help="also write the reports to a file")
+    args = parser.parse_args(argv)
+    from repro.eval.experiments import run_all
+
+    reports = run_all(quick=args.quick)
+    text = "\n\n".join(report.text for report in reports)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text + "\n")
+    return 0

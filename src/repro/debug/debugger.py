@@ -1,0 +1,307 @@
+"""Debugging of translated code (Section 3.5).
+
+The paper's debug support keeps **two translations** of the program: one
+with block-oriented cycle generation (fast execution between stops) and
+one with instruction-oriented cycle generation (single stepping).  The
+interface program between the translated code and the debugger front
+end implements breakpoints, single step and normal execution, and
+"has to translate the register names and the addresses used".
+
+This module is that interface program:
+
+* breakpoints land on the entry of the containing basic block of the
+  block-oriented translation; reaching an exact mid-block address uses
+  the instruction-oriented translation ("to get to the real break point
+  the single step program has to be used");
+* register reads/writes go through the translation's register-binding
+  map (including spilled registers);
+* memory addresses are translated between source and target maps;
+* switching between the two translations migrates the source-visible
+  state (registers, data memory, emulated clock) at block boundaries,
+  where the synchronization device is quiescent by construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.model import SourceArch, TargetArch, default_source_arch
+from repro.errors import DebugError
+from repro.isa.tricore.registers import parse_reg, reg_name
+from repro.objfile.elf import ObjectFile
+from repro.translator.blocks import build_cfg
+from repro.translator.decoder import decode_object
+from repro.translator.driver import TranslationResult, translate
+from repro.vliw.platform import PrototypingPlatform
+
+
+class StopReason(enum.Enum):
+    BREAKPOINT = "breakpoint"
+    STEP = "step"
+    EXITED = "exited"
+    HALTED = "halted"
+
+
+@dataclass
+class StopInfo:
+    reason: StopReason
+    address: int
+    exit_code: int | None = None
+
+
+class _Side:
+    """One translation plus its executing platform."""
+
+    def __init__(self, result: TranslationResult,
+                 source_arch: SourceArch) -> None:
+        self.result = result
+        self.platform = PrototypingPlatform(result.program,
+                                            source_arch=source_arch)
+        self.core = self.platform.core
+        self.program = result.program
+
+    def head_addr(self, packet: int) -> int | None:
+        info = self.program.block_at.get(packet)
+        return info.source_addr if info is not None else None
+
+
+class Debugger:
+    """Breakpoints, single-step and state access for translated code."""
+
+    def __init__(self, obj: ObjectFile,
+                 source: SourceArch | None = None,
+                 target: TargetArch | None = None,
+                 level: int = 1) -> None:
+        self.obj = obj
+        self.source = source or default_source_arch()
+        self._cfg = build_cfg(decode_object(obj), obj)
+        self._instr_addrs = {i.addr for block in self._cfg
+                             for i in block.instrs}
+        self.block_side = _Side(
+            translate(obj, level=level, source=source, target=target),
+            self.source)
+        self.instr_side = _Side(
+            translate(obj, level=level, source=source, target=target,
+                      instruction_blocks=True),
+            self.source)
+        self.breakpoints: set[int] = set()
+        self._active = self.block_side
+        self._run_prologue(self.block_side)
+        self._run_prologue(self.instr_side)
+        self.src_pc = obj.entry
+
+    # ------------------------------------------------------------------
+    # breakpoints
+    # ------------------------------------------------------------------
+
+    def set_breakpoint(self, address: int) -> None:
+        if address not in self._instr_addrs:
+            raise DebugError(
+                f"{address:#010x} is not an instruction address")
+        self.breakpoints.add(address)
+
+    def clear_breakpoint(self, address: int) -> None:
+        self.breakpoints.discard(address)
+
+    # ------------------------------------------------------------------
+    # execution control
+    # ------------------------------------------------------------------
+
+    def _run_prologue(self, side: _Side) -> None:
+        """Advance a fresh platform to the program entry block."""
+        target = side.program.addr_to_packet[self.obj.entry]
+        guard = 0
+        while side.core.peek_next_packet() != target:
+            side.core.step_packet()
+            guard += 1
+            if guard > 1000:
+                raise DebugError("prologue did not reach the entry block")
+
+    @property
+    def exited(self) -> bool:
+        return self._active.platform.bus.device("exit").exited \
+            or self._active.core.halted
+
+    def step(self) -> StopInfo:
+        """Execute exactly one source instruction."""
+        self._ensure_side(self.instr_side)
+        stop = self._advance_one_block(self.instr_side)
+        return stop if stop is not None else StopInfo(StopReason.STEP,
+                                                      self.src_pc)
+
+    def cont(self) -> StopInfo:
+        """Run until a breakpoint, exit, or halt."""
+        # Reach a block boundary of the block-oriented program first.
+        if self._active is self.instr_side:
+            guard = 0
+            while self.src_pc not in self.block_side.program.addr_to_packet:
+                stop = self._advance_one_block(self.instr_side)
+                if stop is not None:
+                    return stop
+                if self.src_pc in self.breakpoints:
+                    return StopInfo(StopReason.BREAKPOINT, self.src_pc)
+                guard += 1
+                if guard > 100_000:
+                    raise DebugError("no block boundary reached")
+            self._ensure_side(self.block_side)
+        side = self.block_side
+        while True:
+            packet = side.core.peek_next_packet()
+            head = side.head_addr(packet)
+            if head is not None:
+                block = self._cfg.blocks.get(head)
+                hit = None
+                if block is not None:
+                    for instr in block.instrs:
+                        if instr.addr in self.breakpoints:
+                            hit = instr.addr
+                            break
+                if hit is not None:
+                    self.src_pc = head
+                    if hit == head:
+                        return StopInfo(StopReason.BREAKPOINT, head)
+                    # Mid-block breakpoint: single-step to the address.
+                    self._ensure_side(self.instr_side)
+                    guard = 0
+                    while self.src_pc != hit:
+                        stop = self._advance_one_block(self.instr_side)
+                        if stop is not None:
+                            return stop
+                        guard += 1
+                        if guard > 10_000:
+                            raise DebugError(
+                                "failed to reach mid-block breakpoint")
+                    return StopInfo(StopReason.BREAKPOINT, hit)
+                self.src_pc = head
+            stop = self._check_stopped(side)
+            if stop is not None:
+                return stop
+            side.core.step_packet()
+
+    def _advance_one_block(self, side: _Side) -> StopInfo | None:
+        """Run until the next block head (one instruction when
+        instruction-oriented); returns a stop for exit/halt."""
+        stepped_off = False
+        guard = 0
+        while True:
+            stop = self._check_stopped(side)
+            if stop is not None:
+                return stop
+            packet = side.core.peek_next_packet()
+            head = side.head_addr(packet)
+            if head is not None and stepped_off:
+                self.src_pc = head
+                return None
+            if head is not None and head != self.src_pc:
+                # already at a different head (e.g. after migration)
+                self.src_pc = head
+                return None
+            side.core.step_packet()
+            if head is not None:
+                stepped_off = True
+            guard += 1
+            if guard > 100_000:
+                raise DebugError("runaway single step")
+
+    def _check_stopped(self, side: _Side) -> StopInfo | None:
+        exit_device = side.platform.bus.device("exit")
+        if exit_device.exited:
+            return StopInfo(StopReason.EXITED, self.src_pc,
+                            exit_code=exit_device.code)
+        if side.core.halted:
+            return StopInfo(StopReason.HALTED, self.src_pc)
+        return None
+
+    # ------------------------------------------------------------------
+    # state access and migration
+    # ------------------------------------------------------------------
+
+    def _ensure_side(self, side: _Side) -> None:
+        if self._active is side:
+            return
+        # Commit the old side's transients, discard the new side's.
+        self._active.core.settle()
+        side.core.clear_transients()
+        source_state = [self._read_source_reg(self._active, reg)
+                        for reg in range(32)]
+        data = self._active.core.data_window(
+            self._active.core.target.data_base, self.source.memory.data_size)
+        for reg in range(32):
+            self._write_source_reg(side, reg, source_state[reg])
+        base = side.core.target.data_base
+        for offset in range(0, len(data), 4):
+            word = int.from_bytes(data[offset:offset + 4], "little")
+            side.core.write_mem(base + offset, word, 4)
+        side.platform.sync.emulated_cycles = \
+            self._active.platform.sync.emulated_cycles
+        target_packet = side.program.addr_to_packet.get(self.src_pc)
+        if target_packet is None:
+            raise DebugError(
+                f"{self.src_pc:#010x} is not a block entry of the "
+                f"{'instruction' if side is self.instr_side else 'block'}"
+                f"-oriented translation")
+        side.core.pc = target_packet
+        self._active = side
+
+    def _read_source_reg(self, side: _Side, reg: int) -> int:
+        program = side.program
+        phys = program.reg_binding.get(reg)
+        if phys is not None:
+            return side.core.read_reg(phys)
+        slot = program.spill_slots.get(reg)
+        if slot is not None:
+            return side.core.read_mem(slot, 4)
+        return 0  # register unused by the program
+
+    def _write_source_reg(self, side: _Side, reg: int, value: int) -> None:
+        program = side.program
+        phys = program.reg_binding.get(reg)
+        if phys is not None:
+            side.core.write_reg(phys, value)
+            return
+        slot = program.spill_slots.get(reg)
+        if slot is not None:
+            side.core.write_mem(slot, value, 4)
+
+    # -- public state API ---------------------------------------------------
+
+    def read_register(self, name: str) -> int:
+        """Read a source register by name (``d4``, ``a10``)."""
+        self._active.core.settle()
+        return self._read_source_reg(self._active, parse_reg(name))
+
+    def write_register(self, name: str, value: int) -> None:
+        self._active.core.settle()
+        self._write_source_reg(self._active, parse_reg(name), value)
+
+    def read_all_registers(self) -> dict[str, int]:
+        self._active.core.settle()
+        return {reg_name(reg): self._read_source_reg(self._active, reg)
+                for reg in range(32)}
+
+    def read_memory(self, address: int, size: int) -> bytes:
+        """Read source data memory (address translated to the target)."""
+        memory = self.source.memory
+        if not memory.is_data(address) \
+                or not memory.is_data(address + size - 1):
+            raise DebugError(
+                f"{address:#010x} is outside the source data region")
+        core = self._active.core
+        target_addr = address - memory.data_base + core.target.data_base
+        return core.data_window(target_addr, size)
+
+    def write_memory(self, address: int, data: bytes) -> None:
+        memory = self.source.memory
+        if not memory.is_data(address) \
+                or not memory.is_data(address + len(data) - 1):
+            raise DebugError(
+                f"{address:#010x} is outside the source data region")
+        core = self._active.core
+        target_addr = address - memory.data_base + core.target.data_base
+        for index, byte in enumerate(data):
+            core.write_mem(target_addr + index, byte, 1)
+
+    @property
+    def emulated_cycles(self) -> int:
+        return self._active.platform.sync.emulated_cycles

@@ -1,0 +1,200 @@
+"""GDB remote-serial-protocol-style interface to the debugger.
+
+The paper's debugging support is "implemented using an interface
+program between the translated code and the remote debugging interface
+of the GNU debugger (gdb)".  This module provides that wire level: the
+``$<payload>#<checksum>`` framing with ``+``/``-`` acknowledgements and
+a useful command subset, served over an in-memory transport.
+
+Supported commands: ``?`` halt reason, ``g`` read registers, ``p``/``P``
+single register read/write, ``m``/``M`` memory read/write, ``s`` step,
+``c`` continue, ``Z0``/``z0`` breakpoints.
+"""
+
+from __future__ import annotations
+
+from repro.debug.debugger import Debugger, StopInfo, StopReason
+from repro.errors import DebugError
+from repro.isa.tricore.registers import NUM_REGS, reg_name
+from repro.utils.bits import u32
+
+_ACK = b"+"
+_NAK = b"-"
+
+
+def checksum(payload: bytes) -> int:
+    return sum(payload) & 0xFF
+
+
+def encode_packet(payload: bytes) -> bytes:
+    """Frame *payload* as ``$payload#xx``."""
+    return b"$" + payload + b"#" + f"{checksum(payload):02x}".encode()
+
+
+def decode_packet(frame: bytes) -> bytes:
+    """Unframe and verify one packet; raises :class:`DebugError`."""
+    if not frame.startswith(b"$"):
+        raise DebugError("packet does not start with '$'")
+    hash_index = frame.rfind(b"#")
+    if hash_index < 0 or len(frame) < hash_index + 3:
+        raise DebugError("packet has no checksum")
+    payload = frame[1:hash_index]
+    expected = int(frame[hash_index + 1:hash_index + 3], 16)
+    if checksum(payload) != expected:
+        raise DebugError(
+            f"checksum mismatch: {checksum(payload):02x} != {expected:02x}")
+    return payload
+
+
+def _hex32(value: int) -> str:
+    """Little-endian hex of a 32-bit value (gdb register format)."""
+    return u32(value).to_bytes(4, "little").hex()
+
+
+def _parse_hex32(text: str) -> int:
+    return int.from_bytes(bytes.fromhex(text), "little")
+
+
+class RspServer:
+    """Serves the RSP command set on top of a :class:`Debugger`."""
+
+    def __init__(self, debugger: Debugger) -> None:
+        self.debugger = debugger
+        self.last_stop: StopInfo | None = None
+
+    # -- framing --------------------------------------------------------
+
+    def handle_frame(self, frame: bytes) -> bytes:
+        """Process one framed packet; returns ack + framed response."""
+        try:
+            payload = decode_packet(frame)
+        except DebugError:
+            return _NAK
+        response = self.handle_command(payload.decode("ascii"))
+        return _ACK + encode_packet(response.encode("ascii"))
+
+    # -- commands --------------------------------------------------------
+
+    def handle_command(self, command: str) -> str:
+        if not command:
+            return ""
+        head = command[0]
+        rest = command[1:]
+        if head == "?":
+            return self._stop_reply(self.last_stop)
+        if head == "g":
+            return self._read_all_registers()
+        if head == "p":
+            return self._read_register(rest)
+        if head == "P":
+            return self._write_register(rest)
+        if head == "m":
+            return self._read_memory(rest)
+        if head == "M":
+            return self._write_memory(rest)
+        if head == "s":
+            self.last_stop = self.debugger.step()
+            return self._stop_reply(self.last_stop)
+        if head == "c":
+            self.last_stop = self.debugger.cont()
+            return self._stop_reply(self.last_stop)
+        if command.startswith("Z0,"):
+            return self._breakpoint(rest[2:], insert=True)
+        if command.startswith("z0,"):
+            return self._breakpoint(rest[2:], insert=False)
+        if command.startswith("qSupported"):
+            return "PacketSize=4000"
+        return ""  # unsupported (per RSP convention)
+
+    def _stop_reply(self, stop: StopInfo | None) -> str:
+        if stop is None:
+            return "S05"
+        if stop.reason is StopReason.EXITED:
+            return f"W{(stop.exit_code or 0) & 0xFF:02x}"
+        if stop.reason is StopReason.HALTED:
+            return "W00"
+        return "S05"  # TRAP for breakpoints and steps
+
+    def _read_all_registers(self) -> str:
+        values = self.debugger.read_all_registers()
+        parts = [_hex32(values[reg_name(reg)]) for reg in range(NUM_REGS)]
+        parts.append(_hex32(self.debugger.src_pc))
+        return "".join(parts)
+
+    def _read_register(self, rest: str) -> str:
+        index = int(rest, 16)
+        if index == NUM_REGS:
+            return _hex32(self.debugger.src_pc)
+        if not 0 <= index < NUM_REGS:
+            return "E01"
+        return _hex32(self.debugger.read_register(reg_name(index)))
+
+    def _write_register(self, rest: str) -> str:
+        try:
+            index_text, value_text = rest.split("=", 1)
+            index = int(index_text, 16)
+            value = _parse_hex32(value_text)
+        except ValueError:
+            return "E02"
+        if not 0 <= index < NUM_REGS:
+            return "E01"
+        self.debugger.write_register(reg_name(index), value)
+        return "OK"
+
+    def _read_memory(self, rest: str) -> str:
+        try:
+            addr_text, len_text = rest.split(",", 1)
+            address = int(addr_text, 16)
+            length = int(len_text, 16)
+        except ValueError:
+            return "E02"
+        try:
+            return self.debugger.read_memory(address, length).hex()
+        except DebugError:
+            return "E03"
+
+    def _write_memory(self, rest: str) -> str:
+        try:
+            location, data_text = rest.split(":", 1)
+            addr_text, len_text = location.split(",", 1)
+            address = int(addr_text, 16)
+            length = int(len_text, 16)
+            data = bytes.fromhex(data_text)
+        except ValueError:
+            return "E02"
+        if len(data) != length:
+            return "E02"
+        try:
+            self.debugger.write_memory(address, data)
+        except DebugError:
+            return "E03"
+        return "OK"
+
+    def _breakpoint(self, rest: str, insert: bool) -> str:
+        try:
+            addr_text = rest.split(",")[0]
+            address = int(addr_text, 16)
+        except (ValueError, IndexError):
+            return "E02"
+        try:
+            if insert:
+                self.debugger.set_breakpoint(address)
+            else:
+                self.debugger.clear_breakpoint(address)
+        except DebugError:
+            return "E03"
+        return "OK"
+
+
+class RspClient:
+    """Test/client helper speaking the framed protocol to a server."""
+
+    def __init__(self, server: RspServer) -> None:
+        self._server = server
+
+    def command(self, text: str) -> str:
+        frame = encode_packet(text.encode("ascii"))
+        reply = self._server.handle_frame(frame)
+        if not reply.startswith(_ACK):
+            raise DebugError(f"server rejected packet: {reply!r}")
+        return decode_packet(reply[1:]).decode("ascii")

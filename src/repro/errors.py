@@ -1,0 +1,93 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError`, so
+applications can catch one base type.  Sub-hierarchies mirror the major
+subsystems: ISA handling, object files, the minic compiler, the binary
+translator, and the simulators.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this library."""
+
+
+class ArchitectureError(ReproError):
+    """Invalid or inconsistent architecture description."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded into its binary form."""
+
+
+class DecodingError(ReproError):
+    """A word sequence does not decode to any known instruction."""
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        if address is not None:
+            message = f"{message} (at address {address:#010x})"
+        super().__init__(message)
+        self.address = address
+
+
+class AssemblerError(ReproError):
+    """Syntax or semantic error in assembly source."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class ObjectFileError(ReproError):
+    """Malformed object file or unsupported object-file feature."""
+
+
+class MinicError(ReproError):
+    """Error reported by the minic compiler."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class TranslationError(ReproError):
+    """The binary translator could not translate the program."""
+
+
+class SchedulingError(TranslationError):
+    """The VLIW scheduler violated or could not satisfy a constraint."""
+
+
+class RegisterAllocationError(TranslationError):
+    """Register binding failed (e.g. no spill slot available)."""
+
+
+class SimulationError(ReproError):
+    """Runtime error inside one of the simulators."""
+
+
+class BusError(SimulationError):
+    """Access to an unmapped or ill-sized bus address."""
+
+    def __init__(self, message: str, address: int | None = None) -> None:
+        if address is not None:
+            message = f"{message} (address {address:#010x})"
+        super().__init__(message)
+        self.address = address
+
+
+class HazardError(SimulationError):
+    """Strict-mode VLIW simulator detected a delay-slot hazard.
+
+    Raised when translated code reads a register whose write is still in
+    flight, which indicates a scheduler bug rather than a user error.
+    """
+
+
+class DebugError(ReproError):
+    """Error in the debug subsystem (breakpoints, RSP protocol)."""

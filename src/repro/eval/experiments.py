@@ -1,0 +1,245 @@
+"""Regeneration of every table and figure of the paper's Section 4.
+
+Each ``figure5``/``table1``/``figure6``/``table2`` function returns the
+measured rows and a formatted text block that prints the measurement
+next to the paper's reported values.  Absolute numbers are not expected
+to match (our substrate is a simulator, not the authors' hardware); the
+*shape* — who wins, rough factors, where the crossovers are — is the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval import paper_data
+from repro.eval.runner import ProgramMeasurement, measure_program
+from repro.programs.registry import FIGURE5_PROGRAMS, TABLE2_PROGRAMS, PROGRAMS
+
+LEVEL_NAMES = {
+    "board": "TC10GP evaluation board (reference ISS)",
+    0: "C6x w/o cycle information",
+    1: "C6x with cycle information",
+    2: "C6x with branch prediction",
+    3: "C6x with caches",
+}
+
+
+@dataclass
+class ExperimentReport:
+    """Measured rows plus a printable rendering."""
+
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    text: str = ""
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _measure_all(programs, levels, measure_rtl=False):
+    return {name: measure_program(name, levels=levels,
+                                  measure_rtl=measure_rtl)
+            for name in programs}
+
+
+# ---------------------------------------------------------------------------
+# Figure 5 — comparison of speed (MIPS)
+# ---------------------------------------------------------------------------
+
+def figure5(measurements: dict[str, ProgramMeasurement] | None = None
+            ) -> ExperimentReport:
+    """Execution speed per program and configuration, in MIPS."""
+    measurements = measurements or _measure_all(FIGURE5_PROGRAMS,
+                                                (0, 1, 2, 3))
+    report = ExperimentReport(title="Figure 5 — comparison of speed (MIPS)")
+    lines = [report.title, "=" * len(report.title), ""]
+    header = f"{'program':>9s} | {'board':>7s} " + "".join(
+        f"{'L' + str(level):>7s} " for level in (0, 1, 2, 3))
+    lines += [header, "-" * len(header)]
+    for name, m in measurements.items():
+        row = {
+            "program": name,
+            "board": m.board_mips(paper_data.BOARD_HZ),
+        }
+        for level in (0, 1, 2, 3):
+            row[f"level{level}"] = m.levels[level].mips(paper_data.C6X_HZ)
+        report.rows.append(row)
+        lines.append(
+            f"{name:>9s} | {row['board']:7.1f} " + "".join(
+                f"{row[f'level{level}']:7.1f} " for level in (0, 1, 2, 3)))
+    lines += [
+        "",
+        "paper (mean MIPS implied by Table 1 at 48/200 MHz):",
+        "  board {board:.1f}, L0 {level0:.1f}, L1 {level1:.1f}, "
+        "L2 {level2:.1f}, L3 {level3:.1f}".format(
+            **paper_data.FIGURE5_MIPS_MEAN),
+        "shape checks: large-block programs (ellip, subband) fastest with",
+        "cycle information; sieve pays the most for per-block annotation.",
+    ]
+    report.text = "\n".join(lines)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — clock cycles per TriCore instruction
+# ---------------------------------------------------------------------------
+
+def table1(measurements: dict[str, ProgramMeasurement] | None = None
+           ) -> ExperimentReport:
+    """Mean clock cycles per source instruction, all six workloads."""
+    measurements = measurements or _measure_all(FIGURE5_PROGRAMS,
+                                                (0, 1, 2, 3))
+    report = ExperimentReport(
+        title="Table 1 — clock cycles per TriCore instruction")
+    board = sum(m.reference.cycles for m in measurements.values()) / \
+        sum(m.reference.instructions for m in measurements.values())
+    row = {"board": board}
+    for level in (0, 1, 2, 3):
+        cycles = sum(m.levels[level].result.target_cycles
+                     for m in measurements.values())
+        instrs = sum(m.levels[level].result.source_instructions
+                     for m in measurements.values())
+        row[f"level{level}"] = cycles / instrs
+    report.rows.append(row)
+    paper = paper_data.TABLE1_CPI
+    lines = [report.title, "=" * len(report.title), "",
+             f"{'configuration':42s} {'measured':>9s} {'paper':>9s}"]
+    for key, label in (("board", LEVEL_NAMES["board"]),
+                       ("level0", LEVEL_NAMES[0]),
+                       ("level1", LEVEL_NAMES[1]),
+                       ("level2", LEVEL_NAMES[2]),
+                       ("level3", LEVEL_NAMES[3])):
+        lines.append(f"{label:42s} {row[key]:9.2f} {paper[key]:9.2f}")
+    lines += ["",
+              "shape checks: board < L0 < L1 < L2 << L3; annotation adds",
+              "roughly one cycle per instruction, caches dominate L3."]
+    report.text = "\n".join(lines)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — comparison of cycle accuracy
+# ---------------------------------------------------------------------------
+
+def figure6(measurements: dict[str, ProgramMeasurement] | None = None
+            ) -> ExperimentReport:
+    """Simulated vs measured cycles per program and detail level."""
+    measurements = measurements or _measure_all(FIGURE5_PROGRAMS, (1, 2, 3))
+    report = ExperimentReport(
+        title="Figure 6 — comparison of cycle accuracy")
+    lines = [report.title, "=" * len(report.title), "",
+             f"{'program':>9s} {'measured':>9s} "
+             f"{'L1':>9s} {'L2':>9s} {'L3':>9s} "
+             f"{'dev L1':>8s} {'dev L2':>8s} {'dev L3':>8s}"]
+    for name, m in measurements.items():
+        row = {"program": name, "reference_cycles": m.reference.cycles}
+        for level in (1, 2, 3):
+            row[f"level{level}_cycles"] = \
+                m.levels[level].result.emulated_cycles
+            row[f"deviation{level}"] = m.deviation(level)
+        report.rows.append(row)
+        lines.append(
+            f"{name:>9s} {row['reference_cycles']:9d} "
+            f"{row['level1_cycles']:9d} {row['level2_cycles']:9d} "
+            f"{row['level3_cycles']:9d} "
+            f"{row['deviation1']:+8.1%} {row['deviation2']:+8.1%} "
+            f"{row['deviation3']:+8.1%}")
+    lo, hi = paper_data.FIGURE6_DEVIATION_RANGE
+    lines += [
+        "",
+        f"paper: branch-prediction-level deviation ranges from {lo:.0%} "
+        f"({paper_data.FIGURE6_BEST_PROGRAM}) to {hi:.0%} "
+        f"({paper_data.FIGURE6_WORST_PROGRAM})",
+        "shape checks: accuracy improves with each level; control-flow",
+        "dominated programs benefit most from branch-prediction handling.",
+    ]
+    report.text = "\n".join(lines)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — software runtime comparison
+# ---------------------------------------------------------------------------
+
+def _fmt_time(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3g} s  "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3g} ms "
+    return f"{seconds * 1e6:8.3g} µs "
+
+
+def table2(measurements: dict[str, ProgramMeasurement] | None = None
+           ) -> ExperimentReport:
+    """Runtime comparison: RTL simulation, FPGA emulation, translation."""
+    measurements = measurements or _measure_all(TABLE2_PROGRAMS, (1, 2, 3),
+                                                measure_rtl=True)
+    report = ExperimentReport(
+        title="Table 2 — software runtime comparison")
+    lines = [report.title, "=" * len(report.title), ""]
+    header = f"{'':28s}" + "".join(f"{name:>16s}" for name in measurements)
+    lines += [header, "-" * len(header)]
+
+    def add_line(label, values, formatter=str):
+        lines.append(f"{label:28s}" + "".join(
+            f"{formatter(v):>16s}" for v in values))
+
+    names = list(measurements)
+    add_line("# executed instructions",
+             [measurements[n].reference.instructions for n in names])
+    add_line("  (paper)",
+             [paper_data.TABLE2_INSTRUCTIONS[n] for n in names])
+    add_line("Simulation (workstation)",
+             [measurements[n].rtl_wall_seconds for n in names], _fmt_time)
+    add_line("  (paper, HDL simulator)",
+             [paper_data.TABLE2_RUNTIMES[n]["workstation_sim"]
+              for n in names], _fmt_time)
+    add_line("Emulation (FPGA, 8 MHz)",
+             [measurements[n].reference.cycles / paper_data.FPGA_HZ
+              for n in names], _fmt_time)
+    add_line("  (paper)",
+             [paper_data.TABLE2_RUNTIMES[n]["fpga_emulation"]
+              for n in names], _fmt_time)
+    for level, key in ((1, "level1"), (2, "level2"), (3, "level3")):
+        add_line(f"Translation {LEVEL_NAMES[level][4:]}",
+                 [measurements[n].levels[level].runtime(paper_data.C6X_HZ)
+                  for n in names], _fmt_time)
+        add_line("  (paper)",
+                 [paper_data.TABLE2_RUNTIMES[n][key] for n in names],
+                 _fmt_time)
+
+    for name in names:
+        m = measurements[name]
+        row = {
+            "program": name,
+            "instructions": m.reference.instructions,
+            "workstation_sim": m.rtl_wall_seconds,
+            "fpga_emulation": m.reference.cycles / paper_data.FPGA_HZ,
+        }
+        for level in (1, 2, 3):
+            row[f"level{level}"] = m.levels[level].runtime(paper_data.C6X_HZ)
+        report.rows.append(row)
+
+    lines += [
+        "",
+        "shape checks: levels 1-2 beat the 8 MHz FPGA emulation; the",
+        "cache level is in the same range as the FPGA; the workstation",
+        "simulation is orders of magnitude slower than everything else.",
+    ]
+    report.text = "\n".join(lines)
+    return report
+
+
+def run_all(quick: bool = False) -> list[ExperimentReport]:
+    """Run every experiment; returns the four reports in paper order."""
+    levels = (0, 1, 2, 3)
+    fig5_measure = _measure_all(FIGURE5_PROGRAMS, levels)
+    reports = [
+        figure5(fig5_measure),
+        table1(fig5_measure),
+        figure6(fig5_measure),
+    ]
+    if not quick:
+        reports.append(table2())
+    return reports

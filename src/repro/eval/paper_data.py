@@ -1,0 +1,65 @@
+"""The numbers the paper reports, for side-by-side comparison.
+
+Sources: Section 4 of the paper — Figure 5 (execution-speed bars, read
+qualitatively), Table 1 (cycles per TriCore instruction), Figure 6
+(cycle-count bars and the quoted deviation range), Table 2 (runtime
+comparison with the FPGA prototyping platform of reference [12]).
+"""
+
+from __future__ import annotations
+
+#: Table 1 — average clock cycles per TriCore instruction.
+TABLE1_CPI = {
+    "board": 1.08,
+    "level0": 2.94,  # C6x without cycle information
+    "level1": 4.28,  # C6x with cycle information
+    "level2": 5.87,  # C6x with branch prediction
+    "level3": 35.34,  # C6x with caches
+}
+
+#: Figure 6 — deviation range of the branch-prediction detail level.
+FIGURE6_DEVIATION_RANGE = (0.03, 0.15)  # 3 % (ellip) .. 15 % (sieve)
+FIGURE6_BEST_PROGRAM = "ellip"
+FIGURE6_WORST_PROGRAM = "sieve"
+
+#: Table 2 — executed instructions per workload.
+TABLE2_INSTRUCTIONS = {"gcd": 1484, "fibonacci": 41419, "sieve": 20779}
+
+#: Table 2 — runtimes in seconds.
+TABLE2_RUNTIMES = {
+    "gcd": {
+        "workstation_sim": 28.0,
+        "fpga_emulation": 321e-6,
+        "level1": 63.1e-6,
+        "level2": 94.6e-6,
+        "level3": 416e-6,
+    },
+    "fibonacci": {
+        "workstation_sim": 600.0,
+        "fpga_emulation": 3.9e-3,
+        "level1": 950e-6,
+        "level2": 1.4e-3,
+        "level3": 6.3e-3,
+    },
+    "sieve": {
+        "workstation_sim": 1080.0,
+        "fpga_emulation": 21.8e-3,
+        "level1": 520e-6,
+        "level2": 781e-6,
+        "level3": 5e-3,
+    },
+}
+
+#: Clock rates of the original setups.
+BOARD_HZ = 48_000_000  # TriCore TC10GP evaluation board
+C6X_HZ = 200_000_000  # TMS320C6201 on the emulation system
+FPGA_HZ = 8_000_000  # Xilinx XCV2000E emulation of the core
+
+#: Figure 5 — approximate MIPS implied by Table 1 at the above clocks.
+FIGURE5_MIPS_MEAN = {
+    "board": BOARD_HZ / TABLE1_CPI["board"] / 1e6,
+    "level0": C6X_HZ / TABLE1_CPI["level0"] / 1e6,
+    "level1": C6X_HZ / TABLE1_CPI["level1"] / 1e6,
+    "level2": C6X_HZ / TABLE1_CPI["level2"] / 1e6,
+    "level3": C6X_HZ / TABLE1_CPI["level3"] / 1e6,
+}

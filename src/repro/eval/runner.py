@@ -1,0 +1,89 @@
+"""Measurement plumbing shared by every experiment."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.arch.model import SourceArch, default_source_arch
+from repro.programs.registry import build
+from repro.refsim.iss import CycleAccurateISS, RunResult
+from repro.refsim.rtlsim import RtlSimulator
+from repro.translator.driver import TranslationResult, translate
+from repro.vliw.platform import PlatformResult, PrototypingPlatform
+
+
+@dataclass
+class LevelMeasurement:
+    """One program translated and executed at one detail level."""
+
+    level: int
+    result: PlatformResult
+    translation: TranslationResult
+
+    @property
+    def cpi(self) -> float:
+        return self.result.target_cpi
+
+    def mips(self, clock_hz: int) -> float:
+        """Emulation speed in million source instructions per second."""
+        seconds = self.result.target_cycles / clock_hz
+        if seconds == 0:
+            return 0.0
+        return self.result.source_instructions / seconds / 1e6
+
+    def runtime(self, clock_hz: int) -> float:
+        return self.result.target_cycles / clock_hz
+
+
+@dataclass
+class ProgramMeasurement:
+    """Reference run plus all requested detail levels for one program."""
+
+    name: str
+    reference: RunResult
+    levels: dict[int, LevelMeasurement] = field(default_factory=dict)
+    rtl_wall_seconds: float | None = None
+
+    def board_mips(self, clock_hz: int) -> float:
+        seconds = self.reference.cycles / clock_hz
+        return self.reference.instructions / seconds / 1e6
+
+    def deviation(self, level: int) -> float:
+        """Relative cycle-count deviation of a detail level (signed)."""
+        emulated = self.levels[level].result.emulated_cycles
+        return (emulated - self.reference.cycles) / self.reference.cycles
+
+
+def measure_program(name: str, levels=(0, 1, 2, 3),
+                    arch: SourceArch | None = None,
+                    measure_rtl: bool = False,
+                    inline_cache_threshold: int | None = None,
+                    sync_rate: float = 1.0) -> ProgramMeasurement:
+    """Run the full measurement battery for one workload."""
+    arch = arch or default_source_arch()
+    obj = build(name)
+    reference = CycleAccurateISS(obj, arch).run()
+    out = ProgramMeasurement(name=name, reference=reference)
+    for level in levels:
+        translation = translate(
+            obj, level=level, source=arch,
+            inline_cache_threshold=inline_cache_threshold)
+        platform = PrototypingPlatform(translation.program, source_arch=arch,
+                                       sync_rate=sync_rate)
+        result = platform.run()
+        out.levels[level] = LevelMeasurement(level=level, result=result,
+                                             translation=translation)
+    if measure_rtl:
+        start = time.perf_counter()
+        RtlSimulator(obj, arch).run()
+        out.rtl_wall_seconds = time.perf_counter() - start
+    return out
+
+
+@lru_cache(maxsize=None)
+def cached_measurement(name: str, levels: tuple = (0, 1, 2, 3),
+                       measure_rtl: bool = False) -> ProgramMeasurement:
+    """Memoized measurements for the benchmark suite."""
+    return measure_program(name, levels=levels, measure_rtl=measure_rtl)

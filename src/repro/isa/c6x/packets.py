@@ -1,0 +1,122 @@
+"""Execute packets and translated-program container.
+
+A fetch packet on the real C6x holds eight instruction slots whose
+p-bits chain parallel instructions into *execute packets*.  The
+simulator works directly at execute-packet granularity: one packet
+issues per cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.model import TargetArch
+from repro.errors import TranslationError
+from repro.isa.c6x.instructions import TargetInstr, TOp
+
+
+@dataclass
+class ExecutePacket:
+    """Up to eight instructions that issue in the same cycle."""
+
+    instrs: list[TargetInstr] = field(default_factory=list)
+
+    def validate(self, target: TargetArch) -> None:
+        if len(self.instrs) > target.max_issue:
+            raise TranslationError(
+                f"packet has {len(self.instrs)} instructions "
+                f"(max {target.max_issue})")
+        units = [i.unit for i in self.instrs if i.op is not TOp.NOP]
+        if None in units:
+            raise TranslationError("instruction without a functional unit")
+        if len(set(units)) != len(units):
+            raise TranslationError("functional unit used twice in a packet")
+        branches = [i for i in self.instrs if i.is_branch()]
+        if len(branches) > 1:
+            raise TranslationError("more than one branch in a packet")
+        writes = [reg for i in self.instrs for reg in i.writes()]
+        if len(set(writes)) != len(writes):
+            raise TranslationError("two writes to one register in a packet")
+
+    def is_nop(self) -> bool:
+        return all(i.op is TOp.NOP for i in self.instrs)
+
+
+@dataclass
+class BlockInfo:
+    """Metadata of one translated source basic block."""
+
+    source_addr: int
+    n_instructions: int
+    predicted_cycles: int
+    entry_label: str
+
+
+@dataclass
+class C6xProgram:
+    """A translated program: packets, labels, data image, metadata."""
+
+    target: TargetArch
+    packets: list[ExecutePacket] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    entry_label: str = "__entry"
+    #: initial target data memory: list of (address, bytes)
+    data_image: list[tuple[int, bytes]] = field(default_factory=list)
+    #: packet index of each block head -> BlockInfo
+    block_at: dict[int, BlockInfo] = field(default_factory=dict)
+    #: source address of each block head -> packet index (indirect
+    #: branches carry source addresses in registers at run time)
+    addr_to_packet: dict[int, int] = field(default_factory=dict)
+    #: source register -> bound target register (for the debugger)
+    reg_binding: dict[int, int] = field(default_factory=dict)
+    #: spilled source registers -> spill-slot address
+    spill_slots: dict[int, int] = field(default_factory=dict)
+    #: packet index -> source addresses covered (debug/line map)
+    line_map: dict[int, list[int]] = field(default_factory=dict)
+
+    @property
+    def entry(self) -> int:
+        return self.labels[self.entry_label]
+
+    def label_packet(self, label: str) -> int:
+        try:
+            return self.labels[label]
+        except KeyError:
+            raise TranslationError(f"undefined label {label!r}") from None
+
+    def finalize(self) -> "C6xProgram":
+        """Resolve branch labels and validate every packet."""
+        for index, packet in enumerate(self.packets):
+            packet.validate(self.target)
+            for instr in packet.instrs:
+                if instr.is_branch() and instr.target is not None:
+                    if instr.target not in self.labels:
+                        raise TranslationError(
+                            f"branch to undefined label {instr.target!r} "
+                            f"in packet {index}")
+        if self.entry_label not in self.labels:
+            raise TranslationError("program has no entry label")
+        return self
+
+    def listing(self) -> str:
+        """Human-readable listing of the whole program."""
+        by_packet: dict[int, list[str]] = {}
+        for label, index in self.labels.items():
+            by_packet.setdefault(index, []).append(label)
+        lines: list[str] = []
+        for index, packet in enumerate(self.packets):
+            for label in by_packet.get(index, ()):
+                lines.append(f"{label}:")
+            info = self.block_at.get(index)
+            if info is not None:
+                lines.append(f"        ; block @{info.source_addr:#010x} "
+                             f"({info.n_instructions} source instrs, "
+                             f"{info.predicted_cycles} predicted cycles)")
+            for pos, instr in enumerate(packet.instrs):
+                bars = "||" if pos else "  "
+                lines.append(f"  {index:5d} {bars} {instr.render(self.target)}")
+        return "\n".join(lines)
+
+    @property
+    def n_instructions(self) -> int:
+        return sum(len(p.instrs) for p in self.packets)

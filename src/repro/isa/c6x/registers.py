@@ -1,0 +1,37 @@
+"""Register model of the C6x-like VLIW target.
+
+Two register files A and B with ``registers_per_side`` registers each
+(16 for the C6201-like default).  Target registers are numbered
+``0..R-1`` = A0..A(R-1) and ``R..2R-1`` = B0..B(R-1).
+"""
+
+from __future__ import annotations
+
+from repro.arch.model import TargetArch
+
+
+def reg_count(target: TargetArch) -> int:
+    return 2 * target.registers_per_side
+
+
+def side_of(reg: int, target: TargetArch) -> int:
+    """0 for the A file, 1 for the B file."""
+    return 0 if reg < target.registers_per_side else 1
+
+
+def reg_name(reg: int, target: TargetArch) -> str:
+    per_side = target.registers_per_side
+    if 0 <= reg < per_side:
+        return f"A{reg}"
+    if per_side <= reg < 2 * per_side:
+        return f"B{reg - per_side}"
+    raise ValueError(f"not a target register: {reg}")
+
+
+def parse_reg(text: str, target: TargetArch) -> int:
+    text = text.strip().upper()
+    if len(text) >= 2 and text[0] in "AB" and text[1:].isdigit():
+        index = int(text[1:])
+        if 0 <= index < target.registers_per_side:
+            return index + (0 if text[0] == "A" else target.registers_per_side)
+    raise ValueError(f"invalid target register {text!r}")

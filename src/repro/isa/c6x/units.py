@@ -1,0 +1,43 @@
+"""Functional units of the C6x-like VLIW target.
+
+Eight units — .L1 .S1 .M1 .D1 on the A side, .L2 .S2 .M2 .D2 on the B
+side.  Unit kinds constrain which operations may execute where (the
+"further transformation" of the paper that assigns every instruction to
+the functional unit it will run on).
+
+Documented relaxations versus a real C6201: no cross-path limits, the
+full comparison set is available on .L, and logic operations are also
+allowed on .D (C64x-style).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Unit(enum.Enum):
+    L1 = ("L", 0)
+    S1 = ("S", 0)
+    M1 = ("M", 0)
+    D1 = ("D", 0)
+    L2 = ("L", 1)
+    S2 = ("S", 1)
+    M2 = ("M", 1)
+    D2 = ("D", 1)
+
+    def __init__(self, kind: str, side: int) -> None:
+        self.kind = kind
+        self.side = side
+
+    def __str__(self) -> str:
+        return f".{self.name}"
+
+
+ALL_UNITS: tuple[Unit, ...] = tuple(Unit)
+
+UNITS_BY_KIND: dict[str, tuple[Unit, ...]] = {
+    "L": (Unit.L1, Unit.L2),
+    "S": (Unit.S1, Unit.S2),
+    "M": (Unit.M1, Unit.M2),
+    "D": (Unit.D1, Unit.D2),
+}

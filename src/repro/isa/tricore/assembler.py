@@ -1,0 +1,703 @@
+"""Two-pass assembler for the TriCore-like ISA.
+
+Produces fully linked :class:`~repro.objfile.elf.ObjectFile` images:
+section base addresses are fixed by the architecture memory map (or
+``.org``), so the assembler resolves every reference itself and no
+relocations are needed.
+
+Syntax
+------
+* ``label:`` definitions, ``; comment`` or ``# comment``
+* instructions: ``add d3, d1, d2`` — operand order per instruction
+* memory operands: ``[a2]4`` base+offset, ``[a2+]4`` post-increment,
+  ``[+a2]4`` pre-increment (offset optional, default 0)
+* expressions: decimal/hex literals, symbols, ``+``/``-``, and the
+  prefixes ``hi:expr`` / ``lo:expr`` splitting a 32-bit value so that
+  ``movh… hi:x`` followed by a sign-extended 16-bit ``lo:x`` add
+  reconstructs ``x`` exactly
+* directives: ``.text``, ``.data``, ``.org``, ``.global``, ``.entry``,
+  ``.word``, ``.half``, ``.byte``, ``.space``, ``.align``, ``.asciz``,
+  ``.equ``
+* macros: ``li dX, expr`` (load 32-bit immediate), ``la aX, expr``
+  (load 32-bit address)
+* long-offset forms may be forced with ``ld.w.l`` / ``st.w.l`` /
+  ``lea.l``; the plain mnemonics select the short form when the offset
+  is a literal that fits
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.arch.model import MemoryMap
+from repro.errors import AssemblerError, EncodingError
+from repro.isa.tricore.encoding import encode
+from repro.isa.tricore.instructions import (
+    MODE_BASE_OFFSET,
+    MODE_POST_INCREMENT,
+    MODE_PRE_INCREMENT,
+    SPEC_BY_KEY,
+    SPECS_BY_MNEMONIC,
+    Fmt,
+    InstructionSpec,
+)
+from repro.isa.tricore.registers import is_areg, is_dreg, parse_reg
+from repro.objfile.elf import (
+    SEC_EXEC,
+    SEC_WRITE,
+    ObjectFile,
+    Section,
+    Symbol,
+    SymbolKind,
+)
+from repro.utils.bits import fits_signed, s16, u32
+
+#: encoding of ``nop16``, used to pad executable sections.
+_NOP16 = SPEC_BY_KEY["nop16"].opcode << 1
+
+#: explicit-mnemonic aliases: mnemonic -> (spec key, implied fields)
+_ALIASES: dict[str, tuple[str, dict[str, int]]] = {
+    "ld.w.l": ("ld_w_bol", {}),
+    "st.w.l": ("st_w_bol", {}),
+    "lea.l": ("lea_bol", {}),
+    "jz": ("jeq_c", {"k": 0}),
+    "jnz": ("jne_c", {"k": 0}),
+}
+
+_TOKEN_RE = re.compile(r"\s*([A-Za-z_.][\w.]*|0[xX][0-9a-fA-F]+|\d+|[:+\-\[\](),!])")
+
+
+@dataclass
+class _Operand:
+    """A parsed operand: register, memory reference, or expression."""
+
+    kind: str  # 'd', 'a', 'mem', 'expr'
+    reg: int | None = None  # unified register index for 'd'/'a'
+    base: int | None = None  # unified a-reg index for 'mem'
+    mode: int = MODE_BASE_OFFSET
+    expr: str | None = None  # offset / immediate expression text
+
+
+@dataclass
+class _Item:
+    """One pass-1 statement awaiting pass-2 encoding."""
+
+    kind: str  # 'instr', 'word', 'half', 'byte', 'space', 'bytes'
+    section: str
+    addr: int
+    size: int
+    line: int
+    spec: InstructionSpec | None = None
+    operands: list[_Operand] = field(default_factory=list)
+    implied: dict[str, int] = field(default_factory=dict)
+    exprs: list[str] = field(default_factory=list)
+    raw: bytes = b""
+
+
+class Assembler:
+    """Two-pass assembler producing linked object files."""
+
+    def __init__(self, memory: MemoryMap | None = None) -> None:
+        self._memory = memory or MemoryMap()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def assemble(self, source: str) -> ObjectFile:
+        """Assemble *source* text into an object file."""
+        items, symbols, entry_name, globals_ = self._pass1(source)
+        return self._pass2(items, symbols, entry_name, globals_)
+
+    # ------------------------------------------------------------------
+    # pass 1: sizing, addresses, symbol table
+    # ------------------------------------------------------------------
+
+    def _pass1(self, source: str):
+        section = ".text"
+        counters = {
+            ".text": self._memory.code_base,
+            ".data": self._memory.data_base,
+        }
+        items: list[_Item] = []
+        symbols: dict[str, int] = {}
+        sym_sections: dict[str, str] = {}
+        globals_: set[str] = set()
+        entry_name: str | None = None
+
+        for line_no, raw_line in enumerate(source.splitlines(), start=1):
+            line = self._strip_comment(raw_line).strip()
+            while line:
+                match = re.match(r"^([A-Za-z_.$][\w.$]*)\s*:", line)
+                if not match:
+                    break
+                name = match.group(1)
+                if name in symbols:
+                    raise AssemblerError(f"duplicate label {name!r}", line_no)
+                symbols[name] = counters[section]
+                sym_sections[name] = section
+                line = line[match.end():].strip()
+            if not line:
+                continue
+
+            mnemonic, _, rest = line.partition(" ")
+            mnemonic = mnemonic.lower()
+            rest = rest.strip()
+
+            if mnemonic.startswith("."):
+                consumed = self._directive_pass1(
+                    mnemonic, rest, section, counters, items, symbols, line_no
+                )
+                if consumed is not None:
+                    section, entry, glob = consumed
+                    if entry:
+                        entry_name = entry
+                    if glob:
+                        globals_.add(glob)
+                continue
+
+            if mnemonic == "li":
+                items.extend(self._expand_li(rest, section, counters, line_no))
+                continue
+            if mnemonic == "la":
+                items.extend(self._expand_la(rest, section, counters, line_no))
+                continue
+
+            operands = self._parse_operands(rest, line_no)
+            spec, implied = self._select_spec(mnemonic, operands, line_no)
+            addr = counters[section]
+            if addr % 2:
+                raise AssemblerError("misaligned instruction", line_no)
+            items.append(
+                _Item(
+                    kind="instr",
+                    section=section,
+                    addr=addr,
+                    size=spec.width,
+                    line=line_no,
+                    spec=spec,
+                    operands=operands,
+                    implied=dict(implied),
+                )
+            )
+            counters[section] = addr + spec.width
+
+        return items, (symbols, sym_sections), entry_name, globals_
+
+    def _directive_pass1(self, mnemonic, rest, section, counters, items,
+                         symbols, line_no):
+        """Handle a directive; returns (section, entry, global) or None."""
+        if mnemonic in (".text", ".data"):
+            if rest:
+                raise AssemblerError(f"{mnemonic} takes no operand", line_no)
+            return (mnemonic, None, None)
+        if mnemonic == ".org":
+            target = self._literal(rest, line_no)
+            current = counters[section]
+            if target < current:
+                raise AssemblerError(".org may not move backwards", line_no)
+            if target > current:
+                pad = target - current
+                fill = self._pad_bytes(section, pad)
+                items.append(_Item("bytes", section, current, pad, line_no,
+                                   raw=fill))
+                counters[section] = target
+            return (section, None, None)
+        if mnemonic == ".global":
+            name = rest.strip()
+            if not name:
+                raise AssemblerError(".global needs a symbol name", line_no)
+            return (section, None, name)
+        if mnemonic == ".entry":
+            name = rest.strip()
+            if not name:
+                raise AssemblerError(".entry needs a symbol name", line_no)
+            return (section, name, None)
+        if mnemonic == ".equ":
+            name, _, expr = rest.partition(",")
+            name = name.strip()
+            if not name:
+                raise AssemblerError(".equ needs a name and a value", line_no)
+            symbols[name] = self._literal(expr.strip(), line_no)
+            return (section, None, None)
+        if mnemonic in (".word", ".half", ".byte"):
+            width = {".word": 4, ".half": 2, ".byte": 1}[mnemonic]
+            exprs = [part.strip() for part in rest.split(",") if part.strip()]
+            if not exprs:
+                raise AssemblerError(f"{mnemonic} needs at least one value",
+                                     line_no)
+            addr = counters[section]
+            size = width * len(exprs)
+            items.append(_Item(mnemonic[1:], section, addr, size, line_no,
+                               exprs=exprs))
+            counters[section] = addr + size
+            return (section, None, None)
+        if mnemonic == ".space":
+            count = self._literal(rest, line_no)
+            if count < 0:
+                raise AssemblerError(".space needs a non-negative size", line_no)
+            addr = counters[section]
+            items.append(_Item("bytes", section, addr, count, line_no,
+                               raw=bytes(count)))
+            counters[section] = addr + count
+            return (section, None, None)
+        if mnemonic == ".align":
+            alignment = self._literal(rest, line_no)
+            if alignment <= 0 or alignment & (alignment - 1):
+                raise AssemblerError(".align needs a power of two", line_no)
+            addr = counters[section]
+            target = (addr + alignment - 1) & ~(alignment - 1)
+            if target > addr:
+                pad = target - addr
+                items.append(_Item("bytes", section, addr, pad, line_no,
+                                   raw=self._pad_bytes(section, pad)))
+                counters[section] = target
+            return (section, None, None)
+        if mnemonic == ".asciz":
+            text = rest.strip()
+            if len(text) < 2 or text[0] != '"' or text[-1] != '"':
+                raise AssemblerError('.asciz needs a quoted string', line_no)
+            data = text[1:-1].encode("utf-8").decode("unicode_escape")
+            blob = data.encode("latin-1") + b"\x00"
+            addr = counters[section]
+            items.append(_Item("bytes", section, addr, len(blob), line_no,
+                               raw=blob))
+            counters[section] = addr + len(blob)
+            return (section, None, None)
+        raise AssemblerError(f"unknown directive {mnemonic!r}", line_no)
+
+    def _pad_bytes(self, section: str, count: int) -> bytes:
+        """Padding: nop16 in text (decodable), zeros elsewhere."""
+        if section == ".text":
+            if count % 2:
+                raise AssemblerError("odd padding in .text")
+            return _NOP16.to_bytes(2, "little") * (count // 2)
+        return bytes(count)
+
+    # ------------------------------------------------------------------
+    # macros
+    # ------------------------------------------------------------------
+
+    def _expand_li(self, rest: str, section: str, counters, line_no):
+        """``li dX, expr``: materialize a 32-bit immediate."""
+        operands = self._parse_operands(rest, line_no)
+        if len(operands) != 2 or operands[0].kind != "d" \
+                or operands[1].kind != "expr":
+            raise AssemblerError("li needs: li dX, expression", line_no)
+        dest = operands[0].reg
+        expr = operands[1].expr
+        literal = self._try_literal(expr)
+        items: list[_Item] = []
+        addr = counters[section]
+        if literal is not None and fits_signed(literal, 16):
+            items.append(self._instr_item("mov", section, addr, line_no,
+                                          {"c": dest, "k": literal}))
+        elif literal is not None and 0 <= literal <= 0xFFFF:
+            items.append(self._instr_item("mov_u", section, addr, line_no,
+                                          {"c": dest, "k": literal}))
+        else:
+            hi = _Operand(kind="expr", expr=f"hi:({expr})")
+            lo = _Operand(kind="expr", expr=f"lo:({expr})")
+            items.append(
+                _Item("instr", section, addr, 4, line_no,
+                      spec=SPEC_BY_KEY["movh"],
+                      operands=[_Operand("d", reg=dest), hi],
+                      implied={}))
+            items.append(
+                _Item("instr", section, addr + 4, 4, line_no,
+                      spec=SPEC_BY_KEY["addi"],
+                      operands=[_Operand("d", reg=dest),
+                                _Operand("d", reg=dest), lo],
+                      implied={}))
+        for item in items:
+            counters[section] += item.size
+        return items
+
+    def _expand_la(self, rest: str, section: str, counters, line_no):
+        """``la aX, expr``: materialize a 32-bit address."""
+        operands = self._parse_operands(rest, line_no)
+        if len(operands) != 2 or operands[0].kind != "a" \
+                or operands[1].kind != "expr":
+            raise AssemblerError("la needs: la aX, expression", line_no)
+        dest = operands[0].reg
+        expr = operands[1].expr
+        addr = counters[section]
+        hi = _Operand(kind="expr", expr=f"hi:({expr})")
+        lo_mem = _Operand(kind="mem", base=dest, mode=MODE_BASE_OFFSET,
+                          expr=f"lo:({expr})")
+        items = [
+            _Item("instr", section, addr, 4, line_no,
+                  spec=SPEC_BY_KEY["movh_a"],
+                  operands=[_Operand("a", reg=dest), hi], implied={}),
+            _Item("instr", section, addr + 4, 4, line_no,
+                  spec=SPEC_BY_KEY["lea_bol"],
+                  operands=[_Operand("a", reg=dest), lo_mem], implied={}),
+        ]
+        counters[section] += 8
+        return items
+
+    def _instr_item(self, key: str, section: str, addr: int, line_no: int,
+                    fields: dict[str, int]) -> _Item:
+        """A fully resolved instruction item (used by macros)."""
+        spec = SPEC_BY_KEY[key]
+        return _Item("instr", section, addr, spec.width, line_no, spec=spec,
+                     operands=[], implied=dict(fields))
+
+    # ------------------------------------------------------------------
+    # operand parsing and spec selection
+    # ------------------------------------------------------------------
+
+    def _strip_comment(self, line: str) -> str:
+        for marker in (";", "#", "//"):
+            index = line.find(marker)
+            if index >= 0:
+                line = line[:index]
+        return line.replace("\t", " ")
+
+    def _split_operands(self, text: str, line_no: int) -> list[str]:
+        """Split on commas not inside brackets."""
+        parts: list[str] = []
+        depth = 0
+        current = ""
+        for char in text:
+            if char == "[":
+                depth += 1
+            elif char == "]":
+                depth -= 1
+                if depth < 0:
+                    raise AssemblerError("unbalanced ']'", line_no)
+            if char == "," and depth == 0:
+                parts.append(current.strip())
+                current = ""
+            else:
+                current += char
+        if current.strip():
+            parts.append(current.strip())
+        if depth != 0:
+            raise AssemblerError("unbalanced '['", line_no)
+        return parts
+
+    _REG_RE = re.compile(r"^[da](1[0-5]|[0-9])$")
+    _MEM_RE = re.compile(r"^\[\s*(\+?)\s*(a(?:1[0-5]|[0-9]))\s*(\+?)\s*\]\s*(.*)$")
+
+    def _parse_operands(self, text: str, line_no: int) -> list[_Operand]:
+        operands: list[_Operand] = []
+        if not text.strip():
+            return operands
+        for part in self._split_operands(text, line_no):
+            lowered = part.lower()
+            if self._REG_RE.match(lowered):
+                reg = parse_reg(lowered, line_no)
+                operands.append(
+                    _Operand("d" if is_dreg(reg) else "a", reg=reg))
+                continue
+            mem = self._MEM_RE.match(part)
+            if mem:
+                pre, base_name, post, off_text = mem.groups()
+                if pre and post:
+                    raise AssemblerError(
+                        "memory operand cannot be both pre and post increment",
+                        line_no)
+                mode = MODE_BASE_OFFSET
+                if pre:
+                    mode = MODE_PRE_INCREMENT
+                elif post:
+                    mode = MODE_POST_INCREMENT
+                base = parse_reg(base_name, line_no)
+                if not is_areg(base):
+                    raise AssemblerError(
+                        f"memory base must be an address register, "
+                        f"got {base_name!r}", line_no)
+                operands.append(
+                    _Operand("mem", base=base, mode=mode,
+                             expr=off_text.strip() or "0"))
+                continue
+            operands.append(_Operand("expr", expr=part.strip()))
+        return operands
+
+    def _select_spec(self, mnemonic: str, operands: list[_Operand],
+                     line_no: int) -> tuple[InstructionSpec, dict[str, int]]:
+        """Choose the instruction spec matching mnemonic + operand shape."""
+        implied: dict[str, int] = {}
+        if mnemonic in _ALIASES:
+            key, implied = _ALIASES[mnemonic]
+            spec = SPEC_BY_KEY[key]
+            if self._shape_matches(spec, operands, implied):
+                return spec, implied
+            raise AssemblerError(
+                f"operands do not match {mnemonic!r}", line_no)
+        candidates = SPECS_BY_MNEMONIC.get(mnemonic)
+        if not candidates:
+            raise AssemblerError(f"unknown mnemonic {mnemonic!r}", line_no)
+        matches = [
+            spec for spec in candidates
+            if self._shape_matches(spec, operands, {})
+        ]
+        if not matches:
+            raise AssemblerError(
+                f"operands do not match any form of {mnemonic!r}", line_no)
+        if len(matches) > 1:
+            matches = [self._prefer(matches, operands, line_no)]
+        return matches[0], {}
+
+    def _shape_matches(self, spec: InstructionSpec,
+                       operands: list[_Operand],
+                       implied: dict[str, int]) -> bool:
+        tokens = [tok for tok in spec.syntax
+                  if tok.split(":")[0] not in implied]
+        if len(tokens) != len(operands):
+            return False
+        for token, operand in zip(tokens, operands):
+            if token in ("mem", "mem0"):
+                if operand.kind != "mem":
+                    return False
+                if token == "mem0" and operand.mode != MODE_BASE_OFFSET:
+                    return False
+                continue
+            _field, kind = token.split(":")
+            if kind == "d" and operand.kind != "d":
+                return False
+            if kind == "a" and operand.kind != "a":
+                return False
+            if kind in ("imm", "label") and operand.kind != "expr":
+                return False
+        return True
+
+    def _prefer(self, matches: list[InstructionSpec],
+                operands: list[_Operand], line_no: int) -> InstructionSpec:
+        """Resolve BO-vs-BOL ambiguity: short form when the literal fits."""
+        short = [m for m in matches if m.fmt == Fmt.BO]
+        long_ = [m for m in matches if m.fmt == Fmt.BOL]
+        if short and long_:
+            mem = next((op for op in operands if op.kind == "mem"), None)
+            if mem is not None:
+                if mem.mode != MODE_BASE_OFFSET:
+                    return short[0]
+                literal = self._try_literal(mem.expr)
+                if literal is not None and fits_signed(literal, 10):
+                    return short[0]
+                return long_[0]
+        raise AssemblerError(
+            f"ambiguous instruction forms: {[m.key for m in matches]}", line_no)
+
+    # ------------------------------------------------------------------
+    # pass 2: encoding
+    # ------------------------------------------------------------------
+
+    def _pass2(self, items: list[_Item], symbol_info, entry_name, globals_):
+        symbols, sym_sections = symbol_info
+        chunks: dict[str, list[tuple[int, bytes]]] = {".text": [], ".data": []}
+
+        for item in items:
+            if item.kind == "bytes":
+                chunks[item.section].append((item.addr, item.raw))
+            elif item.kind in ("word", "half", "byte"):
+                width = {"word": 4, "half": 2, "byte": 1}[item.kind]
+                blob = bytearray()
+                for expr in item.exprs:
+                    value = self._evaluate(expr, symbols, item.line)
+                    blob += u32(value).to_bytes(4, "little")[:width]
+                chunks[item.section].append((item.addr, bytes(blob)))
+            elif item.kind == "instr":
+                encoded = self._encode_item(item, symbols)
+                chunks[item.section].append((item.addr, encoded))
+            else:  # pragma: no cover - defensive
+                raise AssemblerError(f"unknown item kind {item.kind}")
+
+        obj = ObjectFile()
+        flags = {".text": SEC_EXEC, ".data": SEC_WRITE}
+        for name in (".text", ".data"):
+            parts = sorted(chunks[name])
+            if not parts:
+                continue
+            start = min(addr for addr, _ in parts)
+            end = max(addr + len(blob) for addr, blob in parts)
+            image = bytearray(end - start)
+            for addr, blob in parts:
+                image[addr - start: addr - start + len(blob)] = blob
+            obj.sections.append(
+                Section(name=name, addr=start, data=bytes(image),
+                        flags=flags[name]))
+
+        for name, addr in symbols.items():
+            section = sym_sections.get(name)
+            kind = SymbolKind.NONE
+            if section == ".text" and name in globals_:
+                # Only exported text symbols are functions: they may be
+                # reached indirectly (calli/ji), so analyses treat them
+                # as entry points with unknown register state.  Local
+                # labels stay transparent to the dataflow.
+                kind = SymbolKind.FUNC
+            elif section == ".data":
+                kind = SymbolKind.OBJECT
+            obj.add_symbol(Symbol(name=name, addr=u32(addr), kind=kind))
+        for name in globals_:
+            if name not in obj.symbols:
+                raise AssemblerError(f".global of undefined symbol {name!r}")
+
+        if entry_name is not None:
+            obj.entry = obj.symbol_addr(entry_name)
+        elif "_start" in obj.symbols:
+            obj.entry = obj.symbols["_start"].addr
+        elif obj.has_section(".text"):
+            obj.entry = obj.section(".text").addr
+        return obj.validate()
+
+    def _encode_item(self, item: _Item, symbols: dict[str, int]) -> bytes:
+        spec = item.spec
+        assert spec is not None
+        fields: dict[str, int] = dict(item.implied)
+        tokens = [tok for tok in spec.syntax
+                  if tok.split(":")[0] not in item.implied]
+        for token, operand in zip(tokens, item.operands):
+            if token in ("mem", "mem0"):
+                assert operand.base is not None
+                fields["b"] = operand.base - 16
+                offset = self._evaluate(operand.expr, symbols, item.line)
+                fields["off"] = offset
+                if "mode" in {f[0] for f in
+                              self._format_fields(spec)}:
+                    fields["mode"] = operand.mode
+                continue
+            name, kind = token.split(":")
+            if kind in ("d", "a"):
+                reg = operand.reg
+                assert reg is not None
+                fields[name] = reg if kind == "d" else reg - 16
+            elif kind == "imm":
+                fields[name] = self._evaluate(operand.expr, symbols, item.line)
+            elif kind == "label":
+                target = self._evaluate(operand.expr, symbols, item.line)
+                delta = target - item.addr
+                if delta % 2:
+                    raise AssemblerError(
+                        f"branch target {target:#x} not halfword aligned",
+                        item.line)
+                fields[name] = delta // 2
+        # Format fields the syntax does not mention (the unused `a` of the
+        # RLC move forms, `mode` of plain base+offset operands) encode as 0.
+        for name, *_ in self._format_fields(spec):
+            fields.setdefault(name, 0)
+        # The RLC k16 field stores a raw bit pattern: `mov` sign-extends,
+        # `mov.u` zero-extends.  Accept either writing convention here.
+        if spec.fmt == Fmt.RLC:
+            k = fields["k"]
+            if not -0x8000 <= k <= 0xFFFF:
+                raise AssemblerError(
+                    f"immediate {k} does not fit in 16 bits", item.line)
+            fields["k"] = k & 0xFFFF
+        try:
+            return encode(spec, fields)
+        except EncodingError as exc:
+            raise AssemblerError(str(exc), item.line) from exc
+
+    @staticmethod
+    def _format_fields(spec: InstructionSpec):
+        from repro.isa.tricore.instructions import FORMAT_FIELDS
+
+        return FORMAT_FIELDS[spec.fmt]
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _literal(self, text: str, line_no: int) -> int:
+        """Evaluate an expression that may not reference symbols."""
+        value = self._try_literal(text)
+        if value is None:
+            raise AssemblerError(
+                f"expected a literal expression, got {text!r}", line_no)
+        return value
+
+    def _try_literal(self, text: str) -> int | None:
+        try:
+            return self._evaluate(text, {}, None)
+        except AssemblerError:
+            return None
+
+    def _evaluate(self, text: str, symbols: dict[str, int],
+                  line_no: int | None) -> int:
+        """Evaluate an operand expression to an integer."""
+        parser = _ExprParser(text, symbols, line_no)
+        value = parser.parse()
+        return value
+
+
+class _ExprParser:
+    """Recursive-descent parser for operand expressions."""
+
+    def __init__(self, text: str, symbols: dict[str, int],
+                 line_no: int | None) -> None:
+        self._text = text
+        self._symbols = symbols
+        self._line = line_no
+        self._pos = 0
+
+    def parse(self) -> int:
+        value = self._sum()
+        self._skip_ws()
+        if self._pos != len(self._text):
+            raise AssemblerError(
+                f"trailing characters in expression {self._text!r}", self._line)
+        return value
+
+    def _skip_ws(self) -> None:
+        while self._pos < len(self._text) and self._text[self._pos].isspace():
+            self._pos += 1
+
+    def _sum(self) -> int:
+        value = self._term()
+        while True:
+            self._skip_ws()
+            if self._pos < len(self._text) and self._text[self._pos] in "+-":
+                op = self._text[self._pos]
+                self._pos += 1
+                rhs = self._term()
+                value = value + rhs if op == "+" else value - rhs
+            else:
+                return value
+
+    def _term(self) -> int:
+        self._skip_ws()
+        if self._pos >= len(self._text):
+            raise AssemblerError(
+                f"unexpected end of expression {self._text!r}", self._line)
+        char = self._text[self._pos]
+        if char == "-":
+            self._pos += 1
+            return -self._term()
+        if char == "(":
+            self._pos += 1
+            value = self._sum()
+            self._skip_ws()
+            if self._pos >= len(self._text) or self._text[self._pos] != ")":
+                raise AssemblerError(
+                    f"missing ')' in expression {self._text!r}", self._line)
+            self._pos += 1
+            return value
+        match = re.match(r"(hi|lo):", self._text[self._pos:])
+        if match:
+            self._pos += match.end()
+            inner = self._term()
+            if match.group(1) == "hi":
+                return ((inner + 0x8000) >> 16) & 0xFFFF
+            return s16(inner & 0xFFFF)
+        match = re.match(r"0[xX][0-9a-fA-F]+|\d+", self._text[self._pos:])
+        if match:
+            self._pos += match.end()
+            return int(match.group(0), 0)
+        match = re.match(r"[A-Za-z_.$][\w.$]*", self._text[self._pos:])
+        if match:
+            name = match.group(0)
+            self._pos += match.end()
+            if name not in self._symbols:
+                raise AssemblerError(f"undefined symbol {name!r}", self._line)
+            return self._symbols[name]
+        raise AssemblerError(
+            f"cannot parse expression {self._text!r}", self._line)
+
+
+def assemble(source: str, memory: MemoryMap | None = None) -> ObjectFile:
+    """Convenience wrapper: assemble *source* with the default memory map."""
+    return Assembler(memory).assemble(source)

@@ -1,0 +1,127 @@
+"""Disassembler for the TriCore-like ISA.
+
+Renders decoded instructions back to assembler syntax that re-assembles
+to identical bytes: long-offset forms are printed with their explicit
+``.l`` mnemonics, branch targets become generated labels, and the
+output starts with ``.org`` so addresses are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.tricore.encoding import decode_bytes
+from repro.isa.tricore.instructions import (
+    MODE_POST_INCREMENT,
+    MODE_PRE_INCREMENT,
+    Fmt,
+    InstructionSpec,
+)
+from repro.objfile.elf import ObjectFile
+
+#: spec key -> explicit mnemonic needed for exact re-assembly.
+_EXPLICIT_MNEMONIC = {
+    "ld_w_bol": "ld.w.l",
+    "st_w_bol": "st.w.l",
+    "lea_bol": "lea.l",
+}
+
+
+@dataclass
+class DisasmLine:
+    """One disassembled instruction."""
+
+    addr: int
+    width: int
+    spec: InstructionSpec
+    fields: dict[str, int]
+    text: str
+
+
+def _branch_target(addr: int, fields: dict[str, int]) -> int:
+    return (addr + 2 * fields["disp"]) & 0xFFFF_FFFF
+
+
+def _format_imm(value: int) -> str:
+    if -1024 < value < 1024:
+        return str(value)
+    return hex(value & 0xFFFF_FFFF) if value >= 0 else f"-{hex(-value)}"
+
+
+def _render(spec: InstructionSpec, fields: dict[str, int], addr: int,
+            labels: dict[int, str]) -> str:
+    mnemonic = _EXPLICIT_MNEMONIC.get(spec.key, spec.mnemonic)
+    parts: list[str] = []
+    for token in spec.syntax:
+        if token in ("mem", "mem0"):
+            base = f"a{fields['b']}"
+            mode = fields.get("mode", 0)
+            off = fields.get("off", 0)
+            if mode == MODE_PRE_INCREMENT:
+                mem = f"[+{base}]"
+            elif mode == MODE_POST_INCREMENT:
+                mem = f"[{base}+]"
+            else:
+                mem = f"[{base}]"
+            parts.append(mem + (_format_imm(off) if off else ""))
+            continue
+        name, kind = token.split(":")
+        value = fields[name]
+        if kind == "d":
+            parts.append(f"d{value}")
+        elif kind == "a":
+            parts.append(f"a{value}")
+        elif kind == "imm":
+            parts.append(_format_imm(value))
+        elif kind == "label":
+            target = _branch_target(addr, fields)
+            parts.append(labels.get(target, hex(target)))
+    if parts:
+        return f"{mnemonic} {', '.join(parts)}"
+    return mnemonic
+
+
+def disassemble_blob(blob: bytes, base_address: int = 0) -> list[DisasmLine]:
+    """Disassemble a raw code blob into rendered lines."""
+    decoded = decode_bytes(blob, base_address)
+    labels: dict[int, str] = {}
+    for addr, spec, fields, _width in decoded:
+        if spec.is_branch and "disp" in fields:
+            target = _branch_target(addr, fields)
+            labels.setdefault(target, f"L_{target:08x}")
+    lines = []
+    for addr, spec, fields, width in decoded:
+        text = _render(spec, fields, addr, labels)
+        lines.append(DisasmLine(addr=addr, width=width, spec=spec,
+                                fields=fields, text=text))
+    return lines
+
+
+def disassemble_object(obj: ObjectFile) -> str:
+    """Disassemble the text section of *obj* to re-assemblable source."""
+    text = obj.text()
+    lines = disassemble_blob(text.data, text.addr)
+    labels: dict[int, str] = {}
+    for line in lines:
+        if line.spec.is_branch and "disp" in line.fields:
+            target = _branch_target(line.addr, line.fields)
+            labels.setdefault(target, f"L_{target:08x}")
+    # Prefer real symbol names where available.
+    for name, sym in obj.symbols.items():
+        if sym.addr in labels:
+            labels[sym.addr] = name
+    out = [".text", f".org {text.addr:#x}"]
+    for line in lines:
+        if line.addr in labels:
+            out.append(f"{labels[line.addr]}:")
+        out.append(f"    {_render(line.spec, line.fields, line.addr, labels)}")
+    return "\n".join(out) + "\n"
+
+
+def format_listing(blob: bytes, base_address: int = 0) -> str:
+    """Human-oriented listing with addresses and raw encodings."""
+    rows = []
+    for line in disassemble_blob(blob, base_address):
+        raw = blob[line.addr - base_address: line.addr - base_address + line.width]
+        rows.append(f"{line.addr:08x}:  {raw.hex():<10}  {line.text}")
+    return "\n".join(rows)

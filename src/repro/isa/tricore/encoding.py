@@ -1,0 +1,125 @@
+"""Binary encoding and decoding of the TriCore-like instruction set.
+
+Instructions are a little-endian halfword stream.  Bit 0 of the first
+halfword selects the width: ``1`` marks a 32-bit instruction (opcode in
+bits [7:1]), ``0`` a 16-bit instruction (opcode in bits [6:1]).  Field
+layouts are defined per format in
+:data:`repro.isa.tricore.instructions.FORMAT_FIELDS`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa.tricore.instructions import (
+    FORMAT_FIELDS,
+    LONG_OPCODE_TABLE,
+    SHORT_OPCODE_TABLE,
+    InstructionSpec,
+)
+from repro.utils.bits import fits_signed, fits_unsigned, sign_extend
+
+
+def encode(spec: InstructionSpec, fields: dict[str, int]) -> bytes:
+    """Encode *fields* into the binary form of *spec*.
+
+    Signed fields accept negative values; all fields are range-checked.
+    Returns 2 or 4 little-endian bytes.
+    """
+    layout = FORMAT_FIELDS[spec.fmt]
+    expected = {name for name, _lo, _width, _signed in layout}
+    given = set(fields)
+    if expected != given:
+        raise EncodingError(
+            f"{spec.key}: expected fields {sorted(expected)}, got {sorted(given)}"
+        )
+    if spec.width == 4:
+        word = 1 | (spec.opcode << 1)
+        if not fits_unsigned(spec.opcode, 7):
+            raise EncodingError(f"{spec.key}: opcode does not fit in 7 bits")
+    else:
+        word = spec.opcode << 1
+        if not fits_unsigned(spec.opcode, 6):
+            raise EncodingError(f"{spec.key}: opcode does not fit in 6 bits")
+    for name, lo, width, signed in layout:
+        value = fields[name]
+        if signed:
+            if not fits_signed(value, width):
+                raise EncodingError(
+                    f"{spec.key}: field {name}={value} does not fit in "
+                    f"signed {width} bits"
+                )
+            value &= (1 << width) - 1
+        elif not fits_unsigned(value, width):
+            raise EncodingError(
+                f"{spec.key}: field {name}={value} does not fit in "
+                f"unsigned {width} bits"
+            )
+        word |= value << lo
+    return word.to_bytes(spec.width, "little")
+
+
+def decode_word(word: int, width: int) -> tuple[InstructionSpec, dict[str, int]]:
+    """Decode an already-assembled 16- or 32-bit instruction word."""
+    if width == 4:
+        opcode = (word >> 1) & 0x7F
+        spec = LONG_OPCODE_TABLE.get(opcode)
+    else:
+        opcode = (word >> 1) & 0x3F
+        spec = SHORT_OPCODE_TABLE.get(opcode)
+    if spec is None:
+        raise DecodingError(f"unknown {width * 8}-bit opcode {opcode:#x}")
+    fields: dict[str, int] = {}
+    for name, lo, fwidth, signed in FORMAT_FIELDS[spec.fmt]:
+        raw = (word >> lo) & ((1 << fwidth) - 1)
+        fields[name] = sign_extend(raw, fwidth) if signed else raw
+    return spec, fields
+
+
+def decode_at(
+    fetch16: Callable[[int], int], address: int
+) -> tuple[InstructionSpec, dict[str, int], int]:
+    """Decode the instruction at *address*.
+
+    *fetch16* returns the little-endian halfword at a given address.
+    Returns ``(spec, fields, width_in_bytes)``.
+    """
+    if address & 1:
+        raise DecodingError("instruction address is not halfword aligned", address)
+    first = fetch16(address)
+    if first & 1:
+        word = first | (fetch16(address + 2) << 16)
+        try:
+            spec, fields = decode_word(word, 4)
+        except DecodingError as exc:
+            raise DecodingError(str(exc), address) from None
+        return spec, fields, 4
+    try:
+        spec, fields = decode_word(first, 2)
+    except DecodingError as exc:
+        raise DecodingError(str(exc), address) from None
+    return spec, fields, 2
+
+
+def decode_bytes(blob: bytes, base_address: int = 0) -> list[tuple[int, InstructionSpec, dict[str, int], int]]:
+    """Decode a contiguous byte blob into ``(addr, spec, fields, width)``.
+
+    Stops at the end of the blob; raises :class:`DecodingError` on any
+    unknown opcode or truncated final instruction.
+    """
+
+    def fetch16(addr: int) -> int:
+        off = addr - base_address
+        if off + 2 > len(blob):
+            raise DecodingError("truncated instruction", addr)
+        return int.from_bytes(blob[off : off + 2], "little")
+
+    result = []
+    addr = base_address
+    end = base_address + len(blob)
+    while addr < end:
+        spec, fields, width = decode_at(fetch16, addr)
+        result.append((addr, spec, fields, width))
+        addr += width
+    return result

@@ -1,0 +1,610 @@
+"""Instruction set of the TriCore-like source processor.
+
+Every instruction is described by an :class:`InstructionSpec` that
+bundles the binary encoding (format + opcode), the timing classification
+used by the pipeline model (``ip`` integer pipeline vs ``ls`` load/store
+pipeline, per the TriCore dual-pipeline organisation), and the semantic
+expansion into the translator's intermediate code.
+
+This mirrors the paper's design where the source processor is described
+separately (instruction decoding plus "the semantics of the described
+instruction written in an intermediate code") and combined with the
+processor-independent translator library.  The same table can be
+exported to / imported from XML via :mod:`repro.isa.tricore.xmlspec`.
+
+Encoding summary (self-defined, TriCore-flavoured; little-endian
+halfword stream, bit 0 of the first halfword selects the width):
+
+========  ======================================================
+Format    Fields (LSB numbering within the 16/32-bit word)
+========  ======================================================
+RR        op[7:1]=1, a[11:8], b[15:12], c[19:16]
+RC9       op, a[11:8], k9 signed [20:12], c[24:21]
+RLC       op, a[11:8], k16 [27:12], c[31:28]
+BO        op, a[11:8], b[15:12], off10 signed [25:16], mode[27:26]
+BOL       op, a[11:8], b[15:12], off16 signed [31:16]
+B24       op, disp24 signed [31:8] (halfwords, PC-relative)
+BRR       op, a[11:8], b[15:12], disp15 signed [30:16]
+BRC       op, a[11:8], k4 signed [15:12], disp15 signed [30:16]
+LOOP      op, b[11:8] (address reg), disp15 signed [30:16]
+R1        op, a[11:8]
+SYS       op only
+SRR       op[6:1]=0, a[11:8], b[15:12]                 (16-bit)
+SRC       op, a[11:8], k4 signed [15:12]               (16-bit)
+SBR       op, disp8 signed [15:8] (implicit d15)       (16-bit)
+SSYS      op only                                      (16-bit)
+========  ======================================================
+
+Documented simplifications relative to a real TriCore: shifts take an
+unsigned count (no signed bidirectional shift), there is no hardware
+divide (the runtime library provides it), ``call`` writes the return
+address to ``a11`` without a context save, and the PSW carry/overflow
+flags are not modelled (comparisons produce 0/1 in a register).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import DecodingError
+from repro.isa.tricore.registers import REG_COND16, REG_RA, areg
+from repro.translator.ir import BranchKind, IRInstr, IROp, TempAllocator
+from repro.utils.bits import s16, u32
+
+
+class Fmt(enum.Enum):
+    """Encoding formats; see the module docstring for field layouts."""
+
+    RR = "rr"
+    RC9 = "rc9"
+    RLC = "rlc"
+    BO = "bo"
+    BOL = "bol"
+    B24 = "b24"
+    BRR = "brr"
+    BRC = "brc"
+    LOOP = "loop"
+    R1 = "r1"
+    SYS = "sys"
+    SRR = "srr"
+    SRC = "src"
+    SBR = "sbr"
+    SSYS = "ssys"
+
+
+#: (name, lo, width, signed) field layouts per format, excluding the opcode.
+FORMAT_FIELDS: dict[Fmt, tuple[tuple[str, int, int, bool], ...]] = {
+    Fmt.RR: (("a", 8, 4, False), ("b", 12, 4, False), ("c", 16, 4, False)),
+    Fmt.RC9: (("a", 8, 4, False), ("k", 12, 9, True), ("c", 21, 4, False)),
+    Fmt.RLC: (("a", 8, 4, False), ("k", 12, 16, False), ("c", 28, 4, False)),
+    Fmt.BO: (
+        ("a", 8, 4, False),
+        ("b", 12, 4, False),
+        ("off", 16, 10, True),
+        ("mode", 26, 2, False),
+    ),
+    Fmt.BOL: (("a", 8, 4, False), ("b", 12, 4, False), ("off", 16, 16, True)),
+    Fmt.B24: (("disp", 8, 24, True),),
+    Fmt.BRR: (("a", 8, 4, False), ("b", 12, 4, False), ("disp", 16, 15, True)),
+    Fmt.BRC: (("a", 8, 4, False), ("k", 12, 4, True), ("disp", 16, 15, True)),
+    Fmt.LOOP: (("b", 8, 4, False), ("disp", 16, 15, True)),
+    Fmt.R1: (("a", 8, 4, False),),
+    Fmt.SYS: (),
+    Fmt.SRR: (("a", 8, 4, False), ("b", 12, 4, False)),
+    Fmt.SRC: (("a", 8, 4, False), ("k", 12, 4, True)),
+    Fmt.SBR: (("disp", 8, 8, True),),
+    Fmt.SSYS: (),
+}
+
+#: Formats encoded in 16 bits.
+SHORT_FORMATS = frozenset({Fmt.SRR, Fmt.SRC, Fmt.SBR, Fmt.SSYS})
+
+#: Addressing-mode values of the BO format.
+MODE_BASE_OFFSET = 0
+MODE_POST_INCREMENT = 1
+MODE_PRE_INCREMENT = 2
+
+
+@dataclass
+class ExpandCtx:
+    """Context handed to semantic expanders."""
+
+    pc: int
+    next_pc: int
+    temps: TempAllocator = field(default_factory=TempAllocator)
+
+
+Expander = Callable[[dict[str, int], ExpandCtx], list[IRInstr]]
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Static description of one source instruction."""
+
+    key: str  # unique identifier, e.g. "ld_w_bo"
+    mnemonic: str  # assembly mnemonic, e.g. "ld.w"
+    opcode: int
+    fmt: Fmt
+    iclass: str  # 'ip' (integer pipe) or 'ls' (load/store pipe)
+    expand: Expander
+    branch: BranchKind = BranchKind.NONE
+    is_load: bool = False
+    is_store: bool = False
+    is_mul: bool = False
+    syntax: tuple[str, ...] = ()
+    """Operand pattern for the assembler/disassembler.
+
+    Tokens: ``"<field>:d"`` data register, ``"<field>:a"`` address
+    register, ``"<field>:imm"`` immediate expression, ``"<field>:label"``
+    PC-relative branch target, ``"mem"`` a ``[aN]off`` operand with
+    addressing modes, ``"mem0"`` a plain base+offset memory operand.
+    """
+
+    @property
+    def width(self) -> int:
+        """Instruction size in bytes (2 or 4)."""
+        return 2 if self.fmt in SHORT_FORMATS else 4
+
+    @property
+    def is_branch(self) -> bool:
+        return self.branch is not BranchKind.NONE
+
+
+def _mk(op: IROp, **kwargs) -> IRInstr:
+    return IRInstr(op, **kwargs)
+
+
+def _binop_rr(ir_op: IROp) -> Expander:
+    def expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+        return [_mk(ir_op, dst=f["c"], a=f["a"], b=f["b"])]
+
+    return expand
+
+
+def _binop_rr_addr(ir_op: IROp) -> Expander:
+    def expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+        return [_mk(ir_op, dst=areg(f["c"]), a=areg(f["a"]), b=areg(f["b"]))]
+
+    return expand
+
+
+def _unop_rr(ir_op: IROp) -> Expander:
+    def expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+        return [_mk(ir_op, dst=f["c"], a=f["a"])]
+
+    return expand
+
+
+def _binop_rc(ir_op: IROp) -> Expander:
+    def expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+        return [_mk(ir_op, dst=f["c"], a=f["a"], imm=f["k"])]
+
+    return expand
+
+
+def _not_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.XOR, dst=f["c"], a=f["a"], imm=-1)]
+
+
+def _mov_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.MVK, dst=f["c"], imm=s16(f["k"]))]
+
+
+def _mov_u_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.MVK, dst=f["c"], imm=f["k"] & 0xFFFF)]
+
+
+def _movh_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.MVK, dst=f["c"], imm=u32(f["k"] << 16))]
+
+
+def _movh_a_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.MVK, dst=areg(f["c"]), imm=u32(f["k"] << 16))]
+
+
+def _addi_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.ADD, dst=f["c"], a=f["a"], imm=s16(f["k"]))]
+
+
+def _addih_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.ADD, dst=f["c"], a=f["a"], imm=u32(f["k"] << 16))]
+
+
+def _mov_d_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    # mov.d dC, aA : data <- address register
+    return [_mk(IROp.MV, dst=f["c"], a=areg(f["a"]))]
+
+
+def _mov_a_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    # mov.a aC, dA : address <- data register
+    return [_mk(IROp.MV, dst=areg(f["c"]), a=f["a"])]
+
+
+def _mov_aa_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.MV, dst=areg(f["c"]), a=areg(f["a"]))]
+
+
+def _load(ir_op: IROp, addr_dest: bool = False) -> Expander:
+    def expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+        dest = areg(f["a"]) if addr_dest else f["a"]
+        base = areg(f["b"])
+        mode = f.get("mode", MODE_BASE_OFFSET)
+        off = f["off"]
+        if mode == MODE_BASE_OFFSET:
+            return [_mk(ir_op, dst=dest, a=base, imm=off)]
+        if mode == MODE_POST_INCREMENT:
+            return [
+                _mk(ir_op, dst=dest, a=base, imm=0),
+                _mk(IROp.ADD, dst=base, a=base, imm=off),
+            ]
+        if mode == MODE_PRE_INCREMENT:
+            return [
+                _mk(IROp.ADD, dst=base, a=base, imm=off),
+                _mk(ir_op, dst=dest, a=base, imm=0),
+            ]
+        raise DecodingError(f"invalid addressing mode {mode}", ctx.pc)
+
+    return expand
+
+
+def _store(ir_op: IROp, addr_src: bool = False) -> Expander:
+    def expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+        value = areg(f["a"]) if addr_src else f["a"]
+        base = areg(f["b"])
+        mode = f.get("mode", MODE_BASE_OFFSET)
+        off = f["off"]
+        if mode == MODE_BASE_OFFSET:
+            return [_mk(ir_op, a=value, b=base, imm=off)]
+        if mode == MODE_POST_INCREMENT:
+            return [
+                _mk(ir_op, a=value, b=base, imm=0),
+                _mk(IROp.ADD, dst=base, a=base, imm=off),
+            ]
+        if mode == MODE_PRE_INCREMENT:
+            return [
+                _mk(IROp.ADD, dst=base, a=base, imm=off),
+                _mk(ir_op, a=value, b=base, imm=0),
+            ]
+        raise DecodingError(f"invalid addressing mode {mode}", ctx.pc)
+
+    return expand
+
+
+def _lea_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.ADD, dst=areg(f["a"]), a=areg(f["b"]), imm=f["off"])]
+
+
+def _branch_target(ctx: ExpandCtx, disp: int) -> int:
+    return u32(ctx.pc + 2 * disp)
+
+
+def _j_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    target = _branch_target(ctx, f["disp"])
+    return [_mk(IROp.B, imm=target, branch=BranchKind.JUMP)]
+
+
+def _call_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    target = _branch_target(ctx, f["disp"])
+    return [
+        _mk(IROp.MVK, dst=REG_RA, imm=ctx.next_pc),
+        _mk(IROp.B, imm=target, branch=BranchKind.CALL),
+    ]
+
+
+def _ji_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.B, a=areg(f["a"]), branch=BranchKind.INDIRECT)]
+
+
+def _calli_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    target_copy = ctx.temps.fresh()
+    return [
+        _mk(IROp.MV, dst=target_copy, a=areg(f["a"])),
+        _mk(IROp.MVK, dst=REG_RA, imm=ctx.next_pc),
+        _mk(IROp.B, a=target_copy, branch=BranchKind.CALL_INDIRECT),
+    ]
+
+
+def _ret_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.B, a=REG_RA, branch=BranchKind.RET)]
+
+
+def _cond_branch_rr(cmp_op: IROp) -> Expander:
+    def expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+        target = _branch_target(ctx, f["disp"])
+        t = ctx.temps.fresh()
+        return [
+            _mk(cmp_op, dst=t, a=f["a"], b=f["b"]),
+            _mk(IROp.B, imm=target, pred=t, branch=BranchKind.COND),
+        ]
+
+    return expand
+
+
+def _cond_branch_rc(cmp_op: IROp) -> Expander:
+    def expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+        target = _branch_target(ctx, f["disp"])
+        t = ctx.temps.fresh()
+        return [
+            _mk(cmp_op, dst=t, a=f["a"], imm=f["k"]),
+            _mk(IROp.B, imm=target, pred=t, branch=BranchKind.COND),
+        ]
+
+    return expand
+
+
+def _loop_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    target = _branch_target(ctx, f["disp"])
+    counter = areg(f["b"])
+    t = ctx.temps.fresh()
+    return [
+        _mk(IROp.ADD, dst=counter, a=counter, imm=-1),
+        _mk(IROp.CMPNE, dst=t, a=counter, imm=0),
+        _mk(IROp.B, imm=target, pred=t, branch=BranchKind.LOOP),
+    ]
+
+
+def _halt_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.HALT)]
+
+
+def _nop_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.NOP)]
+
+
+def _debug_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.NOP, comment="debug")]
+
+
+# --- 16-bit expanders ---------------------------------------------------
+
+
+def _mov16_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.MV, dst=f["a"], a=f["b"])]
+
+
+def _add16_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.ADD, dst=f["a"], a=f["a"], b=f["b"])]
+
+
+def _sub16_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.SUB, dst=f["a"], a=f["a"], b=f["b"])]
+
+
+def _mov16c_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.MVK, dst=f["a"], imm=f["k"])]
+
+
+def _add16c_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    return [_mk(IROp.ADD, dst=f["a"], a=f["a"], imm=f["k"])]
+
+
+def _jz16_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    target = _branch_target(ctx, f["disp"])
+    t = ctx.temps.fresh()
+    return [
+        _mk(IROp.CMPEQ, dst=t, a=REG_COND16, imm=0),
+        _mk(IROp.B, imm=target, pred=t, branch=BranchKind.COND),
+    ]
+
+
+def _jnz16_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    target = _branch_target(ctx, f["disp"])
+    t = ctx.temps.fresh()
+    return [
+        _mk(IROp.CMPNE, dst=t, a=REG_COND16, imm=0),
+        _mk(IROp.B, imm=target, pred=t, branch=BranchKind.COND),
+    ]
+
+
+def _j16_expand(f: dict[str, int], ctx: ExpandCtx) -> list[IRInstr]:
+    target = _branch_target(ctx, f["disp"])
+    return [_mk(IROp.B, imm=target, branch=BranchKind.JUMP)]
+
+
+_RRR = ("c:d", "a:d", "b:d")
+_RRA = ("c:a", "a:a", "b:a")
+_RCK = ("c:d", "a:d", "k:imm")
+
+
+def _build_specs() -> list[InstructionSpec]:
+    specs: list[InstructionSpec] = []
+
+    def add(key: str, mnemonic: str, opcode: int, fmt: Fmt, iclass: str,
+            expand: Expander, syntax: tuple[str, ...], **flags) -> None:
+        specs.append(
+            InstructionSpec(
+                key=key,
+                mnemonic=mnemonic,
+                opcode=opcode,
+                fmt=fmt,
+                iclass=iclass,
+                expand=expand,
+                syntax=syntax,
+                **flags,
+            )
+        )
+
+    # --- integer pipeline, register-register -------------------------
+    rr_binops = [
+        ("add", 0x01, IROp.ADD),
+        ("sub", 0x02, IROp.SUB),
+        ("and", 0x05, IROp.AND),
+        ("or", 0x06, IROp.OR),
+        ("xor", 0x07, IROp.XOR),
+        ("andn", 0x08, IROp.ANDN),
+        ("min", 0x09, IROp.MIN),
+        ("max", 0x0A, IROp.MAX),
+        ("shl", 0x0D, IROp.SHL),
+        ("shr", 0x0E, IROp.SHRU),
+        ("shra", 0x0F, IROp.SHRA),
+    ]
+    for name, opcode, ir_op in rr_binops:
+        add(name, name, opcode, Fmt.RR, "ip", _binop_rr(ir_op), _RRR)
+    add("mul", "mul", 0x04, Fmt.RR, "ip", _binop_rr(IROp.MPY), _RRR, is_mul=True)
+    add("abs", "abs", 0x0B, Fmt.RR, "ip", _unop_rr(IROp.ABS), ("c:d", "a:d"))
+    add("not", "not", 0x0C, Fmt.RR, "ip", _not_expand, ("c:d", "a:d"))
+
+    rr_compares = [
+        ("eq", 0x10, IROp.CMPEQ),
+        ("ne", 0x11, IROp.CMPNE),
+        ("lt", 0x12, IROp.CMPLT),
+        ("lt.u", 0x13, IROp.CMPLTU),
+        ("ge", 0x14, IROp.CMPGE),
+        ("ge.u", 0x15, IROp.CMPGEU),
+    ]
+    for name, opcode, ir_op in rr_compares:
+        add(name.replace(".", "_"), name, opcode, Fmt.RR, "ip",
+            _binop_rr(ir_op), _RRR)
+
+    # --- register moves between files (LS pipeline on TriCore) -------
+    add("mov_d", "mov.d", 0x16, Fmt.RR, "ls", _mov_d_expand, ("c:d", "a:a"))
+    add("mov_a", "mov.a", 0x17, Fmt.RR, "ls", _mov_a_expand, ("c:a", "a:d"))
+    add("mov_aa", "mov.aa", 0x18, Fmt.RR, "ls", _mov_aa_expand, ("c:a", "a:a"))
+    add("add_a", "add.a", 0x19, Fmt.RR, "ls", _binop_rr_addr(IROp.ADD), _RRA)
+    add("sub_a", "sub.a", 0x1A, Fmt.RR, "ls", _binop_rr_addr(IROp.SUB), _RRA)
+
+    # --- integer pipeline, register-constant9 ------------------------
+    rc_binops = [
+        ("add_c", "add", 0x20, IROp.ADD),
+        ("and_c", "and", 0x21, IROp.AND),
+        ("or_c", "or", 0x22, IROp.OR),
+        ("xor_c", "xor", 0x23, IROp.XOR),
+        ("shl_c", "shl", 0x24, IROp.SHL),
+        ("shr_c", "shr", 0x25, IROp.SHRU),
+        ("shra_c", "shra", 0x26, IROp.SHRA),
+        ("eq_c", "eq", 0x27, IROp.CMPEQ),
+        ("ne_c", "ne", 0x28, IROp.CMPNE),
+        ("lt_c", "lt", 0x29, IROp.CMPLT),
+        ("ge_c", "ge", 0x2A, IROp.CMPGE),
+    ]
+    for key, mnemonic, opcode, ir_op in rc_binops:
+        add(key, mnemonic, opcode, Fmt.RC9, "ip", _binop_rc(ir_op), _RCK)
+
+    # --- wide immediates ----------------------------------------------
+    add("mov", "mov", 0x30, Fmt.RLC, "ip", _mov_expand, ("c:d", "k:imm"))
+    add("mov_u", "mov.u", 0x31, Fmt.RLC, "ip", _mov_u_expand, ("c:d", "k:imm"))
+    add("movh", "movh", 0x32, Fmt.RLC, "ip", _movh_expand, ("c:d", "k:imm"))
+    add("addi", "addi", 0x33, Fmt.RLC, "ip", _addi_expand, _RCK)
+    add("addih", "addih", 0x34, Fmt.RLC, "ip", _addih_expand, _RCK)
+    add("movh_a", "movh.a", 0x35, Fmt.RLC, "ls", _movh_a_expand, ("c:a", "k:imm"))
+
+    # --- loads/stores --------------------------------------------------
+    loads = [
+        ("ld_w", "ld.w", 0x40, IROp.LDW, False),
+        ("ld_h", "ld.h", 0x41, IROp.LDH, False),
+        ("ld_hu", "ld.hu", 0x42, IROp.LDHU, False),
+        ("ld_b", "ld.b", 0x43, IROp.LDB, False),
+        ("ld_bu", "ld.bu", 0x44, IROp.LDBU, False),
+        ("ld_a", "ld.a", 0x45, IROp.LDW, True),
+    ]
+    for key, mnemonic, opcode, ir_op, addr_dest in loads:
+        reg_kind = "a:a" if addr_dest else "a:d"
+        add(key, mnemonic, opcode, Fmt.BO, "ls", _load(ir_op, addr_dest),
+            (reg_kind, "mem"), is_load=True)
+    stores = [
+        ("st_w", "st.w", 0x48, IROp.STW, False),
+        ("st_h", "st.h", 0x49, IROp.STH, False),
+        ("st_b", "st.b", 0x4A, IROp.STB, False),
+        ("st_a", "st.a", 0x4B, IROp.STW, True),
+    ]
+    for key, mnemonic, opcode, ir_op, addr_src in stores:
+        reg_kind = "a:a" if addr_src else "a:d"
+        add(key, mnemonic, opcode, Fmt.BO, "ls", _store(ir_op, addr_src),
+            ("mem", reg_kind), is_store=True)
+    add("lea", "lea", 0x4C, Fmt.BO, "ls", _lea_expand, ("a:a", "mem0"))
+
+    # --- long-offset variants -----------------------------------------
+    add("ld_w_bol", "ld.w", 0x50, Fmt.BOL, "ls",
+        _load(IROp.LDW), ("a:d", "mem0"), is_load=True)
+    add("st_w_bol", "st.w", 0x51, Fmt.BOL, "ls",
+        _store(IROp.STW), ("mem0", "a:d"), is_store=True)
+    add("lea_bol", "lea", 0x52, Fmt.BOL, "ls", _lea_expand, ("a:a", "mem0"))
+
+    # --- control transfer ----------------------------------------------
+    add("j", "j", 0x60, Fmt.B24, "ls", _j_expand, ("disp:label",),
+        branch=BranchKind.JUMP)
+    add("call", "call", 0x61, Fmt.B24, "ls", _call_expand, ("disp:label",),
+        branch=BranchKind.CALL)
+    cond_rr = [
+        ("jeq", 0x62, IROp.CMPEQ),
+        ("jne", 0x63, IROp.CMPNE),
+        ("jlt", 0x64, IROp.CMPLT),
+        ("jge", 0x65, IROp.CMPGE),
+        ("jlt.u", 0x66, IROp.CMPLTU),
+        ("jge.u", 0x67, IROp.CMPGEU),
+    ]
+    for name, opcode, cmp_op in cond_rr:
+        add(name.replace(".", "_"), name, opcode, Fmt.BRR, "ls",
+            _cond_branch_rr(cmp_op), ("a:d", "b:d", "disp:label"),
+            branch=BranchKind.COND)
+    cond_rc = [
+        ("jeq_c", "jeq", 0x68, IROp.CMPEQ),
+        ("jne_c", "jne", 0x69, IROp.CMPNE),
+        ("jlt_c", "jlt", 0x6A, IROp.CMPLT),
+        ("jge_c", "jge", 0x6B, IROp.CMPGE),
+    ]
+    for key, mnemonic, opcode, cmp_op in cond_rc:
+        add(key, mnemonic, opcode, Fmt.BRC, "ls",
+            _cond_branch_rc(cmp_op), ("a:d", "k:imm", "disp:label"),
+            branch=BranchKind.COND)
+    add("loop", "loop", 0x6C, Fmt.LOOP, "ls", _loop_expand,
+        ("b:a", "disp:label"), branch=BranchKind.LOOP)
+    add("ji", "ji", 0x6D, Fmt.R1, "ls", _ji_expand, ("a:a",),
+        branch=BranchKind.INDIRECT)
+    add("calli", "calli", 0x6E, Fmt.R1, "ls", _calli_expand, ("a:a",),
+        branch=BranchKind.CALL_INDIRECT)
+    add("ret", "ret", 0x70, Fmt.SYS, "ls", _ret_expand, (),
+        branch=BranchKind.RET)
+    add("halt", "halt", 0x71, Fmt.SYS, "ls", _halt_expand, ())
+    add("nop", "nop", 0x72, Fmt.SYS, "ip", _nop_expand, ())
+    add("debug", "debug", 0x73, Fmt.SYS, "ls", _debug_expand, ())
+
+    # --- 16-bit compact forms ------------------------------------------
+    add("mov16", "mov16", 0x01, Fmt.SRR, "ip", _mov16_expand, ("a:d", "b:d"))
+    add("add16", "add16", 0x02, Fmt.SRR, "ip", _add16_expand, ("a:d", "b:d"))
+    add("sub16", "sub16", 0x03, Fmt.SRR, "ip", _sub16_expand, ("a:d", "b:d"))
+    add("mov16c", "mov16", 0x04, Fmt.SRC, "ip", _mov16c_expand, ("a:d", "k:imm"))
+    add("add16c", "add16", 0x05, Fmt.SRC, "ip", _add16c_expand, ("a:d", "k:imm"))
+    add("jz16", "jz16", 0x08, Fmt.SBR, "ls", _jz16_expand, ("disp:label",),
+        branch=BranchKind.COND)
+    add("jnz16", "jnz16", 0x09, Fmt.SBR, "ls", _jnz16_expand, ("disp:label",),
+        branch=BranchKind.COND)
+    add("j16", "j16", 0x0A, Fmt.SBR, "ls", _j16_expand, ("disp:label",),
+        branch=BranchKind.JUMP)
+    add("ret16", "ret16", 0x0C, Fmt.SSYS, "ls", _ret_expand, (),
+        branch=BranchKind.RET)
+    add("nop16", "nop16", 0x0D, Fmt.SSYS, "ip", _nop_expand, ())
+
+    return specs
+
+
+SPECS: tuple[InstructionSpec, ...] = tuple(_build_specs())
+
+SPEC_BY_KEY: dict[str, InstructionSpec] = {spec.key: spec for spec in SPECS}
+
+#: 32-bit opcode (7-bit) -> spec, and 16-bit opcode (6-bit) -> spec.
+LONG_OPCODE_TABLE: dict[int, InstructionSpec] = {
+    spec.opcode: spec for spec in SPECS if spec.width == 4
+}
+SHORT_OPCODE_TABLE: dict[int, InstructionSpec] = {
+    spec.opcode: spec for spec in SPECS if spec.width == 2
+}
+
+#: mnemonic -> list of candidate specs (assembler resolves by operands).
+SPECS_BY_MNEMONIC: dict[str, list[InstructionSpec]] = {}
+for _spec in SPECS:
+    SPECS_BY_MNEMONIC.setdefault(_spec.mnemonic, []).append(_spec)
+
+
+def _check_tables() -> None:
+    if len(LONG_OPCODE_TABLE) != sum(1 for s in SPECS if s.width == 4):
+        raise AssertionError("duplicate 32-bit opcode in spec table")
+    if len(SHORT_OPCODE_TABLE) != sum(1 for s in SPECS if s.width == 2):
+        raise AssertionError("duplicate 16-bit opcode in spec table")
+    if len(SPEC_BY_KEY) != len(SPECS):
+        raise AssertionError("duplicate spec key in spec table")
+
+
+_check_tables()

@@ -1,0 +1,92 @@
+"""Register model of the TriCore-like source processor.
+
+The architecture has sixteen 32-bit data registers ``d0``–``d15`` and
+sixteen 32-bit address registers ``a0``–``a15``.  In the unified IR
+register numbering, data registers occupy 0–15 and address registers
+16–31 (see :mod:`repro.translator.ir`).
+
+Calling convention used by the minic compiler and runtime (documented
+simplification of the TriCore EABI — there is no hardware context save
+in this subset):
+
+* ``d2`` — integer return value
+* ``d4``–``d7`` — integer arguments
+* ``a4``–``a7`` — pointer arguments
+* ``a10`` — stack pointer
+* ``a11`` — return address (written by ``call``/``calli``)
+* ``d15`` — implicit condition register of the 16-bit branch forms
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+
+NUM_DATA_REGS = 16
+NUM_ADDR_REGS = 16
+NUM_REGS = NUM_DATA_REGS + NUM_ADDR_REGS
+
+# Unified IR indices of notable registers.
+REG_RETVAL = 2  # d2
+REG_ARG0 = 4  # d4
+REG_COND16 = 15  # d15, implicit operand of jz16/jnz16
+REG_SP = 16 + 10  # a10
+REG_RA = 16 + 11  # a11
+
+
+def dreg(index: int) -> int:
+    """Unified IR index of data register ``d<index>``."""
+    if not 0 <= index < NUM_DATA_REGS:
+        raise ValueError(f"data register index out of range: {index}")
+    return index
+
+
+def areg(index: int) -> int:
+    """Unified IR index of address register ``a<index>``."""
+    if not 0 <= index < NUM_ADDR_REGS:
+        raise ValueError(f"address register index out of range: {index}")
+    return NUM_DATA_REGS + index
+
+
+def is_dreg(reg: int) -> bool:
+    return 0 <= reg < NUM_DATA_REGS
+
+
+def is_areg(reg: int) -> bool:
+    return NUM_DATA_REGS <= reg < NUM_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Assembly name of a unified register index."""
+    if is_dreg(reg):
+        return f"d{reg}"
+    if is_areg(reg):
+        return f"a{reg - NUM_DATA_REGS}"
+    raise ValueError(f"not an architectural register: {reg}")
+
+
+def parse_reg(text: str, line: int | None = None) -> int:
+    """Parse ``d<n>`` or ``a<n>`` into a unified register index."""
+    text = text.strip().lower()
+    if len(text) >= 2 and text[0] in "da" and text[1:].isdigit():
+        index = int(text[1:])
+        if text[0] == "d" and 0 <= index < NUM_DATA_REGS:
+            return index
+        if text[0] == "a" and 0 <= index < NUM_ADDR_REGS:
+            return NUM_DATA_REGS + index
+    raise AssemblerError(f"invalid register name: {text!r}", line)
+
+
+def parse_dreg(text: str, line: int | None = None) -> int:
+    """Parse a data-register name, rejecting address registers."""
+    reg = parse_reg(text, line)
+    if not is_dreg(reg):
+        raise AssemblerError(f"expected data register, got {text!r}", line)
+    return reg
+
+
+def parse_areg(text: str, line: int | None = None) -> int:
+    """Parse an address-register name (returned as unified index)."""
+    reg = parse_reg(text, line)
+    if not is_areg(reg):
+        raise AssemblerError(f"expected address register, got {text!r}", line)
+    return reg

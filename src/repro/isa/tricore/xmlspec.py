@@ -1,0 +1,113 @@
+"""XML form of the instruction-set description.
+
+The paper: "this processor is usually defined in an XML file that is
+translated into the appropriate C++ code by a tool.  This XML file
+contains an architecture description and a description of the
+instruction set of the processor."  The architecture part lives in
+:mod:`repro.arch.xmlio`; this module serializes the *instruction set*:
+encoding (format + opcode), timing classification, and the semantics
+reference (the key under which the IR expansion template is
+registered).
+
+The loader validates a document against the built-in table — the
+Python analogue of the paper's XML→C++ generation step, where the
+generated artifact must agree with the description.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from repro.errors import ArchitectureError
+from repro.isa.tricore.instructions import (
+    FORMAT_FIELDS,
+    SPEC_BY_KEY,
+    SPECS,
+    Fmt,
+    InstructionSpec,
+)
+from repro.translator.ir import BranchKind
+
+
+def instruction_set_to_xml() -> str:
+    """Serialize the built-in instruction table."""
+    root = ET.Element("instructionset", name="tricore-like",
+                      count=str(len(SPECS)))
+    formats = ET.SubElement(root, "formats")
+    for fmt in Fmt:
+        fmt_elem = ET.SubElement(formats, "format", name=fmt.value)
+        for name, lo, width, signed in FORMAT_FIELDS[fmt]:
+            ET.SubElement(fmt_elem, "field", name=name, lo=str(lo),
+                          width=str(width),
+                          signed="true" if signed else "false")
+    instructions = ET.SubElement(root, "instructions")
+    for spec in SPECS:
+        attrs = {
+            "key": spec.key,
+            "mnemonic": spec.mnemonic,
+            "opcode": hex(spec.opcode),
+            "format": spec.fmt.value,
+            "class": spec.iclass,
+            "semantics": spec.key,  # IR template registered under the key
+        }
+        if spec.branch is not BranchKind.NONE:
+            attrs["branch"] = spec.branch.value
+        if spec.is_load:
+            attrs["load"] = "true"
+        if spec.is_store:
+            attrs["store"] = "true"
+        if spec.is_mul:
+            attrs["mul"] = "true"
+        if spec.syntax:
+            attrs["syntax"] = " ".join(spec.syntax)
+        ET.SubElement(instructions, "instruction", **attrs)
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+def load_instruction_set(text: str) -> list[InstructionSpec]:
+    """Parse and validate an instruction-set document.
+
+    Every described instruction must exist in the built-in table with
+    matching encoding and classification (semantics are referenced by
+    key, exactly like the paper's generated C++ classes reference their
+    intermediate-code templates).  Returns the resolved specs in
+    document order.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ArchitectureError(f"malformed instruction-set XML: {exc}") \
+            from exc
+    if root.tag != "instructionset":
+        raise ArchitectureError(
+            f"expected <instructionset>, got <{root.tag}>")
+    instructions = root.find("instructions")
+    if instructions is None:
+        raise ArchitectureError("missing <instructions> element")
+    resolved: list[InstructionSpec] = []
+    for elem in instructions.iter("instruction"):
+        key = elem.get("key")
+        if key is None:
+            raise ArchitectureError("<instruction> without a key")
+        spec = SPEC_BY_KEY.get(key)
+        if spec is None:
+            raise ArchitectureError(
+                f"instruction {key!r} has no registered semantics")
+        opcode = elem.get("opcode")
+        if opcode is not None and int(opcode, 0) != spec.opcode:
+            raise ArchitectureError(
+                f"instruction {key!r}: opcode {opcode} does not match the "
+                f"registered encoding {spec.opcode:#x}")
+        fmt = elem.get("format")
+        if fmt is not None and fmt != spec.fmt.value:
+            raise ArchitectureError(
+                f"instruction {key!r}: format {fmt!r} does not match "
+                f"{spec.fmt.value!r}")
+        iclass = elem.get("class")
+        if iclass is not None and iclass != spec.iclass:
+            raise ArchitectureError(
+                f"instruction {key!r}: class {iclass!r} does not match "
+                f"{spec.iclass!r}")
+        resolved.append(spec)
+    return resolved

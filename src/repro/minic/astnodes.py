@@ -1,0 +1,198 @@
+"""Abstract syntax tree of minic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CType:
+    """A minic type: ``int``/``char`` with a pointer depth."""
+
+    base: str  # 'int', 'char', 'void'
+    ptr: int = 0
+
+    @property
+    def is_pointer(self) -> bool:
+        return self.ptr > 0
+
+    @property
+    def elem(self) -> "CType":
+        """Pointee type (of a pointer)."""
+        if not self.is_pointer:
+            raise ValueError(f"{self} is not a pointer")
+        return CType(self.base, self.ptr - 1)
+
+    @property
+    def elem_size(self) -> int:
+        """Size of the pointee in bytes (for pointer arithmetic)."""
+        pointee = self.elem
+        if pointee.is_pointer or pointee.base == "int":
+            return 4
+        return 1
+
+    @property
+    def size(self) -> int:
+        if self.is_pointer or self.base == "int":
+            return 4
+        if self.base == "char":
+            return 1
+        raise ValueError(f"type {self} has no size")
+
+    def __str__(self) -> str:
+        return self.base + "*" * self.ptr
+
+
+INT = CType("int")
+CHAR = CType("char")
+VOID = CType("void")
+
+
+# --- expressions ---------------------------------------------------------
+
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class Num(Expr):
+    value: int = 0
+
+
+@dataclass
+class Var(Expr):
+    name: str = ""
+
+
+@dataclass
+class StrLit(Expr):
+    text: str = ""
+
+
+@dataclass
+class Bin(Expr):
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Un(Expr):
+    op: str = ""  # '-', '!', '~', '*', '&'
+    operand: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    op: str = "="  # '=', '+=', '-=', ...
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Index(Expr):
+    array: Expr | None = None
+    index: Expr | None = None
+
+
+# --- statements -----------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    els: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None  # ExprStmt or LocalDecl or None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class LocalDecl(Stmt):
+    ctype: CType = INT
+    name: str = ""
+    array_size: int | None = None
+    init: Expr | None = None
+
+
+# --- top level -------------------------------------------------------------
+
+
+@dataclass
+class Param:
+    ctype: CType
+    name: str
+
+
+@dataclass
+class FuncDecl:
+    ret_type: CType
+    name: str
+    params: list[Param]
+    body: Block | None  # None for prototypes
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    ctype: CType
+    name: str
+    array_size: int | None = None  # None = scalar; -1 = from initializer
+    init: list[int] | str | int | None = None
+    line: int = 0
+
+
+@dataclass
+class Program:
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)

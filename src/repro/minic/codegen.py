@@ -1,0 +1,1024 @@
+"""Code generator: minic AST to TriCore-like assembly.
+
+A deliberately simple, correct compiler in the spirit of the early-2000s
+embedded toolchains the paper used:
+
+* expression evaluation on a scratch-register stack (``d8``–``d14``),
+  spilling to the frame when the stack overflows or across calls;
+* all variables live in memory (globals in ``.data``, locals in the
+  stack frame addressed via ``a10``);
+* address arithmetic happens in data registers and moves to a transient
+  address register only for the actual memory access;
+* arguments in ``d4``–``d7`` (ints) and ``a4``–``a7`` (pointers),
+  return value in ``d2``, return address in ``a11``;
+* ``/`` and ``%`` call the runtime routines ``__div`` / ``__mod``;
+* 16-bit compact encodings are used where they apply, so translated
+  programs exercise the mixed-width decoder and cache-line analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MinicError
+from repro.minic.astnodes import (
+    Assign,
+    Bin,
+    Block,
+    Break,
+    Call,
+    Continue,
+    CType,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDecl,
+    GlobalDecl,
+    If,
+    Index,
+    INT,
+    LocalDecl,
+    Num,
+    Program,
+    Return,
+    Stmt,
+    StrLit,
+    Un,
+    Var,
+    While,
+)
+from repro.utils.bits import fits_signed, s32, u32
+
+_SCRATCH = (8, 9, 10, 11, 12, 13, 14)  # d8..d14
+_INT_ARG_REGS = (4, 5, 6, 7)  # d4..d7
+_PTR_ARG_REGS = (4, 5, 6, 7)  # a4..a7
+_ADDR_SCRATCH = "a2"
+
+_INTRINSICS = {"__io_read", "__io_write", "__halt"}
+
+_CMP_INSTR = {"==": "eq", "!=": "ne", "<": "lt", ">=": "ge"}
+_CMP_BRANCH = {"==": "jeq", "!=": "jne", "<": "jlt", ">=": "jge"}
+_NEGATED = {"==": "!=", "!=": "==", "<": ">=", ">=": "<", ">": "<=", "<=": ">"}
+
+
+@dataclass
+class _Value:
+    """One evaluation-stack entry."""
+
+    kind: str  # 'imm', 'reg', 'spill'
+    payload: int  # immediate value, d-register number, or spill index
+    ctype: CType = INT
+
+
+@dataclass
+class _FuncCtx:
+    """Per-function code-generation state."""
+
+    name: str
+    ret_type: CType
+    lines: list[str] = field(default_factory=list)
+    locals: dict[str, tuple[CType, int, int | None]] = field(
+        default_factory=dict)  # name -> (type, offset, array_size)
+    locals_size: int = 0
+    spill_count: int = 0
+    free_spills: list[int] = field(default_factory=list)
+    makes_call: bool = False
+    label_counter: int = 0
+    stack: list[_Value] = field(default_factory=list)
+    busy_regs: set[int] = field(default_factory=set)
+    break_labels: list[str] = field(default_factory=list)
+    continue_labels: list[str] = field(default_factory=list)
+    scopes: list[list[str]] = field(default_factory=list)
+
+
+class CodeGenerator:
+    """Generates one assembly module from a parsed program."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, FuncDecl] = {}
+        self._globals: dict[str, GlobalDecl] = {}
+        self._ctx: _FuncCtx | None = None
+        self._out: list[str] = []
+
+    # ------------------------------------------------------------------
+    # driver
+    # ------------------------------------------------------------------
+
+    def generate(self, program: Program) -> str:
+        """Return the assembly text of *program* (no runtime/crt0)."""
+        for decl in program.functions:
+            existing = self._functions.get(decl.name)
+            if existing is not None and existing.body and decl.body:
+                raise MinicError(f"redefinition of {decl.name!r}", decl.line)
+            if existing is None or decl.body is not None:
+                self._functions[decl.name] = decl
+        for decl in program.globals:
+            if decl.name in self._globals:
+                raise MinicError(f"redefinition of {decl.name!r}", decl.line)
+            self._globals[decl.name] = decl
+
+        self._out = ["    .text"]
+        for decl in program.functions:
+            if decl.body is not None:
+                self._gen_function(decl)
+        self._out.append("")
+        self._out.append("    .data")
+        for decl in self._globals.values():
+            self._gen_global(decl)
+        return "\n".join(self._out) + "\n"
+
+    # ------------------------------------------------------------------
+    # globals
+    # ------------------------------------------------------------------
+
+    def _global_label(self, name: str) -> str:
+        return f"g_{name}"
+
+    def _gen_global(self, decl: GlobalDecl) -> None:
+        label = self._global_label(decl.name)
+        self._out.append("    .align 4")
+        self._out.append(f"{label}:")
+        elem_size = 4 if decl.ctype.is_pointer or decl.ctype.base == "int" else 1
+        if decl.array_size is None:
+            value = decl.init if isinstance(decl.init, int) else 0
+            directive = ".word" if elem_size == 4 else ".byte"
+            self._out.append(f"    {directive} {value}")
+            if elem_size == 1:
+                self._out.append("    .space 3")
+            return
+        count = decl.array_size
+        if isinstance(decl.init, str):
+            escaped = decl.init.replace("\\", "\\\\").replace('"', '\\"')
+            self._out.append(f'    .asciz "{escaped}"')
+            used = len(decl.init) + 1
+            if count > used:
+                self._out.append(f"    .space {count - used}")
+            return
+        if isinstance(decl.init, list):
+            values = decl.init
+            if len(values) > count:
+                raise MinicError(
+                    f"too many initializers for {decl.name!r}", decl.line)
+            directive = ".word" if elem_size == 4 else ".byte"
+            for start in range(0, len(values), 8):
+                chunk = values[start:start + 8]
+                self._out.append(
+                    f"    {directive} " + ", ".join(str(v) for v in chunk))
+            remaining = (count - len(values)) * elem_size
+            if remaining:
+                self._out.append(f"    .space {remaining}")
+            return
+        self._out.append(f"    .space {count * elem_size}")
+
+    # ------------------------------------------------------------------
+    # functions
+    # ------------------------------------------------------------------
+
+    def _gen_function(self, decl: FuncDecl) -> None:
+        ctx = _FuncCtx(name=decl.name, ret_type=decl.ret_type)
+        self._ctx = ctx
+        ctx.scopes.append([])
+
+        # Parameter slots (stored on entry so the body can address them).
+        int_regs = iter(_INT_ARG_REGS)
+        ptr_regs = iter(_PTR_ARG_REGS)
+        param_stores: list[str] = []
+        for param in decl.params:
+            offset = self._alloc_local(param.name, param.ctype, None,
+                                       decl.line)
+            if param.ctype.is_pointer:
+                try:
+                    areg = next(ptr_regs)
+                except StopIteration:
+                    raise MinicError("too many pointer parameters",
+                                     decl.line) from None
+                param_stores.append(f"    st.a [a10]{offset}, a{areg}")
+            else:
+                try:
+                    dreg = next(int_regs)
+                except StopIteration:
+                    raise MinicError("too many integer parameters",
+                                     decl.line) from None
+                param_stores.append(f"    st.w [a10]{offset}, d{dreg}")
+
+        self._gen_block(decl.body)
+        ctx.scopes.pop()
+
+        # Fall off the end: return 0 for int functions.
+        self._emit("mov16 d2, d2" if decl.ret_type.base == "void"
+                   else "mov d2, 0")
+
+        locals_size = (ctx.locals_size + 3) & ~3
+        spill_base = locals_size
+        frame = locals_size + 4 * ctx.spill_count
+        ra_offset = frame
+        if ctx.makes_call:
+            frame += 4
+        frame = (frame + 7) & ~7
+
+        body = [self._patch_spill(line, spill_base) for line in ctx.lines]
+
+        self._out.append("")
+        self._out.append(f"    .global {decl.name}")
+        self._out.append(f"{decl.name}:")
+        if frame:
+            self._out.append(f"    lea a10, [a10]{-frame}")
+        if ctx.makes_call:
+            self._out.append(f"    st.a [a10]{ra_offset}, a11")
+        self._out.extend(param_stores)
+        self._out.extend(body)
+        self._out.append(f".Lret_{decl.name}:")
+        if ctx.makes_call:
+            self._out.append(f"    ld.a a11, [a10]{ra_offset}")
+        if frame:
+            self._out.append(f"    lea a10, [a10]{frame}")
+        self._out.append("    ret16")
+        self._ctx = None
+
+    @staticmethod
+    def _patch_spill(line: str, spill_base: int) -> str:
+        """Replace ``!SPILLn!`` placeholders with frame offsets."""
+        while "!SPILL" in line:
+            start = line.index("!SPILL")
+            end = line.index("!", start + 1)
+            index = int(line[start + 6:end])
+            line = line[:start] + str(spill_base + 4 * index) + line[end + 1:]
+        return line
+
+    # ------------------------------------------------------------------
+    # emission helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, text: str) -> None:
+        assert self._ctx is not None
+        self._ctx.lines.append("    " + text)
+
+    def _emit_label(self, label: str) -> None:
+        assert self._ctx is not None
+        self._ctx.lines.append(f"{label}:")
+
+    def _new_label(self, hint: str) -> str:
+        ctx = self._ctx
+        assert ctx is not None
+        ctx.label_counter += 1
+        return f".L{hint}{ctx.label_counter}_{ctx.name}"
+
+    def _emit_mov(self, dest: int, src: int) -> None:
+        if dest != src:
+            self._emit(f"mov16 d{dest}, d{src}")
+
+    def _emit_mov_imm(self, dest: int, value: int) -> None:
+        value = s32(u32(value))
+        if -8 <= value <= 7:
+            self._emit(f"mov16 d{dest}, {value}")
+        elif fits_signed(value, 16):
+            self._emit(f"mov d{dest}, {value}")
+        elif 0 <= value <= 0xFFFF:
+            self._emit(f"mov.u d{dest}, {value}")
+        else:
+            self._emit(f"li d{dest}, {u32(value)}")
+
+    # ------------------------------------------------------------------
+    # evaluation stack
+    # ------------------------------------------------------------------
+
+    def _alloc_reg(self) -> int:
+        ctx = self._ctx
+        assert ctx is not None
+        for reg in _SCRATCH:
+            if reg not in ctx.busy_regs:
+                ctx.busy_regs.add(reg)
+                return reg
+        # All scratch registers hold live values: spill the oldest.
+        for value in ctx.stack:
+            if value.kind == "reg":
+                self._spill_value(value)
+                reg = _SCRATCH[0]
+                for candidate in _SCRATCH:
+                    if candidate not in ctx.busy_regs:
+                        reg = candidate
+                        break
+                ctx.busy_regs.add(reg)
+                return reg
+        raise MinicError("expression too complex (register stack overflow)")
+
+    def _free_reg(self, reg: int) -> None:
+        assert self._ctx is not None
+        self._ctx.busy_regs.discard(reg)
+
+    def _alloc_spill(self) -> int:
+        ctx = self._ctx
+        assert ctx is not None
+        if ctx.free_spills:
+            return ctx.free_spills.pop()
+        index = ctx.spill_count
+        ctx.spill_count += 1
+        return index
+
+    def _spill_value(self, value: _Value) -> None:
+        """Move a reg-resident stack entry to a frame spill slot."""
+        assert value.kind == "reg"
+        index = self._alloc_spill()
+        self._emit(f"st.w [a10]!SPILL{index}!, d{value.payload}")
+        self._free_reg(value.payload)
+        value.kind = "spill"
+        value.payload = index
+
+    def _spill_all(self) -> None:
+        """Spill every live eval-stack entry (before a call)."""
+        assert self._ctx is not None
+        for value in self._ctx.stack:
+            if value.kind == "reg":
+                self._spill_value(value)
+
+    def _push_reg(self, reg: int, ctype: CType = INT) -> None:
+        assert self._ctx is not None
+        self._ctx.stack.append(_Value("reg", reg, ctype))
+
+    def _push_imm(self, value: int, ctype: CType = INT) -> None:
+        assert self._ctx is not None
+        self._ctx.stack.append(_Value("imm", value, ctype))
+
+    def _pop(self) -> _Value:
+        assert self._ctx is not None
+        return self._ctx.stack.pop()
+
+    def _pop_reg(self) -> tuple[int, CType]:
+        """Pop the top value, materialized into a scratch register."""
+        value = self._pop()
+        if value.kind == "reg":
+            return value.payload, value.ctype
+        reg = self._alloc_reg()
+        if value.kind == "imm":
+            self._emit_mov_imm(reg, value.payload)
+        else:  # spill
+            self._emit(f"ld.w d{reg}, [a10]!SPILL{value.payload}!")
+            self._ctx.free_spills.append(value.payload)
+        return reg, value.ctype
+
+    def _discard(self) -> None:
+        value = self._pop()
+        if value.kind == "reg":
+            self._free_reg(value.payload)
+        elif value.kind == "spill":
+            self._ctx.free_spills.append(value.payload)
+
+    # ------------------------------------------------------------------
+    # locals
+    # ------------------------------------------------------------------
+
+    def _alloc_local(self, name: str, ctype: CType, array_size: int | None,
+                     line: int) -> int:
+        ctx = self._ctx
+        assert ctx is not None
+        if name in ctx.locals and name in ctx.scopes[-1]:
+            raise MinicError(f"redefinition of {name!r}", line)
+        if array_size is not None:
+            elem = 4 if ctype.is_pointer or ctype.base == "int" else 1
+            size = (array_size * elem + 3) & ~3
+        else:
+            size = 4
+        offset = ctx.locals_size
+        ctx.locals_size += size
+        ctx.locals[name] = (ctype, offset, array_size)
+        ctx.scopes[-1].append(name)
+        return offset
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _gen_block(self, block: Block) -> None:
+        ctx = self._ctx
+        assert ctx is not None
+        ctx.scopes.append([])
+        saved = dict(ctx.locals)
+        for stmt in block.stmts:
+            self._gen_stmt(stmt)
+        for name in ctx.scopes.pop():
+            if name in saved:
+                ctx.locals[name] = saved[name]
+            else:
+                del ctx.locals[name]
+
+    def _gen_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            self._gen_block(stmt)
+        elif isinstance(stmt, ExprStmt):
+            if stmt.expr is not None:
+                self._gen_expr(stmt.expr)
+                self._discard()
+        elif isinstance(stmt, LocalDecl):
+            self._gen_local_decl(stmt)
+        elif isinstance(stmt, If):
+            self._gen_if(stmt)
+        elif isinstance(stmt, While):
+            self._gen_while(stmt)
+        elif isinstance(stmt, For):
+            self._gen_for(stmt)
+        elif isinstance(stmt, Return):
+            self._gen_return(stmt)
+        elif isinstance(stmt, Break):
+            if not self._ctx.break_labels:
+                raise MinicError("break outside a loop", stmt.line)
+            self._emit(f"j {self._ctx.break_labels[-1]}")
+        elif isinstance(stmt, Continue):
+            if not self._ctx.continue_labels:
+                raise MinicError("continue outside a loop", stmt.line)
+            self._emit(f"j {self._ctx.continue_labels[-1]}")
+        else:  # pragma: no cover - parser produces no other nodes
+            raise MinicError(f"unhandled statement {type(stmt).__name__}")
+
+    def _gen_local_decl(self, stmt: LocalDecl) -> None:
+        offset = self._alloc_local(stmt.name, stmt.ctype, stmt.array_size,
+                                   stmt.line)
+        if stmt.init is not None:
+            self._gen_expr(stmt.init)
+            reg, _ = self._pop_reg()
+            store = "st.w" if stmt.ctype.size == 4 else "st.b"
+            self._emit(f"{store} [a10]{offset}, d{reg}")
+            self._free_reg(reg)
+
+    def _gen_if(self, stmt: If) -> None:
+        else_label = self._new_label("else")
+        end_label = self._new_label("endif")
+        self._gen_branch(stmt.cond, else_label, negate=True)
+        self._gen_stmt(stmt.then)
+        if stmt.els is not None:
+            self._emit(f"j {end_label}")
+            self._emit_label(else_label)
+            self._gen_stmt(stmt.els)
+            self._emit_label(end_label)
+        else:
+            self._emit_label(else_label)
+
+    def _gen_while(self, stmt: While) -> None:
+        head = self._new_label("while")
+        end = self._new_label("endwhile")
+        self._ctx.break_labels.append(end)
+        self._ctx.continue_labels.append(head)
+        self._emit_label(head)
+        self._gen_branch(stmt.cond, end, negate=True)
+        self._gen_stmt(stmt.body)
+        self._emit(f"j {head}")
+        self._emit_label(end)
+        self._ctx.break_labels.pop()
+        self._ctx.continue_labels.pop()
+
+    def _gen_for(self, stmt: For) -> None:
+        head = self._new_label("for")
+        step_label = self._new_label("forstep")
+        end = self._new_label("endfor")
+        if stmt.init is not None:
+            self._gen_stmt(stmt.init)
+        self._ctx.break_labels.append(end)
+        self._ctx.continue_labels.append(step_label)
+        self._emit_label(head)
+        if stmt.cond is not None:
+            self._gen_branch(stmt.cond, end, negate=True)
+        self._gen_stmt(stmt.body)
+        self._emit_label(step_label)
+        if stmt.step is not None:
+            self._gen_expr(stmt.step)
+            self._discard()
+        self._emit(f"j {head}")
+        self._emit_label(end)
+        self._ctx.break_labels.pop()
+        self._ctx.continue_labels.pop()
+
+    def _gen_return(self, stmt: Return) -> None:
+        if stmt.value is not None:
+            self._gen_expr(stmt.value)
+            reg, _ = self._pop_reg()
+            self._emit_mov(2, reg)
+            self._free_reg(reg)
+        self._emit(f"j .Lret_{self._ctx.name}")
+
+    # ------------------------------------------------------------------
+    # conditions
+    # ------------------------------------------------------------------
+
+    def _gen_branch(self, cond: Expr, label: str, negate: bool) -> None:
+        """Branch to *label* when *cond* is true (or false if *negate*)."""
+        if isinstance(cond, Un) and cond.op == "!":
+            self._gen_branch(cond.operand, label, not negate)
+            return
+        if isinstance(cond, Bin) and cond.op in ("&&", "||"):
+            self._gen_branch_logical(cond, label, negate)
+            return
+        if isinstance(cond, Bin) and cond.op in ("==", "!=", "<", ">",
+                                                 "<=", ">="):
+            self._gen_cmp_branch(cond, label, negate)
+            return
+        self._gen_expr(cond)
+        reg, _ = self._pop_reg()
+        instr = "jz" if negate else "jnz"
+        self._emit(f"{instr} d{reg}, {label}")
+        self._free_reg(reg)
+
+    def _gen_cmp_branch(self, cond: Bin, label: str, negate: bool) -> None:
+        op = cond.op
+        left, right = cond.left, cond.right
+        if op in (">", "<="):
+            left, right = right, left
+            op = {">": "<", "<=": ">="}[op]
+        if negate:
+            op = _NEGATED[op]
+        branch = _CMP_BRANCH[op]
+        self._gen_expr(left)
+        if isinstance(right, Num) and -8 <= right.value <= 7 \
+                and branch in ("jeq", "jne", "jlt", "jge"):
+            lreg, _ = self._pop_reg()
+            self._emit(f"{branch} d{lreg}, {right.value}, {label}")
+            self._free_reg(lreg)
+            return
+        self._gen_expr(right)
+        rval = self._pop()
+        lreg, _ = self._pop_reg()
+        rreg, _ = self._materialize(rval)
+        self._emit(f"{branch} d{lreg}, d{rreg}, {label}")
+        self._free_reg(lreg)
+        self._free_reg(rreg)
+
+    def _materialize(self, value: _Value) -> tuple[int, CType]:
+        """Bring a popped stack entry into a register."""
+        self._ctx.stack.append(value)
+        return self._pop_reg()
+
+    def _gen_branch_logical(self, cond: Bin, label: str,
+                            negate: bool) -> None:
+        if cond.op == "&&" and not negate or cond.op == "||" and negate:
+            # both must hold: short-circuit through a skip label
+            skip = self._new_label("sc")
+            self._gen_branch(cond.left, skip, not negate
+                             if cond.op == "||" else True)
+            # For '&&' non-negated: if left false -> skip (no branch)
+            self._gen_branch(cond.right, label, negate)
+            self._emit_label(skip)
+            return
+        # '||' non-negated or '&&' negated: either suffices
+        self._gen_branch(cond.left, label, negate)
+        self._gen_branch(cond.right, label, negate)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    def _gen_expr(self, expr: Expr) -> None:
+        if isinstance(expr, Num):
+            self._push_imm(expr.value)
+        elif isinstance(expr, StrLit):
+            raise MinicError("string literals are only allowed as "
+                             "global initializers", expr.line)
+        elif isinstance(expr, Var):
+            self._gen_var(expr)
+        elif isinstance(expr, Bin):
+            self._gen_bin(expr)
+        elif isinstance(expr, Un):
+            self._gen_un(expr)
+        elif isinstance(expr, Assign):
+            self._gen_assign(expr)
+        elif isinstance(expr, Call):
+            self._gen_call(expr)
+        elif isinstance(expr, Index):
+            self._gen_load(expr)
+        else:  # pragma: no cover
+            raise MinicError(f"unhandled expression {type(expr).__name__}")
+
+    def _lookup_var(self, name: str, line: int):
+        ctx = self._ctx
+        if name in ctx.locals:
+            ctype, offset, array_size = ctx.locals[name]
+            return ("local", ctype, offset, array_size)
+        if name in self._globals:
+            decl = self._globals[name]
+            return ("global", decl.ctype, self._global_label(name),
+                    decl.array_size)
+        raise MinicError(f"undefined variable {name!r}", line)
+
+    def _gen_var(self, expr: Var) -> None:
+        where, ctype, location, array_size = self._lookup_var(
+            expr.name, expr.line)
+        if array_size is not None:
+            # Array decays to a pointer value.
+            reg = self._alloc_reg()
+            if where == "local":
+                self._emit(f"lea {_ADDR_SCRATCH}, [a10]{location}")
+            else:
+                self._emit(f"la {_ADDR_SCRATCH}, {location}")
+            self._emit(f"mov.d d{reg}, {_ADDR_SCRATCH}")
+            self._push_reg(reg, CType(ctype.base, ctype.ptr + 1))
+            return
+        reg = self._alloc_reg()
+        load = "ld.w" if ctype.size == 4 else "ld.b"
+        if where == "local":
+            self._emit(f"{load} d{reg}, [a10]{location}")
+        else:
+            self._emit(f"la {_ADDR_SCRATCH}, {location}")
+            self._emit(f"{load} d{reg}, [{_ADDR_SCRATCH}]")
+        self._push_reg(reg, ctype)
+
+    def _gen_load(self, expr: Expr) -> None:
+        """Load through a computed address (Index or Deref)."""
+        elem = self._gen_address(expr)
+        addr_reg, _ = self._pop_reg()
+        self._emit(f"mov.a {_ADDR_SCRATCH}, d{addr_reg}")
+        self._free_reg(addr_reg)
+        reg = self._alloc_reg()
+        load = "ld.w" if elem.size == 4 else "ld.b"
+        self._emit(f"{load} d{reg}, [{_ADDR_SCRATCH}]")
+        self._push_reg(reg, elem)
+
+    def _gen_address(self, expr: Expr) -> CType:
+        """Push the address of an lvalue; returns the element type."""
+        if isinstance(expr, Var):
+            where, ctype, location, array_size = self._lookup_var(
+                expr.name, expr.line)
+            reg = self._alloc_reg()
+            if where == "local":
+                self._emit(f"lea {_ADDR_SCRATCH}, [a10]{location}")
+            else:
+                self._emit(f"la {_ADDR_SCRATCH}, {location}")
+            self._emit(f"mov.d d{reg}, {_ADDR_SCRATCH}")
+            self._push_reg(reg, CType(ctype.base, ctype.ptr + 1))
+            return ctype
+        if isinstance(expr, Un) and expr.op == "*":
+            self._gen_expr(expr.operand)
+            top = self._ctx.stack[-1]
+            if not top.ctype.is_pointer:
+                raise MinicError("dereference of a non-pointer", expr.line)
+            return top.ctype.elem
+        if isinstance(expr, Index):
+            base_type = self._gen_index_address(expr)
+            return base_type
+        raise MinicError("expression is not addressable", expr.line)
+
+    def _gen_index_address(self, expr: Index) -> CType:
+        self._gen_expr(expr.array)
+        array_type = self._ctx.stack[-1].ctype
+        if not array_type.is_pointer:
+            raise MinicError("indexing a non-array value", expr.line)
+        elem = array_type.elem
+        self._gen_expr(expr.index)
+        index_val = self._pop()
+        elem_size = array_type.elem_size
+        if index_val.kind == "imm":
+            base_reg, _ = self._pop_reg()
+            offset = index_val.payload * elem_size
+            if offset:
+                result = self._alloc_reg()
+                self._emit_add_imm(result, base_reg, offset)
+                self._free_reg(base_reg)
+                self._push_reg(result, array_type)
+            else:
+                self._push_reg(base_reg, array_type)
+            return elem
+        index_reg, _ = self._materialize(index_val)
+        if elem_size == 4:
+            scaled = self._alloc_reg()
+            self._emit(f"shl d{scaled}, d{index_reg}, 2")
+            self._free_reg(index_reg)
+            index_reg = scaled
+        base_reg, _ = self._pop_reg()
+        result = self._alloc_reg()
+        self._emit(f"add d{result}, d{base_reg}, d{index_reg}")
+        self._free_reg(base_reg)
+        self._free_reg(index_reg)
+        self._push_reg(result, array_type)
+        return elem
+
+    def _emit_add_imm(self, dest: int, src: int, value: int) -> None:
+        if dest == src and -8 <= value <= 7:
+            self._emit(f"add16 d{dest}, {value}")
+        elif fits_signed(value, 9):
+            self._emit(f"add d{dest}, d{src}, {value}")
+        elif fits_signed(value, 16):
+            self._emit(f"addi d{dest}, d{src}, {value}")
+        else:
+            tmp = self._alloc_reg()
+            self._emit_mov_imm(tmp, value)
+            self._emit(f"add d{dest}, d{src}, d{tmp}")
+            self._free_reg(tmp)
+
+    # -- binary operators -------------------------------------------------
+
+    def _gen_bin(self, expr: Bin) -> None:
+        op = expr.op
+        if op in ("&&", "||"):
+            self._gen_logical_value(expr)
+            return
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            self._gen_compare_value(expr)
+            return
+        if op in ("/", "%"):
+            routine = "__div" if op == "/" else "__mod"
+            self._gen_runtime_call(routine, expr.left, expr.right)
+            return
+        self._gen_expr(expr.left)
+        left_type = self._ctx.stack[-1].ctype
+        self._gen_expr(expr.right)
+        right_type = self._ctx.stack[-1].ctype
+
+        # Pointer arithmetic scaling.
+        if op in ("+", "-") and left_type.is_pointer \
+                and not right_type.is_pointer:
+            self._scale_top(left_type.elem_size)
+        elif op == "+" and right_type.is_pointer \
+                and not left_type.is_pointer:
+            # int + ptr: scale the int (below the top); swap first.
+            self._swap_top2()
+            self._scale_top(right_type.elem_size)
+            self._swap_top2()
+            left_type = right_type
+
+        right_val = self._pop()
+        result_type = left_type
+        if op == "-" and left_type.is_pointer and right_type.is_pointer:
+            result_type = INT
+
+        instr = {"+": "add", "-": "sub", "*": "mul", "&": "and", "|": "or",
+                 "^": "xor", "<<": "shl", ">>": "shra"}[op]
+        if right_val.kind == "imm" and instr in (
+                "add", "and", "or", "xor", "shl", "shra") \
+                and fits_signed(right_val.payload if instr != "sub"
+                                else -right_val.payload, 9):
+            left_reg, _ = self._pop_reg()
+            dest = self._alloc_reg()
+            self._emit(f"{instr} d{dest}, d{left_reg}, {right_val.payload}")
+            self._free_reg(left_reg)
+            self._push_reg(dest, result_type)
+            return
+        if right_val.kind == "imm" and instr == "sub" \
+                and fits_signed(-right_val.payload, 9):
+            left_reg, _ = self._pop_reg()
+            dest = self._alloc_reg()
+            self._emit(f"add d{dest}, d{left_reg}, {-right_val.payload}")
+            self._free_reg(left_reg)
+            self._push_reg(dest, result_type)
+            return
+        right_reg, _ = self._materialize(right_val)
+        left_reg, _ = self._pop_reg()
+        dest = self._alloc_reg()
+        self._emit(f"{instr} d{dest}, d{left_reg}, d{right_reg}")
+        self._free_reg(left_reg)
+        self._free_reg(right_reg)
+        if op == "-" and left_type.is_pointer and right_type.is_pointer:
+            scaled = self._alloc_reg()
+            shift = 2 if left_type.elem_size == 4 else 0
+            if shift:
+                self._emit(f"shra d{scaled}, d{dest}, {shift}")
+                self._free_reg(dest)
+                dest = scaled
+            else:
+                self._free_reg(scaled)
+        self._push_reg(dest, result_type)
+
+    def _swap_top2(self) -> None:
+        stack = self._ctx.stack
+        stack[-1], stack[-2] = stack[-2], stack[-1]
+
+    def _scale_top(self, elem_size: int) -> None:
+        """Multiply the top stack value by *elem_size* (1 or 4)."""
+        if elem_size == 1:
+            return
+        value = self._pop()
+        if value.kind == "imm":
+            self._push_imm(value.payload * elem_size)
+            return
+        reg, _ = self._materialize(value)
+        dest = self._alloc_reg()
+        self._emit(f"shl d{dest}, d{reg}, 2")
+        self._free_reg(reg)
+        self._push_reg(dest)
+
+    def _gen_compare_value(self, expr: Bin) -> None:
+        op = expr.op
+        left, right = expr.left, expr.right
+        if op in (">", "<="):
+            left, right = right, left
+            op = {">": "<", "<=": ">="}[op]
+        self._gen_expr(left)
+        self._gen_expr(right)
+        right_val = self._pop()
+        instr = _CMP_INSTR[op]
+        if right_val.kind == "imm" and fits_signed(right_val.payload, 9) \
+                and instr in ("eq", "ne", "lt", "ge"):
+            left_reg, _ = self._pop_reg()
+            dest = self._alloc_reg()
+            self._emit(f"{instr} d{dest}, d{left_reg}, {right_val.payload}")
+            self._free_reg(left_reg)
+            self._push_reg(dest)
+            return
+        right_reg, _ = self._materialize(right_val)
+        left_reg, _ = self._pop_reg()
+        dest = self._alloc_reg()
+        self._emit(f"{instr} d{dest}, d{left_reg}, d{right_reg}")
+        self._free_reg(left_reg)
+        self._free_reg(right_reg)
+        self._push_reg(dest)
+
+    def _gen_logical_value(self, expr: Bin) -> None:
+        """Materialize `a && b` / `a || b` as 0/1."""
+        true_label = self._new_label("ltrue")
+        end_label = self._new_label("lend")
+        dest = self._alloc_reg()
+        self._gen_branch(expr, true_label, negate=False)
+        self._emit(f"mov16 d{dest}, 0")
+        self._emit(f"j {end_label}")
+        self._emit_label(true_label)
+        self._emit(f"mov16 d{dest}, 1")
+        self._emit_label(end_label)
+        self._push_reg(dest)
+
+    # -- unary operators ----------------------------------------------------
+
+    def _gen_un(self, expr: Un) -> None:
+        if expr.op == "&":
+            self._gen_address(expr.operand)
+            return
+        if expr.op == "*":
+            self._gen_load(expr)
+            return
+        self._gen_expr(expr.operand)
+        value = self._pop()
+        if value.kind == "imm":
+            folded = {"-": -value.payload, "~": ~value.payload,
+                      "!": 0 if value.payload else 1}[expr.op]
+            self._push_imm(folded)
+            return
+        reg, _ = self._materialize(value)
+        dest = self._alloc_reg()
+        if expr.op == "-":
+            zero = self._alloc_reg()
+            self._emit(f"mov16 d{zero}, 0")
+            self._emit(f"sub d{dest}, d{zero}, d{reg}")
+            self._free_reg(zero)
+        elif expr.op == "~":
+            self._emit(f"not d{dest}, d{reg}")
+        else:  # '!'
+            self._emit(f"eq d{dest}, d{reg}, 0")
+        self._free_reg(reg)
+        self._push_reg(dest)
+
+    # -- assignment -----------------------------------------------------------
+
+    def _gen_assign(self, expr: Assign) -> None:
+        target = expr.target
+        if expr.op != "=":
+            # a op= b  ->  a = a op b (target evaluated twice; minic
+            # forbids side effects in assignment targets, so this is safe)
+            binop = expr.op[:-1]
+            expr = Assign(line=expr.line, op="=", target=target,
+                          value=Bin(line=expr.line, op=binop,
+                                    left=_clone_lvalue(target),
+                                    right=expr.value))
+        self._gen_expr(expr.value)
+        # Local scalar fast path.
+        if isinstance(target, Var):
+            where, ctype, location, array_size = self._lookup_var(
+                target.name, target.line)
+            if array_size is not None:
+                raise MinicError("cannot assign to an array", target.line)
+            reg, _ = self._pop_reg()
+            store = "st.w" if ctype.size == 4 else "st.b"
+            if where == "local":
+                self._emit(f"{store} [a10]{location}, d{reg}")
+            else:
+                self._emit(f"la {_ADDR_SCRATCH}, {location}")
+                self._emit(f"{store} [{_ADDR_SCRATCH}], d{reg}")
+            self._push_reg(reg, ctype)
+            return
+        # General path: value, then address.
+        elem = self._gen_address(target)
+        addr_reg, _ = self._pop_reg()
+        value_val = self._pop()
+        value_reg, value_type = self._materialize(value_val)
+        self._emit(f"mov.a {_ADDR_SCRATCH}, d{addr_reg}")
+        self._free_reg(addr_reg)
+        store = "st.w" if elem.size == 4 else "st.b"
+        self._emit(f"{store} [{_ADDR_SCRATCH}], d{value_reg}")
+        self._push_reg(value_reg, value_type)
+
+    # -- calls -----------------------------------------------------------------
+
+    def _gen_runtime_call(self, routine: str, left: Expr,
+                          right: Expr) -> None:
+        """Call a runtime helper with two integer arguments."""
+        self._spill_all()
+        self._gen_expr(left)
+        self._gen_expr(right)
+        right_reg, _ = self._pop_reg()
+        left_reg, _ = self._pop_reg()
+        self._emit_mov(4, left_reg)
+        self._emit_mov(5, right_reg)
+        self._free_reg(left_reg)
+        self._free_reg(right_reg)
+        self._emit(f"call {routine}")
+        self._ctx.makes_call = True
+        dest = self._alloc_reg()
+        self._emit_mov(dest, 2)
+        self._push_reg(dest)
+
+    def _gen_call(self, expr: Call) -> None:
+        if expr.name in _INTRINSICS:
+            self._gen_intrinsic(expr)
+            return
+        decl = self._functions.get(expr.name)
+        if decl is None:
+            raise MinicError(f"call to undefined function {expr.name!r}",
+                             expr.line)
+        if len(expr.args) != len(decl.params):
+            raise MinicError(
+                f"{expr.name!r} expects {len(decl.params)} arguments, "
+                f"got {len(expr.args)}", expr.line)
+        self._spill_all()
+        # Evaluate arguments; results are parked in spill slots so that
+        # later argument evaluation cannot clobber them.
+        for arg in expr.args:
+            self._gen_expr(arg)
+            value = self._ctx.stack[-1]
+            if value.kind == "reg":
+                self._spill_value(value)
+        values = [self._pop() for _ in expr.args][::-1]
+        int_regs = iter(_INT_ARG_REGS)
+        ptr_regs = iter(_PTR_ARG_REGS)
+        for param, value in zip(decl.params, values):
+            if param.ctype.is_pointer:
+                areg = next(ptr_regs)
+                if value.kind == "imm":
+                    tmp = self._alloc_reg()
+                    self._emit_mov_imm(tmp, value.payload)
+                    self._emit(f"mov.a a{areg}, d{tmp}")
+                    self._free_reg(tmp)
+                else:
+                    reg, _ = self._materialize(value)
+                    self._emit(f"mov.a a{areg}, d{reg}")
+                    self._free_reg(reg)
+            else:
+                dreg = next(int_regs)
+                if value.kind == "imm":
+                    self._emit_mov_imm(dreg, value.payload)
+                else:
+                    reg, _ = self._materialize(value)
+                    self._emit_mov(dreg, reg)
+                    self._free_reg(reg)
+        self._emit(f"call {expr.name}")
+        self._ctx.makes_call = True
+        dest = self._alloc_reg()
+        if decl.ret_type.is_pointer:
+            self._emit(f"mov.d d{dest}, a2")
+            self._push_reg(dest, decl.ret_type)
+        else:
+            self._emit_mov(dest, 2)
+            self._push_reg(dest, decl.ret_type if decl.ret_type.base != "void"
+                           else INT)
+
+    def _gen_intrinsic(self, expr: Call) -> None:
+        if expr.name == "__halt":
+            if expr.args:
+                raise MinicError("__halt takes no arguments", expr.line)
+            self._emit("halt")
+            self._push_imm(0)
+            return
+        if expr.name == "__io_read":
+            if len(expr.args) != 1:
+                raise MinicError("__io_read takes one argument", expr.line)
+            self._gen_expr(expr.args[0])
+            reg, _ = self._pop_reg()
+            self._emit(f"mov.a {_ADDR_SCRATCH}, d{reg}")
+            self._free_reg(reg)
+            dest = self._alloc_reg()
+            self._emit(f"ld.w d{dest}, [{_ADDR_SCRATCH}]")
+            self._push_reg(dest)
+            return
+        if expr.name == "__io_write":
+            if len(expr.args) != 2:
+                raise MinicError("__io_write takes two arguments", expr.line)
+            self._gen_expr(expr.args[0])
+            self._gen_expr(expr.args[1])
+            value_val = self._pop()
+            addr_reg, _ = self._pop_reg()
+            value_reg, _ = self._materialize(value_val)
+            self._emit(f"mov.a {_ADDR_SCRATCH}, d{addr_reg}")
+            self._free_reg(addr_reg)
+            self._emit(f"st.w [{_ADDR_SCRATCH}], d{value_reg}")
+            self._push_reg(value_reg)
+            return
+        raise MinicError(f"unknown intrinsic {expr.name!r}", expr.line)
+
+
+def _clone_lvalue(expr: Expr) -> Expr:
+    """Shallow clone of an lvalue for compound-assignment expansion."""
+    if isinstance(expr, Var):
+        return Var(line=expr.line, name=expr.name)
+    if isinstance(expr, Index):
+        return Index(line=expr.line, array=_clone_lvalue(expr.array),
+                     index=expr.index)
+    if isinstance(expr, Un) and expr.op == "*":
+        return Un(line=expr.line, op="*", operand=expr.operand)
+    raise MinicError("unsupported compound-assignment target", expr.line)
+
+
+def generate(program: Program) -> str:
+    """Generate assembly for *program*."""
+    return CodeGenerator().generate(program)

@@ -1,0 +1,31 @@
+"""minic compiler driver: source text to a linked object file."""
+
+from __future__ import annotations
+
+from repro.arch.model import MemoryMap
+from repro.isa.tricore.assembler import Assembler
+from repro.minic.codegen import generate
+from repro.minic.parser import parse
+from repro.minic.runtime import runtime_asm
+from repro.objfile.elf import ObjectFile
+from repro.soc.bus import IoMap
+
+
+def compile_to_asm(source: str, memory: MemoryMap | None = None,
+                   io_map: IoMap | None = None,
+                   with_runtime: bool = True) -> str:
+    """Compile minic *source* to assembly text."""
+    program = parse(source)
+    asm = generate(program)
+    if with_runtime:
+        asm = runtime_asm(memory, io_map) + "\n" + asm
+    return asm
+
+
+def compile_source(source: str, memory: MemoryMap | None = None,
+                   io_map: IoMap | None = None,
+                   with_runtime: bool = True) -> ObjectFile:
+    """Compile minic *source* and assemble it into an object file."""
+    memory = memory or MemoryMap()
+    asm = compile_to_asm(source, memory, io_map, with_runtime)
+    return Assembler(memory).assemble(asm)

@@ -1,0 +1,139 @@
+"""Lexer for minic, the C subset used to build the benchmark programs.
+
+The paper compiles its workloads "using a C compiler into TriCore object
+code"; minic plays that role for the TriCore-like ISA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MinicError
+
+KEYWORDS = {
+    "int", "char", "void", "if", "else", "while", "for", "return",
+    "break", "continue",
+}
+
+#: multi-character operators, longest first.
+_OPERATORS = [
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "=", "<", ">", "!", "~", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+_ESCAPES = {"n": 10, "t": 9, "r": 13, "0": 0, "\\": 92, "'": 39, '"': 34}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: str  # 'num', 'ident', 'keyword', 'op', 'string', 'char', 'eof'
+    text: str
+    value: int | None
+    line: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split *source* into tokens, ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    length = len(source)
+    while pos < length:
+        char = source[pos]
+        if char == "\n":
+            line += 1
+            pos += 1
+            continue
+        if char.isspace():
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end < 0 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end < 0:
+                raise MinicError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if char.isdigit():
+            start = pos
+            if source.startswith(("0x", "0X"), pos):
+                pos += 2
+                while pos < length and source[pos] in "0123456789abcdefABCDEF":
+                    pos += 1
+                value = int(source[start:pos], 16)
+            else:
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+                value = int(source[start:pos])
+            tokens.append(Token("num", source[start:pos], value, line))
+            continue
+        if char.isalpha() or char == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, None, line))
+            continue
+        if char == "'":
+            value, pos = _char_literal(source, pos, line)
+            tokens.append(Token("char", source[pos - 1], value, line))
+            continue
+        if char == '"':
+            text, pos = _string_literal(source, pos, line)
+            tokens.append(Token("string", text, None, line))
+            continue
+        for op in _OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, None, line))
+                pos += len(op)
+                break
+        else:
+            raise MinicError(f"unexpected character {char!r}", line)
+    tokens.append(Token("eof", "", None, line))
+    return tokens
+
+
+def _char_literal(source: str, pos: int, line: int) -> tuple[int, int]:
+    pos += 1  # opening quote
+    if pos >= len(source):
+        raise MinicError("unterminated character literal", line)
+    if source[pos] == "\\":
+        pos += 1
+        if pos >= len(source) or source[pos] not in _ESCAPES:
+            raise MinicError("invalid escape in character literal", line)
+        value = _ESCAPES[source[pos]]
+        pos += 1
+    else:
+        value = ord(source[pos])
+        pos += 1
+    if pos >= len(source) or source[pos] != "'":
+        raise MinicError("unterminated character literal", line)
+    return value, pos + 1
+
+
+def _string_literal(source: str, pos: int, line: int) -> tuple[str, int]:
+    pos += 1  # opening quote
+    chars: list[str] = []
+    while pos < len(source) and source[pos] != '"':
+        if source[pos] == "\\":
+            pos += 1
+            if pos >= len(source) or source[pos] not in _ESCAPES:
+                raise MinicError("invalid escape in string literal", line)
+            chars.append(chr(_ESCAPES[source[pos]]))
+        elif source[pos] == "\n":
+            raise MinicError("unterminated string literal", line)
+        else:
+            chars.append(source[pos])
+        pos += 1
+    if pos >= len(source):
+        raise MinicError("unterminated string literal", line)
+    return "".join(chars), pos + 1

@@ -1,0 +1,420 @@
+"""Recursive-descent parser for minic."""
+
+from __future__ import annotations
+
+from repro.errors import MinicError
+from repro.minic.astnodes import (
+    CHAR,
+    INT,
+    VOID,
+    Assign,
+    Bin,
+    Block,
+    Break,
+    Call,
+    Continue,
+    CType,
+    Expr,
+    ExprStmt,
+    For,
+    FuncDecl,
+    GlobalDecl,
+    If,
+    Index,
+    LocalDecl,
+    Num,
+    Param,
+    Program,
+    Return,
+    Stmt,
+    StrLit,
+    Un,
+    Var,
+    While,
+)
+from repro.minic.lexer import Token, tokenize
+
+#: binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>="}
+
+
+class Parser:
+    """Parses one translation unit into a :class:`Program`."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._pos = 0
+
+    # -- token helpers ---------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._tokens[min(self._pos + ahead, len(self._tokens) - 1)]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self._peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        token = self._accept(kind, text)
+        if token is None:
+            got = self._peek()
+            expected = text or kind
+            raise MinicError(
+                f"expected {expected!r}, got {got.text!r}", got.line)
+        return token
+
+    # -- top level ---------------------------------------------------------
+
+    def parse(self) -> Program:
+        program = Program()
+        while self._peek().kind != "eof":
+            self._parse_top_level(program)
+        return program
+
+    def _parse_type(self) -> CType:
+        token = self._peek()
+        if token.kind == "keyword" and token.text in ("int", "char", "void"):
+            self._next()
+            base = {"int": INT, "char": CHAR, "void": VOID}[token.text]
+            ptr = 0
+            while self._accept("op", "*"):
+                ptr += 1
+            return CType(base.base, ptr)
+        raise MinicError(f"expected a type, got {token.text!r}", token.line)
+
+    def _parse_top_level(self, program: Program) -> None:
+        line = self._peek().line
+        ctype = self._parse_type()
+        name = self._expect("ident").text
+        if self._peek().kind == "op" and self._peek().text == "(":
+            program.functions.append(self._parse_function(ctype, name, line))
+            return
+        program.globals.append(self._parse_global(ctype, name, line))
+
+    def _parse_function(self, ret_type: CType, name: str,
+                        line: int) -> FuncDecl:
+        self._expect("op", "(")
+        params: list[Param] = []
+        if not self._accept("op", ")"):
+            if (self._peek().kind == "keyword" and self._peek().text == "void"
+                    and self._peek(1).text == ")"):
+                self._next()
+            else:
+                while True:
+                    ptype = self._parse_type()
+                    if ptype == VOID:
+                        raise MinicError("void parameter", self._peek().line)
+                    pname = self._expect("ident").text
+                    params.append(Param(ptype, pname))
+                    if not self._accept("op", ","):
+                        break
+            self._expect("op", ")")
+        if self._accept("op", ";"):
+            return FuncDecl(ret_type, name, params, None, line)
+        body = self._parse_block()
+        return FuncDecl(ret_type, name, params, body, line)
+
+    def _parse_global(self, ctype: CType, name: str, line: int) -> GlobalDecl:
+        if ctype == VOID:
+            raise MinicError("void variable", line)
+        array_size: int | None = None
+        init: list[int] | str | int | None = None
+        if self._accept("op", "["):
+            if self._accept("op", "]"):
+                array_size = -1  # size from initializer
+            else:
+                size_tok = self._expect("num")
+                array_size = size_tok.value or 0
+                self._expect("op", "]")
+        if self._accept("op", "="):
+            token = self._peek()
+            if token.kind == "string":
+                if array_size is None or ctype.base != "char":
+                    raise MinicError(
+                        "string initializer requires a char array", token.line)
+                init = self._next().text
+            elif self._accept("op", "{"):
+                values: list[int] = []
+                while not self._accept("op", "}"):
+                    values.append(self._parse_const_expr())
+                    if not self._accept("op", ","):
+                        self._expect("op", "}")
+                        break
+                init = values
+            else:
+                init = self._parse_const_expr()
+                if array_size is not None:
+                    raise MinicError(
+                        "array initializer must be braced", token.line)
+        self._expect("op", ";")
+        if array_size == -1:
+            if init is None:
+                raise MinicError(
+                    f"array {name!r} needs a size or initializer", line)
+            array_size = len(init) + (1 if isinstance(init, str) else 0)
+        return GlobalDecl(ctype, name, array_size, init, line)
+
+    def _parse_const_expr(self) -> int:
+        """Constant expression for initializers (folded at parse time)."""
+        expr = self._parse_expression()
+        value = _fold(expr)
+        if value is None:
+            raise MinicError("initializer is not constant", expr.line)
+        return value
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_block(self) -> Block:
+        start = self._expect("op", "{")
+        stmts: list[Stmt] = []
+        while not self._accept("op", "}"):
+            if self._peek().kind == "eof":
+                raise MinicError("unterminated block", start.line)
+            stmts.append(self._parse_statement())
+        return Block(line=start.line, stmts=stmts)
+
+    def _is_type_ahead(self) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.text in ("int", "char")
+
+    def _parse_statement(self) -> Stmt:
+        token = self._peek()
+        if token.kind == "op" and token.text == "{":
+            return self._parse_block()
+        if self._is_type_ahead():
+            return self._parse_local_decl()
+        if token.kind == "keyword":
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "for":
+                return self._parse_for()
+            if token.text == "return":
+                self._next()
+                value = None
+                if not self._accept("op", ";"):
+                    value = self._parse_expression()
+                    self._expect("op", ";")
+                return Return(line=token.line, value=value)
+            if token.text == "break":
+                self._next()
+                self._expect("op", ";")
+                return Break(line=token.line)
+            if token.text == "continue":
+                self._next()
+                self._expect("op", ";")
+                return Continue(line=token.line)
+        if self._accept("op", ";"):
+            return Block(line=token.line, stmts=[])
+        expr = self._parse_expression()
+        self._expect("op", ";")
+        return ExprStmt(line=token.line, expr=expr)
+
+    def _parse_local_decl(self) -> Stmt:
+        line = self._peek().line
+        ctype = self._parse_type()
+        decls: list[Stmt] = []
+        while True:
+            name = self._expect("ident").text
+            array_size: int | None = None
+            init: Expr | None = None
+            if self._accept("op", "["):
+                size_tok = self._expect("num")
+                array_size = size_tok.value or 0
+                self._expect("op", "]")
+            elif self._accept("op", "="):
+                init = self._parse_expression()
+            decls.append(LocalDecl(line=line, ctype=ctype, name=name,
+                                   array_size=array_size, init=init))
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ";")
+        if len(decls) == 1:
+            return decls[0]
+        return Block(line=line, stmts=decls)
+
+    def _parse_if(self) -> If:
+        token = self._expect("keyword", "if")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        then = self._parse_statement()
+        els = None
+        if self._accept("keyword", "else"):
+            els = self._parse_statement()
+        return If(line=token.line, cond=cond, then=then, els=els)
+
+    def _parse_while(self) -> While:
+        token = self._expect("keyword", "while")
+        self._expect("op", "(")
+        cond = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return While(line=token.line, cond=cond, body=body)
+
+    def _parse_for(self) -> For:
+        token = self._expect("keyword", "for")
+        self._expect("op", "(")
+        init: Stmt | None = None
+        if not self._accept("op", ";"):
+            if self._is_type_ahead():
+                init = self._parse_local_decl()  # consumes ';'
+            else:
+                init = ExprStmt(line=token.line, expr=self._parse_expression())
+                self._expect("op", ";")
+        cond: Expr | None = None
+        if not self._accept("op", ";"):
+            cond = self._parse_expression()
+            self._expect("op", ";")
+        step: Expr | None = None
+        if self._peek().text != ")":
+            step = self._parse_expression()
+        self._expect("op", ")")
+        body = self._parse_statement()
+        return For(line=token.line, init=init, cond=cond, step=step, body=body)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _parse_expression(self) -> Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> Expr:
+        left = self._parse_binary(1)
+        token = self._peek()
+        if token.kind == "op" and token.text in _ASSIGN_OPS:
+            self._next()
+            value = self._parse_assignment()
+            if not isinstance(left, (Var, Index, Un)) or (
+                    isinstance(left, Un) and left.op != "*"):
+                raise MinicError("invalid assignment target", token.line)
+            return Assign(line=token.line, op=token.text, target=left,
+                          value=value)
+        return left
+
+    def _parse_binary(self, min_prec: int) -> Expr:
+        left = self._parse_unary()
+        while True:
+            token = self._peek()
+            prec = _PRECEDENCE.get(token.text) if token.kind == "op" else None
+            if prec is None or prec < min_prec:
+                return left
+            self._next()
+            right = self._parse_binary(prec + 1)
+            left = Bin(line=token.line, op=token.text, left=left, right=right)
+
+    def _parse_unary(self) -> Expr:
+        token = self._peek()
+        if token.kind == "op" and token.text in ("-", "!", "~", "*", "&"):
+            self._next()
+            operand = self._parse_unary()
+            if token.text == "-" and isinstance(operand, Num):
+                return Num(line=token.line, value=-operand.value)
+            return Un(line=token.line, op=token.text, operand=operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._accept("op", "["):
+                index = self._parse_expression()
+                self._expect("op", "]")
+                expr = Index(line=expr.line, array=expr, index=index)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        token = self._next()
+        if token.kind == "num" or token.kind == "char":
+            return Num(line=token.line, value=token.value or 0)
+        if token.kind == "string":
+            return StrLit(line=token.line, text=token.text)
+        if token.kind == "ident":
+            if self._accept("op", "("):
+                args: list[Expr] = []
+                if not self._accept("op", ")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self._accept("op", ","):
+                            break
+                    self._expect("op", ")")
+                return Call(line=token.line, name=token.text, args=args)
+            return Var(line=token.line, name=token.text)
+        if token.kind == "op" and token.text == "(":
+            expr = self._parse_expression()
+            self._expect("op", ")")
+            return expr
+        raise MinicError(f"unexpected token {token.text!r}", token.line)
+
+
+def _fold(expr: Expr) -> int | None:
+    """Fold a constant expression; returns None if not constant."""
+    if isinstance(expr, Num):
+        return expr.value
+    if isinstance(expr, Un) and expr.op in ("-", "~", "!"):
+        inner = _fold(expr.operand)
+        if inner is None:
+            return None
+        if expr.op == "-":
+            return -inner
+        if expr.op == "~":
+            return ~inner
+        return 0 if inner else 1
+    if isinstance(expr, Bin):
+        left = _fold(expr.left)
+        right = _fold(expr.right)
+        if left is None or right is None:
+            return None
+        try:
+            return _APPLY[expr.op](left, right)
+        except (KeyError, ZeroDivisionError):
+            return None
+    return None
+
+
+_APPLY = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: int(a / b) if b else 0,
+    "%": lambda a, b: a - int(a / b) * b if b else 0,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    ">": lambda a, b: int(a > b),
+    "<=": lambda a, b: int(a <= b),
+    ">=": lambda a, b: int(a >= b),
+    "&&": lambda a, b: int(bool(a) and bool(b)),
+    "||": lambda a, b: int(bool(a) or bool(b)),
+}
+
+
+def parse(source: str) -> Program:
+    """Parse minic *source* into an AST."""
+    return Parser(source).parse()

@@ -1,0 +1,100 @@
+"""Runtime library and startup code for minic programs.
+
+``crt0``: sets up the stack pointer, calls ``main``, writes the return
+value to the exit device and halts.  The library provides software
+signed divide/modulo (the ISA subset has no divide instruction) using a
+classic 32-step shift-subtract loop — deliberately control-flow heavy,
+like the library routines of real embedded toolchains.
+
+Register contract of the runtime routines: arguments in ``d4``/``d5``,
+result in ``d2``, clobbers ``d0``–``d7``; no stack usage.
+"""
+
+from __future__ import annotations
+
+from repro.arch.model import MemoryMap
+from repro.soc.bus import IoMap
+
+
+def crt0(memory: MemoryMap | None = None, io_map: IoMap | None = None) -> str:
+    """Startup code parameterized by the memory map."""
+    memory = memory or MemoryMap()
+    io_map = io_map or IoMap()
+    exit_addr = memory.io_base + io_map.exit
+    return f"""
+    .text
+    .global _start
+_start:
+    la a10, {memory.stack_top:#x}
+    call main
+    la a2, {exit_addr:#x}
+    st.w [a2], d2
+    halt
+"""
+
+
+DIVIDE_ROUTINES = """
+; -------------------------------------------------------------------
+; signed divide/modulo (C semantics: truncate toward zero,
+; remainder takes the sign of the dividend)
+; d4 = dividend, d5 = divisor -> d2 = result; clobbers d0-d7
+; -------------------------------------------------------------------
+    .global __div
+__div:
+    xor d7, d4, d5          ; quotient sign
+    abs d4, d4
+    abs d5, d5
+    mov16 d2, 0             ; quotient
+    mov16 d1, 0             ; remainder
+    mov d0, 32
+.Ldiv_loop:
+    shl d1, d1, 1
+    shr d3, d4, 31
+    or d1, d1, d3
+    shl d4, d4, 1
+    shl d2, d2, 1
+    jlt.u d1, d5, .Ldiv_skip
+    sub d1, d1, d5
+    or d2, d2, 1
+.Ldiv_skip:
+    add16 d0, -1
+    jnz d0, .Ldiv_loop
+    jge d7, 0, .Ldiv_done
+    mov16 d0, 0
+    sub d2, d0, d2
+.Ldiv_done:
+    ret16
+
+    .global __mod
+__mod:
+    mov16 d7, d4            ; remainder takes the dividend's sign
+    abs d4, d4
+    abs d5, d5
+    mov16 d2, 0
+    mov16 d1, 0
+    mov d0, 32
+.Lmod_loop:
+    shl d1, d1, 1
+    shr d3, d4, 31
+    or d1, d1, d3
+    shl d4, d4, 1
+    shl d2, d2, 1
+    jlt.u d1, d5, .Lmod_skip
+    sub d1, d1, d5
+    or d2, d2, 1
+.Lmod_skip:
+    add16 d0, -1
+    jnz d0, .Lmod_loop
+    mov16 d2, d1
+    jge d7, 0, .Lmod_done
+    mov16 d0, 0
+    sub d2, d0, d2
+.Lmod_done:
+    ret16
+"""
+
+
+def runtime_asm(memory: MemoryMap | None = None,
+                io_map: IoMap | None = None) -> str:
+    """Full runtime: crt0 plus library routines."""
+    return crt0(memory, io_map) + DIVIDE_ROUTINES

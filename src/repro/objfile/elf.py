@@ -1,0 +1,215 @@
+"""ELF-lite object-file format.
+
+The paper's translator "reads the object file, which is usually provided
+in ELF format".  This module implements a compact 32-bit ELF-like
+container — magic, section table, symbol table — sufficient for fully
+linked executables of the TriCore-like ISA.  Sections carry absolute
+load addresses (the assembler resolves all references), so no relocation
+records are required.
+
+Binary layout (all little-endian):
+
+* header: magic ``\\x7fRELF``, version u16, flags u16, entry u32,
+  section count u32, symbol count u32
+* per section: name (u16 length + bytes), addr u32, flags u32,
+  data length u32, data bytes
+* per symbol: name (u16 length + bytes), addr u32, kind u8, size u32
+"""
+
+from __future__ import annotations
+
+import enum
+import io
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import ObjectFileError
+
+MAGIC = b"\x7fRELF"
+VERSION = 1
+
+SEC_EXEC = 0x1
+SEC_WRITE = 0x2
+
+
+class SymbolKind(enum.IntEnum):
+    """Classification of a symbol-table entry."""
+
+    NONE = 0
+    FUNC = 1
+    OBJECT = 2
+
+
+@dataclass
+class Section:
+    """A named, absolutely-addressed section with initial contents."""
+
+    name: str
+    addr: int
+    data: bytes
+    flags: int = 0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def end(self) -> int:
+        return self.addr + len(self.data)
+
+    def is_exec(self) -> bool:
+        return bool(self.flags & SEC_EXEC)
+
+    def contains(self, address: int) -> bool:
+        return self.addr <= address < self.end
+
+
+@dataclass
+class Symbol:
+    """A named address, optionally typed and sized."""
+
+    name: str
+    addr: int
+    kind: SymbolKind = SymbolKind.NONE
+    size: int = 0
+
+
+@dataclass
+class ObjectFile:
+    """A fully linked executable image for the source processor."""
+
+    entry: int = 0
+    sections: list[Section] = field(default_factory=list)
+    symbols: dict[str, Symbol] = field(default_factory=dict)
+
+    def section(self, name: str) -> Section:
+        """Return the section named *name*, raising if absent."""
+        for sec in self.sections:
+            if sec.name == name:
+                return sec
+        raise ObjectFileError(f"no section named {name!r}")
+
+    def has_section(self, name: str) -> bool:
+        return any(sec.name == name for sec in self.sections)
+
+    def text(self) -> Section:
+        """The (first) executable section."""
+        for sec in self.sections:
+            if sec.is_exec():
+                return sec
+        raise ObjectFileError("object file has no executable section")
+
+    def add_symbol(self, symbol: Symbol) -> None:
+        self.symbols[symbol.name] = symbol
+
+    def symbol_addr(self, name: str) -> int:
+        try:
+            return self.symbols[name].addr
+        except KeyError:
+            raise ObjectFileError(f"undefined symbol {name!r}") from None
+
+    def symbol_at(self, addr: int, kind: SymbolKind | None = None) -> Symbol | None:
+        """Return a symbol exactly at *addr* (optionally of *kind*)."""
+        for sym in self.symbols.values():
+            if sym.addr == addr and (kind is None or sym.kind == kind):
+                return sym
+        return None
+
+    def validate(self) -> "ObjectFile":
+        """Check section sanity (alignment, overlap)."""
+        ordered = sorted(self.sections, key=lambda s: s.addr)
+        for sec in ordered:
+            if sec.addr & 1:
+                raise ObjectFileError(f"section {sec.name!r} is not aligned")
+        for lo, hi in zip(ordered, ordered[1:]):
+            if lo.end > hi.addr:
+                raise ObjectFileError(
+                    f"sections {lo.name!r} and {hi.name!r} overlap"
+                )
+        return self
+
+
+def _write_name(out: io.BytesIO, name: str) -> None:
+    encoded = name.encode("utf-8")
+    if len(encoded) > 0xFFFF:
+        raise ObjectFileError(f"name too long: {name[:20]!r}...")
+    out.write(struct.pack("<H", len(encoded)))
+    out.write(encoded)
+
+
+def _read_exact(stream: io.BytesIO, count: int, what: str) -> bytes:
+    blob = stream.read(count)
+    if len(blob) != count:
+        raise ObjectFileError(f"truncated object file while reading {what}")
+    return blob
+
+
+def _read_name(stream: io.BytesIO, what: str) -> str:
+    (length,) = struct.unpack("<H", _read_exact(stream, 2, what))
+    return _read_exact(stream, length, what).decode("utf-8")
+
+
+def dump_bytes(obj: ObjectFile) -> bytes:
+    """Serialize *obj* to its binary form."""
+    obj.validate()
+    out = io.BytesIO()
+    out.write(MAGIC)
+    out.write(
+        struct.pack(
+            "<HHIII", VERSION, 0, obj.entry, len(obj.sections), len(obj.symbols)
+        )
+    )
+    for sec in obj.sections:
+        _write_name(out, sec.name)
+        out.write(struct.pack("<III", sec.addr, sec.flags, len(sec.data)))
+        out.write(sec.data)
+    for sym in obj.symbols.values():
+        _write_name(out, sym.name)
+        out.write(struct.pack("<IBI", sym.addr, int(sym.kind), sym.size))
+    return out.getvalue()
+
+
+def load_bytes(blob: bytes) -> ObjectFile:
+    """Parse the binary form produced by :func:`dump_bytes`."""
+    stream = io.BytesIO(blob)
+    magic = stream.read(len(MAGIC))
+    if magic != MAGIC:
+        raise ObjectFileError(f"bad magic {magic!r}; not a RELF object file")
+    version, _flags, entry, n_sections, n_symbols = struct.unpack(
+        "<HHIII", _read_exact(stream, 16, "header")
+    )
+    if version != VERSION:
+        raise ObjectFileError(f"unsupported object file version {version}")
+    obj = ObjectFile(entry=entry)
+    for _ in range(n_sections):
+        name = _read_name(stream, "section name")
+        addr, flags, size = struct.unpack(
+            "<III", _read_exact(stream, 12, "section header")
+        )
+        data = _read_exact(stream, size, f"section {name!r} data")
+        obj.sections.append(Section(name=name, addr=addr, data=data, flags=flags))
+    for _ in range(n_symbols):
+        name = _read_name(stream, "symbol name")
+        addr, kind, size = struct.unpack(
+            "<IBI", _read_exact(stream, 9, "symbol entry")
+        )
+        try:
+            sym_kind = SymbolKind(kind)
+        except ValueError:
+            raise ObjectFileError(f"invalid symbol kind {kind}") from None
+        obj.add_symbol(Symbol(name=name, addr=addr, kind=sym_kind, size=size))
+    if stream.read(1):
+        raise ObjectFileError("trailing bytes after object file contents")
+    return obj.validate()
+
+
+def save(obj: ObjectFile, path: str) -> None:
+    """Write *obj* to *path*."""
+    with open(path, "wb") as handle:
+        handle.write(dump_bytes(obj))
+
+
+def load(path: str) -> ObjectFile:
+    """Read an object file from *path*."""
+    with open(path, "rb") as handle:
+        return load_bytes(handle.read())

@@ -1,0 +1,231 @@
+"""Registry of benchmark programs.
+
+The six Section-4 workloads of the paper (gcd, dpcm, fir, ellip, sieve,
+subband) plus fibonacci (Table 2) and two I/O demonstration programs.
+Every entry carries a pure-Python reference implementation of the same
+algorithm, so tests can check the compiled/simulated/translated result
+against an independent computation — not just against another simulator.
+"""
+
+from __future__ import annotations
+
+import importlib.resources
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.arch.model import MemoryMap
+from repro.errors import ReproError
+from repro.minic.compiler import compile_source
+from repro.objfile.elf import ObjectFile
+from repro.utils.bits import s32, u32
+
+
+def _lcg_stream(seed: int, count: int, shift: int, mask: int) -> list[int]:
+    """The LCG the .mc sources use to generate deterministic inputs."""
+    values = []
+    for _ in range(count):
+        seed = u32(seed * 1103515245 + 12345)
+        values.append((s32(seed) >> shift) & mask)
+    return values
+
+
+def _ref_gcd() -> int:
+    import math
+
+    pairs = [1071, 462, 96, 36, 270, 192, 510, 92, 2191, 127]
+    return sum(math.gcd(pairs[i], pairs[i + 1]) for i in range(0, 10, 2))
+
+def _ref_fibonacci() -> int:
+    a, b = 0, 1
+    for _ in range(15):
+        a, b = b, a + b
+    return a
+
+
+def _ref_sieve() -> int:
+    n = 340
+    flags = [False] * (n + 2)
+    for i in range(2, n + 1):
+        flags[i] = True
+    count = 0
+    for i in range(2, n + 1):
+        if flags[i]:
+            count += 1
+            for k in range(i + i, n + 1, i):
+                flags[k] = False
+    return count
+
+
+def _ref_fir() -> int:
+    coeff = [3, -9, 21, -40, 66, -98, 133, 441,
+             441, 133, -98, 66, -40, 21, -9, 3]
+    inp = _lcg_stream(12345, 64, 16, 1023)
+    out = [0] * 64
+    for n in range(15, 64):
+        acc = 0
+        for k in range(16):
+            acc = s32(acc + s32(coeff[k] * inp[n - k]))
+        out[n] = acc >> 8
+    acc = 0
+    for n in range(64):
+        acc ^= out[n]
+    return acc & 255
+
+
+def _ref_ellip() -> int:
+    inp = _lcg_stream(98765, 64, 20, 511)
+    w1a = w2a = w1b = w2b = w1c = w2c = 0
+    out = [0] * 64
+    for n in range(64):
+        x = inp[n] << 4
+        w0 = s32(x - ((-1228 * w1a) >> 12) - ((410 * w2a) >> 12))
+        y = s32(1024 * w0 + 1536 * w1a + 1024 * w2a) >> 12
+        w2a, w1a = w1a, w0
+        w0 = s32(y - ((-901 * w1b) >> 12) - ((737 * w2b) >> 12))
+        y = s32(1024 * w0 + 512 * w1b + 1024 * w2b) >> 12
+        w2b, w1b = w1b, w0
+        w0 = s32(y - ((-655 * w1c) >> 12) - ((286 * w2c) >> 12))
+        y = s32(512 * w0 + 819 * w1c + 512 * w2c) >> 12
+        w2c, w1c = w1c, w0
+        out[n] = y
+    acc = 0
+    for n in range(64):
+        acc ^= out[n]
+    return acc & 255
+
+
+def _signed_char(value: int) -> int:
+    value &= 0xFF
+    return value - 256 if value >= 128 else value
+
+
+def _ref_dpcm() -> int:
+    samples = [_signed_char(v) for v in _lcg_stream(555, 128, 18, 127)]
+    codes = [0] * 128
+    pred = 0
+    for n in range(128):
+        diff = samples[n] - pred
+        if diff < 0:
+            code = (-diff) >> 3
+            code = min(code, 7)
+            code = -code
+        else:
+            code = diff >> 3
+            code = min(code, 7)
+        codes[n] = code
+        pred = pred + (code << 3)
+        pred = min(pred, 127)
+        pred = max(pred, -128)
+    recon = [0] * 128
+    pred = 0
+    for n in range(128):
+        pred = pred + (codes[n] << 3)
+        pred = min(pred, 127)
+        pred = max(pred, -128)
+        recon[n] = _signed_char(pred)
+    total = 0
+    for n in range(128):
+        total += abs(samples[n] - recon[n])
+    return total & 255
+
+
+def _ref_subband() -> int:
+    h = [9, -44, 128, 459, 459, 128, -44, 9]
+    x = _lcg_stream(2026, 144, 19, 255)
+    low = [0] * 64
+    high = [0] * 64
+    for n in range(0, 128, 2):
+        lo = sum(h[k] * x[n + k] for k in range(8))
+        hi = sum((h[k] if k % 2 == 0 else -h[k]) * x[n + k] for k in range(8))
+        low[n >> 1] = s32(lo) >> 7
+        high[n >> 1] = s32(hi) >> 7
+    acc = 0
+    for n in range(64):
+        acc ^= low[n] ^ high[n]
+    return acc & 255
+
+
+def _ref_uart_hello() -> int:
+    return len("hello, soc!")
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """One registered workload."""
+
+    name: str
+    filename: str
+    description: str
+    category: str  # 'control', 'filter', 'audio', 'io'
+    reference: Callable[[], int] | None
+    paper_instructions: int | None = None  # Table 2 values, where given
+
+
+PROGRAMS: dict[str, ProgramSpec] = {
+    spec.name: spec
+    for spec in (
+        ProgramSpec("gcd", "gcd.mc",
+                    "subtraction Euclid over input pairs", "control",
+                    _ref_gcd, paper_instructions=1484),
+        ProgramSpec("fibonacci", "fibonacci.mc",
+                    "recursive Fibonacci", "control",
+                    _ref_fibonacci, paper_instructions=41419),
+        ProgramSpec("sieve", "sieve.mc",
+                    "Eratosthenes prime sieve", "control",
+                    _ref_sieve, paper_instructions=20779),
+        ProgramSpec("fir", "fir.mc",
+                    "16-tap FIR filter", "filter", _ref_fir),
+        ProgramSpec("ellip", "ellip.mc",
+                    "elliptic IIR filter (3 biquads)", "filter", _ref_ellip),
+        ProgramSpec("dpcm", "dpcm.mc",
+                    "DPCM encode/decode round trip", "audio", _ref_dpcm),
+        ProgramSpec("subband", "subband.mc",
+                    "two-band QMF analysis filterbank", "audio",
+                    _ref_subband),
+        ProgramSpec("uart_hello", "uart_hello.mc",
+                    "UART output demo", "io", _ref_uart_hello),
+        ProgramSpec("timer_probe", "timer_probe.mc",
+                    "self-timing loop via the cycle timer", "io", None),
+    )
+}
+
+#: the six workloads of Figure 5 / Table 1 / Figure 6, in paper order.
+FIGURE5_PROGRAMS = ("gcd", "dpcm", "fir", "ellip", "sieve", "subband")
+
+#: the three workloads of Table 2.
+TABLE2_PROGRAMS = ("gcd", "fibonacci", "sieve")
+
+_BUILD_CACHE: dict[tuple[str, int], ObjectFile] = {}
+
+
+def program_names() -> list[str]:
+    return list(PROGRAMS)
+
+
+def source(name: str) -> str:
+    """minic source text of program *name*."""
+    try:
+        spec = PROGRAMS[name]
+    except KeyError:
+        raise ReproError(f"unknown program {name!r}; "
+                         f"known: {', '.join(PROGRAMS)}") from None
+    resource = importlib.resources.files("repro.programs") / "src" / spec.filename
+    return resource.read_text()
+
+
+def build(name: str, memory: MemoryMap | None = None) -> ObjectFile:
+    """Compile program *name* to an object file (cached)."""
+    memory = memory or MemoryMap()
+    key = (name, id(type(memory)) if memory is None else hash(
+        (memory.code_base, memory.data_base, memory.io_base)))
+    cached = _BUILD_CACHE.get(key)
+    if cached is None:
+        cached = compile_source(source(name), memory)
+        _BUILD_CACHE[key] = cached
+    return cached
+
+
+def expected_exit(name: str) -> int | None:
+    """Exit code predicted by the pure-Python reference (if any)."""
+    spec = PROGRAMS[name]
+    return spec.reference() if spec.reference else None

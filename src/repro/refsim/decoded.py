@@ -1,0 +1,96 @@
+"""Decoded-instruction record shared by the reference simulators.
+
+Bundles everything the simulators need per source instruction: the
+spec, the IR expansion (semantics), the timing view, and static branch
+metadata.  The translator's decoder produces the same expansion, so
+this module is also the natural place for the expansion helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bpred.static_pred import predicted_taken
+from repro.isa.tricore.encoding import decode_at
+from repro.isa.tricore.instructions import ExpandCtx, InstructionSpec
+from repro.refsim.timing import TimedOp
+from repro.translator.ir import BranchKind, IRInstr, IROp, is_source_reg
+
+
+@dataclass(frozen=True)
+class DecodedInstr:
+    """One decoded, expanded source instruction."""
+
+    addr: int
+    width: int
+    spec: InstructionSpec
+    fields: dict[str, int]
+    expansion: tuple[IRInstr, ...]
+    timed: TimedOp
+    branch_kind: BranchKind
+    branch_target: int | None  # static target of direct branches
+    predicted_taken: bool
+
+    @property
+    def next_addr(self) -> int:
+        return self.addr + self.width
+
+    @property
+    def is_io_candidate(self) -> bool:
+        return self.spec.is_load or self.spec.is_store
+
+
+def expand_instruction(spec: InstructionSpec, fields: dict[str, int],
+                       addr: int, width: int) -> list[IRInstr]:
+    """Produce the IR expansion of one source instruction."""
+    ctx = ExpandCtx(pc=addr, next_pc=addr + width)
+    instrs = spec.expand(fields, ctx)
+    for instr in instrs:
+        instr.src_addr = addr
+    return instrs
+
+
+def timing_view(spec: InstructionSpec,
+                expansion: list[IRInstr]) -> TimedOp:
+    """Architectural reads/writes of the whole expansion (temps ignored)."""
+    reads: list[int] = []
+    writes: set[int] = set()
+    for instr in expansion:
+        for reg in instr.reads():
+            # A read of a register this expansion already produced is an
+            # internal forwarding path, not an architectural hazard.
+            if is_source_reg(reg) and reg not in writes and reg not in reads:
+                reads.append(reg)
+        for reg in instr.writes():
+            if is_source_reg(reg):
+                writes.add(reg)
+    return TimedOp(
+        iclass=spec.iclass,
+        reads=tuple(reads),
+        writes=tuple(sorted(writes)),
+        is_load=spec.is_load,
+        is_mul=spec.is_mul,
+    )
+
+
+def decode_instruction(fetch16, addr: int) -> DecodedInstr:
+    """Decode + expand + classify the instruction at *addr*."""
+    spec, fields, width = decode_at(fetch16, addr)
+    expansion = expand_instruction(spec, fields, addr, width)
+    timed = timing_view(spec, expansion)
+    target: int | None = None
+    for instr in expansion:
+        if instr.op is IROp.B and instr.imm is not None:
+            target = instr.imm
+    kind = spec.branch
+    return DecodedInstr(
+        addr=addr,
+        width=width,
+        spec=spec,
+        fields=fields,
+        expansion=tuple(expansion),
+        timed=timed,
+        branch_kind=kind,
+        branch_target=target,
+        predicted_taken=predicted_taken(kind, target, addr),
+    )

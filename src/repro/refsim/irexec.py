@@ -1,0 +1,149 @@
+"""Interpreter for the translator's intermediate code.
+
+The reference simulators execute each decoded source instruction by
+interpreting its IR expansion — the same expansion the binary
+translator compiles.  Keeping a single semantic definition makes the
+functional equivalence between reference and translation a structural
+property rather than a hope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.refsim.state import MachineState, SourceMemory
+from repro.translator.ir import IRInstr, IROp, is_source_reg
+from repro.utils.bits import s32, u32
+
+_SIZE = {
+    IROp.LDW: 4, IROp.LDH: 2, IROp.LDHU: 2, IROp.LDB: 1, IROp.LDBU: 1,
+    IROp.STW: 4, IROp.STH: 2, IROp.STB: 1,
+}
+_SIGNED_LOADS = {IROp.LDH: 16, IROp.LDB: 8}
+
+
+@dataclass
+class ExecResult:
+    """Outcome of executing one source instruction's expansion."""
+
+    next_pc: int
+    branch_taken: bool = False
+    halted: bool = False
+    loads: int = 0
+    stores: int = 0
+
+
+def execute_expansion(instrs: list[IRInstr], state: MachineState,
+                      memory: SourceMemory, fallthrough_pc: int) -> ExecResult:
+    """Execute the IR ops of one source instruction.
+
+    Temporaries live only within the expansion.  A taken ``B`` ends the
+    expansion (it is always the final op of an expansion).
+    """
+    temps: dict[int, int] = {}
+    result = ExecResult(next_pc=fallthrough_pc)
+
+    def get(reg: int) -> int:
+        if is_source_reg(reg):
+            return state.regs[reg]
+        try:
+            return temps[reg]
+        except KeyError:
+            raise SimulationError(
+                f"IR read of uninitialized temp t{reg}") from None
+
+    def put(reg: int, value: int) -> None:
+        value = u32(value)
+        if is_source_reg(reg):
+            state.regs[reg] = value
+        else:
+            temps[reg] = value
+
+    for instr in instrs:
+        if instr.pred is not None:
+            taken = bool(get(instr.pred)) == instr.pred_sense
+            if not taken:
+                continue
+        op = instr.op
+        if op is IROp.B:
+            target = get(instr.a) if instr.a is not None else instr.imm
+            if target is None:
+                raise SimulationError("branch without target")
+            result.next_pc = u32(target)
+            result.branch_taken = True
+            break
+        if op is IROp.HALT:
+            result.halted = True
+            break
+        if op is IROp.NOP:
+            continue
+        if op in _SIZE:
+            size = _SIZE[op]
+            if op in (IROp.STW, IROp.STH, IROp.STB):
+                addr = u32(get(instr.b) + (instr.imm or 0))
+                memory.write(addr, get(instr.a), size)
+                result.stores += 1
+                continue
+            addr = u32(get(instr.a) + (instr.imm or 0))
+            value = memory.read(addr, size)
+            bits = _SIGNED_LOADS.get(op)
+            if bits is not None:
+                sign = 1 << (bits - 1)
+                if value & sign:
+                    value -= 1 << bits
+            put(instr.dst, value)
+            result.loads += 1
+            continue
+        put(instr.dst, _alu(instr, get))
+    return result
+
+
+def _alu(instr: IRInstr, get) -> int:
+    """Evaluate a non-memory, non-control IR operation."""
+    op = instr.op
+    if op is IROp.MVK:
+        return instr.imm or 0
+    a = get(instr.a)
+    if op is IROp.MV:
+        return a
+    if op is IROp.ABS:
+        return abs(s32(a))
+    b = get(instr.b) if instr.b is not None else (instr.imm or 0)
+    if op is IROp.ADD:
+        return a + b
+    if op is IROp.SUB:
+        return a - b
+    if op is IROp.MPY:
+        return s32(a) * s32(b)
+    if op is IROp.AND:
+        return a & u32(b)
+    if op is IROp.OR:
+        return a | u32(b)
+    if op is IROp.XOR:
+        return a ^ u32(b)
+    if op is IROp.ANDN:
+        return a & ~u32(b)
+    if op is IROp.SHL:
+        return a << (b & 31)
+    if op is IROp.SHRU:
+        return u32(a) >> (b & 31)
+    if op is IROp.SHRA:
+        return s32(a) >> (b & 31)
+    if op is IROp.MIN:
+        return min(s32(a), s32(b))
+    if op is IROp.MAX:
+        return max(s32(a), s32(b))
+    if op is IROp.CMPEQ:
+        return 1 if u32(a) == u32(b) else 0
+    if op is IROp.CMPNE:
+        return 1 if u32(a) != u32(b) else 0
+    if op is IROp.CMPLT:
+        return 1 if s32(a) < s32(b) else 0
+    if op is IROp.CMPLTU:
+        return 1 if u32(a) < u32(b) else 0
+    if op is IROp.CMPGE:
+        return 1 if s32(a) >= s32(b) else 0
+    if op is IROp.CMPGEU:
+        return 1 if u32(a) >= u32(b) else 0
+    raise SimulationError(f"unhandled IR op {op}")

@@ -1,0 +1,191 @@
+"""Instruction-set simulators of the source processor.
+
+Three of the paper's Section 2 taxonomy points are implemented here:
+
+* :class:`InterpretedISS` — decodes every instruction on every
+  execution ("the most commonly used method … suffers from low
+  performance");
+* :class:`FunctionalISS` — caches decoded instructions per address,
+  the software analogue of a just-in-time compiled ISS;
+* :class:`CycleAccurateISS` — the cached simulator plus the full
+  timing model (dual-issue pipeline, static branch prediction,
+  instruction cache).  This is the stand-in for the TriCore TC10GP
+  evaluation board: it provides the reference cycle counts and the
+  reference bus trace that translated code is judged against.
+
+The fourth point — compiled simulation / binary translation — is the
+paper's contribution and lives in :mod:`repro.translator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.model import SourceArch, default_source_arch
+from repro.bpred.static_pred import BranchStats, dynamic_cost
+from repro.cache.icache import CacheStats, InstructionCache
+from repro.errors import SimulationError
+from repro.objfile.elf import ObjectFile
+from repro.refsim.decoded import DecodedInstr, decode_instruction
+from repro.refsim.irexec import execute_expansion
+from repro.refsim.state import MachineState, SourceMemory
+from repro.refsim.timing import PipelineTimer
+from repro.soc.bus import BusAccess, SocBus
+from repro.translator.ir import BranchKind
+
+
+@dataclass
+class RunResult:
+    """Everything observable about one simulated execution."""
+
+    instructions: int
+    cycles: int
+    regs: tuple[int, ...]
+    data_image: bytes
+    uart_output: bytes
+    bus_trace: list[BusAccess]
+    exit_code: int | None
+    halted: bool
+    branch_stats: BranchStats = field(default_factory=BranchStats)
+    cache_stats: CacheStats = field(default_factory=CacheStats)
+
+    @property
+    def cpi(self) -> float:
+        """Average clock cycles per source instruction (Table 1 metric)."""
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+
+class InterpretedISS:
+    """Functional simulator that re-decodes on every step."""
+
+    cache_decode = False
+
+    def __init__(self, obj: ObjectFile, arch: SourceArch | None = None,
+                 bus: SocBus | None = None) -> None:
+        self.arch = arch or default_source_arch()
+        self.memory = SourceMemory(self.arch.memory, bus)
+        self.memory.load_object(obj)
+        self.state = MachineState(pc=obj.entry)
+        self.instructions = 0
+        self._decode_cache: dict[int, DecodedInstr] = {}
+
+    # -- decoding ---------------------------------------------------------
+
+    def decode(self, addr: int) -> DecodedInstr:
+        if self.cache_decode:
+            cached = self._decode_cache.get(addr)
+            if cached is not None:
+                return cached
+        decoded = decode_instruction(self.memory.fetch16, addr)
+        if self.cache_decode:
+            self._decode_cache[addr] = decoded
+        return decoded
+
+    # -- execution ---------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        """Functional simulators count one cycle per instruction."""
+        return self.instructions
+
+    def _pre_execute(self, decoded: DecodedInstr) -> None:
+        """Hook for timing models (fetch/cache accounting)."""
+
+    def _post_execute(self, decoded: DecodedInstr, taken: bool,
+                      io_before: int) -> None:
+        """Hook for timing models (branch/IO accounting)."""
+
+    def step(self) -> DecodedInstr:
+        """Execute one source instruction."""
+        if self.state.halted:
+            raise SimulationError("machine is halted")
+        decoded = self.decode(self.state.pc)
+        self._pre_execute(decoded)
+        self.memory.cycle = self.cycles
+        io_before = self.memory.io_accesses
+        result = execute_expansion(
+            list(decoded.expansion), self.state, self.memory,
+            decoded.next_addr)
+        self.instructions += 1
+        self.state.pc = result.next_pc
+        if result.halted:
+            self.state.halted = True
+        self._post_execute(decoded, result.branch_taken, io_before)
+        return decoded
+
+    def run(self, max_instructions: int = 50_000_000) -> RunResult:
+        """Run until ``halt``, an exit-device write, or the limit."""
+        exit_device = self.memory.exit_device
+        while not self.state.halted and not exit_device.exited:
+            self.step()
+            if self.instructions >= max_instructions:
+                raise SimulationError(
+                    f"instruction limit {max_instructions} exceeded")
+        return self.collect_result()
+
+    def collect_result(self) -> RunResult:
+        exit_device = self.memory.exit_device
+        return RunResult(
+            instructions=self.instructions,
+            cycles=self.cycles,
+            regs=tuple(self.state.regs),
+            data_image=self.memory.data_image(),
+            uart_output=self.memory.uart.output,
+            bus_trace=self.memory.bus.monitor.transfers(),
+            exit_code=exit_device.code if exit_device.exited else None,
+            halted=self.state.halted,
+            branch_stats=getattr(self, "branch_stats", BranchStats()),
+            cache_stats=getattr(self, "icache", None).stats
+            if getattr(self, "icache", None) else CacheStats(),
+        )
+
+
+class FunctionalISS(InterpretedISS):
+    """Functional simulator with a decoded-instruction cache."""
+
+    cache_decode = True
+
+
+class CycleAccurateISS(FunctionalISS):
+    """The reference: cached decode plus the full timing model."""
+
+    def __init__(self, obj: ObjectFile, arch: SourceArch | None = None,
+                 bus: SocBus | None = None) -> None:
+        super().__init__(obj, arch, bus)
+        self.timer = PipelineTimer(self.arch.pipeline)
+        self.icache = (InstructionCache(self.arch.icache)
+                       if self.arch.icache.enabled else None)
+        self.branch_stats = BranchStats()
+
+    @property
+    def cycles(self) -> int:
+        return self.timer.cycles
+
+    def _pre_execute(self, decoded: DecodedInstr) -> None:
+        if self.icache is not None:
+            penalty = self.icache.access_penalty(decoded.addr)
+            if penalty:
+                self.timer.add_stall(penalty)
+        self.timer.issue(decoded.timed)
+
+    def _post_execute(self, decoded: DecodedInstr, taken: bool,
+                      io_before: int) -> None:
+        io_count = self.memory.io_accesses - io_before
+        if io_count:
+            self.timer.add_stall(
+                io_count * self.arch.pipeline.io_access_cycles)
+        kind = decoded.branch_kind
+        if kind is not BranchKind.NONE:
+            cost = dynamic_cost(self.arch.branch, kind, taken,
+                                decoded.predicted_taken)
+            # The branch already consumed its issue cycle in the timer.
+            if cost > 1:
+                self.timer.add_stall(cost - 1)
+            elif taken:
+                self.timer.barrier()
+            if kind is BranchKind.COND:
+                self.branch_stats.conditional += 1
+                if taken:
+                    self.branch_stats.taken += 1
+                if taken != decoded.predicted_taken:
+                    self.branch_stats.mispredicted += 1

@@ -1,0 +1,127 @@
+"""Machine state and memory system of the source processor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.model import MemoryMap
+from repro.errors import BusError, SimulationError
+from repro.objfile.elf import ObjectFile
+from repro.soc.bus import SocBus, standard_bus
+from repro.soc.devices import CycleTimer, ExitDevice, Uart
+from repro.utils.bits import u32
+
+
+class SourceMemory:
+    """Memory system: code ROM, data RAM, and the I/O window on the bus.
+
+    The I/O window forwards to a :class:`~repro.soc.bus.SocBus` whose
+    addresses are *offsets within the window*; the platform's bus bridge
+    uses the identical convention, so traces line up.
+    """
+
+    def __init__(self, memory_map: MemoryMap | None = None,
+                 bus: SocBus | None = None) -> None:
+        self.map = memory_map or MemoryMap()
+        self.bus = bus if bus is not None else standard_bus()
+        self._code = bytearray(self.map.code_size)
+        self._data = bytearray(self.map.data_size)
+        #: emulated cycle stamp used for bus transactions; the owner
+        #: (ISS or platform) keeps this current.
+        self.cycle = 0
+        self.io_accesses = 0
+
+    # -- image loading --------------------------------------------------
+
+    def load_object(self, obj: ObjectFile) -> None:
+        """Load all sections of a linked object file."""
+        for section in obj.sections:
+            self.load_blob(section.addr, section.data)
+
+    def load_blob(self, addr: int, blob: bytes) -> None:
+        if self.map.is_code(addr):
+            off = addr - self.map.code_base
+            if off + len(blob) > len(self._code):
+                raise SimulationError("code image exceeds code region")
+            self._code[off:off + len(blob)] = blob
+        elif self.map.is_data(addr):
+            off = addr - self.map.data_base
+            if off + len(blob) > len(self._data):
+                raise SimulationError("data image exceeds data region")
+            self._data[off:off + len(blob)] = blob
+        else:
+            raise SimulationError(
+                f"cannot load image at unmapped address {addr:#010x}")
+
+    # -- accessors -------------------------------------------------------
+
+    def fetch16(self, addr: int) -> int:
+        """Instruction fetch of one halfword (code region only)."""
+        if not self.map.is_code(addr):
+            raise BusError("instruction fetch outside code region", addr)
+        off = addr - self.map.code_base
+        return int.from_bytes(self._code[off:off + 2], "little")
+
+    def read(self, addr: int, size: int) -> int:
+        if self.map.is_data(addr):
+            off = addr - self.map.data_base
+            return int.from_bytes(self._data[off:off + size], "little")
+        if self.map.is_code(addr):
+            off = addr - self.map.code_base
+            return int.from_bytes(self._code[off:off + size], "little")
+        if self.map.is_io(addr):
+            self.io_accesses += 1
+            return self.bus.read(addr - self.map.io_base, size, self.cycle)
+        raise BusError("read from unmapped address", addr)
+
+    def write(self, addr: int, value: int, size: int) -> None:
+        if self.map.is_data(addr):
+            off = addr - self.map.data_base
+            self._data[off:off + size] = u32(value).to_bytes(4, "little")[:size]
+            return
+        if self.map.is_io(addr):
+            self.io_accesses += 1
+            self.bus.write(addr - self.map.io_base, value, size, self.cycle)
+            return
+        if self.map.is_code(addr):
+            raise BusError("write to code region", addr)
+        raise BusError("write to unmapped address", addr)
+
+    def is_io(self, addr: int) -> bool:
+        return self.map.is_io(addr)
+
+    # -- convenience peripheral access ------------------------------------
+
+    @property
+    def uart(self) -> Uart:
+        return self.bus.device("uart")  # type: ignore[return-value]
+
+    @property
+    def timer(self) -> CycleTimer:
+        return self.bus.device("timer")  # type: ignore[return-value]
+
+    @property
+    def exit_device(self) -> ExitDevice:
+        return self.bus.device("exit")  # type: ignore[return-value]
+
+    def data_image(self) -> bytes:
+        """Snapshot of the data RAM (for equivalence tests)."""
+        return bytes(self._data)
+
+
+@dataclass
+class MachineState:
+    """Architectural register state of the source processor."""
+
+    regs: list[int] = field(default_factory=lambda: [0] * 32)
+    pc: int = 0
+    halted: bool = False
+
+    def read_reg(self, reg: int) -> int:
+        return self.regs[reg]
+
+    def write_reg(self, reg: int, value: int) -> None:
+        self.regs[reg] = u32(value)
+
+    def snapshot(self) -> tuple[tuple[int, ...], int, bool]:
+        return tuple(self.regs), self.pc, self.halted

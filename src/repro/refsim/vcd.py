@@ -1,0 +1,74 @@
+"""Minimal VCD (value change dump) writer for the RTL-style simulator.
+
+Lets the stage-level model dump its per-cycle signals in the standard
+waveform format, as an RTL simulation environment would.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+
+@dataclass
+class VcdSignal:
+    name: str
+    width: int
+    ident: str
+    last: int | None = None
+
+
+class VcdWriter:
+    """Streams value changes for a fixed set of signals."""
+
+    def __init__(self, module: str = "rtlsim",
+                 timescale: str = "1 ns") -> None:
+        self._module = module
+        self._timescale = timescale
+        self._signals: dict[str, VcdSignal] = {}
+        self._body = io.StringIO()
+        self._time = -1
+        self._header_done = False
+
+    def add_signal(self, name: str, width: int = 32) -> None:
+        if self._header_done:
+            raise RuntimeError("signals must be added before recording")
+        ident = chr(33 + len(self._signals))
+        self._signals[name] = VcdSignal(name=name, width=width, ident=ident)
+
+    def record(self, time: int, **values: int) -> None:
+        """Record signal values at *time* (only changes are written)."""
+        self._header_done = True
+        changes = []
+        for name, value in values.items():
+            signal = self._signals[name]
+            if signal.last == value:
+                continue
+            signal.last = value
+            if signal.width == 1:
+                changes.append(f"{value & 1}{signal.ident}")
+            else:
+                changes.append(f"b{value:b} {signal.ident}")
+        if not changes:
+            return
+        if time != self._time:
+            self._body.write(f"#{time}\n")
+            self._time = time
+        for change in changes:
+            self._body.write(change + "\n")
+
+    def render(self) -> str:
+        """The complete VCD document."""
+        out = io.StringIO()
+        out.write(f"$timescale {self._timescale} $end\n")
+        out.write(f"$scope module {self._module} $end\n")
+        for signal in self._signals.values():
+            out.write(f"$var wire {signal.width} {signal.ident} "
+                      f"{signal.name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+        out.write(self._body.getvalue())
+        return out.getvalue()
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.render())

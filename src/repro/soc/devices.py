@@ -1,0 +1,148 @@
+"""Standard peripherals attached to the SoC bus.
+
+These model the "attached hardware" the paper validates against: simple
+devices whose visible behaviour depends on the emulated clock, so the
+cycle accuracy of translated code is observable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import BusError
+from repro.soc.bus import Device
+from repro.utils.bits import u32
+
+
+class Ram(Device):
+    """Plain little-endian RAM device."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError("RAM size must be positive")
+        self.size = size
+        self._data = bytearray(size)
+
+    def _check(self, offset: int, size: int) -> None:
+        if size not in (1, 2, 4):
+            raise BusError(f"unsupported access size {size}")
+        if offset < 0 or offset + size > self.size:
+            raise BusError("RAM access out of range", offset)
+
+    def read(self, offset: int, size: int, cycle: int) -> int:
+        self._check(offset, size)
+        return int.from_bytes(self._data[offset:offset + size], "little")
+
+    def write(self, offset: int, value: int, size: int, cycle: int) -> None:
+        self._check(offset, size)
+        self._data[offset:offset + size] = u32(value).to_bytes(4, "little")[:size]
+
+    def load(self, offset: int, blob: bytes) -> None:
+        """Initialize contents (outside of bus traffic)."""
+        self._data[offset:offset + len(blob)] = blob
+
+    def image(self) -> bytes:
+        return bytes(self._data)
+
+
+class Rom(Ram):
+    """RAM that rejects bus writes (still loadable from the host)."""
+
+    def write(self, offset: int, value: int, size: int, cycle: int) -> None:
+        raise BusError("write to ROM", offset)
+
+
+class ScratchRam(Ram):
+    """Small scratch memory used by handshake tests."""
+
+
+class Uart(Device):
+    """Transmit-only UART with a data and a status register.
+
+    * ``+0`` DATA: write transmits the low byte; read returns the next
+      byte of the host-provided input queue (0 if empty).
+    * ``+4`` STATUS: bit0 = tx ready (always), bit1 = rx available.
+
+    Every transmitted byte is recorded with its cycle stamp so tests can
+    assert when (in emulated time) output happened.
+    """
+
+    size = 8
+
+    def __init__(self) -> None:
+        self.transmitted: list[tuple[int, int]] = []  # (cycle, byte)
+        self.rx_queue: list[int] = []
+
+    @property
+    def output(self) -> bytes:
+        return bytes(byte for _cycle, byte in self.transmitted)
+
+    def feed(self, data: bytes) -> None:
+        """Queue host input for the program to read."""
+        self.rx_queue.extend(data)
+
+    def read(self, offset: int, size: int, cycle: int) -> int:
+        if offset == 0:
+            return self.rx_queue.pop(0) if self.rx_queue else 0
+        if offset == 4:
+            return 0x1 | (0x2 if self.rx_queue else 0x0)
+        raise BusError("invalid UART register", offset)
+
+    def write(self, offset: int, value: int, size: int, cycle: int) -> None:
+        if offset == 0:
+            self.transmitted.append((cycle, value & 0xFF))
+            return
+        raise BusError("invalid UART register write", offset)
+
+
+class CycleTimer(Device):
+    """Free-running counter of emulated clock cycles.
+
+    Programs read ``+0`` to observe the emulated time.  This is the
+    most direct cycle-accuracy probe: a translated program must read
+    (approximately) the same timer values as the reference processor.
+    Writing ``+4`` latches the current cycle into a capture register
+    readable at ``+4``.
+    """
+
+    size = 8
+
+    def __init__(self) -> None:
+        self._capture = 0
+
+    def read(self, offset: int, size: int, cycle: int) -> int:
+        if offset == 0:
+            return u32(cycle)
+        if offset == 4:
+            return u32(self._capture)
+        raise BusError("invalid timer register", offset)
+
+    def write(self, offset: int, value: int, size: int, cycle: int) -> None:
+        if offset == 4:
+            self._capture = cycle
+            return
+        raise BusError("invalid timer register write", offset)
+
+
+class ExitDevice(Device):
+    """Write-to-exit device: the program stores its exit code here.
+
+    Simulators poll :attr:`exited`/:attr:`code` after each access.
+    """
+
+    size = 4
+
+    def __init__(self) -> None:
+        self.exited = False
+        self.code: int | None = None
+        self.exit_cycle: int | None = None
+
+    def write(self, offset: int, value: int, size: int, cycle: int) -> None:
+        if offset != 0:
+            raise BusError("invalid exit register", offset)
+        self.exited = True
+        self.code = u32(value)
+        self.exit_cycle = cycle
+
+    def read(self, offset: int, size: int, cycle: int) -> int:
+        if offset != 0:
+            raise BusError("invalid exit register", offset)
+        return u32(self.code or 0)

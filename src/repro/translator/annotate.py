@@ -1,0 +1,170 @@
+"""Annotation of translated code (Sections 3.1 and 3.4).
+
+Assembles each basic block's final instruction stream:
+
+* detail level >= 1 — cycle-generation start at block entry (write the
+  predicted count *n* to the synchronization device) and the blocking
+  wait at block exit (Fig. 2);
+* detail level >= 2 — cycle-calculation code for the conditional jump
+  (predicated correction-counter updates, Section 3.4.1) and the
+  correction block (conditional start/wait on the correction channel,
+  Fig. 3);
+* detail level 3 — division into cache analysis blocks with a
+  subroutine call (or inline probe) per analysis block
+  (Section 3.4.2).
+
+The result is a list of :class:`CodeRegion`: straight-line scheduling
+units, each optionally ending in a single branch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.model import SourceArch
+from repro.translator.cycles import BlockCycles
+from repro.translator.icache_annot import (
+    CacheLayout,
+    call_sequence,
+    inline_sequence,
+    split_analysis_blocks,
+)
+from repro.translator.ir import (
+    RES_CORR,
+    RES_SYNC,
+    IRInstr,
+    IROp,
+    Role,
+    TempAllocator,
+)
+from repro.translator.rewrite import BlockIR
+from repro.vliw.syncdev import (
+    REG_CMD,
+    REG_CORR_CMD,
+    REG_CORR_STATUS,
+    REG_STATUS,
+)
+
+
+@dataclass
+class CodeRegion:
+    """A straight-line scheduling unit with at most one ending branch."""
+
+    label: str | None
+    items: list[IRInstr] = field(default_factory=list)
+    terminator: IRInstr | None = None
+    #: set on the first region of a basic block (head metadata)
+    block_addr: int | None = None
+    n_source_instructions: int = 0
+    predicted_cycles: int = 0
+
+
+def _sync_start(n: int, temps: TempAllocator) -> list[IRInstr]:
+    value = temps.fresh()
+    return [
+        IRInstr(IROp.MVK, dst=value, imm=n, role=Role.SYNC_START,
+                comment=f"predicted cycles = {n}"),
+        IRInstr(IROp.STW, a=value, b=RES_SYNC, imm=REG_CMD,
+                role=Role.SYNC_START, device=True,
+                comment="start cycle generation"),
+    ]
+
+
+def _sync_wait(temps: TempAllocator) -> list[IRInstr]:
+    scratch = temps.fresh()
+    return [
+        IRInstr(IROp.LDW, dst=scratch, a=RES_SYNC, imm=REG_STATUS,
+                role=Role.SYNC_WAIT, device=True,
+                comment="wait for end of cycle generation"),
+    ]
+
+
+def _branch_corrections(block_ir: BlockIR, cycles: BlockCycles) -> list[IRInstr]:
+    """Predicated correction-counter updates before the conditional jump."""
+    correction = cycles.correction
+    term = block_ir.terminator
+    if correction is None or not correction.needed or term is None \
+            or term.pred is None:
+        return []
+    items: list[IRInstr] = []
+    if correction.delta_taken:
+        items.append(IRInstr(
+            IROp.ADD, dst=RES_CORR, a=RES_CORR, imm=correction.delta_taken,
+            pred=term.pred, pred_sense=term.pred_sense, role=Role.CORR_ADD,
+            comment=f"+{correction.delta_taken} if taken"))
+    if correction.delta_not_taken:
+        items.append(IRInstr(
+            IROp.ADD, dst=RES_CORR, a=RES_CORR,
+            imm=correction.delta_not_taken,
+            pred=term.pred, pred_sense=not term.pred_sense,
+            role=Role.CORR_ADD,
+            comment=f"+{correction.delta_not_taken} if not taken"))
+    return items
+
+
+def _correction_block(temps: TempAllocator) -> list[IRInstr]:
+    """Conditionally emit and await the accumulated correction cycles."""
+    scratch = temps.fresh()
+    return [
+        IRInstr(IROp.STW, a=RES_CORR, b=RES_SYNC, imm=REG_CORR_CMD,
+                pred=RES_CORR, role=Role.CORR_START, device=True,
+                comment="start correction cycle generation"),
+        IRInstr(IROp.LDW, dst=scratch, a=RES_SYNC, imm=REG_CORR_STATUS,
+                pred=RES_CORR, role=Role.CORR_WAIT, device=True,
+                comment="wait for end of correction cycle generation"),
+        IRInstr(IROp.MVK, dst=RES_CORR, imm=0, role=Role.CORR_RESET,
+                comment="reset correction counter"),
+    ]
+
+
+def build_block_regions(block_ir: BlockIR, cycles: BlockCycles,
+                        level: int, source: SourceArch,
+                        cache_layout: CacheLayout | None,
+                        inline_cache_threshold: int | None) -> list[CodeRegion]:
+    """Assemble the annotated regions of one basic block."""
+    block = block_ir.block
+    temps = block_ir.temps
+    head = CodeRegion(
+        label=f"B_{block.addr:08x}",
+        block_addr=block.addr,
+        n_source_instructions=block.n_instructions,
+        predicted_cycles=cycles.predicted,
+    )
+    if level >= 1:
+        head.items.extend(_sync_start(cycles.predicted, temps))
+
+    regions = [head]
+    current = head
+
+    if level >= 3 and cache_layout is not None:
+        inline = (inline_cache_threshold is not None
+                  and block.n_instructions >= inline_cache_threshold)
+        cabs = split_analysis_blocks(block, block_ir.boundaries,
+                                     len(block_ir.body), cache_layout)
+        for cab_index, cab in enumerate(cabs):
+            if inline:
+                current.items.extend(
+                    inline_sequence(cab, cache_layout, temps))
+                current.items.extend(
+                    block_ir.body[cab.start_index:cab.end_index])
+            else:
+                return_label = f"B_{block.addr:08x}_cab{cab_index}"
+                call_items, branch = call_sequence(cab, cache_layout,
+                                                   return_label)
+                current.items.extend(call_items)
+                current.terminator = branch
+                current = CodeRegion(label=return_label)
+                regions.append(current)
+                current.items.extend(
+                    block_ir.body[cab.start_index:cab.end_index])
+    else:
+        current.items.extend(block_ir.body)
+
+    if level >= 2:
+        current.items.extend(_branch_corrections(block_ir, cycles))
+    if level >= 1:
+        current.items.extend(_sync_wait(temps))
+    if level >= 2:
+        current.items.extend(_correction_block(temps))
+    current.terminator = block_ir.terminator
+    return regions

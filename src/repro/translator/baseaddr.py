@@ -1,0 +1,288 @@
+"""Base-address analysis: finding out where loads and stores go.
+
+Fig. 1 / Section 3: "the base addresses of load/store instructions have
+to be found out, as far as this is statically possible … to change the
+base addresses … to the new memory addresses of the target system …
+[and] to find out which of these load/store instructions are I/O
+instructions".
+
+The analysis is an abstract interpretation of each instruction's IR
+expansion over a small lattice:
+
+* ``CONST(v)`` — the register provably holds the constant *v*;
+* ``REGION(r)`` — the register holds *some* address inside region *r*
+  (data or I/O): a region constant plus a statically unknown index,
+  the common shape of array accesses;
+* unknown (absent from the state).
+
+States propagate through the CFG with a meet-over-paths worklist; call
+boundaries conservatively clear the state (the callee may clobber any
+register).  Every memory access is classified ``data`` / ``io`` /
+``code`` / ``unknown``; unknown accesses get a run-time translation
+stub (Section 3's "I/O instructions have to be replaced by instructions
+accessing the hardware of the bus model" generalizes to a dynamic
+check when the class is not static).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.model import MemoryMap
+from repro.translator.blocks import BasicBlock, ControlFlowGraph
+from repro.translator.ir import (
+    ALU_OPS,
+    COMPARE_OPS,
+    IRInstr,
+    IROp,
+    LOAD_OPS,
+    STORE_OPS,
+    is_source_reg,
+)
+from repro.utils.bits import s32, u32
+
+
+class Region(enum.Enum):
+    DATA = "data"
+    IO = "io"
+    CODE = "code"
+    UNKNOWN = "unknown"
+
+
+@dataclass(frozen=True)
+class AbsVal:
+    """Abstract register value: a constant or a region."""
+
+    region: Region
+    const: int | None  # exact value when known
+
+    @property
+    def is_const(self) -> bool:
+        return self.const is not None
+
+
+def _classify_const(value: int, memory: MemoryMap) -> Region:
+    if memory.is_data(value):
+        return Region.DATA
+    if memory.is_io(value):
+        return Region.IO
+    if memory.is_code(value):
+        return Region.CODE
+    return Region.UNKNOWN
+
+
+def _const(value: int, memory: MemoryMap) -> AbsVal:
+    value = u32(value)
+    return AbsVal(_classify_const(value, memory), value)
+
+
+#: an access classification: (region, constant address or None)
+@dataclass(frozen=True)
+class AccessClass:
+    region: Region
+    const_addr: int | None
+
+    @property
+    def is_io(self) -> bool:
+        return self.region is Region.IO
+
+
+#: key: (source instruction address, index of the IR op in the expansion)
+AccessMap = dict[tuple[int, int], AccessClass]
+
+State = dict[int, AbsVal]
+
+
+def _meet(a: State, b: State) -> State:
+    """Join two predecessor states (intersection of compatible facts)."""
+    out: State = {}
+    for reg, va in a.items():
+        vb = b.get(reg)
+        if vb is None:
+            continue
+        if va == vb:
+            out[reg] = va
+        elif va.region == vb.region and va.region is not Region.UNKNOWN:
+            out[reg] = AbsVal(va.region, None)
+    return out
+
+
+class BaseAddressAnalysis:
+    """Classifies every memory access in the program.
+
+    *extra_entries* are blocks that may be reached with unknown register
+    state (function symbols — potential indirect call targets).
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, memory: MemoryMap,
+                 extra_entries: set[int] | None = None) -> None:
+        self.cfg = cfg
+        self.memory = memory
+        self.extra_entries = extra_entries or set()
+        self.accesses: AccessMap = {}
+        self._in_states: dict[int, State] = {}
+
+    # -- abstract transfer ---------------------------------------------------
+
+    def _eval(self, instr: IRInstr, state: State) -> AbsVal | None:
+        """Abstract value produced by a non-memory IR op (or None)."""
+        op = instr.op
+        if op is IROp.MVK:
+            return _const(instr.imm or 0, self.memory)
+
+        def operand_a() -> AbsVal | None:
+            return state.get(instr.a) if instr.a is not None else None
+
+        def operand_b() -> AbsVal | None:
+            if instr.b is not None:
+                return state.get(instr.b)
+            if instr.imm is not None:
+                return _const(instr.imm, self.memory)
+            return None
+
+        if op is IROp.MV:
+            return operand_a()
+        if op in (IROp.ADD, IROp.SUB):
+            va, vb = operand_a(), operand_b()
+            if va is not None and va.is_const and vb is not None \
+                    and vb.is_const:
+                value = va.const + vb.const if op is IROp.ADD \
+                    else va.const - vb.const
+                return _const(value, self.memory)
+            # region + offset stays in the region (in-bounds assumption,
+            # the paper's pragmatic premise for array accesses)
+            for vr, other in ((va, vb), (vb, va)) if op is IROp.ADD \
+                    else ((va, vb),):
+                if vr is not None and vr.region in (Region.DATA, Region.IO):
+                    return AbsVal(vr.region, None)
+            return None
+        if op in ALU_OPS or op in COMPARE_OPS or op is IROp.ABS:
+            va, vb = operand_a(), operand_b()
+            if va is not None and va.is_const and \
+                    (vb is None or vb.is_const) and op is not IROp.MPY:
+                value = self._fold(op, va.const,
+                                   vb.const if vb is not None else None)
+                if value is not None:
+                    return _const(value, self.memory)
+            return None
+        return None
+
+    @staticmethod
+    def _fold(op: IROp, a: int, b: int | None) -> int | None:
+        b = b or 0
+        if op is IROp.AND:
+            return a & u32(b)
+        if op is IROp.OR:
+            return a | u32(b)
+        if op is IROp.XOR:
+            return a ^ u32(b)
+        if op is IROp.SHL:
+            return a << (b & 31)
+        if op is IROp.SHRU:
+            return u32(a) >> (b & 31)
+        if op is IROp.SHRA:
+            return s32(a) >> (b & 31)
+        if op is IROp.ABS:
+            return abs(s32(a))
+        return None
+
+    def _transfer_instr(self, decoded, state: State) -> None:
+        """Run one source instruction's expansion over *state*."""
+        addr = decoded.addr
+        for index, instr in enumerate(decoded.expansion):
+            if instr.op in LOAD_OPS or instr.op in STORE_OPS:
+                base = instr.b if instr.op in STORE_OPS else instr.a
+                offset = instr.imm or 0
+                val = state.get(base)
+                if val is None:
+                    cls = AccessClass(Region.UNKNOWN, None)
+                elif val.is_const:
+                    target = u32(val.const + offset)
+                    cls = AccessClass(_classify_const(target, self.memory),
+                                      target)
+                else:
+                    cls = AccessClass(val.region, None)
+                key = (addr, index)
+                previous = self.accesses.get(key)
+                cls = self._merge_access(previous, cls)
+                self.accesses[key] = cls
+                if instr.op in LOAD_OPS:
+                    state.pop(instr.dst, None)
+                continue
+            if instr.op is IROp.B or instr.op is IROp.HALT \
+                    or instr.op is IROp.NOP:
+                continue
+            if instr.dst is None:
+                continue
+            if instr.pred is not None:
+                state.pop(instr.dst, None)
+                continue
+            value = self._eval(instr, state)
+            if value is None:
+                state.pop(instr.dst, None)
+            else:
+                state[instr.dst] = value
+
+    @staticmethod
+    def _merge_access(previous: AccessClass | None,
+                      new: AccessClass) -> AccessClass:
+        if previous is None or previous == new:
+            return new
+        if previous.region == new.region:
+            return AccessClass(new.region, None)
+        return AccessClass(Region.UNKNOWN, None)
+
+    # -- dataflow -------------------------------------------------------------
+
+    def run(self) -> AccessMap:
+        """Fixpoint over the CFG; returns the access classification.
+
+        The in-state lattice uses ``None`` for "not yet reached"; the
+        meet of ``None`` with a state S is S.  Entry points with no
+        known callers (the program entry, function symbols that may be
+        reached indirectly) start from the empty state — every register
+        unknown.
+        """
+        from repro.translator.ir import BranchKind
+
+        # None = not yet reached (bottom); meet(None, S) = S.
+        in_states: dict[int, State | None] = {
+            addr: None for addr in self.cfg.order}
+        worklist: list[int] = []
+        for entry in {self.cfg.entry, *self.extra_entries}:
+            if entry in self.cfg.blocks:
+                in_states[entry] = {}
+                worklist.append(entry)
+
+        iterations = 0
+        limit = 100 * max(1, len(self.cfg.blocks))
+        while worklist:
+            iterations += 1
+            if iterations > limit:  # pragma: no cover - defensive
+                break
+            addr = worklist.pop(0)
+            state = dict(in_states[addr] or {})
+            block = self.cfg.blocks[addr]
+            for decoded in block.instrs:
+                self._transfer_instr(decoded, state)
+            kind = block.kind
+            out = {} if kind in (BranchKind.CALL,
+                                 BranchKind.CALL_INDIRECT) else state
+            for succ in block.successor_addrs():
+                if succ not in self.cfg.blocks:
+                    continue
+                current = in_states.get(succ)
+                merged = dict(out) if current is None else _meet(current, out)
+                if current is None or merged != current:
+                    in_states[succ] = merged
+                    if succ not in worklist:
+                        worklist.append(succ)
+        self._in_states = {a: (s or {}) for a, s in in_states.items()}
+        return self.accesses
+
+
+def analyze(cfg: ControlFlowGraph, memory: MemoryMap,
+            extra_entries: set[int] | None = None) -> AccessMap:
+    """Run the base-address analysis over *cfg*."""
+    return BaseAddressAnalysis(cfg, memory, extra_entries).run()

@@ -1,0 +1,153 @@
+"""Basic-block construction and control-flow graph.
+
+Fig. 1: "the basic blocks of this program are found out … and a list of
+basic blocks is built".  Leaders are the program entry, every function
+symbol (possible indirect-branch target), every direct branch target,
+and every instruction following a control transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TranslationError
+from repro.objfile.elf import ObjectFile, SymbolKind
+from repro.refsim.decoded import DecodedInstr
+from repro.translator.ir import BranchKind
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction sequence."""
+
+    addr: int
+    instrs: list[DecodedInstr] = field(default_factory=list)
+
+    @property
+    def end_addr(self) -> int:
+        last = self.instrs[-1]
+        return last.next_addr
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.instrs)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.end_addr - self.addr
+
+    @property
+    def terminator(self) -> DecodedInstr | None:
+        """The control transfer ending this block (None = fall-through)."""
+        last = self.instrs[-1]
+        return last if last.branch_kind is not BranchKind.NONE else None
+
+    @property
+    def kind(self) -> BranchKind:
+        term = self.terminator
+        return term.branch_kind if term is not None else BranchKind.NONE
+
+    @property
+    def branch_target(self) -> int | None:
+        term = self.terminator
+        return term.branch_target if term is not None else None
+
+    @property
+    def falls_through(self) -> bool:
+        """True if control may continue into the next block in memory."""
+        if self.instrs[-1].spec.key == "halt":
+            return False
+        kind = self.kind
+        # Calls "fall through" in the sense that the return site is the
+        # next block; jumps, returns and indirect jumps never do.
+        return kind in (BranchKind.NONE, BranchKind.COND, BranchKind.LOOP,
+                        BranchKind.CALL, BranchKind.CALL_INDIRECT)
+
+    def successor_addrs(self) -> list[int]:
+        """Statically known successor block addresses."""
+        result: list[int] = []
+        if self.kind in (BranchKind.COND, BranchKind.LOOP, BranchKind.JUMP):
+            if self.branch_target is not None:
+                result.append(self.branch_target)
+        if self.falls_through:
+            result.append(self.end_addr)
+        return result
+
+
+@dataclass
+class ControlFlowGraph:
+    """Address-ordered basic blocks plus lookup tables."""
+
+    blocks: dict[int, BasicBlock]
+    entry: int
+
+    @property
+    def order(self) -> list[int]:
+        return sorted(self.blocks)
+
+    def block_of(self, addr: int) -> BasicBlock:
+        """The block containing *addr* (not necessarily at its start)."""
+        candidates = [a for a in self.blocks if a <= addr]
+        if not candidates:
+            raise TranslationError(f"no block contains {addr:#010x}")
+        block = self.blocks[max(candidates)]
+        if addr >= block.end_addr:
+            raise TranslationError(f"no block contains {addr:#010x}")
+        return block
+
+    def __iter__(self):
+        for addr in self.order:
+            yield self.blocks[addr]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def build_cfg(instrs: list[DecodedInstr], obj: ObjectFile,
+              instruction_blocks: bool = False) -> ControlFlowGraph:
+    """Partition *instrs* into basic blocks.
+
+    With *instruction_blocks* every instruction becomes its own block —
+    the "instruction oriented cycle generation" of the paper's debug
+    support (Section 3.5), where the translated code carries cycle
+    generation per instruction so the debugger can single-step.
+    """
+    if not instrs:
+        raise TranslationError("cannot build a CFG from an empty program")
+    by_addr = {i.addr: i for i in instrs}
+    leaders: set[int] = {obj.entry}
+    if instruction_blocks:
+        leaders.update(by_addr)
+    for sym in obj.symbols.values():
+        if sym.kind == SymbolKind.FUNC and sym.addr in by_addr:
+            leaders.add(sym.addr)
+    for instr in instrs:
+        if instr.branch_kind is not BranchKind.NONE:
+            if instr.branch_target is not None:
+                target = instr.branch_target
+                if target not in by_addr:
+                    raise TranslationError(
+                        f"branch at {instr.addr:#010x} targets "
+                        f"{target:#010x}, which is not an instruction start")
+                leaders.add(target)
+            if instr.next_addr in by_addr:
+                leaders.add(instr.next_addr)
+        elif instr.spec.key in ("halt", "debug"):
+            if instr.next_addr in by_addr:
+                leaders.add(instr.next_addr)
+
+    if obj.entry not in by_addr:
+        raise TranslationError(
+            f"entry point {obj.entry:#010x} is not an instruction start")
+
+    blocks: dict[int, BasicBlock] = {}
+    current: BasicBlock | None = None
+    for instr in instrs:
+        if instr.addr in leaders or current is None:
+            current = BasicBlock(addr=instr.addr)
+            blocks[instr.addr] = current
+        current.instrs.append(instr)
+        if instr.branch_kind is not BranchKind.NONE \
+                or instr.spec.key == "halt":
+            current = None
+    return ControlFlowGraph(blocks=blocks, entry=obj.entry)

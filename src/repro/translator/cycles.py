@@ -1,0 +1,102 @@
+"""Static cycle calculation of a basic block (Section 3.3).
+
+"In order to predict pipeline effects and the effects of super scalarity
+statically, modeling the pipeline per basic block becomes necessary" —
+the block's instructions are run through the *same*
+:class:`~repro.refsim.timing.PipelineTimer` the reference ISS uses,
+starting from a clean pipeline.  Statically classified I/O accesses add
+their bus cycles; the block-ending branch contributes either its
+statically assumed cost (detail level 1) or its guaranteed minimum plus
+dynamic-correction deltas (levels 2+, Section 3.4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.model import SourceArch
+from repro.bpred.static_pred import static_cost
+from repro.refsim.timing import PipelineTimer
+from repro.translator.baseaddr import AccessMap, Region
+from repro.translator.blocks import BasicBlock
+from repro.translator.ir import BranchKind, LOAD_OPS, STORE_OPS
+
+
+@dataclass(frozen=True)
+class BranchCorrection:
+    """Dynamic-correction deltas of a conditional block terminator.
+
+    The generated code adds ``delta_taken`` to the correction counter
+    when the branch is taken and ``delta_not_taken`` otherwise; one of
+    the two is zero by construction (the minimum was charged
+    statically).
+    """
+
+    delta_taken: int
+    delta_not_taken: int
+
+    @property
+    def needed(self) -> bool:
+        return self.delta_taken > 0 or self.delta_not_taken > 0
+
+
+@dataclass(frozen=True)
+class BlockCycles:
+    """Result of the static cycle calculation for one block."""
+
+    predicted: int  # cycles written to the synchronization device
+    pipeline_cycles: int  # portion from the pipeline model
+    branch_cycles: int  # portion from the terminator
+    io_cycles: int  # portion from statically classified I/O accesses
+    correction: BranchCorrection | None
+
+
+def static_block_cycles(block: BasicBlock, accesses: AccessMap,
+                        arch: SourceArch, level: int) -> BlockCycles:
+    """Predict the source-processor cycles of *block* at *level*."""
+    timer = PipelineTimer(arch.pipeline)
+    io_count = 0
+    for decoded in block.instrs:
+        timer.issue(decoded.timed)
+        for index, instr in enumerate(decoded.expansion):
+            if instr.op in LOAD_OPS or instr.op in STORE_OPS:
+                cls = accesses.get((decoded.addr, index))
+                if cls is not None and cls.region is Region.IO:
+                    io_count += 1
+    io_cycles = io_count * arch.pipeline.io_access_cycles
+
+    branch_cycles = 0
+    correction: BranchCorrection | None = None
+    term = block.terminator
+    if term is not None:
+        kind = term.branch_kind
+        assume_predicted = level <= 1
+        cost = static_cost(arch.branch, kind, term.predicted_taken,
+                           assume_predicted)
+        # The branch instruction already consumed its issue cycle in the
+        # pipeline timer; charge only the cycles beyond that.
+        branch_cycles = max(cost - 1, 0)
+        if level >= 2 and kind in (BranchKind.COND, BranchKind.LOOP):
+            model = arch.branch
+            if kind is BranchKind.COND:
+                base = model.min_conditional
+                taken = model.conditional_cost(True, term.predicted_taken)
+                not_taken = model.conditional_cost(False,
+                                                   term.predicted_taken)
+            else:
+                base = model.min_loop
+                taken = model.loop_cost(True)
+                not_taken = model.loop_cost(False)
+            correction = BranchCorrection(
+                delta_taken=taken - base,
+                delta_not_taken=not_taken - base,
+            )
+
+    predicted = timer.cycles + branch_cycles + io_cycles
+    return BlockCycles(
+        predicted=predicted,
+        pipeline_cycles=timer.cycles,
+        branch_cycles=branch_cycles,
+        io_cycles=io_cycles,
+        correction=correction,
+    )

@@ -1,0 +1,36 @@
+"""Object-file decoding for the translator.
+
+Fig. 1 of the paper: "using an appropriate class, the compiler reads
+the object file … this object code will be decoded and translated into
+an intermediate representation".  The decoded form is shared with the
+reference simulators (:mod:`repro.refsim.decoded`), so translator and
+reference agree on semantics by construction.
+"""
+
+from __future__ import annotations
+
+from repro.errors import DecodingError
+from repro.objfile.elf import ObjectFile
+from repro.refsim.decoded import DecodedInstr, decode_instruction
+
+
+def decode_object(obj: ObjectFile) -> list[DecodedInstr]:
+    """Decode the executable section into an ordered instruction list."""
+    text = obj.text()
+    blob = text.data
+    base = text.addr
+
+    def fetch16(addr: int) -> int:
+        off = addr - base
+        if off < 0 or off + 2 > len(blob):
+            raise DecodingError("fetch outside text section", addr)
+        return int.from_bytes(blob[off:off + 2], "little")
+
+    instrs: list[DecodedInstr] = []
+    addr = base
+    end = base + len(blob)
+    while addr < end:
+        decoded = decode_instruction(fetch16, addr)
+        instrs.append(decoded)
+        addr = decoded.next_addr
+    return instrs

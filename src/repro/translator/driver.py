@@ -1,0 +1,324 @@
+"""The cycle-accurate static compiler (Fig. 1), end to end.
+
+:class:`BinaryTranslator` chains every pass of the paper's Figure 1:
+reading the object file, constructing intermediate code, building basic
+blocks, finding base addresses, cycle calculation, insertion of cycle
+generation and dynamic-correction code, the VLIW transformations
+(parallelization, unit assignment, register binding), and emission of
+the cycle-accurate VLIW program.
+
+The *detail level* selects how much timing machinery is generated
+(Section 3.2):
+
+====== =======================================================
+level  meaning
+====== =======================================================
+0      purely functional translation (no cycle information)
+1      static cycle prediction per basic block
+2      level 1 + dynamic branch-prediction correction
+3      level 2 + instruction-cache simulation
+====== =======================================================
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.arch.model import (
+    SourceArch,
+    TargetArch,
+    default_source_arch,
+    default_target_arch,
+)
+from repro.errors import TranslationError
+from repro.objfile.elf import ObjectFile, SymbolKind
+from repro.translator.annotate import CodeRegion, build_block_regions
+from repro.translator.baseaddr import analyze
+from repro.translator.blocks import build_cfg
+from repro.translator.cycles import BlockCycles, static_block_cycles
+from repro.translator.decoder import decode_object
+from repro.translator.emit import EmittedRegion, ProgramEmitter
+from repro.translator.icache_annot import (
+    CACHE_SUB_LABEL,
+    CacheLayout,
+    make_layout,
+    subroutine_body,
+)
+from repro.translator.ir import (
+    RES_CORR,
+    RES_DDELTA,
+    RES_RETADDR,
+    RES_SYNC,
+    RES_TMP0,
+    RES_TMP1,
+    RES_TMP2,
+    RES_TMP3,
+    RES_TMP4,
+    RES_TMP5,
+    IRInstr,
+    IROp,
+    Role,
+    TempAllocator,
+    is_source_reg,
+)
+from repro.translator.lower import Lowering, lower_mvk
+from repro.translator.regalloc import RegisterBinder
+from repro.translator.rewrite import AddressTranslator, BlockIR
+from repro.translator.schedule import RegionScheduler
+from repro.isa.c6x.instructions import TargetInstr, TOp, TRole
+from repro.isa.c6x.packets import C6xProgram
+from repro.utils.bits import u32
+
+
+@dataclass(frozen=True)
+class TranslationOptions:
+    """Knobs of the translator."""
+
+    level: int = 1
+    #: inline the cache probe into blocks with at least this many source
+    #: instructions (None = always call the generated subroutine)
+    inline_cache_threshold: int | None = None
+    #: one block per instruction: the paper's instruction-oriented cycle
+    #: generation used by the debugger for single stepping (Section 3.5)
+    instruction_blocks: bool = False
+
+    def validate(self) -> "TranslationOptions":
+        if self.level not in (0, 1, 2, 3):
+            raise TranslationError(f"invalid detail level {self.level}")
+        return self
+
+
+@dataclass
+class TranslationStats:
+    """Size/shape statistics of one translation."""
+
+    source_instructions: int = 0
+    basic_blocks: int = 0
+    target_instructions: int = 0
+    packets: int = 0
+    code_expansion: float = 0.0
+    accesses_data: int = 0
+    accesses_io: int = 0
+    accesses_unknown: int = 0
+    spilled_registers: int = 0
+
+
+@dataclass
+class TranslationResult:
+    """Everything the translator produces."""
+
+    program: C6xProgram
+    block_cycles: dict[int, BlockCycles] = field(default_factory=dict)
+    stats: TranslationStats = field(default_factory=TranslationStats)
+    options: TranslationOptions = field(default_factory=TranslationOptions)
+
+    @property
+    def predicted_total(self) -> int:
+        return sum(bc.predicted for bc in self.block_cycles.values())
+
+
+def _reserved_for_level(level: int) -> list[int]:
+    reserved = [RES_DDELTA]
+    if level >= 1:
+        reserved.append(RES_SYNC)
+    if level >= 2:
+        reserved.append(RES_CORR)
+    if level >= 3:
+        reserved.extend([RES_RETADDR, RES_TMP0, RES_TMP1,
+                         RES_TMP2, RES_TMP3, RES_TMP4, RES_TMP5])
+    return reserved
+
+
+class BinaryTranslator:
+    """Translates one source object file to a C6x program."""
+
+    def __init__(self, obj: ObjectFile,
+                 source: SourceArch | None = None,
+                 target: TargetArch | None = None,
+                 options: TranslationOptions | None = None) -> None:
+        self.obj = obj
+        self.source = source or default_source_arch()
+        self.target = target or default_target_arch()
+        self.options = (options or TranslationOptions()).validate()
+
+    def translate(self) -> TranslationResult:
+        opts = self.options
+        level = opts.level
+
+        # Fig. 1: decode, intermediate code, basic blocks.
+        instrs = decode_object(self.obj)
+        cfg = build_cfg(instrs, self.obj,
+                        instruction_blocks=opts.instruction_blocks)
+
+        # Fig. 1: finding base addresses.
+        func_entries = {sym.addr for sym in self.obj.symbols.values()
+                        if sym.kind == SymbolKind.FUNC}
+        accesses = analyze(cfg, self.source.memory, func_entries)
+
+        cache_layout: CacheLayout | None = None
+        if level >= 3:
+            if not self.source.icache.enabled:
+                raise TranslationError(
+                    "detail level 3 requires an instruction cache in the "
+                    "source architecture description")
+            cache_layout = make_layout(self.source, self.target)
+
+        translator = AddressTranslator(self.source, self.target, accesses,
+                                       level)
+
+        # Per-block: rewrite, cycle calculation, annotation.
+        block_irs: list[BlockIR] = []
+        block_cycles: dict[int, BlockCycles] = {}
+        all_regions: list[tuple[BlockIR, list[CodeRegion]]] = []
+        for block in cfg:
+            block_ir = translator.rewrite_block(block)
+            cycles = static_block_cycles(block, accesses, self.source, level)
+            block_cycles[block.addr] = cycles
+            regions = build_block_regions(
+                block_ir, cycles, level, self.source, cache_layout,
+                opts.inline_cache_threshold)
+            block_irs.append(block_ir)
+            all_regions.append((block_ir, regions))
+
+        # Register binding plan from global source-register usage.
+        usage: Counter = Counter()
+        for block_ir, regions in all_regions:
+            for region in regions:
+                for item in region.items:
+                    for reg in (*item.reads(), *item.writes()):
+                        if is_source_reg(reg):
+                            usage[reg] += 1
+                if region.terminator is not None:
+                    for reg in region.terminator.reads():
+                        if is_source_reg(reg):
+                            usage[reg] += 1
+        spill_base = self.target.internal_base + (
+            cache_layout.size if cache_layout else 0)
+        binder = RegisterBinder(self.target, _reserved_for_level(level),
+                                usage, spill_base)
+
+        scheduler = RegionScheduler(self.target)
+        emitter = ProgramEmitter(self.source, self.target, self.obj)
+
+        # Prologue: reserved-register setup, then jump to the entry block.
+        emitter.add_region(self._prologue(binder, scheduler, level))
+
+        for block_ir, regions in all_regions:
+            lowering = Lowering(block_ir.temps)
+            for region in regions:
+                lowered = lowering.lower_region(region)
+                terminator = lowering.lower_terminator(region)
+                bound, bound_term = binder.bind_region(lowered, terminator)
+                scheduled = scheduler.schedule(bound, bound_term)
+                emitter.add_region(EmittedRegion(
+                    label=region.label,
+                    packets=scheduled.packets,
+                    block_addr=region.block_addr,
+                    n_source_instructions=region.n_source_instructions,
+                    predicted_cycles=region.predicted_cycles,
+                ))
+
+        if level >= 3 and cache_layout is not None \
+                and self._uses_cache_subroutine(all_regions):
+            emitter.add_region(self._cache_subroutine(
+                cache_layout, binder, scheduler))
+
+        program = emitter.finish(binder.plan.source,
+                                 dict(binder.plan.spilled))
+        result = TranslationResult(
+            program=program,
+            block_cycles=block_cycles,
+            options=opts,
+        )
+        self._fill_stats(result, cfg, accesses, binder)
+        return result
+
+    # ------------------------------------------------------------------
+
+    def _prologue(self, binder: RegisterBinder, scheduler: RegionScheduler,
+                  level: int) -> EmittedRegion:
+        meta = dict(pred=None, pred_sense=True, role=TRole.PROLOGUE,
+                    src_addr=None, comment="", device=False)
+        plan = binder.plan
+        items: list[TargetInstr] = []
+        delta = u32(self.target.data_base - self.source.memory.data_base)
+        items.extend(lower_mvk(plan.reserved[RES_DDELTA], delta,
+                               dict(meta, comment="data region delta")))
+        if level >= 1:
+            items.extend(lower_mvk(plan.reserved[RES_SYNC],
+                                   self.target.sync_base,
+                                   dict(meta, comment="sync device base")))
+        if level >= 2:
+            items.extend(lower_mvk(plan.reserved[RES_CORR], 0,
+                                   dict(meta, comment="clear correction")))
+        items.extend(binder.prologue_spill_setup())
+        terminator = TargetInstr(
+            op=TOp.B, target=f"B_{self.obj.entry:08x}", role=TRole.PROLOGUE)
+        scheduled = scheduler.schedule(items, terminator)
+        return EmittedRegion(label="__entry", packets=scheduled.packets)
+
+    def _cache_subroutine(self, layout: CacheLayout,
+                          binder: RegisterBinder,
+                          scheduler: RegionScheduler) -> EmittedRegion:
+        body, ret = subroutine_body(layout)
+        lowering = Lowering(TempAllocator())
+        lowered: list[TargetInstr] = []
+        for item in body:
+            lowered.extend(lowering.lower_instr(item))
+        term = lowering.lower_terminator(
+            _FakeRegion(items=[], terminator=ret))
+        bound, bound_term = binder.bind_region(lowered, term)
+        scheduled = scheduler.schedule(bound, bound_term)
+        return EmittedRegion(label=CACHE_SUB_LABEL,
+                             packets=scheduled.packets)
+
+    @staticmethod
+    def _uses_cache_subroutine(all_regions) -> bool:
+        for _block_ir, regions in all_regions:
+            for region in regions:
+                term = region.terminator
+                if term is not None and term.label == CACHE_SUB_LABEL:
+                    return True
+        return False
+
+    def _fill_stats(self, result: TranslationResult, cfg, accesses,
+                    binder: RegisterBinder) -> None:
+        from repro.translator.baseaddr import Region as AccessRegion
+
+        stats = result.stats
+        stats.source_instructions = sum(b.n_instructions for b in cfg)
+        stats.basic_blocks = len(cfg)
+        stats.packets = len(result.program.packets)
+        stats.target_instructions = result.program.n_instructions
+        if stats.source_instructions:
+            stats.code_expansion = (stats.target_instructions /
+                                    stats.source_instructions)
+        for cls in accesses.values():
+            if cls.region is AccessRegion.DATA:
+                stats.accesses_data += 1
+            elif cls.region is AccessRegion.IO:
+                stats.accesses_io += 1
+            else:
+                stats.accesses_unknown += 1
+        stats.spilled_registers = len(binder.plan.spilled)
+
+
+@dataclass
+class _FakeRegion:
+    """Adapter so :class:`Lowering` can lower a bare terminator."""
+
+    items: list
+    terminator: IRInstr
+
+
+def translate(obj: ObjectFile, level: int = 1,
+              source: SourceArch | None = None,
+              target: TargetArch | None = None,
+              inline_cache_threshold: int | None = None,
+              instruction_blocks: bool = False) -> TranslationResult:
+    """Convenience wrapper around :class:`BinaryTranslator`."""
+    options = TranslationOptions(
+        level=level, inline_cache_threshold=inline_cache_threshold,
+        instruction_blocks=instruction_blocks)
+    return BinaryTranslator(obj, source, target, options).translate()

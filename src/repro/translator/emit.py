@@ -1,0 +1,117 @@
+"""Emission: scheduled regions to a finalized C6x program.
+
+Lays out the prologue, every translated block (address order), and the
+generated cache subroutine; resolves internal labels.  Return points of
+the cache subroutine are materialized as *synthetic addresses* in a
+reserved window (below the source code base), and registered in the
+program's address map next to the real source block entries — the
+core's indirect-branch handling then treats generated and translated
+return targets uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.model import SourceArch, TargetArch
+from repro.errors import TranslationError
+from repro.isa.c6x.instructions import TargetInstr, TOp
+from repro.isa.c6x.packets import BlockInfo, C6xProgram, ExecutePacket
+from repro.objfile.elf import ObjectFile
+from repro.utils.bits import s32
+
+#: base of the synthetic address window for translator-internal labels.
+SYNTH_BASE = 0x0100_0000
+
+
+@dataclass
+class EmittedRegion:
+    """One scheduled region ready for layout."""
+
+    label: str | None
+    packets: list[ExecutePacket]
+    block_addr: int | None = None
+    n_source_instructions: int = 0
+    predicted_cycles: int = 0
+
+
+class ProgramEmitter:
+    """Accumulates regions and produces the final program."""
+
+    def __init__(self, source: SourceArch, target: TargetArch,
+                 obj: ObjectFile) -> None:
+        self.source = source
+        self.target = target
+        self.obj = obj
+        self._regions: list[EmittedRegion] = []
+
+    def add_region(self, region: EmittedRegion) -> None:
+        self._regions.append(region)
+
+    def finish(self, reg_binding: dict[int, int],
+               spill_slots: dict[int, int]) -> C6xProgram:
+        program = C6xProgram(target=self.target)
+        program.reg_binding = dict(reg_binding)
+        program.spill_slots = dict(spill_slots)
+
+        for region in self._regions:
+            index = len(program.packets)
+            if region.label is not None:
+                if region.label in program.labels:
+                    raise TranslationError(
+                        f"duplicate label {region.label!r}")
+                program.labels[region.label] = index
+            if region.block_addr is not None:
+                program.block_at[index] = BlockInfo(
+                    source_addr=region.block_addr,
+                    n_instructions=region.n_source_instructions,
+                    predicted_cycles=region.predicted_cycles,
+                    entry_label=region.label or "",
+                )
+                program.addr_to_packet[region.block_addr] = index
+            program.packets.extend(region.packets)
+            for offset, packet in enumerate(region.packets):
+                addrs = sorted({i.src_addr for i in packet.instrs
+                                if i.src_addr is not None})
+                if addrs:
+                    program.line_map[index + offset] = addrs
+
+        self._resolve_label_constants(program)
+        self._build_data_image(program)
+        return program.finalize()
+
+    # ------------------------------------------------------------------
+
+    def _resolve_label_constants(self, program: C6xProgram) -> None:
+        """Fill MVKL/MVKH halves of label-valued constants."""
+        for packet in program.packets:
+            for instr in packet.instrs:
+                if instr.target is None or instr.op is TOp.B:
+                    continue
+                packet_index = program.labels.get(instr.target)
+                if packet_index is None:
+                    raise TranslationError(
+                        f"constant references undefined label "
+                        f"{instr.target!r}")
+                synth = SYNTH_BASE + packet_index
+                program.addr_to_packet[synth] = packet_index
+                if instr.op is TOp.MVKL:
+                    low = synth & 0xFFFF
+                    instr.imm = s32(low | (0xFFFF0000 if low & 0x8000 else 0))
+                elif instr.op is TOp.MVKH:
+                    instr.imm = synth >> 16
+                else:
+                    raise TranslationError(
+                        f"label constant on unsupported op {instr.op}")
+
+    def _build_data_image(self, program: C6xProgram) -> None:
+        memory = self.source.memory
+        delta = self.target.data_base - memory.data_base
+        for section in self.obj.sections:
+            if section.is_exec():
+                continue
+            if not memory.is_data(section.addr):
+                raise TranslationError(
+                    f"section {section.name!r} at {section.addr:#010x} is "
+                    f"outside the source data region")
+            program.data_image.append((section.addr + delta, section.data))

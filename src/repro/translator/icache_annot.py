@@ -1,0 +1,281 @@
+"""Instruction-cache simulation code (Section 3.4.2).
+
+Three pieces, exactly as the paper describes:
+
+* **Saving cache data** — space at the end of the translated program
+  holds, per set, one combined tag+valid word per way and one LRU word.
+* **Cache analysis blocks** — each basic block is divided so that every
+  analysis block covers the part of the block living in one cache line
+  (attributed by the line of each source instruction's first halfword).
+* **Cycle calculation code** — at the start of each analysis block the
+  translated code calls a generated subroutine (Fig. 4) that probes the
+  simulated cache, updates tag/valid/LRU state, and adds the miss
+  penalty to the dynamic correction counter.  For large blocks the
+  probe can instead be *inlined* branch-free into the block, making the
+  subroutine call unnecessary and letting it schedule in parallel with
+  program code (the paper's optimization; ablation B measures it).
+
+The generated code implements the same structure as the reference
+model in :mod:`repro.cache.icache`; an equivalence test drives both
+with identical access streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.model import SourceArch, TargetArch
+from repro.errors import TranslationError
+from repro.translator.blocks import BasicBlock
+from repro.translator.ir import (
+    RES_CORR,
+    RES_RETADDR,
+    RES_TMP0,
+    RES_TMP1,
+    RES_TMP2,
+    RES_TMP3,
+    RES_TMP4,
+    RES_TMP5,
+    IRInstr,
+    IROp,
+    Role,
+    TempAllocator,
+)
+from repro.utils.bits import log2_exact
+
+CACHE_SUB_LABEL = "__cachesub"
+
+
+@dataclass(frozen=True)
+class CacheLayout:
+    """Placement of the simulated-cache data in target memory."""
+
+    base: int
+    ways: int
+    sets: int
+    line_size: int
+    miss_penalty: int
+
+    @property
+    def set_stride(self) -> int:
+        """Bytes per set: one tag+valid word per way plus the LRU word."""
+        return 4 * (self.ways + 1)
+
+    @property
+    def size(self) -> int:
+        return self.sets * self.set_stride
+
+    @property
+    def lru_offset(self) -> int:
+        return 4 * self.ways
+
+    def set_addr(self, set_index: int) -> int:
+        return self.base + set_index * self.set_stride
+
+
+def make_layout(source: SourceArch, target: TargetArch) -> CacheLayout:
+    ic = source.icache
+    if ic.ways not in (1, 2):
+        raise TranslationError(
+            "generated cache-correction code supports 1- or 2-way caches "
+            f"(the architecture describes {ic.ways} ways)")
+    return CacheLayout(
+        base=target.internal_base,
+        ways=ic.ways,
+        sets=ic.sets,
+        line_size=ic.line_size,
+        miss_penalty=ic.miss_penalty,
+    )
+
+
+@dataclass(frozen=True)
+class CacheAnalysisBlock:
+    """One part of a basic block that lies in a single cache line."""
+
+    start_index: int  # first body-item index covered
+    end_index: int  # one past the last body-item index
+    line_addr: int
+    tag: int
+    set_index: int
+
+
+def split_analysis_blocks(block: BasicBlock, boundaries: list[tuple[int, int]],
+                          body_len: int,
+                          layout: CacheLayout) -> list[CacheAnalysisBlock]:
+    """Divide a block's body items into cache analysis blocks.
+
+    *boundaries* maps body-item indices to source addresses (from
+    :class:`repro.translator.rewrite.BlockIR`).
+    """
+    offset_bits = log2_exact(layout.line_size)
+    index_bits = log2_exact(layout.sets)
+    cabs: list[CacheAnalysisBlock] = []
+    current_line: int | None = None
+    start = 0
+    for item_index, src_addr in boundaries:
+        line = src_addr >> offset_bits
+        if current_line is None:
+            current_line = line
+            start = item_index
+        elif line != current_line:
+            cabs.append(_make_cab(start, item_index, current_line,
+                                  offset_bits, index_bits, layout))
+            current_line = line
+            start = item_index
+    if current_line is not None:
+        cabs.append(_make_cab(start, body_len, current_line,
+                              offset_bits, index_bits, layout))
+    return cabs
+
+
+def _make_cab(start: int, end: int, line: int, offset_bits: int,
+              index_bits: int, layout: CacheLayout) -> CacheAnalysisBlock:
+    return CacheAnalysisBlock(
+        start_index=start,
+        end_index=end,
+        line_addr=line << offset_bits,
+        tag=line >> index_bits,
+        set_index=line & (layout.sets - 1),
+    )
+
+
+def tagv_word(cab: CacheAnalysisBlock) -> int:
+    """Combined tag+valid word ("to simplify the handling … they are
+    combined into one word")."""
+    return (cab.tag << 1) | 1
+
+
+def call_sequence(cab: CacheAnalysisBlock, layout: CacheLayout,
+                  return_label: str) -> tuple[list[IRInstr], IRInstr]:
+    """Argument setup + branch for the subroutine variant.
+
+    Returns ``(items, branch)``; the branch's delay slots naturally
+    hold the argument moves after scheduling.
+    """
+    items = [
+        IRInstr(IROp.MVK, dst=RES_RETADDR, label=return_label,
+                role=Role.CACHE, comment="cache return point"),
+        IRInstr(IROp.MVK, dst=RES_TMP0, imm=layout.set_addr(cab.set_index),
+                role=Role.CACHE, comment=f"set {cab.set_index} data"),
+        IRInstr(IROp.MVK, dst=RES_TMP1, imm=tagv_word(cab),
+                role=Role.CACHE, comment=f"tag+valid {tagv_word(cab):#x}"),
+    ]
+    branch = IRInstr(IROp.B, label=CACHE_SUB_LABEL, role=Role.CACHE,
+                     comment="cache analysis call")
+    return items, branch
+
+
+def subroutine_body(layout: CacheLayout) -> tuple[list[IRInstr], IRInstr]:
+    """The generated cache-correction subroutine (Fig. 4).
+
+    Input: ``RES_TMP0`` = set data address, ``RES_TMP1`` = tag+valid
+    word.  Uses only reserved registers, so it can interrupt any block
+    without clobbering program state.  Returns ``(body, indirect
+    return branch)``.
+    """
+    corr = RES_CORR
+    t0, t1 = RES_TMP0, RES_TMP1
+    s0, s1, s2, s3 = RES_TMP2, RES_TMP3, RES_TMP4, RES_TMP5
+    mk = Role.CACHE
+    if layout.ways == 1:
+        body = [
+            IRInstr(IROp.LDW, dst=s0, a=t0, imm=0, role=mk,
+                    comment="stored tag+valid"),
+            IRInstr(IROp.CMPEQ, dst=s0, a=s0, b=t1, role=mk,
+                    comment="hit?"),
+            IRInstr(IROp.STW, a=t1, b=t0, imm=0, pred=s0, pred_sense=False,
+                    role=mk, comment="miss: write new tag"),
+            IRInstr(IROp.ADD, dst=corr, a=corr, imm=layout.miss_penalty,
+                    pred=s0, pred_sense=False, role=mk,
+                    comment="miss penalty"),
+        ]
+    else:  # 2-way
+        body = [
+            IRInstr(IROp.LDW, dst=s0, a=t0, imm=0, role=mk,
+                    comment="way 0 tag+valid"),
+            IRInstr(IROp.LDW, dst=s1, a=t0, imm=4, role=mk,
+                    comment="way 1 tag+valid"),
+            IRInstr(IROp.LDW, dst=s2, a=t0, imm=layout.lru_offset, role=mk,
+                    comment="lru word (victim way index)"),
+            IRInstr(IROp.CMPEQ, dst=s0, a=s0, b=t1, role=mk,
+                    comment="hit way 0?"),
+            IRInstr(IROp.CMPEQ, dst=s1, a=s1, b=t1, role=mk,
+                    comment="hit way 1?"),
+            IRInstr(IROp.OR, dst=s3, a=s0, b=s1, role=mk, comment="hit?"),
+            # Miss path: replace the LRU way and charge the penalty.
+            IRInstr(IROp.SHL, dst=s1, a=s2, imm=2, pred=s3, pred_sense=False,
+                    role=mk, comment="victim byte offset"),
+            IRInstr(IROp.ADD, dst=s1, a=t0, b=s1, pred=s3, pred_sense=False,
+                    role=mk, comment="victim word address"),
+            IRInstr(IROp.STW, a=t1, b=s1, imm=0, pred=s3, pred_sense=False,
+                    role=mk, comment="write new tag+valid"),
+            IRInstr(IROp.MVK, dst=s1, imm=1, pred=s3, pred_sense=False,
+                    role=mk),
+            IRInstr(IROp.SUB, dst=s0, a=s1, b=s2, pred=s3, pred_sense=False,
+                    role=mk, comment="miss: new lru = 1 - victim"),
+            # s0 now holds the new LRU for every outcome: on a hit it is
+            # the hit-way-0 flag (hit way 0 -> way 1 becomes victim,
+            # hit way 1 -> way 0); on a miss it was just overwritten.
+            IRInstr(IROp.STW, a=s0, b=t0, imm=layout.lru_offset, role=mk,
+                    comment="update lru"),
+            IRInstr(IROp.ADD, dst=corr, a=corr, imm=layout.miss_penalty,
+                    pred=s3, pred_sense=False, role=mk,
+                    comment="miss penalty"),
+        ]
+    ret = IRInstr(IROp.B, a=RES_RETADDR, role=mk,
+                  comment="return to analysis block")
+    return body, ret
+
+
+def inline_sequence(cab: CacheAnalysisBlock, layout: CacheLayout,
+                    temps: TempAllocator) -> list[IRInstr]:
+    """Branch-free inline variant for large blocks.
+
+    Same state machine as :func:`subroutine_body`, but on fresh
+    temporaries so it schedules in parallel with program code.
+    """
+    set_addr = layout.set_addr(cab.set_index)
+    tagv = tagv_word(cab)
+    mk = Role.CACHE
+    base = temps.fresh()
+    items = [IRInstr(IROp.MVK, dst=base, imm=set_addr, role=mk,
+                     comment=f"set {cab.set_index} data")]
+    tag_reg = temps.fresh()
+    items.append(IRInstr(IROp.MVK, dst=tag_reg, imm=tagv, role=mk,
+                         comment=f"tag+valid {tagv:#x}"))
+    if layout.ways == 1:
+        w0 = temps.fresh()
+        items.extend([
+            IRInstr(IROp.LDW, dst=w0, a=base, imm=0, role=mk),
+            IRInstr(IROp.CMPEQ, dst=w0, a=w0, b=tag_reg, role=mk),
+            IRInstr(IROp.STW, a=tag_reg, b=base, imm=0,
+                    pred=w0, pred_sense=False, role=mk),
+            IRInstr(IROp.ADD, dst=RES_CORR, a=RES_CORR,
+                    imm=layout.miss_penalty, pred=w0, pred_sense=False,
+                    role=mk, comment="miss penalty"),
+        ])
+        return items
+    w0, w1, lru, hit, vaddr, one = (temps.fresh() for _ in range(6))
+    items.extend([
+        IRInstr(IROp.LDW, dst=w0, a=base, imm=0, role=mk),
+        IRInstr(IROp.LDW, dst=w1, a=base, imm=4, role=mk),
+        IRInstr(IROp.LDW, dst=lru, a=base, imm=layout.lru_offset, role=mk),
+        IRInstr(IROp.CMPEQ, dst=w0, a=w0, b=tag_reg, role=mk),
+        IRInstr(IROp.CMPEQ, dst=w1, a=w1, b=tag_reg, role=mk),
+        IRInstr(IROp.OR, dst=hit, a=w0, b=w1, role=mk),
+        IRInstr(IROp.SHL, dst=vaddr, a=lru, imm=2,
+                pred=hit, pred_sense=False, role=mk),
+        IRInstr(IROp.ADD, dst=vaddr, a=base, b=vaddr,
+                pred=hit, pred_sense=False, role=mk),
+        IRInstr(IROp.STW, a=tag_reg, b=vaddr, imm=0,
+                pred=hit, pred_sense=False, role=mk),
+        IRInstr(IROp.MVK, dst=one, imm=1, pred=hit, pred_sense=False,
+                role=mk),
+        IRInstr(IROp.SUB, dst=w0, a=one, b=lru,
+                pred=hit, pred_sense=False, role=mk),
+        IRInstr(IROp.STW, a=w0, b=base, imm=layout.lru_offset, role=mk),
+        IRInstr(IROp.ADD, dst=RES_CORR, a=RES_CORR,
+                imm=layout.miss_penalty, pred=hit, pred_sense=False,
+                role=mk, comment="miss penalty"),
+    ])
+    return items

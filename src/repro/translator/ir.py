@@ -1,0 +1,329 @@
+"""Intermediate code of the binary translator.
+
+Per Section 3 of the paper, the semantics of every source instruction is
+written "in an intermediate code which resembles the assembler
+instructions of the C6x processor but does not have their constraints":
+three-address operations over an unlimited register space, with optional
+predicates, and no functional-unit or delay-slot restrictions.
+
+The same intermediate code is the single source of semantic truth for
+the whole library: the reference ISS *interprets* the IR expansion of
+each source instruction, while the binary translator *compiles* it to
+scheduled VLIW packets.  Functional equivalence between the reference
+simulation and the translated program is therefore structural.
+
+Register numbering
+------------------
+``0..15``   source data registers d0–d15
+``16..31``  source address registers a0–a15
+``32..``    translator temporaries (fresh per expansion)
+``>= 1000`` reserved translator-internal registers (sync-device base,
+            correction counter, cache-data base, scratch) bound to
+            reserved physical registers by the register binder.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+NUM_SOURCE_REGS = 32
+FIRST_TEMP = 32
+
+# Reserved translator-internal registers (bound late to reserved
+# physical registers; see repro.translator.regalloc).
+RES_SYNC = 1000  # base address of the synchronization device
+RES_CORR = 1001  # dynamic cycle-correction counter
+RES_DDELTA = 1002  # source-data -> target-data address delta
+RES_RETADDR = 1003  # return-address register of the cache subroutine
+RES_TMP0 = 1004  # cache-subroutine argument: set data address
+RES_TMP1 = 1005  # cache-subroutine argument: tag+valid word
+RES_TMP2 = 1006  # cache-subroutine scratch
+RES_TMP3 = 1007  # cache-subroutine scratch
+RES_TMP4 = 1008  # cache-subroutine scratch
+RES_TMP5 = 1009  # cache-subroutine scratch
+RESERVED_REGS = (RES_SYNC, RES_CORR, RES_DDELTA, RES_RETADDR,
+                 RES_TMP0, RES_TMP1, RES_TMP2, RES_TMP3, RES_TMP4, RES_TMP5)
+
+
+def is_temp(reg: int) -> bool:
+    """True for translator temporaries (not architectural, not reserved)."""
+    return FIRST_TEMP <= reg < RES_SYNC
+
+
+def is_reserved(reg: int) -> bool:
+    """True for reserved translator-internal registers."""
+    return reg >= RES_SYNC
+
+
+def is_source_reg(reg: int) -> bool:
+    """True for architectural source registers (d0–d15 / a0–a15)."""
+    return 0 <= reg < NUM_SOURCE_REGS
+
+
+def source_reg_name(reg: int) -> str:
+    """Render an IR register in source terms (``d4``, ``a10``, ``t35``)."""
+    if 0 <= reg < 16:
+        return f"d{reg}"
+    if 16 <= reg < 32:
+        return f"a{reg - 16}"
+    if is_reserved(reg):
+        names = {
+            RES_SYNC: "Rsync",
+            RES_CORR: "Rcorr",
+            RES_DDELTA: "Rdelta",
+            RES_RETADDR: "Rret",
+            RES_TMP0: "Rtmp0",
+            RES_TMP1: "Rtmp1",
+            RES_TMP2: "Rtmp2",
+            RES_TMP3: "Rtmp3",
+            RES_TMP4: "Rtmp4",
+            RES_TMP5: "Rtmp5",
+        }
+        return names.get(reg, f"Rres{reg}")
+    return f"t{reg}"
+
+
+class IROp(enum.Enum):
+    """Operations of the intermediate code."""
+
+    # Data movement / constants
+    MV = "mv"  # dst = src a
+    MVK = "mvk"  # dst = imm (32-bit constant; materialization is late)
+    # Integer arithmetic / logic (dst, a, b-or-imm)
+    ADD = "add"
+    SUB = "sub"
+    MPY = "mpy"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    ANDN = "andn"
+    SHL = "shl"
+    SHRU = "shru"
+    SHRA = "shra"
+    MIN = "min"
+    MAX = "max"
+    ABS = "abs"  # unary: dst = |a|
+    # Comparisons: dst = 1 if relation holds else 0
+    CMPEQ = "cmpeq"
+    CMPNE = "cmpne"
+    CMPLT = "cmplt"
+    CMPLTU = "cmpltu"
+    CMPGE = "cmpge"
+    CMPGEU = "cmpgeu"
+    # Memory: loads dst = mem[a + imm]; stores mem[b + imm] = a
+    LDW = "ldw"
+    LDH = "ldh"
+    LDHU = "ldhu"
+    LDB = "ldb"
+    LDBU = "ldbu"
+    STW = "stw"
+    STH = "sth"
+    STB = "stb"
+    # Control: branch to imm target or to register a
+    B = "b"
+    HALT = "halt"
+    NOP = "nop"
+
+
+LOAD_OPS = frozenset({IROp.LDW, IROp.LDH, IROp.LDHU, IROp.LDB, IROp.LDBU})
+STORE_OPS = frozenset({IROp.STW, IROp.STH, IROp.STB})
+MEMORY_OPS = LOAD_OPS | STORE_OPS
+COMPARE_OPS = frozenset(
+    {IROp.CMPEQ, IROp.CMPNE, IROp.CMPLT, IROp.CMPLTU, IROp.CMPGE, IROp.CMPGEU}
+)
+UNARY_OPS = frozenset({IROp.MV, IROp.ABS})
+ALU_OPS = frozenset(
+    {
+        IROp.ADD,
+        IROp.SUB,
+        IROp.MPY,
+        IROp.AND,
+        IROp.OR,
+        IROp.XOR,
+        IROp.ANDN,
+        IROp.SHL,
+        IROp.SHRU,
+        IROp.SHRA,
+        IROp.MIN,
+        IROp.MAX,
+    }
+)
+
+
+class BranchKind(enum.Enum):
+    """Classification of a source-level control transfer (for timing/CFG)."""
+
+    NONE = "none"
+    JUMP = "jump"  # unconditional direct jump
+    COND = "cond"  # conditional direct branch
+    LOOP = "loop"  # hardware loop-back branch
+    CALL = "call"  # direct call
+    CALL_INDIRECT = "calli"
+    RET = "ret"
+    INDIRECT = "indirect"  # indirect jump
+
+
+class Role(enum.Enum):
+    """Why the translator inserted an IR instruction (annotation roles)."""
+
+    PROGRAM = "program"  # translated source semantics
+    SYNC_START = "sync_start"  # write n to the sync device (Fig. 2)
+    SYNC_WAIT = "sync_wait"  # blocking read from the sync device
+    CORR_ADD = "corr_add"  # correction-counter update (Section 3.4.1)
+    CORR_START = "corr_start"  # write counter to correction channel
+    CORR_WAIT = "corr_wait"  # blocking read from correction channel
+    CORR_RESET = "corr_reset"  # zero the correction counter
+    CACHE = "cache"  # cache-analysis / cache-subroutine code (3.4.2)
+    ADDR_FIXUP = "addr_fixup"  # dynamic address translation stub
+    PROLOGUE = "prologue"  # platform entry stub
+    DEBUG = "debug"  # debug trap insertion (Section 3.5)
+
+
+@dataclass
+class IRInstr:
+    """One intermediate instruction.
+
+    Operand conventions by :class:`IROp`:
+
+    * ALU / compare: ``dst``, ``a`` and either ``b`` (register) or
+      ``imm`` (constant second operand).
+    * ``MV``/``ABS``: ``dst``, ``a``.
+    * ``MVK``: ``dst``, ``imm``.
+    * loads: ``dst``, base register ``a``, offset ``imm``.
+    * stores: value register ``a``, base register ``b``, offset ``imm``.
+    * ``B``: target address ``imm`` (direct) or target register ``a``
+      (indirect); optional predicate.
+    """
+
+    op: IROp
+    dst: int | None = None
+    a: int | None = None
+    b: int | None = None
+    imm: int | None = None
+    pred: int | None = None
+    pred_sense: bool = True
+    #: translator-internal label reference: branch target of inserted
+    #: code (cache subroutine, return points) or the value of an MVK
+    #: that materializes a return point.  Resolved at emission.
+    label: str | None = None
+    #: memory op with device side effects (I/O, sync device): the
+    #: scheduler keeps all such accesses strictly ordered.
+    device: bool = False
+    # --- metadata ---
+    src_addr: int | None = None  # address of the originating source instr
+    branch: BranchKind = BranchKind.NONE
+    role: Role = Role.PROGRAM
+    comment: str = ""
+
+    def is_branch(self) -> bool:
+        return self.op is IROp.B
+
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    def is_memory(self) -> bool:
+        return self.op in MEMORY_OPS
+
+    def is_conditional(self) -> bool:
+        return self.pred is not None
+
+    def reads(self) -> tuple[int, ...]:
+        """Registers read by this instruction (including the predicate)."""
+        regs: list[int] = []
+        if self.op in STORE_OPS:
+            if self.a is not None:
+                regs.append(self.a)  # value
+            if self.b is not None:
+                regs.append(self.b)  # base
+        elif self.op is IROp.B:
+            if self.a is not None:
+                regs.append(self.a)  # indirect target
+        elif self.op is IROp.MVK:
+            pass
+        else:
+            if self.a is not None:
+                regs.append(self.a)
+            if self.b is not None:
+                regs.append(self.b)
+        if self.pred is not None:
+            regs.append(self.pred)
+        return tuple(regs)
+
+    def writes(self) -> tuple[int, ...]:
+        """Registers written by this instruction."""
+        return (self.dst,) if self.dst is not None else ()
+
+    def renamed(self, mapping: dict[int, int]) -> "IRInstr":
+        """Return a copy with registers substituted through *mapping*."""
+
+        def sub(reg: int | None) -> int | None:
+            return mapping.get(reg, reg) if reg is not None else None
+
+        return replace(
+            self,
+            dst=sub(self.dst),
+            a=sub(self.a),
+            b=sub(self.b),
+            pred=sub(self.pred),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        parts: list[str] = []
+        if self.pred is not None:
+            sense = "" if self.pred_sense else "!"
+            parts.append(f"[{sense}{source_reg_name(self.pred)}]")
+        parts.append(self.op.value)
+        operands: list[str] = []
+        if self.dst is not None:
+            operands.append(source_reg_name(self.dst))
+        if self.op in LOAD_OPS:
+            operands.append(f"*({source_reg_name(self.a)} + {self.imm})")
+        elif self.op in STORE_OPS:
+            operands.append(source_reg_name(self.a))
+            operands.append(f"*({source_reg_name(self.b)} + {self.imm})")
+        elif self.op is IROp.B:
+            if self.a is not None:
+                operands.append(source_reg_name(self.a))
+            else:
+                operands.append(f"{self.imm:#x}" if self.imm is not None else "?")
+        else:
+            if self.a is not None:
+                operands.append(source_reg_name(self.a))
+            if self.b is not None:
+                operands.append(source_reg_name(self.b))
+            elif self.imm is not None:
+                operands.append(str(self.imm))
+        text = " ".join(parts) + " " + ", ".join(operands)
+        if self.comment:
+            text += f"  ; {self.comment}"
+        return text.strip()
+
+
+class TempAllocator:
+    """Allocates fresh IR temporaries."""
+
+    def __init__(self, first: int = FIRST_TEMP) -> None:
+        self._next = first
+
+    def fresh(self) -> int:
+        reg = self._next
+        self._next += 1
+        return reg
+
+
+@dataclass
+class Expansion:
+    """IR expansion of one decoded source instruction."""
+
+    instrs: list[IRInstr] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[IRInstr]:
+        return iter(self.instrs)
+
+    def __len__(self) -> int:
+        return len(self.instrs)

@@ -1,0 +1,214 @@
+"""Lowering: intermediate code to virtual target instructions.
+
+Converts the unconstrained IR into :class:`TargetInstr` over the same
+(virtual) register space, legalizing constants for the target's
+encoding model:
+
+* ``MVK`` fits a signed 16-bit constant; constants with a zero lower
+  halfword use a single ``MVKH``; everything else becomes the
+  ``MVKL``/``MVKH`` pair (exactly the real C6x idiom);
+* label-valued ``MVK`` (return-point materialization) always lowers to
+  the pair, with halves filled at emission;
+* ALU immediates beyond signed 16 bits and load/store offsets beyond
+  signed 15 bits are materialized through a temporary.
+
+Register numbers remain IR-space (architectural 0–31, temporaries,
+reserved ids); binding to physical registers happens afterwards.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TranslationError
+from repro.isa.c6x.instructions import TargetInstr, TOp, TRole
+from repro.translator.annotate import CodeRegion
+from repro.translator.ir import IRInstr, IROp, Role, TempAllocator, is_reserved
+from repro.utils.bits import fits_signed, s32, u32
+
+_OP_MAP: dict[IROp, TOp] = {
+    IROp.MV: TOp.MV,
+    IROp.ADD: TOp.ADD,
+    IROp.SUB: TOp.SUB,
+    IROp.MPY: TOp.MPY,
+    IROp.AND: TOp.AND,
+    IROp.OR: TOp.OR,
+    IROp.XOR: TOp.XOR,
+    IROp.ANDN: TOp.ANDN,
+    IROp.SHL: TOp.SHL,
+    IROp.SHRU: TOp.SHRU,
+    IROp.SHRA: TOp.SHRA,
+    IROp.MIN: TOp.MIN,
+    IROp.MAX: TOp.MAX,
+    IROp.ABS: TOp.ABS,
+    IROp.CMPEQ: TOp.CMPEQ,
+    IROp.CMPNE: TOp.CMPNE,
+    IROp.CMPLT: TOp.CMPLT,
+    IROp.CMPLTU: TOp.CMPLTU,
+    IROp.CMPGE: TOp.CMPGE,
+    IROp.CMPGEU: TOp.CMPGEU,
+    IROp.LDW: TOp.LDW,
+    IROp.LDH: TOp.LDH,
+    IROp.LDHU: TOp.LDHU,
+    IROp.LDB: TOp.LDB,
+    IROp.LDBU: TOp.LDBU,
+    IROp.STW: TOp.STW,
+    IROp.STH: TOp.STH,
+    IROp.STB: TOp.STB,
+    IROp.HALT: TOp.HALT,
+}
+
+_ROLE_MAP: dict[Role, TRole] = {role: TRole(role.value) for role in Role
+                                if role.value in {r.value for r in TRole}}
+
+_SHIFT_OPS = {IROp.SHL, IROp.SHRU, IROp.SHRA}
+
+
+def _role(ir_role: Role) -> TRole:
+    return _ROLE_MAP.get(ir_role, TRole.PROGRAM)
+
+
+def _meta(instr: IRInstr) -> dict:
+    return dict(
+        pred=instr.pred,
+        pred_sense=instr.pred_sense,
+        role=_role(instr.role),
+        src_addr=instr.src_addr,
+        comment=instr.comment,
+        device=instr.device,
+    )
+
+
+def lower_mvk(dst: int, imm: int, meta: dict,
+              label: str | None = None) -> list[TargetInstr]:
+    """Materialize a 32-bit constant (or label value) into *dst*."""
+    if label is not None:
+        return [
+            TargetInstr(TOp.MVKL, dst=dst, target=label, **meta),
+            TargetInstr(TOp.MVKH, dst=dst, target=label, **meta),
+        ]
+    value = s32(u32(imm))
+    if fits_signed(value, 16):
+        return [TargetInstr(TOp.MVK, dst=dst, imm=value, **meta)]
+    # The real C6x idiom: MVKL sign-extends the low halfword, MVKH then
+    # replaces the upper one.  MVKH alone would inherit a garbage low
+    # halfword, so the pair is always emitted.
+    uvalue = u32(imm)
+    low = uvalue & 0xFFFF
+    return [
+        TargetInstr(TOp.MVKL, dst=dst,
+                    imm=s32(low | (0xFFFF0000 if low & 0x8000 else 0)),
+                    **meta),
+        TargetInstr(TOp.MVKH, dst=dst, imm=uvalue >> 16, **meta),
+    ]
+
+
+class Lowering:
+    """Lowers the regions of one basic block (shared temp allocator)."""
+
+    def __init__(self, temps: TempAllocator) -> None:
+        self._temps = temps
+
+    def lower_region(self, region: CodeRegion) -> list[TargetInstr]:
+        out: list[TargetInstr] = []
+        for instr in region.items:
+            out.extend(self.lower_instr(instr))
+        return out
+
+    def lower_terminator(self, region: CodeRegion) -> TargetInstr | None:
+        term = region.terminator
+        if term is None:
+            return None
+        if term.op is not IROp.B:
+            raise TranslationError(
+                f"region terminator is not a branch: {term.op}")
+        meta = _meta(term)
+        if term.label is not None:
+            return TargetInstr(TOp.B, target=term.label, **meta)
+        if term.a is not None:
+            return TargetInstr(TOp.B, src1=term.a, **meta)
+        if term.imm is None:
+            raise TranslationError("branch without a target")
+        return TargetInstr(TOp.B, target=f"B_{term.imm:08x}", **meta)
+
+    # ------------------------------------------------------------------
+
+    def lower_instr(self, instr: IRInstr) -> list[TargetInstr]:
+        meta = _meta(instr)
+        op = instr.op
+        if op is IROp.NOP:
+            return []
+        if op is IROp.B:
+            raise TranslationError("stray branch inside a region body")
+        if op is IROp.MVK:
+            if instr.pred is not None and instr.label is None \
+                    and not fits_signed(s32(u32(instr.imm or 0)), 16):
+                raise TranslationError(
+                    "predicated MVK of a wide constant is not supported")
+            return lower_mvk(instr.dst, instr.imm or 0, meta, instr.label)
+        if op in (IROp.LDW, IROp.LDH, IROp.LDHU, IROp.LDB, IROp.LDBU):
+            return self._lower_load(instr, meta)
+        if op in (IROp.STW, IROp.STH, IROp.STB):
+            return self._lower_store(instr, meta)
+        if op is IROp.HALT:
+            return [TargetInstr(TOp.HALT, **meta)]
+
+        top = _OP_MAP[op]
+        if instr.b is not None or instr.imm is None:
+            return [TargetInstr(top, dst=instr.dst, src1=instr.a,
+                                src2=instr.b, **meta)]
+        imm = instr.imm
+        if op in _SHIFT_OPS:
+            if not 0 <= imm <= 31:
+                raise TranslationError(f"shift amount {imm} out of range")
+            return [TargetInstr(top, dst=instr.dst, src1=instr.a, imm=imm,
+                                **meta)]
+        value = s32(u32(imm))
+        if fits_signed(value, 16):
+            return [TargetInstr(top, dst=instr.dst, src1=instr.a, imm=value,
+                                **meta)]
+        temp = self._temps.fresh()
+        mvk_meta = dict(meta)
+        mvk_meta["pred"] = None  # materialization is side-effect free
+        mvk_meta["pred_sense"] = True
+        return [
+            *lower_mvk(temp, imm, mvk_meta),
+            TargetInstr(top, dst=instr.dst, src1=instr.a, src2=temp, **meta),
+        ]
+
+    def _lower_load(self, instr: IRInstr, meta: dict) -> list[TargetInstr]:
+        top = _OP_MAP[instr.op]
+        offset = instr.imm or 0
+        if fits_signed(offset, 15):
+            return [TargetInstr(top, dst=instr.dst, src1=instr.a, imm=offset,
+                                **meta)]
+        temp = self._temps.fresh()
+        return [
+            *self._address_add(temp, instr.a, offset, meta),
+            TargetInstr(top, dst=instr.dst, src1=temp, imm=0, **meta),
+        ]
+
+    def _lower_store(self, instr: IRInstr, meta: dict) -> list[TargetInstr]:
+        top = _OP_MAP[instr.op]
+        offset = instr.imm or 0
+        if fits_signed(offset, 15):
+            return [TargetInstr(top, src1=instr.a, src2=instr.b, imm=offset,
+                                **meta)]
+        temp = self._temps.fresh()
+        return [
+            *self._address_add(temp, instr.b, offset, meta),
+            TargetInstr(top, src1=instr.a, src2=temp, imm=0, **meta),
+        ]
+
+    def _address_add(self, dst: int, base: int, offset: int,
+                     meta: dict) -> list[TargetInstr]:
+        add_meta = dict(meta)
+        add_meta["pred"] = None
+        add_meta["pred_sense"] = True
+        add_meta["device"] = False
+        if fits_signed(offset, 16):
+            return [TargetInstr(TOp.ADD, dst=dst, src1=base, imm=offset,
+                                **add_meta)]
+        temp = self._temps.fresh()
+        return [
+            *lower_mvk(temp, offset, add_meta),
+            TargetInstr(TOp.ADD, dst=dst, src1=base, src2=temp, **add_meta),
+        ]

@@ -1,0 +1,329 @@
+"""Register binding (the "register binding" step of Fig. 1).
+
+Maps the virtual register space — source architectural registers,
+block-local temporaries, reserved translator-internal registers — onto
+the target's physical A/B files:
+
+* reserved registers get fixed physical homes at the top of the B file
+  (how many depends on the detail level);
+* source registers are ranked by static use count; the most-used get
+  physical registers (data registers prefer the A side, address
+  registers the B side), the rest live in memory spill slots;
+* temporaries are bound per region by a linear scan over the free pool
+  with reuse at last use.
+
+Spilled source registers are rewritten access-by-access: a load into a
+fresh temporary before each read, a store after each write.  The spill
+area lives in target memory next to the simulated-cache data and is
+addressed through one extra reserved register (``spill base``) so each
+spill access costs a single instruction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field, replace
+
+from repro.arch.model import TargetArch
+from repro.errors import RegisterAllocationError
+from repro.isa.c6x.instructions import TargetInstr, TOp, TRole
+from repro.translator.ir import (
+    NUM_SOURCE_REGS,
+    is_reserved,
+    is_source_reg,
+    is_temp,
+)
+
+#: minimum physical registers kept free for temporaries.
+MIN_TEMP_POOL = 6
+
+
+@dataclass
+class BindingPlan:
+    """Where every virtual register lives."""
+
+    reserved: dict[int, int]  # reserved id -> physical register
+    source: dict[int, int]  # source reg -> physical register
+    spilled: dict[int, int]  # source reg -> spill slot address
+    pool: list[int]  # physical registers available for temporaries
+    spill_base_reg: int | None  # physical register holding the spill base
+    spill_base_addr: int = 0
+
+
+class RegisterBinder:
+    """Builds the binding plan and rewrites regions to physical registers."""
+
+    def __init__(self, target: TargetArch, reserved_ids: list[int],
+                 usage: Counter, spill_base_addr: int) -> None:
+        self.target = target
+        self._reserved_ids = list(reserved_ids)
+        self._usage = usage
+        self._spill_base_addr = spill_base_addr
+        self.plan = self._make_plan()
+
+    # ------------------------------------------------------------------
+
+    def _make_plan(self) -> BindingPlan:
+        total = 2 * self.target.registers_per_side
+        # Reserved registers live at the top of the B file, downwards.
+        reserved: dict[int, int] = {}
+        next_phys = total - 1
+        for res_id in self._reserved_ids:
+            if next_phys < 0:
+                raise RegisterAllocationError(
+                    "too many reserved registers for the register file")
+            reserved[res_id] = next_phys
+            next_phys -= 1
+
+        taken = set(reserved.values())
+        a_side = [r for r in range(self.target.registers_per_side)
+                  if r not in taken]
+        b_side = [r for r in range(self.target.registers_per_side, total)
+                  if r not in taken]
+
+        used_sources = [reg for reg, count in self._usage.items()
+                        if count > 0 and is_source_reg(reg)]
+        used_sources.sort(key=lambda reg: (-self._usage[reg], reg))
+
+        available = len(a_side) + len(b_side)
+        max_bound = max(0, available - MIN_TEMP_POOL)
+        need_spills = len(used_sources) > max_bound
+        if need_spills and max_bound > 0:
+            max_bound -= 1  # one more register goes to the spill base
+
+        source: dict[int, int] = {}
+        spilled: dict[int, int] = {}
+        slot = 0
+        for reg in used_sources:
+            if len(source) < max_bound:
+                prefer = a_side if reg < 16 else b_side
+                fallback = b_side if reg < 16 else a_side
+                bucket = prefer if prefer else fallback
+                if not bucket:
+                    raise RegisterAllocationError(
+                        "register file exhausted during source binding")
+                source[reg] = bucket.pop(0)
+            else:
+                spilled[reg] = self._spill_base_addr + 4 * slot
+                slot += 1
+
+        spill_base_reg: int | None = None
+        if spilled:
+            bucket = b_side if b_side else a_side
+            if not bucket:
+                raise RegisterAllocationError(
+                    "no register left for the spill base")
+            spill_base_reg = bucket.pop(0)
+
+        pool = sorted(a_side + b_side)
+        if len(pool) < 2:
+            raise RegisterAllocationError(
+                f"temporary pool too small ({len(pool)} registers); "
+                f"reduce reserved registers or enlarge the register file")
+        return BindingPlan(
+            reserved=reserved,
+            source=source,
+            spilled=spilled,
+            pool=pool,
+            spill_base_reg=spill_base_reg,
+            spill_base_addr=self._spill_base_addr,
+        )
+
+    # ------------------------------------------------------------------
+
+    def bind_region(self, instrs: list[TargetInstr],
+                    terminator: TargetInstr | None
+                    ) -> tuple[list[TargetInstr], TargetInstr | None]:
+        """Rewrite one region to physical registers."""
+        binder = _RegionBinder(self.plan)
+        bound = binder.run(instrs, terminator)
+        return bound
+
+    def prologue_spill_setup(self) -> list[TargetInstr]:
+        """Instructions initializing the spill base register."""
+        if self.plan.spill_base_reg is None:
+            return []
+        from repro.translator.lower import lower_mvk
+
+        meta = dict(pred=None, pred_sense=True, role=TRole.PROLOGUE,
+                    src_addr=None, comment="spill area base", device=False)
+        return lower_mvk(self.plan.spill_base_reg,
+                         self.plan.spill_base_addr, meta)
+
+
+class _RegionBinder:
+    """Linear-scan temporary binding for one region."""
+
+    def __init__(self, plan: BindingPlan) -> None:
+        self._plan = plan
+        self._free = list(plan.pool)
+        self._temp_map: dict[int, int] = {}
+        self._last_use: dict[int, int] = {}
+        self._out: list[TargetInstr] = []
+
+    def run(self, instrs: list[TargetInstr],
+            terminator: TargetInstr | None
+            ) -> tuple[list[TargetInstr], TargetInstr | None]:
+        sequence = list(instrs) + ([terminator] if terminator else [])
+        for index, instr in enumerate(sequence):
+            for reg in (*instr.reads(), *instr.writes()):
+                if is_temp(reg):
+                    self._last_use[reg] = index
+
+        bound_term: TargetInstr | None = None
+        for index, instr in enumerate(sequence):
+            is_term = terminator is not None and index == len(sequence) - 1
+            bound = self._bind_instr(instr, index)
+            if is_term:
+                bound_term = bound
+            else:
+                self._out.append(bound)
+            self._release_dead(index)
+        return self._out, bound_term
+
+    # -- helpers -------------------------------------------------------
+
+    def _phys_of(self, reg: int, index: int, writing: bool) -> int:
+        plan = self._plan
+        if is_reserved(reg):
+            try:
+                return plan.reserved[reg]
+            except KeyError:
+                raise RegisterAllocationError(
+                    f"reserved register {reg} has no binding at this "
+                    f"detail level") from None
+        if is_source_reg(reg):
+            phys = plan.source.get(reg)
+            if phys is not None:
+                return phys
+            raise _NeedsSpill(reg)
+        # temporary
+        phys = self._temp_map.get(reg)
+        if phys is None:
+            if not writing:
+                raise RegisterAllocationError(
+                    f"temporary t{reg} read before being written")
+            phys = self._alloc_temp(reg)
+        return phys
+
+    def _alloc_temp(self, reg: int) -> int:
+        if not self._free:
+            raise RegisterAllocationError(
+                "temporary register pool exhausted; the region is too "
+                "complex for the configured register file")
+        phys = self._free.pop(0)
+        self._temp_map[reg] = phys
+        return phys
+
+    def _release_dead(self, index: int) -> None:
+        dead = [t for t, last in self._last_use.items()
+                if last == index and t in self._temp_map]
+        for temp in dead:
+            self._free.append(self._temp_map.pop(temp))
+
+    def _bind_instr(self, instr: TargetInstr, index: int) -> TargetInstr:
+        """Bind one instruction, inserting spill loads/stores as needed."""
+        fields = {}
+        spill_loads: list[TargetInstr] = []
+        store_after: TargetInstr | None = None
+
+        def map_read(reg: int | None) -> int | None:
+            if reg is None:
+                return None
+            try:
+                return self._phys_of(reg, index, writing=False)
+            except _NeedsSpill as spill:
+                phys = self._alloc_spill_temp(spill.reg, index)
+                spill_loads.append(self._spill_load(spill.reg, phys))
+                return phys
+
+        src1 = instr.src1
+        src2 = instr.src2
+        pred = instr.pred
+        dst = instr.dst
+        # Reads first (so a spilled reg read+written uses two temps).
+        read_map: dict[int, int] = {}
+        for reg in instr.reads():
+            if reg not in read_map:
+                mapped = map_read(reg)
+                read_map[reg] = mapped
+
+        def lookup_read(reg: int | None) -> int | None:
+            return None if reg is None else read_map[reg]
+
+        bound_pred = lookup_read(pred) if pred is not None else None
+        new_dst = None
+        if dst is not None:
+            if dst in read_map:
+                # Read-modify-write (MVKH keeps the low halfword): the
+                # write must land in the same register that was read.
+                new_dst = read_map[dst]
+                if is_source_reg(dst) and dst in self._plan.spilled:
+                    store_after = self._spill_store(
+                        dst, new_dst, bound_pred, instr.pred_sense)
+            else:
+                try:
+                    new_dst = self._phys_of(dst, index, writing=True)
+                except _NeedsSpill as spill:
+                    phys = self._alloc_spill_temp(spill.reg, index)
+                    new_dst = phys
+                    store_after = self._spill_store(
+                        spill.reg, phys, bound_pred, instr.pred_sense)
+
+        bound = replace(
+            instr,
+            dst=new_dst,
+            src1=lookup_read(src1) if src1 is not None else None,
+            src2=lookup_read(src2) if src2 is not None else None,
+            pred=bound_pred,
+        )
+        for load in spill_loads:
+            self._out.append(load)
+        if store_after is not None:
+            self._out.append(bound)
+            self._release_spill_temps(index)
+            return store_after
+        self._release_spill_temps(index)
+        return bound
+
+    # -- spill mechanics --------------------------------------------------
+
+    def _alloc_spill_temp(self, source_reg: int, index: int) -> int:
+        if not self._free:
+            raise RegisterAllocationError(
+                "no free register for a spill access")
+        phys = self._free.pop(0)
+        self._spill_temps = getattr(self, "_spill_temps", [])
+        self._spill_temps.append(phys)
+        return phys
+
+    def _release_spill_temps(self, index: int) -> None:
+        for phys in getattr(self, "_spill_temps", []):
+            self._free.append(phys)
+        self._spill_temps = []
+
+    def _spill_load(self, source_reg: int, phys: int) -> TargetInstr:
+        plan = self._plan
+        return TargetInstr(
+            TOp.LDW, dst=phys, src1=plan.spill_base_reg,
+            imm=plan.spilled[source_reg] - plan.spill_base_addr,
+            role=TRole.PROGRAM,
+            comment=f"reload spilled source r{source_reg}")
+
+    def _spill_store(self, source_reg: int, phys: int,
+                     pred: int | None, pred_sense: bool) -> TargetInstr:
+        # A predicated write spills under the same predicate: when the
+        # write is nullified the slot must keep its old value.
+        plan = self._plan
+        return TargetInstr(
+            TOp.STW, src1=phys, src2=plan.spill_base_reg,
+            imm=plan.spilled[source_reg] - plan.spill_base_addr,
+            pred=pred, pred_sense=pred_sense,
+            role=TRole.PROGRAM,
+            comment=f"spill source r{source_reg}")
+
+
+class _NeedsSpill(Exception):
+    def __init__(self, reg: int) -> None:
+        super().__init__(f"source register {reg} is spilled")
+        self.reg = reg

@@ -1,0 +1,179 @@
+"""Per-block IR collection and memory-address translation.
+
+Collects the IR expansions of a basic block into one stream with
+uniquely renamed temporaries, and rewrites every memory access for the
+target memory map (the consumers of Fig. 1's "finding base addresses"):
+
+* accesses proven to be source *data* add the constant data-region
+  delta held in the reserved register ``RES_DDELTA``;
+* accesses proven to be *I/O* are redirected into the bus-bridge
+  window (the paper's "replaced by instructions accessing the hardware
+  of the bus model");
+* statically unknown accesses get a run-time translation stub that
+  tests the address against the I/O base and applies the right delta —
+  at detail levels >= 2 the stub also adds the I/O bus cycles to the
+  dynamic correction counter, since the static calculation could not
+  account for them.
+
+Register values keep *source* addresses everywhere; translation happens
+only at the access itself, so pointer arithmetic and comparisons in the
+translated program behave exactly as on the source processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.arch.model import SourceArch, TargetArch
+from repro.errors import TranslationError
+from repro.refsim.decoded import DecodedInstr
+from repro.translator.baseaddr import AccessMap, Region
+from repro.translator.blocks import BasicBlock
+from repro.translator.ir import (
+    RES_CORR,
+    RES_DDELTA,
+    IRInstr,
+    IROp,
+    LOAD_OPS,
+    Role,
+    STORE_OPS,
+    TempAllocator,
+    is_temp,
+)
+from repro.utils.bits import u32
+
+
+@dataclass
+class BlockIR:
+    """Translated IR of one basic block, terminator split off."""
+
+    block: BasicBlock
+    body: list[IRInstr] = field(default_factory=list)
+    terminator: IRInstr | None = None
+    #: (index into body, source address) for each source instruction,
+    #: marking where its translated code begins (cache-analysis split)
+    boundaries: list[tuple[int, int]] = field(default_factory=list)
+    temps: TempAllocator = field(default_factory=TempAllocator)
+
+
+def _rename_temps(instrs: list[IRInstr],
+                  temps: TempAllocator) -> list[IRInstr]:
+    """Give expansion-local temporaries block-unique numbers."""
+    mapping: dict[int, int] = {}
+    out: list[IRInstr] = []
+    for instr in instrs:
+        for reg in (*instr.reads(), *instr.writes()):
+            if is_temp(reg) and reg not in mapping:
+                mapping[reg] = temps.fresh()
+        out.append(instr.renamed(mapping))
+    return out
+
+
+def _with_base(instr: IRInstr, new_base: int) -> IRInstr:
+    """The memory access with its base register replaced."""
+    if instr.op in STORE_OPS:
+        return replace(instr, b=new_base)
+    return replace(instr, a=new_base)
+
+
+class AddressTranslator:
+    """Rewrites the memory accesses of one program."""
+
+    def __init__(self, source: SourceArch, target: TargetArch,
+                 accesses: AccessMap, level: int) -> None:
+        self.source = source
+        self.target = target
+        self.accesses = accesses
+        self.level = level
+        memory = source.memory
+        self.data_delta = u32(target.data_base - memory.data_base)
+        self.io_delta = u32(target.bridge_base - memory.io_base)
+        self.io_base = memory.io_base
+
+    def rewrite_block(self, block: BasicBlock) -> BlockIR:
+        """Collect and rewrite the IR of *block*."""
+        result = BlockIR(block=block)
+        temps = result.temps
+        for decoded in block.instrs:
+            start = len(result.body)
+            renamed = _rename_temps(list(decoded.expansion), temps)
+            for index, instr in enumerate(renamed):
+                if instr.op in LOAD_OPS or instr.op in STORE_OPS:
+                    result.body.extend(
+                        self._rewrite_access(decoded, index, instr, temps))
+                else:
+                    result.body.append(instr)
+            result.boundaries.append((start, decoded.addr))
+        if result.body and result.body[-1].op is IROp.B:
+            result.terminator = result.body.pop()
+        return result
+
+    # -- access rewriting ----------------------------------------------------
+
+    def _rewrite_access(self, decoded: DecodedInstr, index: int,
+                        instr: IRInstr, temps: TempAllocator) -> list[IRInstr]:
+        cls = self.accesses.get((decoded.addr, index))
+        region = cls.region if cls is not None else Region.UNKNOWN
+        base = instr.b if instr.op in STORE_OPS else instr.a
+        meta = dict(src_addr=decoded.addr, role=Role.ADDR_FIXUP)
+        if region is Region.DATA:
+            xlated = temps.fresh()
+            return [
+                IRInstr(IROp.ADD, dst=xlated, a=base, b=RES_DDELTA,
+                        comment="data address translation", **meta),
+                _with_base(instr, xlated),
+            ]
+        if region is Region.IO:
+            delta = temps.fresh()
+            xlated = temps.fresh()
+            return [
+                IRInstr(IROp.MVK, dst=delta, imm=self.io_delta,
+                        comment="io window delta", **meta),
+                IRInstr(IROp.ADD, dst=xlated, a=base, b=delta,
+                        comment="io address translation", **meta),
+                replace(_with_base(instr, xlated), device=True),
+            ]
+        if region is Region.CODE:
+            raise TranslationError(
+                f"load/store at {decoded.addr:#010x} targets the code "
+                f"region; translated programs cannot access source code "
+                f"memory (put constant data in .data)")
+        return self._unknown_stub(decoded, instr, base, temps, meta)
+
+    def _unknown_stub(self, decoded: DecodedInstr, instr: IRInstr,
+                      base: int, temps: TempAllocator,
+                      meta: dict) -> list[IRInstr]:
+        """Run-time data-vs-I/O discrimination and translation."""
+        effective = base
+        stub: list[IRInstr] = []
+        offset = instr.imm or 0
+        if offset:
+            effective = temps.fresh()
+            stub.append(IRInstr(IROp.ADD, dst=effective, a=base, imm=offset,
+                                comment="effective address", **meta))
+        io_base_reg = temps.fresh()
+        is_io = temps.fresh()
+        io_delta_reg = temps.fresh()
+        xlated = temps.fresh()
+        stub.extend([
+            IRInstr(IROp.MVK, dst=io_base_reg, imm=self.io_base,
+                    comment="io base", **meta),
+            IRInstr(IROp.CMPGEU, dst=is_io, a=effective, b=io_base_reg,
+                    comment="address >= io base?", **meta),
+            IRInstr(IROp.MVK, dst=io_delta_reg, imm=self.io_delta,
+                    comment="io window delta", **meta),
+            IRInstr(IROp.ADD, dst=xlated, a=effective, b=io_delta_reg,
+                    pred=is_io, pred_sense=True, **meta),
+            IRInstr(IROp.ADD, dst=xlated, a=effective, b=RES_DDELTA,
+                    pred=is_io, pred_sense=False, **meta),
+        ])
+        if self.level >= 2 and self.source.pipeline.io_access_cycles:
+            stub.append(
+                IRInstr(IROp.ADD, dst=RES_CORR, a=RES_CORR,
+                        imm=self.source.pipeline.io_access_cycles,
+                        pred=is_io, pred_sense=True,
+                        src_addr=decoded.addr, role=Role.CORR_ADD,
+                        comment="dynamic io cycle correction"))
+        access = _with_base(instr, xlated)
+        stub.append(replace(access, imm=0, device=True))
+        return stub

@@ -1,0 +1,232 @@
+"""VLIW list scheduling into execute packets.
+
+The "further transformations of the intermediate code" of Fig. 1:
+instructions that can execute in parallel are found, each is assigned
+to a functional unit, and the stream becomes execute packets that issue
+one per cycle.
+
+Dependence model (exposed pipeline, delays in packets):
+
+* RAW: consumer issues at least ``1 + delay(producer)`` packets later;
+* WAW: the later write's result must land strictly after the earlier
+  one (``delay1 - delay2 + 1``, at least 1);
+* WAR: the writer may issue in the same packet as the reader (operands
+  are read from the pre-packet state) but never earlier;
+* memory: stores and device accesses stay in program order; plain data
+  loads may reorder freely among themselves.
+
+The region-ending branch is placed so that its five delay slots cover
+the remaining instructions *and* every in-flight result lands before
+control transfers; trailing empty cycles become explicit NOP packets,
+so a region is always architecturally quiet at its boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.model import TargetArch
+from repro.errors import SchedulingError
+from repro.isa.c6x.instructions import (
+    TargetInstr,
+    TOp,
+    TRole,
+    UNIT_KINDS,
+    delay_slots,
+)
+from repro.isa.c6x.packets import ExecutePacket
+from repro.isa.c6x.units import UNITS_BY_KIND, Unit
+
+
+@dataclass
+class _Node:
+    instr: TargetInstr
+    index: int
+    preds: list[tuple[int, int]] = field(default_factory=list)  # (node, delta)
+    succs: list[tuple[int, int]] = field(default_factory=list)
+    priority: int = 0
+    issue: int = -1
+
+
+def _build_dependences(instrs: list[TargetInstr],
+                       target: TargetArch) -> list[_Node]:
+    nodes = [_Node(instr=i, index=n) for n, i in enumerate(instrs)]
+    last_write: dict[int, int] = {}
+    reads_since_write: dict[int, list[int]] = {}
+    mem_ops: list[int] = []
+
+    def add_edge(src: int, dst: int, delta: int) -> None:
+        if src == dst:
+            return
+        nodes[src].succs.append((dst, delta))
+        nodes[dst].preds.append((src, delta))
+
+    for n, instr in enumerate(instrs):
+        delay_of = {}
+        for reg in instr.reads():
+            writer = last_write.get(reg)
+            if writer is not None:
+                producer = instrs[writer]
+                add_edge(writer, n,
+                         1 + delay_slots(producer.op, target))
+            reads_since_write.setdefault(reg, []).append(n)
+        for reg in instr.writes():
+            writer = last_write.get(reg)
+            if writer is not None:
+                d1 = delay_slots(instrs[writer].op, target)
+                d2 = delay_slots(instr.op, target)
+                add_edge(writer, n, max(1, d1 - d2 + 1))
+            for reader in reads_since_write.get(reg, ()):
+                add_edge(reader, n, 0)  # WAR: same packet is fine
+            reads_since_write[reg] = []
+            last_write[reg] = n
+        del delay_of
+        if instr.is_memory():
+            serializing = instr.is_store() or instr.device
+            for m in mem_ops:
+                other = instrs[m]
+                if serializing or other.is_store() or other.device:
+                    add_edge(m, n, 1)
+            mem_ops.append(n)
+        if instr.op is TOp.HALT:
+            # The machine stops here: everything before must have fully
+            # completed (stores committed, writebacks landed).
+            for m in range(n):
+                add_edge(m, n, 1 + delay_slots(instrs[m].op, target))
+
+    # Priority: longest latency-weighted path to any sink.
+    for node in reversed(nodes):
+        longest = 0
+        for succ, delta in node.succs:
+            longest = max(longest, nodes[succ].priority + max(delta, 1))
+        node.priority = longest
+    return nodes
+
+
+@dataclass
+class ScheduledRegion:
+    """Packets of one region plus bookkeeping for the emitter."""
+
+    packets: list[ExecutePacket]
+    branch_issue: int | None
+
+
+class RegionScheduler:
+    """Schedules one region (body + optional terminating branch)."""
+
+    def __init__(self, target: TargetArch) -> None:
+        self.target = target
+
+    def schedule(self, body: list[TargetInstr],
+                 terminator: TargetInstr | None) -> ScheduledRegion:
+        nodes = _build_dependences(
+            body + ([terminator] if terminator is not None else []),
+            self.target)
+        term_index = len(body) if terminator is not None else None
+
+        unit_busy: dict[int, set[Unit]] = {}
+        cycle_fill: dict[int, int] = {}
+        unscheduled = {n.index for n in nodes
+                       if term_index is None or n.index != term_index}
+        placed = 0
+        cycle = 0
+        guard = 0
+        while unscheduled:
+            guard += 1
+            if guard > 200_000:  # pragma: no cover - defensive
+                raise SchedulingError("scheduler failed to converge")
+            ready = []
+            for index in unscheduled:
+                node = nodes[index]
+                ready_at = 0
+                ok = True
+                for pred, delta in node.preds:
+                    if nodes[pred].issue < 0:
+                        if pred in unscheduled or pred == term_index:
+                            ok = False
+                            break
+                        continue
+                    ready_at = max(ready_at, nodes[pred].issue + delta)
+                if ok and ready_at <= cycle:
+                    ready.append(node)
+            ready.sort(key=lambda n: (-n.priority, n.index))
+            for node in ready:
+                unit = self._pick_unit(node.instr, cycle, unit_busy,
+                                       cycle_fill)
+                if unit is None:
+                    continue
+                node.instr.unit = unit
+                node.issue = cycle
+                unit_busy.setdefault(cycle, set()).add(unit)
+                cycle_fill[cycle] = cycle_fill.get(cycle, 0) + 1
+                unscheduled.discard(node.index)
+                placed += 1
+            cycle += 1
+
+        body_last = max((n.issue for n in nodes
+                         if n.index != term_index), default=-1)
+        completion = 0
+        for node in nodes:
+            if node.index == term_index:
+                continue
+            completion = max(completion, node.issue + 1 +
+                             delay_slots(node.instr.op, self.target))
+
+        branch_issue: int | None = None
+        if term_index is not None:
+            term_node = nodes[term_index]
+            bds = self.target.branch_delay_slots
+            ready_at = 0
+            for pred, delta in term_node.preds:
+                if nodes[pred].issue >= 0:
+                    ready_at = max(ready_at, nodes[pred].issue + delta)
+            earliest = max(ready_at, completion - 1 - bds, 0)
+            while True:
+                unit = self._pick_unit(term_node.instr, earliest,
+                                       unit_busy, cycle_fill)
+                if unit is not None:
+                    break
+                earliest += 1
+            term_node.instr.unit = unit
+            term_node.issue = earliest
+            unit_busy.setdefault(earliest, set()).add(unit)
+            cycle_fill[earliest] = cycle_fill.get(earliest, 0) + 1
+            branch_issue = earliest
+            length = max(body_last, earliest + bds) + 1
+        else:
+            # Quiet boundary: all writebacks land before the next region.
+            length = max(body_last + 1, completion)
+            length = max(length, 1)
+
+        packets: list[ExecutePacket] = [ExecutePacket() for _ in range(length)]
+        for node in nodes:
+            if node.issue >= 0:
+                packets[node.issue].instrs.append(node.instr)
+        for packet in packets:
+            if not packet.instrs:
+                packet.instrs.append(
+                    TargetInstr(TOp.NOP, imm=1, role=TRole.NOPPAD))
+        return ScheduledRegion(packets=packets, branch_issue=branch_issue)
+
+    def _pick_unit(self, instr: TargetInstr, cycle: int,
+                   unit_busy: dict[int, set[Unit]],
+                   cycle_fill: dict[int, int]) -> Unit | None:
+        if cycle_fill.get(cycle, 0) >= self.target.max_issue:
+            return None
+        kinds = UNIT_KINDS[instr.op]
+        if not kinds:
+            return None
+        busy = unit_busy.get(cycle, set())
+        preferred_side = None
+        if instr.dst is not None:
+            preferred_side = 0 if instr.dst < self.target.registers_per_side \
+                else 1
+        candidates: list[Unit] = []
+        for kind in kinds:
+            candidates.extend(UNITS_BY_KIND[kind])
+        if preferred_side is not None:
+            candidates.sort(key=lambda u: u.side != preferred_side)
+        for unit in candidates:
+            if unit not in busy:
+                return unit
+        return None

@@ -1,0 +1,106 @@
+"""Bit-manipulation helpers shared across ISA, simulator and translator code.
+
+All register and memory values in this library are stored as unsigned
+Python integers masked to their width; these helpers convert between the
+unsigned storage form and the signed interpretation, and pack/extract
+bit fields for instruction encodings.
+"""
+
+from __future__ import annotations
+
+MASK8 = 0xFF
+MASK16 = 0xFFFF
+MASK32 = 0xFFFF_FFFF
+
+
+def u32(value: int) -> int:
+    """Return *value* truncated to an unsigned 32-bit integer."""
+    return value & MASK32
+
+
+def u16(value: int) -> int:
+    """Return *value* truncated to an unsigned 16-bit integer."""
+    return value & MASK16
+
+
+def u8(value: int) -> int:
+    """Return *value* truncated to an unsigned 8-bit integer."""
+    return value & MASK8
+
+
+def s32(value: int) -> int:
+    """Interpret the low 32 bits of *value* as a signed integer."""
+    value &= MASK32
+    return value - 0x1_0000_0000 if value & 0x8000_0000 else value
+
+
+def s16(value: int) -> int:
+    """Interpret the low 16 bits of *value* as a signed integer."""
+    value &= MASK16
+    return value - 0x1_0000 if value & 0x8000 else value
+
+
+def s8(value: int) -> int:
+    """Interpret the low 8 bits of *value* as a signed integer."""
+    value &= MASK8
+    return value - 0x100 if value & 0x80 else value
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the low *bits* bits of *value* to a Python int."""
+    if bits <= 0:
+        raise ValueError("bit width must be positive")
+    mask = (1 << bits) - 1
+    value &= mask
+    sign = 1 << (bits - 1)
+    return value - (1 << bits) if value & sign else value
+
+
+def fits_signed(value: int, bits: int) -> bool:
+    """Return True if *value* is representable as a signed *bits*-bit int."""
+    limit = 1 << (bits - 1)
+    return -limit <= value < limit
+
+
+def fits_unsigned(value: int, bits: int) -> bool:
+    """Return True if *value* is representable as an unsigned *bits*-bit int."""
+    return 0 <= value < (1 << bits)
+
+
+def extract(word: int, lo: int, width: int) -> int:
+    """Extract *width* bits of *word* starting at bit *lo* (LSB = 0)."""
+    return (word >> lo) & ((1 << width) - 1)
+
+
+def insert(word: int, lo: int, width: int, value: int) -> int:
+    """Return *word* with *width* bits at *lo* replaced by *value*.
+
+    Raises :class:`ValueError` if *value* does not fit in *width* bits
+    (unsigned); callers that pack signed fields must mask first.
+    """
+    if not fits_unsigned(value, width):
+        raise ValueError(f"value {value} does not fit in {width} unsigned bits")
+    mask = ((1 << width) - 1) << lo
+    return (word & ~mask) | (value << lo)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round *value* down to a multiple of *alignment* (a power of two)."""
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round *value* up to a multiple of *alignment* (a power of two)."""
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return log2 of a power-of-two *value*, raising otherwise."""
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1

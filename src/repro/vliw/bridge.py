@@ -1,0 +1,44 @@
+"""Bus interface between the VLIW core and the SoC bus.
+
+The FPGAs of the prototyping platform contain "the bus interface that
+adapts the bus of the VLIW processor to the SoC bus of the emulated
+processor core".  Accesses into the bridge window are forwarded to the
+SoC bus model, stamped with the *emulated* cycle count produced by the
+synchronization device — so attached hardware observes I/O at emulated
+time, not at raw C6x time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.soc.bus import SocBus
+from repro.vliw.syncdev import SyncDevice
+
+
+@dataclass
+class BridgeStats:
+    reads: int = 0
+    writes: int = 0
+    stall_cycles: int = 0
+
+
+class BusBridge:
+    """Forwards bridge-window accesses onto the SoC bus."""
+
+    def __init__(self, bus: SocBus, sync: SyncDevice,
+                 access_stall: int = 4) -> None:
+        self.bus = bus
+        self.sync = sync
+        self.access_stall = access_stall
+        self.stats = BridgeStats()
+
+    def read(self, offset: int, size: int) -> int:
+        self.stats.reads += 1
+        self.stats.stall_cycles += self.access_stall
+        return self.bus.read(offset, size, self.sync.emulated_cycles)
+
+    def write(self, offset: int, value: int, size: int) -> None:
+        self.stats.writes += 1
+        self.stats.stall_cycles += self.access_stall
+        self.bus.write(offset, value, size, self.sync.emulated_cycles)

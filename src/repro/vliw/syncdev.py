@@ -1,0 +1,140 @@
+"""Synchronization device — the FPGA cycle-generation hardware.
+
+Per Section 3.1 of the paper: at the beginning of each translated basic
+block the program writes the predicted source-cycle count *n* to this
+device; the device then generates *n* SoC clock cycles for the attached
+hardware *in parallel* with the block's execution.  A read from the
+status register blocks until generation has finished.  A second channel
+produces the dynamic correction cycles of Section 3.4.
+
+Register map (byte offsets from the device base):
+
+====== ==============================================================
+``+0``  CMD: write *n* starts main-channel generation
+``+4``  STATUS: read blocks while the main channel is busy
+``+8``  CORR_CMD: write *n* starts correction-channel generation
+``+12`` CORR_STATUS: read blocks while the correction channel is busy
+====== ==============================================================
+
+The generated cycle count is the platform's *emulated clock*: it
+drives the SoC bus, so peripherals observe bus traffic at emulated
+time, which is what makes the translated program's I/O cycle accurate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+REG_CMD = 0x0
+REG_STATUS = 0x4
+REG_CORR_CMD = 0x8
+REG_CORR_STATUS = 0xC
+SYNC_WINDOW = 0x10
+
+
+@dataclass
+class SyncStats:
+    """Counters for the speed analysis."""
+
+    blocks_started: int = 0
+    corrections_started: int = 0
+    cycles_generated: int = 0
+    correction_cycles_generated: int = 0
+    wait_stall_cycles: int = 0
+
+
+class SyncDevice:
+    """Cycle generator co-simulated with the VLIW core.
+
+    *rate* is the number of emulated SoC cycles generated per target
+    (C6x) clock cycle; fractional rates accumulate.
+    """
+
+    def __init__(self, rate: float = 1.0) -> None:
+        if rate <= 0:
+            raise SimulationError("sync generation rate must be positive")
+        self.rate = rate
+        self.emulated_cycles = 0  # total generated so far (the SoC clock)
+        self._pending_main = 0
+        self._pending_corr = 0
+        self._accumulator = 0.0
+        self.stats = SyncStats()
+
+    # -- device protocol ----------------------------------------------------
+
+    def write(self, offset: int, value: int) -> None:
+        if offset == REG_CMD:
+            if self._pending_main:
+                raise SimulationError(
+                    "sync-device protocol violation: new cycle generation "
+                    "started while the previous block is still generating "
+                    "(missing sync wait — translator bug)")
+            self._pending_main = value
+            self.stats.blocks_started += 1
+            return
+        if offset == REG_CORR_CMD:
+            if self._pending_corr:
+                raise SimulationError(
+                    "sync-device protocol violation: correction generation "
+                    "already running")
+            self._pending_corr = value
+            if value:
+                self.stats.corrections_started += 1
+            return
+        raise SimulationError(
+            f"invalid sync-device register write at offset {offset:#x}")
+
+    def read_blocks(self, offset: int) -> bool:
+        """True if a read of *offset* must stall the core right now."""
+        if offset == REG_STATUS:
+            return self._pending_main > 0
+        if offset == REG_CORR_STATUS:
+            return self._pending_corr > 0
+        raise SimulationError(
+            f"invalid sync-device register read at offset {offset:#x}")
+
+    def read_value(self, offset: int) -> int:
+        """Value returned once a status read completes."""
+        if offset in (REG_STATUS, REG_CORR_STATUS):
+            return 0
+        raise SimulationError(
+            f"invalid sync-device register read at offset {offset:#x}")
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._pending_main or self._pending_corr)
+
+    # -- co-simulation --------------------------------------------------------
+
+    def tick(self) -> None:
+        """Advance one target clock cycle of generation."""
+        if not self.busy:
+            self._accumulator = 0.0
+            return
+        self._accumulator += self.rate
+        emit = int(self._accumulator)
+        if emit <= 0:
+            return
+        self._accumulator -= emit
+        while emit > 0 and self._pending_main > 0:
+            step = min(emit, self._pending_main)
+            self._pending_main -= step
+            self.emulated_cycles += step
+            self.stats.cycles_generated += step
+            emit -= step
+        while emit > 0 and self._pending_corr > 0:
+            step = min(emit, self._pending_corr)
+            self._pending_corr -= step
+            self.emulated_cycles += step
+            self.stats.correction_cycles_generated += step
+            emit -= step
+
+    def flush(self) -> None:
+        """Finish all pending generation instantly (used at halt)."""
+        self.emulated_cycles += self._pending_main + self._pending_corr
+        self.stats.cycles_generated += self._pending_main
+        self.stats.correction_cycles_generated += self._pending_corr
+        self._pending_main = 0
+        self._pending_corr = 0

@@ -1,0 +1,164 @@
+"""Tests for the architecture description model and its XML form."""
+
+import pytest
+
+from repro.arch.model import (
+    BranchModel,
+    ICacheModel,
+    MemoryMap,
+    PipelineModel,
+    SourceArch,
+    TargetArch,
+    default_source_arch,
+    default_target_arch,
+)
+from repro.arch.xmlio import (
+    source_arch_from_xml,
+    source_arch_to_xml,
+    target_arch_from_xml,
+    target_arch_to_xml,
+)
+from repro.errors import ArchitectureError
+
+
+class TestMemoryMap:
+    def test_defaults_valid(self):
+        MemoryMap().validate()
+
+    def test_region_predicates(self):
+        mem = MemoryMap()
+        assert mem.is_code(mem.code_base)
+        assert mem.is_data(mem.data_base + 4)
+        assert mem.is_io(mem.io_base)
+        assert not mem.is_data(mem.io_base)
+
+    def test_stack_top_inside_data(self):
+        mem = MemoryMap()
+        assert mem.is_data(mem.stack_top)
+        assert mem.stack_top % 16 == 0
+
+    def test_overlap_rejected(self):
+        mem = MemoryMap(code_base=0x1000, code_size=0x2000,
+                        data_base=0x2000, data_size=0x1000)
+        with pytest.raises(ArchitectureError):
+            mem.validate()
+
+    def test_unaligned_base_rejected(self):
+        with pytest.raises(ArchitectureError):
+            MemoryMap(code_base=0x1002).validate()
+
+
+class TestBranchModel:
+    def test_min_conditional(self):
+        model = BranchModel(taken_correct=2, not_taken_correct=1,
+                            mispredict=4)
+        assert model.min_conditional == 1
+
+    def test_conditional_cost_matrix(self):
+        model = BranchModel(taken_correct=2, not_taken_correct=1,
+                            mispredict=4)
+        assert model.conditional_cost(True, True) == 2
+        assert model.conditional_cost(False, False) == 1
+        assert model.conditional_cost(True, False) == 4
+        assert model.conditional_cost(False, True) == 4
+
+    def test_loop_cost(self):
+        model = BranchModel(loop_taken=1, loop_exit=4)
+        assert model.loop_cost(True) == 1
+        assert model.loop_cost(False) == 4
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(ArchitectureError):
+            BranchModel(taken_correct=0).validate()
+
+
+class TestICacheModel:
+    def test_size(self):
+        model = ICacheModel(ways=2, sets=32, line_size=32)
+        assert model.size == 2048
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ICacheModel(sets=33).validate()
+
+    def test_small_line_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ICacheModel(line_size=2).validate()
+
+
+class TestSourceArch:
+    def test_default_valid(self):
+        default_source_arch()
+
+    def test_with_icache(self):
+        arch = default_source_arch().with_icache(line_size=16, sets=64)
+        assert arch.icache.line_size == 16
+        assert arch.icache.sets == 64
+
+    def test_bad_clock_rejected(self):
+        with pytest.raises(ArchitectureError):
+            SourceArch(clock_hz=0).validate()
+
+
+class TestTargetArch:
+    def test_default_valid(self):
+        default_target_arch()
+
+    def test_register_bounds(self):
+        with pytest.raises(ArchitectureError):
+            TargetArch(registers_per_side=4).validate()
+
+    def test_pipeline_validation(self):
+        with pytest.raises(ArchitectureError):
+            PipelineModel(load_use_stall=-1).validate()
+
+
+class TestXmlRoundtrip:
+    def test_source_roundtrip_defaults(self):
+        arch = default_source_arch()
+        text = source_arch_to_xml(arch)
+        assert source_arch_from_xml(text) == arch
+
+    def test_source_roundtrip_custom(self):
+        arch = SourceArch(
+            name="custom",
+            clock_hz=100_000_000,
+            pipeline=PipelineModel(dual_issue=False, load_use_stall=2,
+                                   mul_result_latency=3, io_access_cycles=5),
+            branch=BranchModel(taken_correct=3, mispredict=6),
+            icache=ICacheModel(ways=1, sets=64, line_size=16,
+                               miss_penalty=20),
+        ).validate()
+        assert source_arch_from_xml(source_arch_to_xml(arch)) == arch
+
+    def test_target_roundtrip(self):
+        arch = default_target_arch()
+        assert target_arch_from_xml(target_arch_to_xml(arch)) == arch
+
+    def test_partial_document_uses_defaults(self):
+        arch = source_arch_from_xml('<architecture name="mini"/>')
+        assert arch.name == "mini"
+        assert arch.icache == default_source_arch().icache
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(ArchitectureError):
+            source_arch_from_xml("<nonsense/>")
+
+    def test_bad_int_rejected(self):
+        with pytest.raises(ArchitectureError):
+            source_arch_from_xml(
+                '<architecture><clocks source_hz="fast"/></architecture>')
+
+    def test_bad_bool_rejected(self):
+        with pytest.raises(ArchitectureError):
+            source_arch_from_xml(
+                '<architecture><pipeline dual_issue="maybe"/></architecture>')
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ArchitectureError):
+            source_arch_from_xml("<architecture")
+
+    def test_hex_attributes_accepted(self):
+        arch = source_arch_from_xml(
+            '<architecture><memory code_base="0x80000000"/></architecture>')
+        assert arch.memory.code_base == 0x8000_0000

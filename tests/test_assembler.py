@@ -1,0 +1,300 @@
+"""Assembler and disassembler tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import AssemblerError
+from repro.isa.tricore.assembler import assemble
+from repro.isa.tricore.disassembler import (
+    disassemble_blob,
+    disassemble_object,
+    format_listing,
+)
+from repro.isa.tricore.encoding import decode_bytes
+
+
+def _text(obj):
+    return obj.text().data
+
+
+class TestBasics:
+    def test_empty_text_section(self):
+        obj = assemble("    .text\nstart:\n    nop\n")
+        assert len(_text(obj)) == 4
+
+    def test_labels_resolve(self):
+        obj = assemble("""
+            .text
+        _start:
+            j target
+            nop
+        target:
+            halt
+        """)
+        decoded = decode_bytes(_text(obj), obj.text().addr)
+        assert decoded[0][1].key == "j"
+
+    def test_entry_defaults_to_start(self):
+        obj = assemble("_start:\n    nop\n")
+        assert obj.entry == obj.symbols["_start"].addr
+
+    def test_entry_directive(self):
+        obj = assemble("""
+            .entry main
+        other:
+            nop
+        main:
+            halt
+        """)
+        assert obj.entry == obj.symbols["main"].addr
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("a:\n    nop\na:\n    nop\n")
+
+    def test_unknown_mnemonic_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("    frobnicate d1, d2\n")
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("    j nowhere\n")
+
+    def test_comments_stripped(self):
+        obj = assemble("    nop ; trailing\n    nop # hash\n    nop // slash\n")
+        assert len(_text(obj)) == 12
+
+    def test_error_reports_line(self):
+        with pytest.raises(AssemblerError) as info:
+            assemble("    nop\n    bogus d1\n")
+        assert "line 2" in str(info.value)
+
+
+class TestOperandForms:
+    def test_register_register(self):
+        obj = assemble("    add d3, d1, d2\n")
+        (_, spec, fields, _), = decode_bytes(_text(obj), obj.text().addr)
+        assert spec.key == "add"
+        assert fields == {"a": 1, "b": 2, "c": 3}
+
+    def test_register_constant_selects_rc9(self):
+        obj = assemble("    add d3, d1, 42\n")
+        (_, spec, fields, _), = decode_bytes(_text(obj), obj.text().addr)
+        assert spec.key == "add_c"
+        assert fields["k"] == 42
+
+    def test_constant_too_large_for_rc9(self):
+        with pytest.raises(AssemblerError):
+            assemble("    add d3, d1, 300\n")
+
+    def test_memory_modes(self):
+        source = """
+            ld.w d1, [a2]8
+            ld.w d1, [a2+]4
+            ld.w d1, [+a2]4
+            st.w [a3]-4, d5
+        """
+        obj = assemble(source)
+        decoded = decode_bytes(_text(obj), obj.text().addr)
+        modes = [fields["mode"] for _, _, fields, _ in decoded]
+        assert modes == [0, 1, 2, 0]
+        assert decoded[3][2]["off"] == -4
+
+    def test_long_offset_selects_bol(self):
+        obj = assemble("    ld.w d1, [a2]1000\n")
+        (_, spec, _, _), = decode_bytes(_text(obj), obj.text().addr)
+        assert spec.key == "ld_w_bol"
+
+    def test_explicit_long_form(self):
+        obj = assemble("    ld.w.l d1, [a2]4\n")
+        (_, spec, _, _), = decode_bytes(_text(obj), obj.text().addr)
+        assert spec.key == "ld_w_bol"
+
+    def test_jz_alias(self):
+        obj = assemble("lbl:\n    jz d3, lbl\n")
+        decoded = decode_bytes(_text(obj), obj.text().addr)
+        assert decoded[0][1].key == "jeq_c"
+        assert decoded[0][2]["k"] == 0
+
+    def test_sixteen_bit_forms(self):
+        obj = assemble("    mov16 d1, d2\n    add16 d1, 3\n    ret16\n")
+        decoded = decode_bytes(_text(obj), obj.text().addr)
+        assert [d[3] for d in decoded] == [2, 2, 2]
+
+    def test_branch_displacement_negative(self):
+        obj = assemble("top:\n    nop\n    j top\n")
+        decoded = decode_bytes(_text(obj), obj.text().addr)
+        assert decoded[1][2]["disp"] == -2  # 4 bytes back = 2 halfwords
+
+
+class TestDirectives:
+    def test_word_half_byte(self):
+        obj = assemble("""
+            .data
+        v:
+            .word 0x11223344
+            .half 0x5566
+            .byte 0x77
+        """)
+        data = obj.section(".data").data
+        assert data == bytes.fromhex("44332211" "6655" "77")
+
+    def test_space_and_align(self):
+        obj = assemble("""
+            .data
+            .byte 1
+            .align 4
+            .word 2
+        """)
+        data = obj.section(".data").data
+        assert len(data) == 8
+        assert data[4:8] == (2).to_bytes(4, "little")
+
+    def test_asciz(self):
+        obj = assemble('    .data\n    .asciz "hi"\n')
+        assert obj.section(".data").data == b"hi\x00"
+
+    def test_equ(self):
+        obj = assemble("""
+            .equ MAGIC, 0x40
+            .data
+            .word MAGIC + 2
+        """)
+        assert obj.section(".data").data == (0x42).to_bytes(4, "little")
+
+    def test_org_pads_forward(self):
+        obj = assemble("""
+            .text
+            nop
+            .org 0x80000010
+            halt
+        """)
+        assert len(_text(obj)) == 0x14
+
+    def test_org_backwards_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("    .text\n    nop\n    .org 0x80000000\n")
+
+    def test_word_with_symbol(self):
+        obj = assemble("""
+            .text
+        fn:
+            halt
+            .data
+        ptr:
+            .word fn
+        """)
+        stored = int.from_bytes(obj.section(".data").data, "little")
+        assert stored == obj.symbols["fn"].addr
+
+
+class TestMacros:
+    def test_li_small(self):
+        obj = assemble("    li d1, 5\n")
+        (_, spec, _, _), = decode_bytes(_text(obj), obj.text().addr)
+        assert spec.key == "mov"
+
+    def test_li_unsigned16(self):
+        obj = assemble("    li d1, 0xFFFF\n")
+        (_, spec, _, _), = decode_bytes(_text(obj), obj.text().addr)
+        assert spec.key == "mov_u"
+
+    def test_li_large_expands_to_pair(self):
+        obj = assemble("    li d1, 0xDEADBEEF\n")
+        decoded = decode_bytes(_text(obj), obj.text().addr)
+        assert [d[1].key for d in decoded] == ["movh", "addi"]
+
+    def test_la_symbol(self):
+        obj = assemble("""
+            la a2, buffer
+            halt
+            .data
+        buffer:
+            .word 0
+        """)
+        decoded = decode_bytes(_text(obj), obj.text().addr)
+        assert [d[1].key for d in decoded][:2] == ["movh_a", "lea_bol"]
+
+
+class TestExpressions:
+    def test_hi_lo_reconstruct(self):
+        # movh + sign-extended low must reconstruct any address
+        for addr in (0xD0000000, 0xD000FFF0, 0x8000ABCD, 0x0000FFFF):
+            hi = ((addr + 0x8000) >> 16) & 0xFFFF
+            lo = addr & 0xFFFF
+            if lo >= 0x8000:
+                lo -= 0x10000
+            assert ((hi << 16) + lo) & 0xFFFFFFFF == addr
+
+    def test_arithmetic(self):
+        obj = assemble("    .data\n    .word 1+2-3+0x10\n")
+        assert obj.section(".data").data == (0x10).to_bytes(4, "little")
+
+    def test_parentheses(self):
+        obj = assemble("    .data\n    .word (1+2)-(3-1)\n")
+        assert obj.section(".data").data == (1).to_bytes(4, "little")
+
+
+class TestDisassembler:
+    def _roundtrip(self, source: str) -> None:
+        obj = assemble(source)
+        text = disassemble_object(obj)
+        obj2 = assemble(text)
+        assert obj2.text().data == obj.text().data
+
+    def test_roundtrip_simple(self):
+        self._roundtrip("""
+        _start:
+            li d4, 100
+            li d5, 42
+            add d6, d4, d5
+            st.w [a2]4, d6
+            halt
+        """)
+
+    def test_roundtrip_control_flow(self):
+        self._roundtrip("""
+        _start:
+            mov d1, 10
+        top:
+            add d1, d1, -1
+            jnz d1, top
+            call fn
+            halt
+        fn:
+            mov16 d2, d1
+            ret16
+        """)
+
+    def test_roundtrip_memory_modes(self):
+        self._roundtrip("""
+        _start:
+            la a2, 0xD0000000
+            ld.w d1, [a2+]4
+            ld.w d2, [+a2]4
+            st.w [a2]8, d1
+            ld.w.l d3, [a2]1000
+            halt
+        """)
+
+    def test_listing_contains_addresses(self):
+        obj = assemble("_start:\n    nop\n    halt\n")
+        listing = format_listing(obj.text().data, obj.text().addr)
+        assert "80000000" in listing
+        assert "nop" in listing
+
+    def test_blob_labels(self):
+        obj = assemble("top:\n    nop\n    j top\n")
+        lines = disassemble_blob(obj.text().data, obj.text().addr)
+        assert "L_80000000" in lines[1].text
+
+
+@given(st.integers(min_value=0, max_value=15),
+       st.integers(min_value=0, max_value=15),
+       st.integers(min_value=-256, max_value=255))
+def test_rc9_roundtrip_via_assembler(a, c, k):
+    source = f"    add d{c}, d{a}, {k}\n"
+    obj = assemble(source)
+    decoded = decode_bytes(obj.text().data, obj.text().addr)
+    assert decoded[0][2] == {"a": a, "c": c, "k": k}

@@ -1,0 +1,174 @@
+"""Base-address analysis tests (Fig. 1's "finding base addresses")."""
+
+from repro.arch.model import MemoryMap
+from repro.isa.tricore.assembler import assemble
+from repro.objfile.elf import SymbolKind
+from repro.translator.baseaddr import Region, analyze
+from repro.translator.blocks import build_cfg
+from repro.translator.decoder import decode_object
+
+
+def _analyze(source: str):
+    obj = assemble(source)
+    cfg = build_cfg(decode_object(obj), obj)
+    funcs = {s.addr for s in obj.symbols.values()
+             if s.kind == SymbolKind.FUNC}
+    return analyze(cfg, MemoryMap(), funcs), obj
+
+
+def _regions(accesses):
+    return sorted((addr, idx, cls.region.value, cls.const_addr)
+                  for (addr, idx), cls in accesses.items())
+
+
+class TestConstantClassification:
+    def test_la_data_access_is_const_data(self):
+        accesses, _ = _analyze("""
+        _start:
+            la a2, buf
+            ld.w d1, [a2]4
+            halt
+            .data
+        buf:
+            .word 1, 2
+        """)
+        (cls,) = accesses.values()
+        assert cls.region is Region.DATA
+        assert cls.const_addr == 0xD000_0004
+
+    def test_io_access_detected(self):
+        accesses, _ = _analyze("""
+        _start:
+            la a2, 0xF0000020
+            li d1, 3
+            st.w [a2], d1
+            halt
+        """)
+        (cls,) = accesses.values()
+        assert cls.region is Region.IO
+        assert cls.const_addr == 0xF000_0020
+
+    def test_offset_folded_into_const(self):
+        accesses, _ = _analyze("""
+        _start:
+            la a2, 0xF0000000
+            ld.w d1, [a2]0x10
+            halt
+        """)
+        (cls,) = accesses.values()
+        assert cls.const_addr == 0xF000_0010
+
+
+class TestRegionLattice:
+    def test_array_index_stays_in_region(self):
+        # base + unknown index: region known, constant not
+        accesses, _ = _analyze("""
+        _start:
+            la a2, buf
+            mov.d d1, a2
+            add d1, d1, d7      ; d7 unknown
+            mov.a a3, d1
+            ld.w d2, [a3]
+            halt
+            .data
+        buf:
+            .space 64
+        """)
+        (cls,) = accesses.values()
+        assert cls.region is Region.DATA
+        assert cls.const_addr is None
+
+    def test_loaded_pointer_is_unknown(self):
+        accesses, _ = _analyze("""
+        _start:
+            la a2, ptr
+            ld.a a3, [a2]
+            ld.w d1, [a3]
+            halt
+            .data
+        ptr:
+            .word 0xD0000010
+        """)
+        values = {cls.region for cls in accesses.values()}
+        assert Region.UNKNOWN in values
+
+    def test_small_constant_not_a_region(self):
+        accesses, _ = _analyze("""
+        _start:
+            mov d1, 64
+            mov.a a2, d1
+            ld.w d2, [a2]
+            halt
+        """)
+        (cls,) = accesses.values()
+        assert cls.region is Region.UNKNOWN
+
+
+class TestDataflow:
+    def test_constant_survives_straight_line_blocks(self):
+        accesses, obj = _analyze("""
+        _start:
+            la a2, buf
+            jeq d1, d2, other
+            nop
+        other:
+            ld.w d3, [a2]
+            halt
+            .data
+        buf:
+            .word 5
+        """)
+        (cls,) = [c for c in accesses.values()]
+        assert cls.region is Region.DATA
+        assert cls.const_addr == 0xD000_0000
+
+    def test_call_clobbers_state(self):
+        accesses, _ = _analyze("""
+        _start:
+            la a2, buf
+            call fn
+            ld.w d1, [a2]
+            halt
+        fn:
+            ret
+            .data
+        buf:
+            .word 5
+        """)
+        (cls,) = accesses.values()
+        assert cls.region is Region.UNKNOWN
+
+    def test_merge_of_two_constants_degrades(self):
+        accesses, _ = _analyze("""
+        _start:
+            jeq d1, d2, second
+            la a2, buf
+            j use
+        second:
+            la a2, buf + 8
+        use:
+            ld.w d3, [a2]
+            halt
+            .data
+        buf:
+            .space 16
+        """)
+        use_access = [cls for cls in accesses.values()][0]
+        assert use_access.region is Region.DATA
+        assert use_access.const_addr is None
+
+    def test_merge_of_same_constant_survives(self):
+        accesses, _ = _analyze("""
+        _start:
+            la a2, buf
+            jeq d1, d2, second
+            nop
+        second:
+            ld.w d3, [a2]
+            halt
+            .data
+        buf:
+            .space 16
+        """)
+        (cls,) = accesses.values()
+        assert cls.const_addr == 0xD000_0000

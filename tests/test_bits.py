@@ -1,0 +1,135 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bits import (
+    align_down,
+    align_up,
+    extract,
+    fits_signed,
+    fits_unsigned,
+    insert,
+    is_power_of_two,
+    log2_exact,
+    s8,
+    s16,
+    s32,
+    sign_extend,
+    u8,
+    u16,
+    u32,
+)
+
+
+class TestTruncation:
+    def test_u32_wraps(self):
+        assert u32(0x1_2345_6789) == 0x2345_6789
+
+    def test_u16_wraps(self):
+        assert u16(0x12345) == 0x2345
+
+    def test_u8_wraps(self):
+        assert u8(0x1FF) == 0xFF
+
+    def test_u32_negative(self):
+        assert u32(-1) == 0xFFFF_FFFF
+
+    def test_s32_positive(self):
+        assert s32(5) == 5
+
+    def test_s32_negative(self):
+        assert s32(0xFFFF_FFFF) == -1
+
+    def test_s32_min(self):
+        assert s32(0x8000_0000) == -0x8000_0000
+
+    def test_s16(self):
+        assert s16(0xFFFF) == -1
+        assert s16(0x7FFF) == 0x7FFF
+
+    def test_s8(self):
+        assert s8(0x80) == -128
+        assert s8(0x7F) == 127
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0b0111, 4) == 7
+
+    def test_negative(self):
+        assert sign_extend(0b1000, 4) == -8
+
+    def test_full_width(self):
+        assert sign_extend(0xFFFF_FFFF, 32) == -1
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            sign_extend(1, 0)
+
+    @given(st.integers(min_value=1, max_value=32), st.integers())
+    def test_roundtrip_mask(self, bits, value):
+        extended = sign_extend(value, bits)
+        assert extended & ((1 << bits) - 1) == value & ((1 << bits) - 1)
+
+    @given(st.integers(min_value=1, max_value=32), st.integers())
+    def test_range(self, bits, value):
+        extended = sign_extend(value, bits)
+        assert -(1 << (bits - 1)) <= extended < (1 << (bits - 1))
+
+
+class TestFits:
+    def test_fits_signed_bounds(self):
+        assert fits_signed(127, 8)
+        assert fits_signed(-128, 8)
+        assert not fits_signed(128, 8)
+        assert not fits_signed(-129, 8)
+
+    def test_fits_unsigned_bounds(self):
+        assert fits_unsigned(255, 8)
+        assert not fits_unsigned(256, 8)
+        assert not fits_unsigned(-1, 8)
+
+
+class TestFields:
+    def test_extract(self):
+        assert extract(0xABCD, 4, 8) == 0xBC
+
+    def test_insert(self):
+        assert insert(0x0000, 4, 8, 0xBC) == 0x0BC0
+
+    def test_insert_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            insert(0, 0, 4, 16)
+
+    @given(st.integers(min_value=0, max_value=0xFFFF_FFFF),
+           st.integers(min_value=0, max_value=24),
+           st.integers(min_value=1, max_value=8))
+    def test_insert_extract_roundtrip(self, word, lo, width):
+        value = (word >> 3) & ((1 << width) - 1)
+        assert extract(insert(word, lo, width, value), lo, width) == value
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert align_down(0x1234, 16) == 0x1230
+
+    def test_align_up(self):
+        assert align_up(0x1231, 16) == 0x1240
+
+    def test_align_up_exact(self):
+        assert align_up(0x1230, 16) == 0x1230
+
+    def test_power_of_two(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(4096)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+    def test_log2_exact(self):
+        assert log2_exact(32) == 5
+
+    def test_log2_exact_rejects(self):
+        with pytest.raises(ValueError):
+            log2_exact(33)

@@ -1,0 +1,163 @@
+"""Basic-block construction and CFG tests."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.isa.tricore.assembler import assemble
+from repro.translator.blocks import build_cfg
+from repro.translator.decoder import decode_object
+from repro.translator.ir import BranchKind
+
+
+def _cfg(source: str):
+    obj = assemble(source)
+    return build_cfg(decode_object(obj), obj), obj
+
+
+class TestLeaders:
+    def test_single_block(self):
+        cfg, obj = _cfg("_start:\n    nop\n    nop\n    halt\n")
+        assert len(cfg) == 1
+        block = cfg.blocks[obj.entry]
+        assert block.n_instructions == 3
+
+    def test_branch_target_splits(self):
+        cfg, obj = _cfg("""
+        _start:
+            nop
+        target:
+            nop
+            j target
+        """)
+        assert len(cfg) == 2
+        assert obj.symbols["target"].addr in cfg.blocks
+
+    def test_fallthrough_after_branch_is_leader(self):
+        cfg, _ = _cfg("""
+        _start:
+            jeq d1, d2, done
+            nop
+        done:
+            halt
+        """)
+        assert len(cfg) == 3
+
+    def test_function_symbols_are_leaders(self):
+        cfg, obj = _cfg("""
+        _start:
+            halt
+            .global helper
+        helper:
+            nop
+            ret
+        """)
+        assert obj.symbols["helper"].addr in cfg.blocks
+
+    def test_call_ends_block(self):
+        cfg, obj = _cfg("""
+        _start:
+            call fn
+            nop
+            halt
+        fn:
+            ret
+        """)
+        entry = cfg.blocks[obj.entry]
+        assert entry.kind is BranchKind.CALL
+        assert entry.n_instructions == 1
+
+
+class TestTerminators:
+    def test_cond_successors(self):
+        cfg, obj = _cfg("""
+        _start:
+            jeq d1, d2, done
+            nop
+        done:
+            halt
+        """)
+        entry = cfg.blocks[obj.entry]
+        assert entry.kind is BranchKind.COND
+        assert set(entry.successor_addrs()) == {
+            obj.symbols["done"].addr, entry.end_addr}
+
+    def test_jump_no_fallthrough(self):
+        cfg, obj = _cfg("""
+        _start:
+            j away
+            nop
+        away:
+            halt
+        """)
+        entry = cfg.blocks[obj.entry]
+        assert not entry.falls_through
+        assert entry.successor_addrs() == [obj.symbols["away"].addr]
+
+    def test_ret_has_no_successors(self):
+        cfg, obj = _cfg("""
+        _start:
+            halt
+        fn:
+            ret
+        """)
+        fn = cfg.blocks[obj.symbols["fn"].addr]
+        assert fn.successor_addrs() == []
+
+    def test_halt_no_fallthrough(self):
+        cfg, obj = _cfg("_start:\n    halt\n    nop\n")
+        entry = cfg.blocks[obj.entry]
+        assert not entry.falls_through
+
+    def test_fallthrough_block(self):
+        cfg, obj = _cfg("""
+        _start:
+            nop
+        merge:
+            nop
+            j merge
+        """)
+        entry = cfg.blocks[obj.entry]
+        assert entry.kind is BranchKind.NONE
+        assert entry.successor_addrs() == [entry.end_addr]
+
+    def test_loop_kind(self):
+        cfg, obj = _cfg("""
+        _start:
+            mov d1, 3
+            mov.a a2, d1
+        top:
+            nop
+            loop a2, top
+            halt
+        """)
+        top = cfg.blocks[obj.symbols["top"].addr]
+        assert top.kind is BranchKind.LOOP
+
+
+class TestBlockOf:
+    def test_contains_lookup(self):
+        cfg, obj = _cfg("_start:\n    nop\n    nop\n    halt\n")
+        block = cfg.block_of(obj.entry + 4)
+        assert block.addr == obj.entry
+
+    def test_missing_address(self):
+        cfg, _ = _cfg("_start:\n    halt\n")
+        with pytest.raises(TranslationError):
+            cfg.block_of(0x9000_0000)
+
+
+class TestErrors:
+    def test_branch_into_middle_of_instruction(self):
+        # jump target lands inside a 4-byte instruction
+        source = """
+        _start:
+            j _start + 2
+            halt
+        """
+        obj = assemble(source)
+        with pytest.raises(TranslationError):
+            build_cfg(decode_object(obj), obj)
+
+    def test_empty_program(self):
+        with pytest.raises(TranslationError):
+            build_cfg([], assemble("_start:\n    nop\n"))

@@ -1,0 +1,79 @@
+"""Static branch-prediction model tests."""
+
+from repro.arch.model import BranchModel
+from repro.bpred.static_pred import (
+    BranchStats,
+    dynamic_cost,
+    predicted_taken,
+    static_cost,
+)
+from repro.translator.ir import BranchKind
+
+
+class TestPrediction:
+    def test_backward_conditional_taken(self):
+        assert predicted_taken(BranchKind.COND, 0x100, 0x200)
+
+    def test_forward_conditional_not_taken(self):
+        assert not predicted_taken(BranchKind.COND, 0x300, 0x200)
+
+    def test_loop_always_taken(self):
+        assert predicted_taken(BranchKind.LOOP, 0x300, 0x200)
+
+    def test_unconditional_taken(self):
+        for kind in (BranchKind.JUMP, BranchKind.CALL, BranchKind.RET,
+                     BranchKind.INDIRECT, BranchKind.CALL_INDIRECT):
+            assert predicted_taken(kind, None, 0x200)
+
+    def test_none_not_taken(self):
+        assert not predicted_taken(BranchKind.NONE, None, 0)
+
+
+class TestDynamicCost:
+    MODEL = BranchModel(taken_correct=2, not_taken_correct=1, mispredict=4,
+                        unconditional=2, call=2, ret=3, loop_taken=1,
+                        loop_exit=4)
+
+    def test_conditional(self):
+        assert dynamic_cost(self.MODEL, BranchKind.COND, True, True) == 2
+        assert dynamic_cost(self.MODEL, BranchKind.COND, False, True) == 4
+
+    def test_loop(self):
+        assert dynamic_cost(self.MODEL, BranchKind.LOOP, True, True) == 1
+        assert dynamic_cost(self.MODEL, BranchKind.LOOP, False, True) == 4
+
+    def test_fixed_kinds(self):
+        assert dynamic_cost(self.MODEL, BranchKind.CALL, True, True) == 2
+        assert dynamic_cost(self.MODEL, BranchKind.RET, True, True) == 3
+        assert dynamic_cost(self.MODEL, BranchKind.JUMP, True, True) == 2
+
+    def test_none(self):
+        assert dynamic_cost(self.MODEL, BranchKind.NONE, False, False) == 0
+
+
+class TestStaticCost:
+    MODEL = TestDynamicCost.MODEL
+
+    def test_level1_assumes_predicted_path(self):
+        assert static_cost(self.MODEL, BranchKind.COND, True, True) == 2
+        assert static_cost(self.MODEL, BranchKind.COND, False, True) == 1
+
+    def test_level2_charges_minimum(self):
+        assert static_cost(self.MODEL, BranchKind.COND, True, False) == 1
+        assert static_cost(self.MODEL, BranchKind.LOOP, True, False) == 1
+
+    def test_correction_deltas_nonnegative(self):
+        minimum = static_cost(self.MODEL, BranchKind.COND, True, False)
+        for taken in (True, False):
+            for predicted in (True, False):
+                assert dynamic_cost(self.MODEL, BranchKind.COND, taken,
+                                    predicted) >= minimum
+
+
+class TestStats:
+    def test_misprediction_rate(self):
+        stats = BranchStats(conditional=10, mispredicted=3, taken=6)
+        assert stats.misprediction_rate == 0.3
+
+    def test_empty_rate(self):
+        assert BranchStats().misprediction_rate == 0.0

@@ -1,0 +1,226 @@
+"""Debugger and RSP protocol tests (Section 3.5)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.debug.debugger import Debugger, StopReason
+from repro.debug.rsp import (
+    RspClient,
+    RspServer,
+    checksum,
+    decode_packet,
+    encode_packet,
+)
+from repro.errors import DebugError
+from repro.isa.tricore.assembler import assemble
+from repro.minic.compiler import compile_source
+from repro.refsim.iss import FunctionalISS
+
+LOOP_ASM = """
+_start:
+    li d1, 0
+    li d2, 5
+top:
+    add d1, d1, d2
+    add d2, d2, -1
+    jnz d2, top
+    mov d3, 42
+    la a2, 0xF0000020
+    st.w [a2], d1
+    halt
+"""
+
+
+@pytest.fixture()
+def loop_obj():
+    return assemble(LOOP_ASM)
+
+
+class TestSingleStep:
+    def test_steps_track_the_iss(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        iss = FunctionalISS(loop_obj)
+        for _ in range(25):
+            stop = dbg.step()
+            iss.step()
+            if stop.reason is not StopReason.STEP:
+                break
+            assert dbg.src_pc == iss.state.pc
+            regs = dbg.read_all_registers()
+            for reg in range(16):
+                assert regs[f"d{reg}"] == iss.state.regs[reg]
+
+    def test_step_returns_step_reason(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        assert dbg.step().reason is StopReason.STEP
+
+    def test_run_to_exit(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        stop = dbg.cont()
+        assert stop.reason is StopReason.EXITED
+        assert stop.exit_code == 15
+
+
+class TestBreakpoints:
+    def test_block_head_breakpoint(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        top = loop_obj.symbol_addr("top")
+        dbg.set_breakpoint(top)
+        stop = dbg.cont()
+        assert stop.reason is StopReason.BREAKPOINT
+        assert stop.address == top
+
+    def test_midblock_breakpoint_uses_single_step(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        mid = loop_obj.symbol_addr("top") + 4
+        dbg.set_breakpoint(mid)
+        stop = dbg.cont()
+        assert stop.reason is StopReason.BREAKPOINT
+        assert stop.address == mid
+        assert dbg.read_register("d1") == 5  # first add done
+
+    def test_breakpoint_hits_every_iteration(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        mid = loop_obj.symbol_addr("top") + 4
+        dbg.set_breakpoint(mid)
+        values = []
+        for _ in range(5):
+            stop = dbg.cont()
+            assert stop.address == mid
+            values.append(dbg.read_register("d1"))
+        assert values == [5, 9, 12, 14, 15]
+
+    def test_clear_breakpoint(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        top = loop_obj.symbol_addr("top")
+        dbg.set_breakpoint(top)
+        dbg.cont()
+        dbg.clear_breakpoint(top)
+        stop = dbg.cont()
+        assert stop.reason is StopReason.EXITED
+
+    def test_invalid_breakpoint_rejected(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        with pytest.raises(DebugError):
+            dbg.set_breakpoint(loop_obj.entry + 1)  # mid-instruction
+
+    def test_step_then_continue(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        for _ in range(3):
+            dbg.step()
+        stop = dbg.cont()
+        assert stop.reason is StopReason.EXITED
+        assert stop.exit_code == 15
+
+
+class TestStateAccess:
+    def test_memory_read_write(self):
+        obj = compile_source("""
+            int g[4] = {1, 2, 3, 4};
+            int main() { return g[0]; }
+        """)
+        dbg = Debugger(obj, level=1)
+        base = obj.symbol_addr("g_g")
+        data = dbg.read_memory(base, 16)
+        assert [int.from_bytes(data[i:i + 4], "little")
+                for i in range(0, 16, 4)] == [1, 2, 3, 4]
+        dbg.write_memory(base, (99).to_bytes(4, "little"))
+        stop = dbg.cont()
+        assert stop.exit_code == 99  # the program saw the edit
+
+    def test_register_write(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        for _ in range(2):  # past the two li instructions
+            dbg.step()
+        dbg.write_register("d2", 1)  # shorten the loop
+        stop = dbg.cont()
+        assert stop.exit_code == 1
+
+    def test_memory_bounds_checked(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        with pytest.raises(DebugError):
+            dbg.read_memory(0x8000_0000, 4)  # code region
+
+    def test_emulated_cycles_advance(self, loop_obj):
+        dbg = Debugger(loop_obj, level=1)
+        before = dbg.emulated_cycles
+        dbg.step()
+        assert dbg.emulated_cycles >= before
+
+
+class TestRspFraming:
+    def test_encode(self):
+        assert encode_packet(b"OK") == b"$OK#9a"
+
+    def test_decode_roundtrip(self):
+        assert decode_packet(encode_packet(b"hello")) == b"hello"
+
+    def test_bad_checksum(self):
+        with pytest.raises(DebugError):
+            decode_packet(b"$OK#00")
+
+    def test_missing_dollar(self):
+        with pytest.raises(DebugError):
+            decode_packet(b"OK#9a")
+
+    @given(st.binary(min_size=0, max_size=64).filter(
+        lambda b: b"#" not in b and b"$" not in b))
+    def test_roundtrip_property(self, payload):
+        assert decode_packet(encode_packet(payload)) == payload
+
+    def test_checksum_mod_256(self):
+        assert checksum(b"\xff\xff") == 0xFE
+
+
+class TestRspServer:
+    def _client(self, obj):
+        return RspClient(RspServer(Debugger(obj, level=1)))
+
+    def test_question_mark(self, loop_obj):
+        assert self._client(loop_obj).command("?") == "S05"
+
+    def test_g_packet_layout(self, loop_obj):
+        reply = self._client(loop_obj).command("g")
+        assert len(reply) == 33 * 8  # 32 registers + pc
+
+    def test_step_and_read_register(self, loop_obj):
+        client = self._client(loop_obj)
+        client.command("s")  # li d1, 0
+        client.command("s")  # li d2, 5
+        reply = client.command("p2")  # d2
+        assert int.from_bytes(bytes.fromhex(reply), "little") == 5
+
+    def test_write_register(self, loop_obj):
+        client = self._client(loop_obj)
+        client.command("s")
+        assert client.command("P1=" + (7).to_bytes(4, "little").hex()) == "OK"
+        reply = client.command("p1")
+        assert int.from_bytes(bytes.fromhex(reply), "little") == 7
+
+    def test_memory_commands(self, loop_obj):
+        client = self._client(loop_obj)
+        assert client.command("M%x,4:2a000000" % 0xD0000000) == "OK"
+        assert client.command("m%x,4" % 0xD0000000) == "2a000000"
+
+    def test_continue_to_exit(self, loop_obj):
+        client = self._client(loop_obj)
+        assert client.command("c") == "W0f"  # exit code 15
+
+    def test_breakpoint_commands(self, loop_obj):
+        client = self._client(loop_obj)
+        top = loop_obj.symbol_addr("top")
+        assert client.command(f"Z0,{top:x},4") == "OK"
+        assert client.command("c") == "S05"
+        assert client.command(f"z0,{top:x},4") == "OK"
+
+    def test_bad_packets(self, loop_obj):
+        client = self._client(loop_obj)
+        assert client.command("m nonsense") == "E02"
+        assert client.command("Z0,1") == "E03"  # not an instruction
+        assert client.command("qSupported:foo") .startswith("PacketSize")
+        assert client.command("X123") == ""  # unsupported
+
+    def test_nak_on_bad_frame(self, loop_obj):
+        server = RspServer(Debugger(loop_obj, level=1))
+        assert server.handle_frame(b"$oops#00") == b"-"

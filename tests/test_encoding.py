@@ -1,0 +1,141 @@
+"""Encode/decode tests for the TriCore-like ISA, including a
+hypothesis round-trip over every instruction spec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DecodingError, EncodingError
+from repro.isa.tricore.encoding import decode_at, decode_bytes, decode_word, encode
+from repro.isa.tricore.instructions import (
+    FORMAT_FIELDS,
+    SPEC_BY_KEY,
+    SPECS,
+)
+
+
+def _field_strategy(lo, width, signed):
+    if signed:
+        return st.integers(min_value=-(1 << (width - 1)),
+                           max_value=(1 << (width - 1)) - 1)
+    return st.integers(min_value=0, max_value=(1 << width) - 1)
+
+
+def _fields_strategy(spec):
+    layout = FORMAT_FIELDS[spec.fmt]
+    parts = {name: _field_strategy(lo, width, signed)
+             for name, lo, width, signed in layout}
+    if "mode" in parts:
+        parts["mode"] = st.integers(min_value=0, max_value=2)
+    return st.fixed_dictionaries(parts)
+
+
+@st.composite
+def _spec_and_fields(draw):
+    spec = draw(st.sampled_from(SPECS))
+    fields = draw(_fields_strategy(spec))
+    return spec, fields
+
+
+class TestRoundtrip:
+    @given(_spec_and_fields())
+    def test_encode_decode_roundtrip(self, spec_fields):
+        spec, fields = spec_fields
+        blob = encode(spec, fields)
+        assert len(blob) == spec.width
+        word = int.from_bytes(blob, "little")
+        decoded_spec, decoded_fields = decode_word(word, spec.width)
+        assert decoded_spec.key == spec.key
+        assert decoded_fields == fields
+
+    @given(_spec_and_fields())
+    def test_width_bit_marks_length(self, spec_fields):
+        spec, fields = spec_fields
+        blob = encode(spec, fields)
+        first_halfword = int.from_bytes(blob[:2], "little")
+        assert bool(first_halfword & 1) == (spec.width == 4)
+
+
+class TestEncodeErrors:
+    def test_missing_field(self):
+        spec = SPEC_BY_KEY["add"]
+        with pytest.raises(EncodingError):
+            encode(spec, {"a": 1, "b": 2})
+
+    def test_extra_field(self):
+        spec = SPEC_BY_KEY["add"]
+        with pytest.raises(EncodingError):
+            encode(spec, {"a": 1, "b": 2, "c": 3, "zz": 0})
+
+    def test_signed_overflow(self):
+        spec = SPEC_BY_KEY["add_c"]  # k is 9-bit signed
+        with pytest.raises(EncodingError):
+            encode(spec, {"a": 1, "k": 256, "c": 2})
+
+    def test_unsigned_overflow(self):
+        spec = SPEC_BY_KEY["add"]
+        with pytest.raises(EncodingError):
+            encode(spec, {"a": 16, "b": 0, "c": 0})
+
+
+class TestDecodeErrors:
+    def test_unknown_long_opcode(self):
+        with pytest.raises(DecodingError):
+            decode_word(1 | (0x7F << 1), 4)
+
+    def test_unknown_short_opcode(self):
+        with pytest.raises(DecodingError):
+            decode_word(0x3F << 1, 2)
+
+    def test_misaligned_address(self):
+        with pytest.raises(DecodingError):
+            decode_at(lambda addr: 0, 1)
+
+    def test_truncated_blob(self):
+        spec = SPEC_BY_KEY["add"]
+        blob = encode(spec, {"a": 1, "b": 2, "c": 3})
+        with pytest.raises(DecodingError):
+            decode_bytes(blob[:2])
+
+    def test_error_carries_address(self):
+        blob = (0x7F << 1 | 1).to_bytes(2, "little") + b"\x00\x00"
+        with pytest.raises(DecodingError) as info:
+            decode_bytes(blob, base_address=0x8000_0000)
+        assert info.value.address == 0x8000_0000
+
+
+class TestDecodeBytes:
+    def test_mixed_width_stream(self):
+        add = SPEC_BY_KEY["add"]
+        mov16 = SPEC_BY_KEY["mov16"]
+        blob = encode(add, {"a": 1, "b": 2, "c": 3}) \
+            + encode(mov16, {"a": 4, "b": 5}) \
+            + encode(add, {"a": 6, "b": 7, "c": 8})
+        decoded = decode_bytes(blob, base_address=0x100)
+        assert [d[0] for d in decoded] == [0x100, 0x104, 0x106]
+        assert [d[1].key for d in decoded] == ["add", "mov16", "add"]
+
+
+class TestSpecTable:
+    def test_all_opcodes_unique_per_width(self):
+        long_ops = [s.opcode for s in SPECS if s.width == 4]
+        short_ops = [s.opcode for s in SPECS if s.width == 2]
+        assert len(set(long_ops)) == len(long_ops)
+        assert len(set(short_ops)) == len(short_ops)
+
+    def test_expanders_produce_instructions(self):
+        from repro.isa.tricore.instructions import ExpandCtx
+
+        for spec in SPECS:
+            fields = {name: 0 for name, *_ in FORMAT_FIELDS[spec.fmt]}
+            expansion = spec.expand(fields, ExpandCtx(pc=0x8000_0000,
+                                                      next_pc=0x8000_0004))
+            assert expansion, f"{spec.key} expands to nothing"
+
+    def test_branch_specs_flagged(self):
+        assert SPEC_BY_KEY["jeq"].is_branch
+        assert SPEC_BY_KEY["loop"].is_branch
+        assert not SPEC_BY_KEY["add"].is_branch
+
+    def test_classes_are_known(self):
+        assert all(s.iclass in ("ip", "ls") for s in SPECS)

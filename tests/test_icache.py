@@ -1,0 +1,127 @@
+"""Instruction-cache model tests, including a hypothesis differential
+test against a naive reference implementation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.model import ICacheModel
+from repro.cache.icache import InstructionCache
+
+
+def _cache(ways=2, sets=4, line_size=16, penalty=10) -> InstructionCache:
+    return InstructionCache(ICacheModel(ways=ways, sets=sets,
+                                        line_size=line_size,
+                                        miss_penalty=penalty))
+
+
+class NaiveCache:
+    """Reference: per-set list ordered most-recent-first."""
+
+    def __init__(self, ways, sets, line_size):
+        self.ways = ways
+        self.sets = sets
+        self.line_size = line_size
+        self.state = [[] for _ in range(sets)]
+
+    def access(self, addr):
+        line = addr // self.line_size
+        index = line % self.sets
+        tag = line // self.sets
+        entries = self.state[index]
+        if tag in entries:
+            entries.remove(tag)
+            entries.insert(0, tag)
+            return True
+        entries.insert(0, tag)
+        if len(entries) > self.ways:
+            entries.pop()
+        return False
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = _cache()
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+        assert cache.access(0x104)  # same line
+
+    def test_distinct_lines(self):
+        cache = _cache(line_size=16)
+        assert not cache.access(0x0)
+        assert not cache.access(0x10)
+
+    def test_two_way_conflict(self):
+        cache = _cache(ways=2, sets=4, line_size=16)
+        # three lines mapping to set 0 (stride = sets*line = 64)
+        assert not cache.access(0x00)
+        assert not cache.access(0x40)
+        assert cache.access(0x00)
+        assert cache.access(0x40)
+        assert not cache.access(0x80)  # evicts LRU (0x00)
+        assert not cache.access(0x00)
+
+    def test_direct_mapped_thrash(self):
+        cache = _cache(ways=1, sets=4, line_size=16)
+        assert not cache.access(0x00)
+        assert not cache.access(0x40)
+        assert not cache.access(0x00)
+
+    def test_penalty(self):
+        cache = _cache(penalty=7)
+        assert cache.access_penalty(0x0) == 7
+        assert cache.access_penalty(0x0) == 0
+
+    def test_stats(self):
+        cache = _cache()
+        cache.access(0x0)
+        cache.access(0x0)
+        cache.access(0x40)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 2
+        assert 0 < cache.stats.miss_rate < 1
+
+    def test_reset(self):
+        cache = _cache()
+        cache.access(0x0)
+        cache.reset()
+        assert not cache.access(0x0)
+        assert cache.stats.misses == 1
+
+    def test_lookup_does_not_modify(self):
+        cache = _cache()
+        assert not cache.lookup(0x0)
+        assert not cache.access(0x0)  # still a miss: lookup changed nothing
+
+    def test_initial_victim_is_way_zero(self):
+        # Matches the zero-initialized LRU words of generated code.
+        cache = _cache(ways=2, sets=1, line_size=16)
+        cache.access(0x00)   # fills way 0
+        contents = cache.contents()
+        assert contents[0][0] is not None
+        assert contents[0][1] is None
+
+    def test_split(self):
+        cache = _cache(ways=2, sets=4, line_size=16)
+        tag, index = cache.split(0x45)
+        assert index == (0x45 // 16) % 4
+        assert tag == (0x45 // 16) // 4
+
+    def test_line_of(self):
+        cache = _cache(line_size=32)
+        assert cache.line_of(0x47) == 0x40
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    ways=st.integers(min_value=1, max_value=4),
+    sets_log=st.integers(min_value=0, max_value=4),
+    addrs=st.lists(st.integers(min_value=0, max_value=0x3FF), min_size=1,
+                   max_size=120),
+)
+def test_against_naive_model(ways, sets_log, addrs):
+    sets = 1 << sets_log
+    cache = _cache(ways=ways, sets=sets, line_size=16)
+    naive = NaiveCache(ways, sets, 16)
+    for addr in addrs:
+        assert cache.access(addr) == naive.access(addr), (
+            f"divergence at {addr:#x}")

@@ -1,0 +1,119 @@
+"""IR data-structure tests."""
+
+from repro.translator.ir import (
+    RES_CORR,
+    RES_SYNC,
+    IRInstr,
+    IROp,
+    TempAllocator,
+    is_reserved,
+    is_source_reg,
+    is_temp,
+    source_reg_name,
+)
+
+
+class TestRegisterSpaces:
+    def test_source_regs(self):
+        assert is_source_reg(0)
+        assert is_source_reg(31)
+        assert not is_source_reg(32)
+        assert not is_source_reg(-1)
+
+    def test_temps(self):
+        assert is_temp(32)
+        assert not is_temp(31)
+        assert not is_temp(RES_SYNC)
+
+    def test_reserved(self):
+        assert is_reserved(RES_SYNC)
+        assert is_reserved(RES_CORR)
+        assert not is_reserved(500)
+
+    def test_names(self):
+        assert source_reg_name(0) == "d0"
+        assert source_reg_name(15) == "d15"
+        assert source_reg_name(16) == "a0"
+        assert source_reg_name(31) == "a15"
+        assert source_reg_name(40) == "t40"
+        assert source_reg_name(RES_SYNC) == "Rsync"
+
+
+class TestTempAllocator:
+    def test_fresh_sequence(self):
+        temps = TempAllocator()
+        assert temps.fresh() == 32
+        assert temps.fresh() == 33
+
+
+class TestReadsWrites:
+    def test_alu(self):
+        instr = IRInstr(IROp.ADD, dst=3, a=1, b=2)
+        assert instr.reads() == (1, 2)
+        assert instr.writes() == (3,)
+
+    def test_alu_imm(self):
+        instr = IRInstr(IROp.ADD, dst=3, a=1, imm=5)
+        assert instr.reads() == (1,)
+
+    def test_mvk_reads_nothing(self):
+        instr = IRInstr(IROp.MVK, dst=3, imm=5)
+        assert instr.reads() == ()
+
+    def test_load(self):
+        instr = IRInstr(IROp.LDW, dst=3, a=17, imm=8)
+        assert instr.reads() == (17,)
+        assert instr.is_load()
+        assert instr.is_memory()
+
+    def test_store(self):
+        instr = IRInstr(IROp.STW, a=3, b=17, imm=8)
+        assert instr.reads() == (3, 17)
+        assert instr.writes() == ()
+        assert instr.is_store()
+
+    def test_branch_direct(self):
+        instr = IRInstr(IROp.B, imm=0x8000_0000)
+        assert instr.reads() == ()
+        assert instr.is_branch()
+
+    def test_branch_indirect(self):
+        instr = IRInstr(IROp.B, a=27)
+        assert instr.reads() == (27,)
+
+    def test_predicate_is_read(self):
+        instr = IRInstr(IROp.ADD, dst=1, a=2, b=3, pred=40)
+        assert 40 in instr.reads()
+        assert instr.is_conditional()
+
+
+class TestRenaming:
+    def test_renamed_substitutes_everywhere(self):
+        instr = IRInstr(IROp.ADD, dst=32, a=33, b=34, pred=35)
+        renamed = instr.renamed({32: 40, 33: 41, 34: 42, 35: 43})
+        assert renamed.dst == 40
+        assert renamed.reads() == (41, 42, 43)
+
+    def test_renamed_leaves_others(self):
+        instr = IRInstr(IROp.ADD, dst=1, a=2, b=3)
+        renamed = instr.renamed({32: 40})
+        assert (renamed.dst, renamed.a, renamed.b) == (1, 2, 3)
+
+    def test_renamed_is_copy(self):
+        instr = IRInstr(IROp.ADD, dst=32, a=1, b=2)
+        renamed = instr.renamed({32: 50})
+        assert instr.dst == 32
+        assert renamed is not instr
+
+
+class TestStr:
+    def test_renders_without_crashing(self):
+        samples = [
+            IRInstr(IROp.ADD, dst=1, a=2, imm=5),
+            IRInstr(IROp.LDW, dst=1, a=17, imm=4),
+            IRInstr(IROp.STW, a=1, b=17, imm=0),
+            IRInstr(IROp.B, imm=0x8000_0010, pred=33, pred_sense=False),
+            IRInstr(IROp.MVK, dst=RES_CORR, imm=0, comment="reset"),
+        ]
+        for instr in samples:
+            assert str(instr)

@@ -1,0 +1,375 @@
+"""minic compiler tests: lexer, parser, and end-to-end code generation
+validated on the reference ISS, including hypothesis differential tests
+of expression evaluation against Python."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MinicError
+from repro.minic.astnodes import Bin, Call, For, FuncDecl, If, Num, Var
+from repro.minic.compiler import compile_source
+from repro.minic.lexer import Token, tokenize
+from repro.minic.parser import parse
+from repro.refsim.iss import FunctionalISS
+from repro.utils.bits import s32
+
+
+def run_main(source: str) -> int:
+    """Compile and run; returns main's return value (sign-extended)."""
+    obj = compile_source(source)
+    result = FunctionalISS(obj).run(max_instructions=2_000_000)
+    assert result.exit_code is not None
+    return s32(result.exit_code)
+
+
+class TestLexer:
+    def test_numbers(self):
+        tokens = tokenize("0x10 42")
+        assert tokens[0].value == 16
+        assert tokens[1].value == 42
+
+    def test_keywords_vs_idents(self):
+        tokens = tokenize("int interesting")
+        assert tokens[0].kind == "keyword"
+        assert tokens[1].kind == "ident"
+
+    def test_operators_longest_match(self):
+        tokens = tokenize("a <<= b << c <= d")
+        ops = [t.text for t in tokens if t.kind == "op"]
+        assert ops == ["<<=", "<<", "<="]
+
+    def test_char_literal(self):
+        assert tokenize("'A'")[0].value == 65
+        assert tokenize(r"'\n'")[0].value == 10
+
+    def test_string_literal(self):
+        assert tokenize('"hi\\n"')[0].text == "hi\n"
+
+    def test_comments(self):
+        tokens = tokenize("a // line\n/* block\nmore */ b")
+        assert [t.text for t in tokens if t.kind == "ident"] == ["a", "b"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(MinicError):
+            tokenize('"oops')
+
+    def test_bad_character(self):
+        with pytest.raises(MinicError):
+            tokenize("a @ b")
+
+    def test_line_numbers(self):
+        tokens = tokenize("a\nb\n  c")
+        assert [t.line for t in tokens[:3]] == [1, 2, 3]
+
+
+class TestParser:
+    def test_function_shape(self):
+        program = parse("int f(int a, int b) { return a; }")
+        func = program.functions[0]
+        assert isinstance(func, FuncDecl)
+        assert [p.name for p in func.params] == ["a", "b"]
+
+    def test_precedence(self):
+        program = parse("int f() { return 1 + 2 * 3; }")
+        ret = program.functions[0].body.stmts[0]
+        assert isinstance(ret.value, Bin)
+        assert ret.value.op == "+"
+        assert ret.value.right.op == "*"
+
+    def test_global_array_sized_by_initializer(self):
+        program = parse("int a[] = {1, 2, 3};")
+        assert program.globals[0].array_size == 3
+
+    def test_global_string(self):
+        program = parse('char msg[8] = "hi";')
+        assert program.globals[0].init == "hi"
+
+    def test_for_parts_optional(self):
+        program = parse("int f() { for (;;) { break; } return 0; }")
+        loop = program.functions[0].body.stmts[0]
+        assert isinstance(loop, For)
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_if_else(self):
+        program = parse("int f(int x) { if (x) return 1; else return 2; }")
+        stmt = program.functions[0].body.stmts[0]
+        assert isinstance(stmt, If)
+        assert stmt.els is not None
+
+    def test_call_args(self):
+        program = parse("int g(int x) { return x; } int f() { return g(3); }")
+        ret = program.functions[1].body.stmts[0]
+        assert isinstance(ret.value, Call)
+        assert isinstance(ret.value.args[0], Num)
+
+    def test_prototype(self):
+        program = parse("int f(int a); int f(int a) { return a; }")
+        assert program.functions[0].body is None
+        assert program.functions[1].body is not None
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MinicError):
+            parse("int f() { return 1 }")
+
+    def test_bad_assignment_target(self):
+        with pytest.raises(MinicError):
+            parse("int f() { 1 = 2; return 0; }")
+
+    def test_const_initializer_required(self):
+        with pytest.raises(MinicError):
+            parse("int f(); int g = f();")
+
+
+class TestCodegenBasics:
+    def test_return_constant(self):
+        assert run_main("int main() { return 42; }") == 42
+
+    def test_arithmetic(self):
+        assert run_main("int main() { return (7 + 3) * 4 - 6 / 2; }") == 37
+
+    def test_negative_result(self):
+        assert run_main("int main() { return 3 - 10; }") == -7
+
+    def test_division_negative(self):
+        assert run_main("int main() { return -7 / 2; }") == -3
+        assert run_main("int main() { return -7 % 2; }") == -1
+        assert run_main("int main() { return 7 % -2; }") == 1
+
+    def test_locals_and_assignment(self):
+        assert run_main("""
+            int main() { int x = 5; int y; y = x + 1; x += y; return x; }
+        """) == 11
+
+    def test_compound_assignments(self):
+        assert run_main("""
+            int main() {
+                int x = 7;
+                x *= 3; x -= 1; x /= 2; x |= 0x10; x &= 0x1E; x ^= 2;
+                x <<= 2; x >>= 1;
+                return x;
+            }
+        """) == ((((21 - 1) // 2 | 0x10) & 0x1E) ^ 2) << 2 >> 1
+
+    def test_while_loop(self):
+        assert run_main("""
+            int main() { int i = 0; int s = 0;
+                while (i < 10) { s += i; i += 1; } return s; }
+        """) == 45
+
+    def test_for_loop_with_continue_break(self):
+        assert run_main("""
+            int main() { int s = 0; int i;
+                for (i = 0; i < 100; i += 1) {
+                    if (i % 2 == 0) { continue; }
+                    if (i > 10) { break; }
+                    s += i;
+                } return s; }
+        """) == 1 + 3 + 5 + 7 + 9
+
+    def test_logical_ops(self):
+        assert run_main("""
+            int main() {
+                int a = 3; int b = 0;
+                int r = 0;
+                if (a && !b) { r += 1; }
+                if (a || b) { r += 2; }
+                if (b && bomb()) { r += 4; }
+                return r;
+            }
+            int bomb() { return 1 / 0; }
+        """) == 3  # short circuit avoids the division
+
+    def test_comparisons_as_values(self):
+        assert run_main("""
+            int main() {
+                return (1 < 2) + (2 <= 2) * 2 + (3 > 2) * 4 + (2 >= 3) * 8
+                     + (1 == 1) * 16 + (1 != 1) * 32;
+            }
+        """) == 1 + 2 + 4 + 16
+
+    def test_unary(self):
+        assert run_main("int main() { return -(-5) + ~0 + !0 + !7; }") == 5
+
+
+class TestCodegenData:
+    def test_global_scalar(self):
+        assert run_main("""
+            int g = 7;
+            int main() { g = g + 1; return g; }
+        """) == 8
+
+    def test_global_array(self):
+        assert run_main("""
+            int a[4] = {10, 20, 30, 40};
+            int main() { a[1] = a[0] + a[2]; return a[1] + a[3]; }
+        """) == 80
+
+    def test_char_array(self):
+        assert run_main("""
+            char c[4];
+            int main() { c[0] = 200; return c[0]; }
+        """) == s32(200 & 0xFF) - 256  # signed char
+
+    def test_string_global(self):
+        assert run_main("""
+            char msg[6] = "abc";
+            int main() { return msg[0] + msg[3]; }
+        """) == ord("a")
+
+    def test_local_array(self):
+        assert run_main("""
+            int main() { int a[5]; int i;
+                for (i = 0; i < 5; i += 1) { a[i] = i * i; }
+                return a[4] - a[2]; }
+        """) == 12
+
+    def test_pointers(self):
+        assert run_main("""
+            int a[3] = {1, 2, 3};
+            int main() {
+                int *p = a;
+                int s = *p;
+                p = p + 1;
+                s = s + *p;
+                *p = 9;
+                s = s + a[1];
+                return s + (p - a);
+            }
+        """) == 1 + 2 + 9 + 1
+
+    def test_address_of(self):
+        assert run_main("""
+            int main() { int x = 3; int *p = &x; *p = 7; return x; }
+        """) == 7
+
+    def test_pointer_argument(self):
+        assert run_main("""
+            void bump(int *p) { *p = *p + 1; }
+            int main() { int x = 9; bump(&x); return x; }
+        """) == 10
+
+
+class TestCodegenCalls:
+    def test_four_args(self):
+        assert run_main("""
+            int f(int a, int b, int c, int d) { return a*1000+b*100+c*10+d; }
+            int main() { return f(1, 2, 3, 4); }
+        """) == 1234
+
+    def test_recursion(self):
+        assert run_main("""
+            int fact(int n) { if (n < 2) { return 1; } return n * fact(n-1); }
+            int main() { return fact(6); }
+        """) == 720
+
+    def test_mutual_recursion(self):
+        assert run_main("""
+            int is_odd(int n);
+            int is_even(int n) { if (n == 0) return 1; return is_odd(n-1); }
+            int is_odd(int n) { if (n == 0) return 0; return is_even(n-1); }
+            int main() { return is_even(10) * 2 + is_odd(7); }
+        """) == 3
+
+    def test_call_in_expression(self):
+        assert run_main("""
+            int sq(int x) { return x * x; }
+            int main() { return sq(3) + sq(4) * 2; }
+        """) == 9 + 32
+
+    def test_void_function(self):
+        assert run_main("""
+            int g = 0;
+            void set(int v) { g = v; }
+            int main() { set(5); return g; }
+        """) == 5
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(MinicError):
+            compile_source("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_undefined_function_rejected(self):
+        with pytest.raises(MinicError):
+            compile_source("int main() { return zap(); }")
+
+    def test_undefined_variable_rejected(self):
+        with pytest.raises(MinicError):
+            compile_source("int main() { return zz; }")
+
+
+class TestIntrinsics:
+    def test_io_roundtrip(self):
+        source = """
+            int main() {
+                __io_write(0xF0000040, 1234);
+                return __io_read(0xF0000040);
+            }
+        """
+        assert run_main(source) == 1234
+
+    def test_halt(self):
+        obj = compile_source("int main() { __halt(); return 9; }")
+        result = FunctionalISS(obj).run()
+        assert result.halted
+        assert result.exit_code is None
+
+
+# -- differential expression testing ---------------------------------------
+
+_INT = st.integers(min_value=-1000, max_value=1000)
+_SMALL = st.integers(min_value=1, max_value=31)
+
+
+@st.composite
+def _expr(draw, depth=0):
+    """A (python_value, c_source) pair of an equivalent expression."""
+    if depth >= 3 or draw(st.booleans()):
+        value = draw(_INT)
+        return value, f"({value})"
+    op = draw(st.sampled_from(["+", "-", "*", "&", "|", "^", "<<", ">>",
+                               "/", "%", "<", ">", "==", "!="]))
+    left_val, left_src = draw(_expr(depth + 1))
+    if op in ("<<", ">>"):
+        shift = draw(st.integers(min_value=0, max_value=8))
+        if op == "<<":
+            return s32((left_val << shift) & 0xFFFFFFFF), \
+                f"({left_src} << {shift})"
+        return left_val >> shift, f"({left_src} >> {shift})"
+    right_val, right_src = draw(_expr(depth + 1))
+    source = f"({left_src} {op} {right_src})"
+    if op == "+":
+        return s32(left_val + right_val), source
+    if op == "-":
+        return s32(left_val - right_val), source
+    if op == "*":
+        return s32(left_val * right_val), source
+    if op == "&":
+        return s32((left_val & 0xFFFFFFFF) & (right_val & 0xFFFFFFFF)), source
+    if op == "|":
+        return s32((left_val & 0xFFFFFFFF) | (right_val & 0xFFFFFFFF)), source
+    if op == "^":
+        return s32((left_val & 0xFFFFFFFF) ^ (right_val & 0xFFFFFFFF)), source
+    if op == "/":
+        if right_val == 0:
+            return left_val, f"({left_src})"
+        return int(left_val / right_val), source
+    if op == "%":
+        if right_val == 0:
+            return left_val, f"({left_src})"
+        return left_val - int(left_val / right_val) * right_val, source
+    if op == "<":
+        return int(left_val < right_val), source
+    if op == ">":
+        return int(left_val > right_val), source
+    if op == "==":
+        return int(left_val == right_val), source
+    return int(left_val != right_val), source
+
+
+@settings(max_examples=40, deadline=None)
+@given(_expr())
+def test_expression_differential(pair):
+    expected, source = pair
+    got = run_main("int main() { return %s; }" % source)
+    assert got == s32(expected & 0xFFFFFFFF) if abs(expected) > 0x7FFFFFFF \
+        else got == expected

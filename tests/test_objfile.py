@@ -1,0 +1,113 @@
+"""Object-file container tests."""
+
+import pytest
+
+from repro.errors import ObjectFileError
+from repro.objfile.elf import (
+    MAGIC,
+    ObjectFile,
+    SEC_EXEC,
+    SEC_WRITE,
+    Section,
+    Symbol,
+    SymbolKind,
+    dump_bytes,
+    load,
+    load_bytes,
+    save,
+)
+
+
+def _sample() -> ObjectFile:
+    obj = ObjectFile(entry=0x8000_0000)
+    obj.sections.append(Section(".text", 0x8000_0000, b"\x12\x34" * 6,
+                                SEC_EXEC))
+    obj.sections.append(Section(".data", 0xD000_0000, b"hello brd",
+                                SEC_WRITE))
+    obj.add_symbol(Symbol("_start", 0x8000_0000, SymbolKind.FUNC))
+    obj.add_symbol(Symbol("msg", 0xD000_0000, SymbolKind.OBJECT, size=9))
+    return obj
+
+
+class TestRoundtrip:
+    def test_bytes_roundtrip(self):
+        obj = _sample()
+        loaded = load_bytes(dump_bytes(obj))
+        assert loaded.entry == obj.entry
+        assert [s.name for s in loaded.sections] == [".text", ".data"]
+        assert loaded.text().data == obj.text().data
+        assert loaded.symbols["msg"].size == 9
+        assert loaded.symbols["_start"].kind == SymbolKind.FUNC
+
+    def test_file_roundtrip(self, tmp_path):
+        path = str(tmp_path / "prog.relf")
+        save(_sample(), path)
+        loaded = load(path)
+        assert loaded.section(".data").data == b"hello brd"
+
+    def test_unicode_names(self):
+        obj = _sample()
+        obj.add_symbol(Symbol("größe", 0xD000_0004))
+        assert "größe" in load_bytes(dump_bytes(obj)).symbols
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(ObjectFileError):
+            load_bytes(b"\x7fELF" + b"\x00" * 20)
+
+    def test_truncated(self):
+        blob = dump_bytes(_sample())
+        with pytest.raises(ObjectFileError):
+            load_bytes(blob[:-3])
+
+    def test_trailing_garbage(self):
+        blob = dump_bytes(_sample()) + b"x"
+        with pytest.raises(ObjectFileError):
+            load_bytes(blob)
+
+    def test_overlapping_sections(self):
+        obj = ObjectFile()
+        obj.sections.append(Section("a", 0x100, b"\x00" * 16))
+        obj.sections.append(Section("b", 0x108, b"\x00" * 16))
+        with pytest.raises(ObjectFileError):
+            obj.validate()
+
+    def test_unaligned_section(self):
+        obj = ObjectFile()
+        obj.sections.append(Section("a", 0x101, b"\x00" * 4))
+        with pytest.raises(ObjectFileError):
+            obj.validate()
+
+    def test_bad_version(self):
+        blob = bytearray(dump_bytes(_sample()))
+        blob[len(MAGIC)] = 99
+        with pytest.raises(ObjectFileError):
+            load_bytes(bytes(blob))
+
+
+class TestAccessors:
+    def test_missing_section(self):
+        with pytest.raises(ObjectFileError):
+            _sample().section(".bss")
+
+    def test_text_requires_exec(self):
+        obj = ObjectFile()
+        obj.sections.append(Section(".data", 0, b"", SEC_WRITE))
+        with pytest.raises(ObjectFileError):
+            obj.text()
+
+    def test_symbol_addr(self):
+        assert _sample().symbol_addr("_start") == 0x8000_0000
+        with pytest.raises(ObjectFileError):
+            _sample().symbol_addr("nope")
+
+    def test_symbol_at(self):
+        obj = _sample()
+        assert obj.symbol_at(0xD000_0000).name == "msg"
+        assert obj.symbol_at(0xD000_0000, SymbolKind.FUNC) is None
+
+    def test_contains(self):
+        section = _sample().text()
+        assert section.contains(section.addr)
+        assert not section.contains(section.end)

@@ -1,0 +1,180 @@
+"""Workload registry, evaluation harness, lowering/regalloc and CLI
+coverage."""
+
+import pytest
+
+from repro.cli import (
+    asm_main,
+    experiments_main,
+    minic_main,
+    run_main,
+    translate_main,
+)
+from repro.errors import RegisterAllocationError, ReproError
+from repro.programs.registry import (
+    FIGURE5_PROGRAMS,
+    PROGRAMS,
+    TABLE2_PROGRAMS,
+    build,
+    expected_exit,
+    program_names,
+    source,
+)
+from repro.refsim.iss import FunctionalISS
+
+
+class TestRegistry:
+    def test_all_programs_build_and_validate(self):
+        for name in program_names():
+            obj = build(name)
+            result = FunctionalISS(obj).run(max_instructions=2_000_000)
+            expected = expected_exit(name)
+            if expected is not None:
+                assert result.exit_code == expected, name
+
+    def test_paper_instruction_counts_calibrated(self):
+        for name in TABLE2_PROGRAMS:
+            obj = build(name)
+            count = FunctionalISS(obj).run().instructions
+            paper = PROGRAMS[name].paper_instructions
+            assert 0.4 * paper <= count <= 2.5 * paper, (name, count)
+
+    def test_figure5_set(self):
+        assert len(FIGURE5_PROGRAMS) == 6
+        assert set(FIGURE5_PROGRAMS) <= set(PROGRAMS)
+
+    def test_source_text_available(self):
+        assert "gcd" in source("gcd")
+
+    def test_unknown_program(self):
+        with pytest.raises(ReproError):
+            source("quicksort3000")
+
+    def test_build_cached(self):
+        assert build("gcd") is build("gcd")
+
+
+class TestLowering:
+    def test_mvk_splitting(self):
+        from repro.isa.c6x.instructions import TOp
+        from repro.translator.lower import lower_mvk
+
+        meta = dict(pred=None, pred_sense=True, src_addr=None,
+                    comment="", device=False)
+        small = lower_mvk(0, 42, dict(meta))
+        assert [i.op for i in small] == [TOp.MVK]
+        negative = lower_mvk(0, -5, dict(meta))
+        assert [i.op for i in negative] == [TOp.MVK]
+        wide = lower_mvk(0, 0xDEADBEEF, dict(meta))
+        assert [i.op for i in wide] == [TOp.MVKL, TOp.MVKH]
+        high_only = lower_mvk(0, 0x01800000, dict(meta))
+        assert [i.op for i in high_only] == [TOp.MVKL, TOp.MVKH]
+
+    def test_mvk_pair_reconstructs_value(self):
+        from repro.translator.lower import lower_mvk
+        from repro.utils.bits import u32
+
+        meta = dict(pred=None, pred_sense=True, src_addr=None,
+                    comment="", device=False)
+        # 0xFFFFFFFF is -1: a single sign-extending MVK suffices.
+        single = lower_mvk(0, 0xFFFF_FFFF, dict(meta))
+        assert len(single) == 1 and u32(single[0].imm) == 0xFFFF_FFFF
+        for value in (0xDEADBEEF, 0x8000_0000, 0x0001_8000):
+            pair = lower_mvk(0, value, dict(meta))
+            low = u32(pair[0].imm)
+            combined = ((pair[1].imm << 16) | (low & 0xFFFF)) & 0xFFFFFFFF
+            assert combined == value
+
+
+class TestRegisterBinding:
+    def test_reserved_get_top_of_b_file(self):
+        from collections import Counter
+
+        from repro.arch.model import default_target_arch
+        from repro.translator.ir import RES_DDELTA, RES_SYNC
+        from repro.translator.regalloc import RegisterBinder
+
+        binder = RegisterBinder(default_target_arch(),
+                                [RES_DDELTA, RES_SYNC], Counter({0: 5}),
+                                0x8002_0000)
+        plan = binder.plan
+        assert plan.reserved[RES_DDELTA] == 31  # B15
+        assert plan.reserved[RES_SYNC] == 30  # B14
+        assert plan.source[0] < 16  # data register on the A side
+
+    def test_spill_plan_when_pressure_high(self):
+        from collections import Counter
+
+        from repro.arch.model import TargetArch
+        from repro.translator.ir import RES_DDELTA
+        from repro.translator.regalloc import RegisterBinder
+
+        target = TargetArch(registers_per_side=8).validate()
+        usage = Counter({reg: 32 - reg for reg in range(28)})
+        binder = RegisterBinder(target, [RES_DDELTA], usage, 0x8002_0000)
+        plan = binder.plan
+        assert plan.spilled  # someone had to move to memory
+        assert plan.spill_base_reg is not None
+        assert len(plan.pool) >= 2
+        # most-used registers kept physical homes
+        assert 0 in plan.source and 1 in plan.source
+
+
+class TestEvalHarness:
+    def test_measure_program_fields(self):
+        from repro.eval.runner import measure_program
+
+        m = measure_program("gcd", levels=(1,))
+        assert m.reference.cycles > 0
+        assert 1 in m.levels
+        assert m.levels[1].cpi > 1.0
+        assert m.board_mips(48_000_000) > 1.0
+        assert -1.0 < m.deviation(1) < 1.0
+
+    def test_paper_data_sanity(self):
+        from repro.eval import paper_data
+
+        assert paper_data.TABLE1_CPI["level3"] > paper_data.TABLE1_CPI[
+            "level2"]
+        assert paper_data.TABLE2_INSTRUCTIONS["gcd"] == 1484
+        assert paper_data.FIGURE5_MIPS_MEAN["board"] > 40
+
+
+class TestCli:
+    def test_minic_then_run(self, tmp_path, capsys):
+        src = tmp_path / "p.c"
+        src.write_text("int main() { return 7; }")
+        out = tmp_path / "p.relf"
+        assert minic_main([str(src), "-o", str(out)]) == 0
+        assert run_main([str(out)]) == 0
+        captured = capsys.readouterr()
+        assert "exit=7" in captured.out
+
+    def test_asm_listing(self, tmp_path, capsys):
+        src = tmp_path / "p.s"
+        src.write_text("_start:\n    nop\n    halt\n")
+        out = tmp_path / "p.relf"
+        assert asm_main([str(src), "-o", str(out), "--listing"]) == 0
+        assert "nop" in capsys.readouterr().out
+
+    def test_translate_and_run(self, tmp_path, capsys):
+        src = tmp_path / "p.c"
+        src.write_text("int main() { return 3 * 4; }")
+        out = tmp_path / "p.relf"
+        minic_main([str(src), "-o", str(out)])
+        assert translate_main([str(out), "--level", "2", "--run"]) == 0
+        assert "exit=12" in capsys.readouterr().out
+
+    def test_minic_error_path(self, tmp_path, capsys):
+        src = tmp_path / "bad.c"
+        src.write_text("int main( { return; }")
+        assert minic_main([str(src)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_run_rtl_simulator(self, tmp_path, capsys):
+        src = tmp_path / "p.c"
+        src.write_text("int main() { return 1; }")
+        out = tmp_path / "p.relf"
+        minic_main([str(src), "-o", str(out)])
+        assert run_main([str(out), "--simulator", "rtl"]) == 0
+        assert "exit=1" in capsys.readouterr().out

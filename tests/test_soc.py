@@ -1,0 +1,146 @@
+"""SoC bus and peripheral tests."""
+
+import pytest
+
+from repro.errors import BusError
+from repro.soc.bus import BusAccess, IoMap, SocBus, standard_bus
+from repro.soc.devices import CycleTimer, ExitDevice, Ram, Rom, Uart
+
+
+class TestBusDecode:
+    def test_attach_and_read(self):
+        bus = SocBus()
+        ram = Ram(64)
+        bus.attach(0x100, ram, "ram")
+        bus.write(0x104, 0xDEAD, 4, cycle=1)
+        assert bus.read(0x104, 4, cycle=2) == 0xDEAD
+
+    def test_overlap_rejected(self):
+        bus = SocBus()
+        bus.attach(0x0, Ram(64))
+        with pytest.raises(BusError):
+            bus.attach(0x20, Ram(64))
+
+    def test_unmapped_access(self):
+        bus = SocBus()
+        with pytest.raises(BusError):
+            bus.read(0x1234, 4, 0)
+
+    def test_device_lookup(self):
+        bus = standard_bus()
+        assert isinstance(bus.device("uart"), Uart)
+        with pytest.raises(BusError):
+            bus.device("dma")
+
+
+class TestMonitor:
+    def test_trace_records_everything(self):
+        bus = standard_bus()
+        bus.write(IoMap().uart, 65, 4, cycle=10)
+        bus.read(IoMap().timer, 4, cycle=12)
+        trace = bus.monitor.transfers()
+        assert trace[0] == BusAccess(10, "w", 0, 65, 4)
+        assert trace[1].kind == "r"
+        assert trace[1].cycle == 12
+
+    def test_same_transfer_ignores_cycle(self):
+        a = BusAccess(1, "w", 0, 65, 4)
+        b = BusAccess(99, "w", 0, 65, 4)
+        assert a.same_transfer(b)
+        assert not a.same_transfer(BusAccess(1, "w", 0, 66, 4))
+
+    def test_clear(self):
+        bus = standard_bus()
+        bus.write(0, 1, 4, 0)
+        bus.monitor.clear()
+        assert bus.monitor.transfers() == []
+
+
+class TestRam:
+    def test_sizes(self):
+        ram = Ram(16)
+        ram.write(0, 0x11223344, 4, 0)
+        assert ram.read(0, 1, 0) == 0x44
+        assert ram.read(1, 2, 0) == 0x2233
+
+    def test_bounds(self):
+        ram = Ram(8)
+        with pytest.raises(BusError):
+            ram.read(6, 4, 0)
+
+    def test_bad_size(self):
+        ram = Ram(8)
+        with pytest.raises(BusError):
+            ram.read(0, 3, 0)
+
+    def test_load_and_image(self):
+        ram = Ram(8)
+        ram.load(2, b"ab")
+        assert ram.image()[2:4] == b"ab"
+
+    def test_rom_rejects_writes(self):
+        rom = Rom(8)
+        with pytest.raises(BusError):
+            rom.write(0, 1, 4, 0)
+
+
+class TestUart:
+    def test_transmit_records_cycles(self):
+        uart = Uart()
+        uart.write(0, ord("A"), 4, cycle=5)
+        uart.write(0, ord("B"), 4, cycle=9)
+        assert uart.output == b"AB"
+        assert uart.transmitted == [(5, 65), (9, 66)]
+
+    def test_receive_queue(self):
+        uart = Uart()
+        uart.feed(b"xy")
+        assert uart.read(4, 4, 0) & 0x2  # rx available
+        assert uart.read(0, 4, 0) == ord("x")
+        assert uart.read(0, 4, 0) == ord("y")
+        assert uart.read(0, 4, 0) == 0
+        assert uart.read(4, 4, 0) == 0x1  # only tx ready
+
+    def test_bad_register(self):
+        with pytest.raises(BusError):
+            Uart().read(2, 4, 0)
+
+
+class TestTimer:
+    def test_returns_current_cycle(self):
+        timer = CycleTimer()
+        assert timer.read(0, 4, cycle=1234) == 1234
+
+    def test_capture(self):
+        timer = CycleTimer()
+        timer.write(4, 0, 4, cycle=77)
+        assert timer.read(4, 4, cycle=999) == 77
+
+    def test_bad_register(self):
+        with pytest.raises(BusError):
+            CycleTimer().write(0, 1, 4, 0)
+
+
+class TestExitDevice:
+    def test_exit_latches(self):
+        dev = ExitDevice()
+        assert not dev.exited
+        dev.write(0, 42, 4, cycle=100)
+        assert dev.exited
+        assert dev.code == 42
+        assert dev.exit_cycle == 100
+        assert dev.read(0, 4, 0) == 42
+
+    def test_bad_offset(self):
+        with pytest.raises(BusError):
+            ExitDevice().write(4, 0, 4, 0)
+
+
+class TestStandardBus:
+    def test_layout(self):
+        bus = standard_bus()
+        io = IoMap()
+        bus.write(io.exit, 7, 4, 0)
+        assert bus.device("exit").code == 7
+        bus.write(io.scratch + 4, 0xAB, 4, 0)
+        assert bus.read(io.scratch + 4, 4, 0) == 0xAB

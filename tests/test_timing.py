@@ -1,0 +1,135 @@
+"""Pipeline-timer unit tests (the shared timing model)."""
+
+from repro.arch.model import PipelineModel
+from repro.refsim.timing import PipelineTimer, TimedOp
+
+
+def _timer(**kwargs) -> PipelineTimer:
+    return PipelineTimer(PipelineModel(**kwargs))
+
+
+def _op(iclass="ip", reads=(), writes=(), is_load=False, is_mul=False):
+    return TimedOp(iclass=iclass, reads=tuple(reads), writes=tuple(writes),
+                   is_load=is_load, is_mul=is_mul)
+
+
+class TestSingleIssue:
+    def test_sequence_of_ip_ops(self):
+        timer = _timer(dual_issue=False)
+        for _ in range(5):
+            timer.issue(_op("ip"))
+        assert timer.cycles == 5
+
+    def test_reset(self):
+        timer = _timer()
+        timer.issue(_op())
+        timer.reset()
+        assert timer.cycles == 0
+
+
+class TestDualIssue:
+    def test_ip_ls_pair_shares_cycle(self):
+        timer = _timer()
+        timer.issue(_op("ip", writes=(1,)))
+        timer.issue(_op("ls", reads=(2,), writes=(3,)))
+        assert timer.cycles == 1
+
+    def test_dependent_pair_does_not_share(self):
+        timer = _timer()
+        timer.issue(_op("ip", writes=(1,)))
+        timer.issue(_op("ls", reads=(1,)))
+        assert timer.cycles == 2
+
+    def test_waw_pair_does_not_share(self):
+        timer = _timer()
+        timer.issue(_op("ip", writes=(1,)))
+        timer.issue(_op("ls", writes=(1,)))
+        assert timer.cycles == 2
+
+    def test_ls_ip_order_does_not_pair(self):
+        timer = _timer()
+        timer.issue(_op("ls"))
+        timer.issue(_op("ip"))
+        assert timer.cycles == 2
+
+    def test_pair_slot_consumed(self):
+        timer = _timer()
+        timer.issue(_op("ip"))
+        timer.issue(_op("ls"))
+        timer.issue(_op("ls"))  # no host left: next cycle
+        assert timer.cycles == 2
+
+    def test_disabled_dual_issue(self):
+        timer = _timer(dual_issue=False)
+        timer.issue(_op("ip"))
+        timer.issue(_op("ls"))
+        assert timer.cycles == 2
+
+    def test_ip_ip_does_not_pair(self):
+        timer = _timer()
+        timer.issue(_op("ip"))
+        timer.issue(_op("ip"))
+        assert timer.cycles == 2
+
+
+class TestHazards:
+    def test_load_use_stall(self):
+        timer = _timer(load_use_stall=1)
+        timer.issue(_op("ls", writes=(1,), is_load=True))
+        timer.issue(_op("ip", reads=(1,)))
+        assert timer.cycles == 3  # load at 0, consumer stalls to cycle 2
+
+    def test_load_independent_no_stall(self):
+        timer = _timer(load_use_stall=1)
+        timer.issue(_op("ls", writes=(1,), is_load=True))
+        timer.issue(_op("ip", reads=(2,)))
+        assert timer.cycles == 2
+
+    def test_load_use_gap_absorbs_stall(self):
+        timer = _timer(load_use_stall=1)
+        timer.issue(_op("ls", writes=(1,), is_load=True))
+        timer.issue(_op("ip", reads=(9,)))
+        timer.issue(_op("ip", reads=(1,)))
+        assert timer.cycles == 3  # gap instruction hides the stall
+
+    def test_mul_latency(self):
+        timer = _timer(mul_result_latency=2)
+        timer.issue(_op("ip", writes=(1,), is_mul=True))
+        timer.issue(_op("ip", reads=(1,)))
+        assert timer.cycles == 3
+
+    def test_alu_forwarding_no_stall(self):
+        timer = _timer()
+        timer.issue(_op("ip", writes=(1,)))
+        timer.issue(_op("ip", reads=(1,)))
+        assert timer.cycles == 2
+
+
+class TestStallsAndBarriers:
+    def test_add_stall(self):
+        timer = _timer()
+        timer.issue(_op())
+        timer.add_stall(10)
+        timer.issue(_op())
+        assert timer.cycles == 12
+
+    def test_barrier_prevents_pairing(self):
+        timer = _timer()
+        timer.issue(_op("ip"))
+        timer.barrier()
+        timer.issue(_op("ls"))
+        assert timer.cycles == 2
+
+    def test_zero_stall_is_noop(self):
+        timer = _timer()
+        timer.issue(_op("ip"))
+        timer.add_stall(0)
+        timer.issue(_op("ls"))
+        assert timer.cycles == 1  # pairing still possible
+
+    def test_pending_writes_survive_barrier(self):
+        timer = _timer(load_use_stall=1)
+        timer.issue(_op("ls", writes=(1,), is_load=True))
+        timer.barrier()
+        timer.issue(_op("ip", reads=(1,)))
+        assert timer.cycles == 3

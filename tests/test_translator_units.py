@@ -1,0 +1,270 @@
+"""Unit tests for individual translator passes: static cycle
+calculation vs the ISS, rewrite/annotation structure, cache analysis
+blocks, and the XML instruction-set description."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.model import default_source_arch, default_target_arch
+from repro.errors import ArchitectureError
+from repro.isa.tricore.assembler import assemble
+from repro.isa.tricore.xmlspec import (
+    instruction_set_to_xml,
+    load_instruction_set,
+)
+from repro.objfile.elf import SymbolKind
+from repro.refsim.iss import CycleAccurateISS
+from repro.translator.annotate import build_block_regions
+from repro.translator.baseaddr import analyze
+from repro.translator.blocks import build_cfg
+from repro.translator.cycles import static_block_cycles
+from repro.translator.decoder import decode_object
+from repro.translator.icache_annot import (
+    CacheLayout,
+    make_layout,
+    split_analysis_blocks,
+    tagv_word,
+)
+from repro.translator.ir import IROp, Role
+from repro.translator.rewrite import AddressTranslator
+
+ARCH = default_source_arch()
+TARGET = default_target_arch()
+
+
+def _prep(source: str, level=1):
+    obj = assemble(source)
+    cfg = build_cfg(decode_object(obj), obj)
+    funcs = {s.addr for s in obj.symbols.values()
+             if s.kind == SymbolKind.FUNC}
+    accesses = analyze(cfg, ARCH.memory, funcs)
+    xlator = AddressTranslator(ARCH, TARGET, accesses, level)
+    return obj, cfg, accesses, xlator
+
+
+class TestStaticCycles:
+    """Static per-block prediction == ISS timing from a clean pipeline."""
+
+    STRAIGHT_OPS = ["add d1, d2, d3", "sub d4, d5, d6", "mul d7, d1, d2",
+                    "and d3, d3, 15", "mov d2, 100", "eq d5, d1, d2",
+                    "shl d6, d6, 2", "mov.a a2, d1", "mov.d d3, a2",
+                    "min d1, d1, d2"]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from(STRAIGHT_OPS), min_size=1, max_size=12))
+    def test_straight_line_matches_iss(self, ops):
+        source = "_start:\n" + "\n".join(f"    {op}" for op in ops) \
+            + "\n    halt\n"
+        obj, cfg, accesses, _ = _prep(source)
+        block = cfg.blocks[obj.entry]
+        predicted = static_block_cycles(block, accesses, ARCH, level=1)
+        arch = ARCH.with_icache(enabled=False)  # clean-pipeline comparison
+        iss = CycleAccurateISS(obj, arch)
+        result = iss.run()
+        # The ISS executed the same single block (halt included).
+        assert predicted.predicted == result.cycles
+
+    def test_branch_cost_level1_vs_level2(self):
+        source = """
+        _start:
+        top:
+            add d1, d1, -1
+            jnz d1, top
+            halt
+        """
+        obj, cfg, accesses, _ = _prep(source)
+        top = obj.symbols["top"].addr
+        block = cfg.blocks[top]
+        level1 = static_block_cycles(block, accesses, ARCH, level=1)
+        level2 = static_block_cycles(block, accesses, ARCH, level=2)
+        # Level 1 charges the predicted path (backward taken: cost 2);
+        # level 2 charges the minimum (not-taken-correct: 1) plus
+        # corrections: +1 when taken (correct prediction), +3 when the
+        # predicted-taken branch falls through (a mispredict, cost 4).
+        assert level1.predicted == level2.predicted + 1
+        assert level2.correction is not None
+        assert level2.correction.delta_taken == 1
+        assert level2.correction.delta_not_taken == \
+            ARCH.branch.mispredict - ARCH.branch.min_conditional
+
+    def test_io_accesses_counted(self):
+        source = """
+        _start:
+            la a2, 0xF0000040
+            st.w [a2], d1
+            halt
+        """
+        obj, cfg, accesses, _ = _prep(source)
+        block = cfg.blocks[obj.entry]
+        cycles = static_block_cycles(block, accesses, ARCH, level=1)
+        assert cycles.io_cycles == ARCH.pipeline.io_access_cycles
+
+
+class TestRewrite:
+    def test_data_access_gets_delta_add(self):
+        source = """
+        _start:
+            la a2, buf
+            ld.w d1, [a2]
+            halt
+            .data
+        buf:
+            .word 0
+        """
+        obj, cfg, _, xlator = _prep(source)
+        block_ir = xlator.rewrite_block(cfg.blocks[obj.entry])
+        fixups = [i for i in block_ir.body if i.role is Role.ADDR_FIXUP]
+        assert len(fixups) == 1
+        assert fixups[0].op is IROp.ADD
+
+    def test_unknown_access_gets_stub(self):
+        source = """
+        _start:
+            mov.a a2, d1
+            ld.w d3, [a2]
+            halt
+        """
+        obj, cfg, _, xlator = _prep(source)
+        block_ir = xlator.rewrite_block(cfg.blocks[obj.entry])
+        stub = [i for i in block_ir.body if i.role is Role.ADDR_FIXUP]
+        assert any(i.op is IROp.CMPGEU for i in stub)
+        preds = [i for i in stub if i.pred is not None]
+        assert len(preds) >= 2  # both translated-address alternatives
+
+    def test_terminator_split_off(self):
+        source = "_start:\n    j _start\n"
+        obj, cfg, _, xlator = _prep(source)
+        block_ir = xlator.rewrite_block(cfg.blocks[obj.entry])
+        assert block_ir.terminator is not None
+        assert block_ir.terminator.op is IROp.B
+        assert all(i.op is not IROp.B for i in block_ir.body)
+
+
+class TestAnnotation:
+    def _regions(self, source, level, layout=None):
+        obj, cfg, accesses, xlator = _prep(source, level)
+        block = cfg.blocks[obj.entry]
+        block_ir = xlator.rewrite_block(block)
+        cycles = static_block_cycles(block, accesses, ARCH, level)
+        return build_block_regions(block_ir, cycles, level, ARCH,
+                                   layout, None)
+
+    SOURCE = """
+    _start:
+        add d1, d1, d2
+        jeq d1, d2, _start
+        halt
+    """
+
+    def test_level0_unannotated(self):
+        (region,) = self._regions(self.SOURCE, 0)
+        roles = {i.role for i in region.items}
+        assert Role.SYNC_START not in roles
+        assert Role.SYNC_WAIT not in roles
+
+    def test_level1_sync_bracket(self):
+        (region,) = self._regions(self.SOURCE, 1)
+        roles = [i.role for i in region.items]
+        assert roles.count(Role.SYNC_START) == 2  # MVK + STW
+        assert roles.count(Role.SYNC_WAIT) == 1
+        # start before wait
+        assert roles.index(Role.SYNC_START) < roles.index(Role.SYNC_WAIT)
+
+    def test_level2_correction_block(self):
+        (region,) = self._regions(self.SOURCE, 2)
+        roles = [i.role for i in region.items]
+        assert Role.CORR_ADD in roles
+        assert Role.CORR_START in roles
+        assert Role.CORR_WAIT in roles
+        assert Role.CORR_RESET in roles
+        # corrections accumulate before the wait, the correction block
+        # runs after it
+        assert roles.index(Role.CORR_ADD) < roles.index(Role.SYNC_WAIT)
+        assert roles.index(Role.CORR_START) > roles.index(Role.SYNC_WAIT)
+
+    def test_level3_cache_calls_split_regions(self):
+        layout = make_layout(ARCH, TARGET)
+        big_block = "_start:\n" + "    add d1, d1, d2\n" * 24 + "    halt\n"
+        regions = self._regions(big_block, 3, layout)
+        assert len(regions) >= 2  # 24 four-byte instrs span >1 line
+        assert regions[0].terminator is not None
+        assert regions[0].terminator.label == "__cachesub"
+
+
+class TestCacheAnalysisBlocks:
+    def test_split_by_line(self):
+        layout = CacheLayout(base=0x8002_0000, ways=2, sets=32,
+                             line_size=32, miss_penalty=10)
+        # boundaries: instruction index -> source address
+        boundaries = [(0, 0x8000_0000), (1, 0x8000_0010),
+                      (2, 0x8000_0020), (3, 0x8000_0030)]
+
+        class FakeBlock:
+            pass
+
+        cabs = split_analysis_blocks(FakeBlock(), boundaries, 4, layout)
+        assert len(cabs) == 2
+        assert cabs[0].line_addr == 0x8000_0000
+        assert cabs[1].line_addr == 0x8000_0020
+        assert cabs[0].end_index == 2
+
+    def test_tag_and_set(self):
+        layout = CacheLayout(base=0, ways=2, sets=32, line_size=32,
+                             miss_penalty=10)
+        boundaries = [(0, 0x8000_0040)]
+
+        class FakeBlock:
+            pass
+
+        (cab,) = split_analysis_blocks(FakeBlock(), boundaries, 1, layout)
+        line = 0x8000_0040 >> 5
+        assert cab.set_index == line % 32
+        assert cab.tag == line // 32
+        assert tagv_word(cab) == (cab.tag << 1) | 1
+
+    def test_layout_stride(self):
+        layout = CacheLayout(base=0x100, ways=2, sets=4, line_size=16,
+                             miss_penalty=5)
+        assert layout.set_stride == 12  # 2 tag words + lru word
+        assert layout.set_addr(2) == 0x100 + 24
+        assert layout.size == 48
+
+    def test_unsupported_ways_rejected(self):
+        from repro.errors import TranslationError
+
+        arch = default_source_arch().with_icache(ways=4)
+        with pytest.raises(TranslationError):
+            make_layout(arch, TARGET)
+
+
+class TestXmlInstructionSet:
+    def test_roundtrip(self):
+        text = instruction_set_to_xml()
+        specs = load_instruction_set(text)
+        from repro.isa.tricore.instructions import SPECS
+
+        assert [s.key for s in specs] == [s.key for s in SPECS]
+
+    def test_document_structure(self):
+        text = instruction_set_to_xml()
+        assert "<formats>" in text
+        assert 'mnemonic="ld.w"' in text
+        assert 'class="ls"' in text
+
+    def test_mismatched_opcode_rejected(self):
+        text = instruction_set_to_xml().replace(
+            'key="add" mnemonic="add" opcode="0x1"',
+            'key="add" mnemonic="add" opcode="0x5"')
+        with pytest.raises(ArchitectureError):
+            load_instruction_set(text)
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ArchitectureError):
+            load_instruction_set(
+                '<instructionset><instructions>'
+                '<instruction key="zap"/></instructions></instructionset>')
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ArchitectureError):
+            load_instruction_set("<instructionset")
