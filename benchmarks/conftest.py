@@ -4,6 +4,11 @@ Measurements are computed once per session and shared; each benchmark
 file checks the *shape* of one table/figure of the paper and times a
 representative kernel.  Full reports (paper vs measured) are written to
 ``benchmarks/output/``.
+
+``--platform-backend`` selects the platform execution engine used for
+the shared measurements (``interp`` or ``compiled``); observables are
+identical between the two, so every benchmark assertion holds under
+either — the compiled backend just gets there faster.
 """
 
 from __future__ import annotations
@@ -19,6 +24,13 @@ from repro.programs.registry import FIGURE5_PROGRAMS
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--platform-backend", default="compiled",
+        choices=("interp", "compiled"),
+        help="execution backend for platform measurements")
+
+
 def write_report(name: str, text: str) -> None:
     os.makedirs(OUTPUT_DIR, exist_ok=True)
     with open(os.path.join(OUTPUT_DIR, name), "w") as handle:
@@ -26,13 +38,21 @@ def write_report(name: str, text: str) -> None:
 
 
 @pytest.fixture(scope="session")
-def figure5_measurements():
-    """All six Section-4 workloads at every detail level."""
-    return _measure_all(FIGURE5_PROGRAMS, (0, 1, 2, 3))
+def platform_backend(request):
+    """The execution backend benchmarks should run the platform with."""
+    return request.config.getoption("--platform-backend")
 
 
 @pytest.fixture(scope="session")
-def table2_measurements():
+def figure5_measurements(platform_backend):
+    """All six Section-4 workloads at every detail level."""
+    return _measure_all(FIGURE5_PROGRAMS, (0, 1, 2, 3),
+                        backend=platform_backend)
+
+
+@pytest.fixture(scope="session")
+def table2_measurements(platform_backend):
     """The three Table-2 workloads, with RTL wall-clock timing."""
-    return {name: measure_program(name, levels=(1, 2, 3), measure_rtl=True)
+    return {name: measure_program(name, levels=(1, 2, 3), measure_rtl=True,
+                                  backend=platform_backend)
             for name in ("gcd", "fibonacci", "sieve")}

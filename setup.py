@@ -5,6 +5,29 @@ builds with this setuptools version; `python setup.py develop` works
 without it and installs the same editable package.
 """
 
-from setuptools import setup
+from setuptools import find_namespace_packages, setup
 
-setup()
+setup(
+    name="repro-cabt",
+    version="0.1.0",
+    description=("Reproduction of 'Cycle Accurate Binary Translation for "
+                 "Simulation Acceleration in Rapid Prototyping of SoCs'"),
+    package_dir={"": "src"},
+    # subpackages are implicit namespace packages (only repro/ has an
+    # __init__.py), so plain find_packages() would miss them
+    packages=find_namespace_packages(where="src", include=["repro*"]),
+    # the minic sources of the benchmark corpus ship with the package;
+    # programs/registry.py loads them via importlib.resources
+    package_data={"repro.programs": ["src/*.mc"]},
+    include_package_data=True,
+    python_requires=">=3.10",
+    entry_points={
+        "console_scripts": [
+            "repro-asm = repro.cli:asm_main",
+            "repro-minic = repro.cli:minic_main",
+            "repro-translate = repro.cli:translate_main",
+            "repro-run = repro.cli:run_main",
+            "repro-experiments = repro.cli:experiments_main",
+        ],
+    },
+)

@@ -88,6 +88,11 @@ def translate_main(argv: list[str] | None = None) -> int:
                         help="print the translated program")
     parser.add_argument("--run", action="store_true",
                         help="execute on the platform after translating")
+    parser.add_argument("--backend", default="interp",
+                        choices=("interp", "compiled"),
+                        help="platform execution backend for --run: the "
+                             "interpretive core or the packet-compiled "
+                             "host translation (identical observables)")
     args = parser.parse_args(argv)
     from repro.arch.xmlio import source_arch_from_xml
     from repro.translator.driver import translate
@@ -114,7 +119,8 @@ def translate_main(argv: list[str] | None = None) -> int:
     if args.listing:
         print(result.program.listing())
     if args.run:
-        run = PrototypingPlatform(result.program, source_arch=arch).run()
+        run = PrototypingPlatform(result.program, source_arch=arch,
+                                  backend=args.backend).run()
         print(f"exit={run.exit_code} target_cycles={run.target_cycles} "
               f"emulated_cycles={run.emulated_cycles} "
               f"cpi={run.target_cpi:.2f}")

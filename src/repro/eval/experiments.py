@@ -37,9 +37,9 @@ class ExperimentReport:
         return self.text
 
 
-def _measure_all(programs, levels, measure_rtl=False):
+def _measure_all(programs, levels, measure_rtl=False, backend="interp"):
     return {name: measure_program(name, levels=levels,
-                                  measure_rtl=measure_rtl)
+                                  measure_rtl=measure_rtl, backend=backend)
             for name in programs}
 
 

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 from repro.arch.model import SourceArch, default_source_arch
 from repro.programs.registry import build
@@ -60,8 +59,14 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
                     arch: SourceArch | None = None,
                     measure_rtl: bool = False,
                     inline_cache_threshold: int | None = None,
-                    sync_rate: float = 1.0) -> ProgramMeasurement:
-    """Run the full measurement battery for one workload."""
+                    sync_rate: float = 1.0,
+                    backend: str = "interp") -> ProgramMeasurement:
+    """Run the full measurement battery for one workload.
+
+    *backend* selects the platform execution engine (``"interp"`` or
+    ``"compiled"``); both produce identical observables, so every
+    derived metric is backend-independent — only wall-clock differs.
+    """
     arch = arch or default_source_arch()
     obj = build(name)
     reference = CycleAccurateISS(obj, arch).run()
@@ -71,7 +76,7 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
             obj, level=level, source=arch,
             inline_cache_threshold=inline_cache_threshold)
         platform = PrototypingPlatform(translation.program, source_arch=arch,
-                                       sync_rate=sync_rate)
+                                       sync_rate=sync_rate, backend=backend)
         result = platform.run()
         out.levels[level] = LevelMeasurement(level=level, result=result,
                                              translation=translation)
@@ -80,10 +85,3 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
         RtlSimulator(obj, arch).run()
         out.rtl_wall_seconds = time.perf_counter() - start
     return out
-
-
-@lru_cache(maxsize=None)
-def cached_measurement(name: str, levels: tuple = (0, 1, 2, 3),
-                       measure_rtl: bool = False) -> ProgramMeasurement:
-    """Memoized measurements for the benchmark suite."""
-    return measure_program(name, levels=levels, measure_rtl=measure_rtl)

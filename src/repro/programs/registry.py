@@ -195,7 +195,7 @@ FIGURE5_PROGRAMS = ("gcd", "dpcm", "fir", "ellip", "sieve", "subband")
 #: the three workloads of Table 2.
 TABLE2_PROGRAMS = ("gcd", "fibonacci", "sieve")
 
-_BUILD_CACHE: dict[tuple[str, int], ObjectFile] = {}
+_BUILD_CACHE: dict[tuple[str, int, int, int, int, int, int], ObjectFile] = {}
 
 
 def program_names() -> list[str]:
@@ -214,10 +214,16 @@ def source(name: str) -> str:
 
 
 def build(name: str, memory: MemoryMap | None = None) -> ObjectFile:
-    """Compile program *name* to an object file (cached)."""
+    """Compile program *name* to an object file (cached).
+
+    The cache key covers every :class:`MemoryMap` field that affects
+    code generation — bases *and* sizes (the stack pointer derives from
+    ``data_base + data_size``) — so two maps differing in any region
+    never alias to one cached object.
+    """
     memory = memory or MemoryMap()
-    key = (name, id(type(memory)) if memory is None else hash(
-        (memory.code_base, memory.data_base, memory.io_base)))
+    key = (name, memory.code_base, memory.code_size, memory.data_base,
+           memory.data_size, memory.io_base, memory.io_size)
     cached = _BUILD_CACHE.get(key)
     if cached is None:
         cached = compile_source(source(name), memory)

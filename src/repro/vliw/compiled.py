@@ -1,0 +1,896 @@
+"""Packet-compiled execution backend: the translated program, translated.
+
+The paper's thesis applied one level up: instead of interpreting the
+translated C6x program one :meth:`C6xCore.step_packet` call per cycle
+(paying Python dispatch, predicate checks and dict lookups every
+packet), :class:`PacketCompiler` walks the finalized
+:class:`~repro.isa.c6x.packets.C6xProgram` and emits one specialized
+host-Python function per straight-line packet run via
+``compile()``/``exec``:
+
+* register numbers, immediates, predicates and load/store offsets are
+  resolved at compile time into direct list/bytearray operations;
+* delay-slot writebacks become statically placed assignments (the
+  in-flight dict is only consulted for values carried *into* a region);
+* per-block cycle, ``packets_issued``, ``instructions_executed``,
+  ``nop_packets`` and ``source_instructions`` counters are added in one
+  batched update per region;
+* the per-packet sync-device ticks of straight-line code coalesce into
+  a single :meth:`SyncDevice.tick_n` bulk advance — packets that touch
+  the synchronization device or the bus bridge act as tick barriers
+  and keep the interpreter's exact stall/tick interleaving;
+* device-flagged memory operations compile to the same three-way
+  address dispatch (sync window, bridge window, plain memory) the
+  interpretive core performs, including the blocking-read stall loop.
+
+Compiled functions form a *block-function cache* keyed by entry packet
+index, with direct chaining: each function returns the next block's
+callable (lazily linked through a one-slot cell when the branch target
+is static), so the hot path never re-enters ``step_packet``.  The
+interpretive core remains the fallback for the rare shapes the
+compiler does not specialize (a second branch issued inside another
+branch's delay slots, running off the end of the program) and for any
+plain memory access that turns out at run time not to target plain
+target memory — a region bails out *before* mutating packet state, so
+the interpreter can simply re-execute the packet.
+
+The interpretive :class:`C6xCore` remains the reference semantics: a
+compiled region mutates exactly the same core state (registers, memory,
+stats, sync device), so execution can transfer between the two backends
+at any region boundary and both produce identical
+:class:`~repro.vliw.platform.PlatformResult` observables.
+
+Known, deliberate divergences from the interpretive core (none of which
+affect the results of schedulable programs):
+
+* strict-mode hazard checking is skipped — the scheduler guarantees the
+  absence of delay-shadow reads, like real hardware would;
+* the ``max_cycles`` limit is checked at region granularity, so the
+  :class:`SimulationError` it raises may fire a few packets later than
+  the interpreter's per-packet check;
+* when a packet raises (bus error, sync protocol violation), the
+  ``instructions_executed`` count of that packet's earlier instructions
+  may differ — no result is produced on that path.
+
+Generated code objects are cached on the program object itself, so
+several platforms executing the same translation (e.g. repeated
+benchmark runs) share one compilation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import BusError, SimulationError
+from repro.isa.c6x.instructions import TOp
+from repro.utils.bits import s32, u32
+from repro.vliw.core import _LOAD_SIZE, _STORE_SIZE, C6xCore
+from repro.vliw.syncdev import SYNC_WINDOW
+
+#: width of the bus-bridge window (matches C6xCore._bridge_offset)
+_BRIDGE_WINDOW = 0x1_0000
+
+
+class _InterpSentinel:
+    """Returned by compiled regions to hand control to the interpreter."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<interp>"
+
+
+#: sentinel: "the next packet must run on the interpretive core".
+INTERP = _InterpSentinel()
+
+_STORE_OPS = frozenset(_STORE_SIZE)
+_LOAD_OPS = frozenset(_LOAD_SIZE)
+
+
+def _is_value_op(op: TOp) -> bool:
+    """True if *op* produces a register result."""
+    return op not in (TOp.B, TOp.HALT, TOp.NOP) and op not in _STORE_OPS
+
+
+class _Emit:
+    """Tiny indented-source accumulator."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+
+    def add(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class PacketCompiler:
+    """Compiles and dispatches packet regions of one core's program.
+
+    One compiler owns one :class:`C6xCore`; compiled functions close
+    over that core's mutable state (register file, data memory, stats,
+    sync device), so the compiler must be rebuilt if the core is.
+    """
+
+    def __init__(self, core: C6xCore, max_region_packets: int = 256) -> None:
+        self.core = core
+        self.program = core.program
+        self.target = core.target
+        self.max_region_packets = max_region_packets
+        self.exit_device = core.bridge.bus.device("exit")
+        #: block-function cache: entry packet index -> compiled callable
+        #: (or the INTERP sentinel for entries only the core can run)
+        self._fns: dict[int, Callable | _InterpSentinel] = {}
+        self.regions_compiled = 0
+        # Program-level cache of generated code objects, shared by every
+        # compiler (and therefore platform) executing this translation.
+        # Generated code bakes in the platform's stall parameters (the
+        # memory and device-window geometry is a property of the target
+        # architecture, hence of the program itself), so the cache is
+        # keyed by them: platforms with different stall costs never
+        # share code.
+        params = (core.sync_access_stall, core.bridge.access_stall)
+        caches = getattr(self.program, "_region_code_cache", None)
+        if caches is None:
+            caches = {}
+            self.program._region_code_cache = caches
+        self._code_cache: dict[int, tuple] = caches.setdefault(params, {})
+
+    # -- dispatch ----------------------------------------------------------
+
+    def run(self, max_cycles: int = 200_000_000) -> None:
+        """Execute until halt, exit-device write, or the cycle limit."""
+        core = self.core
+        fns = self._fns
+        step = core.step_packet
+        exit_device = self.exit_device
+        while not core.halted and not exit_device.exited:
+            nxt = fns.get(core.pc)
+            if nxt is None:
+                nxt = self.function_for(core.pc)
+            while nxt is not None and nxt is not INTERP:
+                nxt = nxt()
+                if core.cycles >= max_cycles:
+                    raise SimulationError(
+                        f"target cycle limit {max_cycles} exceeded")
+            if nxt is None:  # a compiled region executed HALT or exit
+                break
+            # Interpretive slow path: at least the next packet, then
+            # keep stepping until no branch is in flight — compiled
+            # regions assume a clean pipeline at entry.
+            step()
+            while (core._pending_branch is not None and not core.halted
+                   and not exit_device.exited
+                   and core.cycles < max_cycles):
+                step()
+            if core.cycles >= max_cycles:
+                raise SimulationError(
+                    f"target cycle limit {max_cycles} exceeded")
+
+    def function_for(self, pc: int):
+        """The compiled function entering at packet *pc* (cached)."""
+        fn = self._fns.get(pc)
+        if fn is None:
+            fn = self._compile_region(pc)
+            self._fns[pc] = fn
+        return fn
+
+    # -- region discovery --------------------------------------------------
+
+    def _scan(self, pc0: int):
+        """Find the straight-line region starting at packet *pc0*.
+
+        Returns ``(n_packets, end_kind, branch_offset)`` where
+        *end_kind* is one of:
+
+        * ``'branch'`` — a single branch issued and matured inside the
+          region; the region ends exactly at the maturation point;
+        * ``'halt'`` — the last packet holds an unpredicated HALT;
+        * ``'cut'`` — length cap reached; fall through to a chained
+          successor region;
+        * ``'interp'`` — the next packet needs the interpretive core
+          (a second in-flight branch or the end of the program).
+        """
+        packets = self.program.packets
+        bds = self.target.branch_delay_slots
+        k = 0
+        branch_off: int | None = None
+        while True:
+            if branch_off is not None and k == branch_off + 1 + bds:
+                return k, "branch", branch_off
+            idx = pc0 + k
+            if idx >= len(packets):
+                return k, "interp", branch_off
+            packet = packets[idx]
+            has_branch = any(i.op is TOp.B for i in packet.instrs)
+            if has_branch and branch_off is not None:
+                return k, "interp", branch_off
+            if has_branch:
+                branch_off = k
+            elif branch_off is None and k >= self.max_region_packets:
+                return k, "cut", None
+            k += 1
+            if any(i.op is TOp.HALT and i.pred is None
+                   for i in packet.instrs):
+                return k, "halt", branch_off
+
+    # -- code generation ---------------------------------------------------
+
+    def _compile_region(self, pc0: int):
+        cached = self._code_cache.get(pc0)
+        if cached is None:
+            n_packets, end_kind, branch_off = self._scan(pc0)
+            if n_packets == 0:
+                self._code_cache[pc0] = (None, None)
+                return INTERP
+            builder = _RegionBuilder(self, pc0, n_packets, end_kind,
+                                     branch_off)
+            cached = builder.generate()
+            self._code_cache[pc0] = cached
+        code, name = cached
+        if code is None:
+            return INTERP
+        ns = self._namespace()
+        exec(code, ns)
+        self.regions_compiled += 1
+        return ns[name]
+
+    def _namespace(self) -> dict:
+        core = self.core
+        return dict(
+            core=core,
+            _regs=core.regs,
+            _mem=core._mem,
+            sync=core.sync,
+            bridge=core.bridge,
+            stats=core.stats,
+            _bex=core.stats.block_executions,
+            _a2p=self.program.addr_to_packet,
+            _exitdev=self.exit_device,
+            s32=s32,
+            fb=int.from_bytes,
+            _SimulationError=SimulationError,
+            _BusError=BusError,
+            _INTERP=INTERP,
+            _link=self._link,
+            _goto=self.function_for,
+            _ct=[None],
+            _cf=[None],
+        )
+
+    def _link(self, cell: list, pc: int):
+        """Lazily resolve a static chain target into its cell."""
+        fn = self.function_for(pc)
+        cell[0] = fn
+        return fn
+
+
+class _RegionBuilder:
+    """Generates the Python source of one region and compiles it."""
+
+    def __init__(self, compiler: PacketCompiler, pc0: int, n_packets: int,
+                 end_kind: str, branch_off: int | None) -> None:
+        self.compiler = compiler
+        self.core = compiler.core
+        self.program = compiler.program
+        self.target = compiler.target
+        self.pc0 = pc0
+        self.n_packets = n_packets
+        self.end_kind = end_kind
+        self.branch_off = branch_off
+        self.mem_base = self.core._mem_base
+        self.mem_len = len(self.core._mem)
+        self.sync_base = self.target.sync_base
+        self.bridge_base = self.target.bridge_base
+        self.sync_stall = self.core.sync_access_stall
+        self.bridge_stall = self.core.bridge.access_stall
+        #: commits carried into the region mature within this window
+        self.entry_window = max(self.target.load_delay_slots,
+                                self.target.mul_delay_slots) + 1
+        self.out = _Emit()
+        #: delayed register writes: (mature_offset, dst, val, pred|None)
+        self.writes: list[tuple[int, int, str, str | None]] = []
+        # running static counters (prefix totals at the emission point)
+        self.st_instr = 0
+        self.st_nop = 0
+        self.st_src = 0
+        self.ticks_flushed = 0
+        self.uses_ci = False
+        self.uses_cn = False
+        # branch bookkeeping (filled while emitting the branch packet)
+        self.branch_pred: str | None = None
+        self.branch_static_target: int | None = None
+        self.branch_index_var: str | None = None
+
+    # -- helpers ---------------------------------------------------------
+
+    def _delay(self, op: TOp) -> int:
+        if op in _LOAD_OPS:
+            return self.target.load_delay_slots
+        if op is TOp.MPY:
+            return self.target.mul_delay_slots
+        return 0
+
+    def _fwd(self, reg: int, instrs, pos: int) -> str:
+        """Apply-time value of *reg* for the instruction at *pos*.
+
+        Mirrors the interpretive core: effects apply in packet order,
+        so a zero-delay write by an earlier instruction of the same
+        packet is visible to later stores / indirect branches.
+        """
+        for n in range(pos - 1, -1, -1):
+            prev = instrs[n]
+            if (prev.op is not TOp.NOP and _is_value_op(prev.op)
+                    and prev.dst == reg and self._delay(prev.op) == 0):
+                var = self._var(prev)
+                if prev.pred is not None:
+                    return f"({var} if {self._pvar(prev)} else regs[{reg}])"
+                return var
+        return f"regs[{reg}]"
+
+    def _var(self, instr) -> str:
+        return f"v{self._instr_ids[id(instr)]}"
+
+    def _pvar(self, instr) -> str:
+        return f"p{self._instr_ids[id(instr)]}"
+
+    # -- value expressions ------------------------------------------------
+
+    def _value_expr(self, instr) -> str:
+        """Python expression for the phase-1 result of *instr*."""
+        op = instr.op
+        M = "0xFFFFFFFF"
+        if op in (TOp.MVK, TOp.MVKL):
+            return str(u32(instr.imm if instr.imm is not None else 0))
+        if op is TOp.MVKH:
+            high = u32((instr.imm or 0) << 16) & 0xFFFF0000
+            return f"{high} | (regs[{instr.dst}] & 0xFFFF)"
+        a = f"regs[{instr.src1}]" if instr.src1 is not None else "0"
+        if op is TOp.MV:
+            return a
+        if op is TOp.ABS:
+            return (f"((0x100000000 - {a}) & {M}) "
+                    f"if {a} & 0x80000000 else {a}")
+        if instr.src2 is not None:
+            b = f"regs[{instr.src2}]"
+            b_u = b
+            b_s = f"s32({b})"
+            b_sh = f"({b} & 31)"
+        else:
+            imm = instr.imm or 0
+            b = str(imm)
+            b_u = str(u32(imm))
+            b_s = str(s32(u32(imm)))
+            b_sh = str(imm & 31)
+        if op is TOp.ADD:
+            return f"({a} + {b}) & {M}"
+        if op is TOp.SUB:
+            return f"({a} - {b}) & {M}"
+        if op is TOp.MPY:
+            return f"(s32({a}) * {b_s}) & {M}"
+        if op is TOp.AND:
+            return f"{a} & {b_u}"
+        if op is TOp.OR:
+            return f"{a} | {b_u}"
+        if op is TOp.XOR:
+            return f"{a} ^ {b_u}"
+        if op is TOp.ANDN:
+            return f"({a} & ~{b_u}) & {M}"
+        if op is TOp.SHL:
+            return f"({a} << {b_sh}) & {M}"
+        if op is TOp.SHRU:
+            return f"{a} >> {b_sh}"
+        if op is TOp.SHRA:
+            return f"(s32({a}) >> {b_sh}) & {M}"
+        if op is TOp.MIN:
+            return f"min(s32({a}), {b_s}) & {M}"
+        if op is TOp.MAX:
+            return f"max(s32({a}), {b_s}) & {M}"
+        if op is TOp.CMPEQ:
+            return f"1 if {a} == {b_u} else 0"
+        if op is TOp.CMPNE:
+            return f"1 if {a} != {b_u} else 0"
+        if op is TOp.CMPLT:
+            return f"1 if s32({a}) < {b_s} else 0"
+        if op is TOp.CMPLTU:
+            return f"1 if {a} < {b_u} else 0"
+        if op is TOp.CMPGE:
+            return f"1 if s32({a}) >= {b_s} else 0"
+        if op is TOp.CMPGEU:
+            return f"1 if {a} >= {b_u} else 0"
+        raise SimulationError(f"unhandled target op {op}")  # pragma: no cover
+
+    # -- epilogue ---------------------------------------------------------
+
+    def _emit_epilogue(self, indent: int, executed: int, commits_ran: int,
+                       pc_expr: str, pending_branch: bool) -> None:
+        """Counter flush + state spill shared by every region exit.
+
+        *executed* packets ran; commit sections ran for the first
+        *commits_ran* packets, so delayed writes maturing at or after
+        that offset must be spilled back into the core's in-flight
+        dict.  *pending_branch* spills an unmatured branch.
+        """
+        add = self.out.add
+        add(indent, f"core._issue_index = ii0 + {executed}")
+        add(indent, f"core.pc = {pc_expr}")
+        add(indent, f"stats.packets_issued += {executed}")
+        instr_expr = str(self.st_instr)
+        if self.uses_ci:
+            instr_expr += " + _ci"
+        add(indent, f"stats.instructions_executed += {instr_expr}")
+        if self.st_nop or self.uses_cn:
+            nop_expr = str(self.st_nop)
+            if self.uses_cn:
+                nop_expr += " + _cn"
+            add(indent, f"stats.nop_packets += {nop_expr}")
+        if self.st_src:
+            add(indent, f"stats.source_instructions += {self.st_src}")
+        ticks = executed - self.ticks_flushed
+        if ticks > 0:
+            add(indent, f"sync.tick_n({ticks})")
+        for mature, dst, val, pred in self.writes:
+            if mature >= commits_ran:
+                if pred is not None:
+                    add(indent, f"if {pred}:")
+                    add(indent + 1,
+                        f"inflight[{dst}] = (ii0 + {mature}, {val})")
+                else:
+                    add(indent, f"inflight[{dst}] = (ii0 + {mature}, {val})")
+        if pending_branch and self.branch_off is not None:
+            effective = self.branch_off + 1 + self.target.branch_delay_slots
+            target = (str(self.branch_static_target)
+                      if self.branch_static_target is not None
+                      else self.branch_index_var)
+            if self.branch_pred is not None:
+                add(indent, f"if {self.branch_pred}:")
+                add(indent + 1,
+                    f"core._pending_branch = (ii0 + {effective}, {target})")
+            else:
+                add(indent,
+                    f"core._pending_branch = (ii0 + {effective}, {target})")
+
+    def _emit_chain_return(self, indent: int, cell: str, pc: int) -> None:
+        """Direct chaining: return the successor's cached callable."""
+        add = self.out.add
+        add(indent, f"_n = {cell}[0]")
+        add(indent, "if _n is None:")
+        add(indent + 1, f"_n = _link({cell}, {pc})")
+        add(indent, "return _n")
+
+    def _emit_bail(self, indent: int, packet_offset: int) -> None:
+        """Hand the current packet to the interpretive core untouched.
+
+        Only locals have been written for this packet so far; commit
+        sections for it ran (idempotent with the interpreter's own
+        commit pass), so the interpreter can simply re-execute it.
+        """
+        self._emit_epilogue(indent, packet_offset, packet_offset + 1,
+                            str(self.pc0 + packet_offset),
+                            pending_branch=self._branch_in_flight_at(
+                                packet_offset))
+        self.out.add(indent, "return _INTERP")
+
+    def _branch_in_flight_at(self, offset: int) -> bool:
+        return (self.branch_off is not None and self.branch_off < offset)
+
+    # -- main build -------------------------------------------------------
+
+    def generate(self) -> tuple:
+        """Produce ``(code_object, function_name)`` for this region."""
+        packets = self.program.packets
+        pc0 = self.pc0
+        name = f"_region_{pc0}"
+        out = self.out
+        add = out.add
+
+        # number every instruction in the region for variable naming
+        self._instr_ids: dict[int, int] = {}
+        counter = 0
+        for k in range(self.n_packets):
+            for instr in packets[pc0 + k].instrs:
+                self._instr_ids[id(instr)] = counter
+                counter += 1
+
+        self.uses_ci = any(
+            i.pred is not None and i.op is not TOp.NOP
+            for k in range(self.n_packets)
+            for i in packets[pc0 + k].instrs)
+        self.uses_cn = any(
+            self._packet_runtime_nop(packets[pc0 + k])
+            for k in range(self.n_packets))
+
+        add(0, f"def {name}():")
+        add(1, "regs = _regs; mem = _mem")
+        add(1, "ii0 = core._issue_index")
+        add(1, "inflight = core._inflight")
+        if self.uses_ci:
+            add(1, "_ci = 0")
+        if self.uses_cn:
+            add(1, "_cn = 0")
+
+        for k in range(self.n_packets):
+            self._emit_packet(k)
+
+        self._emit_region_end()
+
+        source = out.source()
+        code = compile(source, f"<packet-region {pc0}>", "exec")
+        return code, name
+
+    @staticmethod
+    def _packet_runtime_nop(packet) -> bool:
+        """True if the packet's action count is predicate-dependent."""
+        real = [i for i in packet.instrs if i.op is not TOp.NOP]
+        return bool(real) and all(i.pred is not None for i in real)
+
+    # -- per-packet emission ----------------------------------------------
+
+    def _emit_packet(self, k: int) -> None:
+        packets = self.program.packets
+        pc0 = self.pc0
+        idx = pc0 + k
+        packet = packets[idx]
+        instrs = packet.instrs
+        add = self.out.add
+        add(1, f"# packet {idx} (+{k})")
+        device = any(i.device for i in instrs)
+
+        # 1. writeback commits due at this packet's issue point
+        if k < self.entry_window:
+            add(1, "if inflight:")
+            add(2, f"for _r in [_x for _x in inflight "
+                   f"if inflight[_x][0] <= ii0 + {k}]:")
+            add(3, "regs[_r] = inflight.pop(_r)[1]")
+        for mature, dst, val, pred in self.writes:
+            if mature == k:
+                if pred is not None:
+                    add(1, f"if {pred}: regs[{dst}] = {val}")
+                else:
+                    add(1, f"regs[{dst}] = {val}")
+
+        real = [i for i in instrs if i.op is not TOp.NOP]
+
+        # 2. device packets are tick barriers: flush batched ticks, then
+        #    replicate the interpreter's blocking-read stall loop
+        if device:
+            pending_ticks = k - self.ticks_flushed
+            if pending_ticks > 0:
+                add(1, f"sync.tick_n({pending_ticks})")
+            self.ticks_flushed = k
+            self._emit_stall_loop(instrs)
+
+        # 3. phase A1: predicates (pre-packet register state)
+        for instr in real:
+            if instr.pred is not None:
+                test = "!=" if instr.pred_sense else "=="
+                add(1, f"{self._pvar(instr)} = regs[{instr.pred}] {test} 0")
+
+        # 4. phase A2: values (loads carry their memory dispatch)
+        for instr in real:
+            if not _is_value_op(instr.op):
+                continue
+            indent = 1
+            if instr.pred is not None:
+                add(1, f"if {self._pvar(instr)}:")
+                indent = 2
+            if instr.op in _LOAD_OPS:
+                if device:
+                    self._emit_device_load(indent, instr)
+                else:
+                    self._emit_plain_load(indent, instr, k)
+            else:
+                add(indent, f"{self._var(instr)} = {self._value_expr(instr)}")
+
+        # 5. phase A3: plain-store range checks (apply-time bases); the
+        #    generic dispatch of device packets needs no pre-check
+        if not device:
+            for pos, instr in enumerate(instrs):
+                if instr.op not in _STORE_OPS:
+                    continue
+                size = _STORE_SIZE[instr.op]
+                indent = 1
+                if instr.pred is not None:
+                    add(1, f"if {self._pvar(instr)}:")
+                    indent = 2
+                m = self._instr_ids[id(instr)]
+                base = self._fwd(instr.src2, instrs, pos)
+                imm = instr.imm or 0
+                addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
+                add(indent, f"so{m} = ({addr}) - {self.mem_base}")
+                add(indent,
+                    f"if so{m} < 0 or so{m} > {self.mem_len - size}:")
+                self._emit_bail(indent + 1, k)
+
+        # 6. per-block stats at translated block heads — emitted after
+        #    every bail point, so a bailed packet's block statistics are
+        #    counted only once, by the interpreter's re-execution
+        info = self.program.block_at.get(idx)
+        if info is not None:
+            self.st_src += info.n_instructions
+            addr = info.source_addr
+            add(1, f"_bex[{addr}] = _bex.get({addr}, 0) + 1")
+
+        # 7. phase A4: execution counters (after every possible bail)
+        for instr in real:
+            if instr.pred is not None:
+                add(1, f"if {self._pvar(instr)}: _ci += 1")
+            else:
+                self.st_instr += 1
+        if not real:
+            self.st_nop += 1
+        elif all(i.pred is not None for i in real):
+            test = " or ".join(self._pvar(i) for i in real)
+            add(1, f"if not ({test}): _cn += 1")
+
+        # 8. phase B: apply effects in packet order
+        packet_has_halt = False
+        halt_unpred = False
+        has_store = False
+        for pos, instr in enumerate(instrs):
+            op = instr.op
+            if op is TOp.NOP:
+                continue
+            guarded = instr.pred is not None
+            if op is TOp.HALT:
+                packet_has_halt = True
+                halt_unpred = halt_unpred or not guarded
+                if guarded:
+                    add(1, f"if {self._pvar(instr)}: core.halted = True")
+                else:
+                    add(1, "core.halted = True")
+                continue
+            if op is TOp.B:
+                self._emit_branch_apply(instr, instrs, pos)
+                continue
+            if op in _STORE_OPS:
+                has_store = True
+                indent = 1
+                if guarded:
+                    add(1, f"if {self._pvar(instr)}:")
+                    indent = 2
+                if device:
+                    self._emit_device_store(indent, instr, instrs, pos)
+                else:
+                    self._emit_plain_store(indent, instr, instrs, pos)
+                continue
+            # register write
+            delay = self._delay(op)
+            var = self._var(instr)
+            pred = self._pvar(instr) if guarded else None
+            if delay == 0:
+                if guarded:
+                    add(1, f"if {pred}: regs[{instr.dst}] = {var}")
+                else:
+                    add(1, f"regs[{instr.dst}] = {var}")
+            else:
+                self.writes.append((k + 1 + delay, instr.dst, var, pred))
+
+        # 9. a device packet ticks immediately (order vs. device writes
+        #    matters); pure packets batch their tick into the epilogue
+        if device:
+            add(1, "sync.tick()")
+            self.ticks_flushed = k + 1
+            if has_store:
+                # a bridge store may have hit the exit device: stop at
+                # this packet, exactly like the interpretive run loop
+                add(1, "if _exitdev.exited:")
+                self._emit_epilogue(2, k + 1, k + 1, str(pc0 + k + 1),
+                                    pending_branch=self._branch_in_flight_at(
+                                        k + 1))
+                add(2, "return None")
+
+        # 10. conditional halt exit
+        if packet_has_halt:
+            if halt_unpred:
+                self._emit_halt_exit(1, k)
+            else:
+                add(1, "if core.halted:")
+                self._emit_halt_exit(2, k)
+
+    def _emit_stall_loop(self, instrs) -> None:
+        """Replicate ``C6xCore._packet_blocks``: stall while a
+        sync-status read in this packet would block."""
+        checks = []
+        for instr in instrs:
+            if instr.op not in _LOAD_OPS:
+                continue
+            m = self._instr_ids[id(instr)]
+            imm = instr.imm or 0
+            base = f"regs[{instr.src1}]"
+            addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
+            cond = (f"0 <= (w{m} := ({addr}) - {self.sync_base}) "
+                    f"< {SYNC_WINDOW} and sync.read_blocks(w{m})")
+            if instr.pred is not None:
+                test = "!=" if instr.pred_sense else "=="
+                cond = f"regs[{instr.pred}] {test} 0 and {cond}"
+            checks.append(f"({cond})")
+        if not checks:
+            return
+        add = self.out.add
+        add(1, f"while {' or '.join(checks)}:")
+        add(2, "core._stall_cycles += 1")
+        add(2, "stats.sync_stall_cycles += 1")
+        add(2, "sync.tick()")
+
+    def _emit_plain_load(self, indent: int, instr, k: int) -> None:
+        """Direct bytearray load with a plain-memory range guard."""
+        add = self.out.add
+        m = self._instr_ids[id(instr)]
+        size = _LOAD_SIZE[instr.op]
+        imm = instr.imm or 0
+        base = f"regs[{instr.src1}]"
+        addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
+        add(indent, f"o{m} = ({addr}) - {self.mem_base}")
+        add(indent, f"if o{m} < 0 or o{m} > {self.mem_len - size}:")
+        self._emit_bail(indent + 1, k)
+        var = self._var(instr)
+        if size == 1:
+            add(indent, f"{var} = mem[o{m}]")
+        elif size == 2:
+            add(indent, f"{var} = fb(mem[o{m}:o{m} + 2], 'little')")
+        else:
+            add(indent, f"{var} = fb(mem[o{m}:o{m} + 4], 'little')")
+        self._emit_sign_fix(indent, instr, var)
+
+    def _emit_device_load(self, indent: int, instr) -> None:
+        """The interpreter's three-way load dispatch, inline."""
+        add = self.out.add
+        m = self._instr_ids[id(instr)]
+        size = _LOAD_SIZE[instr.op]
+        imm = instr.imm or 0
+        base = f"regs[{instr.src1}]"
+        addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
+        var = self._var(instr)
+        add(indent, f"a{m} = {addr}")
+        add(indent, f"o{m} = a{m} - {self.sync_base}")
+        add(indent, f"if 0 <= o{m} < {SYNC_WINDOW}:")
+        add(indent + 1, f"{var} = sync.read_value(o{m})")
+        add(indent + 1, f"core._stall_cycles += {self.sync_stall}")
+        add(indent + 1, f"stats.sync_stall_cycles += {self.sync_stall}")
+        add(indent, "else:")
+        add(indent + 1, f"b{m} = a{m} - {self.bridge_base}")
+        add(indent + 1, f"if 0 <= b{m} < {_BRIDGE_WINDOW}:")
+        add(indent + 2, f"{var} = bridge.read(b{m}, {size})")
+        add(indent + 2, f"core._stall_cycles += {self.bridge_stall}")
+        add(indent + 2, f"stats.bridge_stall_cycles += {self.bridge_stall}")
+        add(indent + 1, "else:")
+        add(indent + 2, f"mo{m} = a{m} - {self.mem_base}")
+        add(indent + 2, f"if mo{m} < 0 or mo{m} > {self.mem_len - size}:")
+        add(indent + 3,
+            f"raise _BusError('target load outside memory', a{m})")
+        if size == 1:
+            add(indent + 2, f"{var} = mem[mo{m}]")
+        else:
+            add(indent + 2,
+                f"{var} = fb(mem[mo{m}:mo{m} + {size}], 'little')")
+        self._emit_sign_fix(indent, instr, var)
+
+    def _emit_sign_fix(self, indent: int, instr, var: str) -> None:
+        if instr.op is TOp.LDH:
+            self.out.add(indent, f"if {var} & 0x8000: {var} |= 0xFFFF0000")
+        elif instr.op is TOp.LDB:
+            self.out.add(indent, f"if {var} & 0x80: {var} |= 0xFFFFFF00")
+
+    def _emit_plain_store(self, indent: int, instr, instrs, pos: int) -> None:
+        add = self.out.add
+        m = self._instr_ids[id(instr)]
+        val = self._fwd(instr.src1, instrs, pos)
+        size = _STORE_SIZE[instr.op]
+        if size == 1:
+            add(indent, f"mem[so{m}] = {val} & 0xFF")
+        elif size == 2:
+            add(indent, f"mem[so{m}:so{m} + 2] = "
+                        f"({val} & 0xFFFF).to_bytes(2, 'little')")
+        else:
+            add(indent, f"mem[so{m}:so{m} + 4] = "
+                        f"({val}).to_bytes(4, 'little')")
+
+    def _emit_device_store(self, indent: int, instr, instrs,
+                           pos: int) -> None:
+        """The interpreter's three-way store dispatch, inline."""
+        add = self.out.add
+        m = self._instr_ids[id(instr)]
+        size = _STORE_SIZE[instr.op]
+        base = self._fwd(instr.src2, instrs, pos)
+        imm = instr.imm or 0
+        addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
+        val = self._fwd(instr.src1, instrs, pos)
+        add(indent, f"sa{m} = {addr}")
+        add(indent, f"sv{m} = {val}")
+        add(indent, f"o{m} = sa{m} - {self.sync_base}")
+        add(indent, f"if 0 <= o{m} < {SYNC_WINDOW}:")
+        add(indent + 1, f"sync.write(o{m}, sv{m})")
+        add(indent + 1, f"core._stall_cycles += {self.sync_stall}")
+        add(indent + 1, f"stats.sync_stall_cycles += {self.sync_stall}")
+        add(indent, "else:")
+        add(indent + 1, f"b{m} = sa{m} - {self.bridge_base}")
+        add(indent + 1, f"if 0 <= b{m} < {_BRIDGE_WINDOW}:")
+        add(indent + 2, f"bridge.write(b{m}, sv{m}, {size})")
+        add(indent + 2, f"core._stall_cycles += {self.bridge_stall}")
+        add(indent + 2, f"stats.bridge_stall_cycles += {self.bridge_stall}")
+        add(indent + 1, "else:")
+        add(indent + 2, f"mo{m} = sa{m} - {self.mem_base}")
+        add(indent + 2, f"if mo{m} < 0 or mo{m} > {self.mem_len - size}:")
+        add(indent + 3,
+            f"raise _BusError('target store outside memory', sa{m})")
+        if size == 1:
+            add(indent + 2, f"mem[mo{m}] = sv{m} & 0xFF")
+        elif size == 2:
+            add(indent + 2, f"mem[mo{m}:mo{m} + 2] = "
+                            f"(sv{m} & 0xFFFF).to_bytes(2, 'little')")
+        else:
+            add(indent + 2, f"mem[mo{m}:mo{m} + 4] = "
+                            f"(sv{m}).to_bytes(4, 'little')")
+
+    def _emit_branch_apply(self, instr, instrs, pos: int) -> None:
+        """Record the branch; indirect targets resolve at apply time."""
+        add = self.out.add
+        self.branch_pred = (self._pvar(instr)
+                            if instr.pred is not None else None)
+        if instr.target is not None:
+            self.branch_static_target = self.program.label_packet(
+                instr.target)
+            return
+        m = self._instr_ids[id(instr)]
+        indent = 1
+        if self.branch_pred is not None:
+            add(1, f"if {self.branch_pred}:")
+            indent = 2
+        value = self._fwd(instr.src1, instrs, pos)
+        add(indent, f"bt{m} = {value}")
+        add(indent, f"bi{m} = _a2p.get(bt{m})")
+        add(indent, f"if bi{m} is None:")
+        add(indent + 1, f"raise _SimulationError("
+                        f"f\"indirect branch to untranslated source "
+                        f"address {{bt{m}:#010x}}\")")
+        self.branch_index_var = f"bi{m}"
+
+    def _emit_halt_exit(self, indent: int, k: int) -> None:
+        self._emit_epilogue(indent, k + 1, k + 1, str(self.pc0 + k + 1),
+                            pending_branch=self._branch_in_flight_at(k + 1))
+        self.out.add(indent, "return None")
+
+    # -- region end -------------------------------------------------------
+
+    def _emit_region_end(self) -> None:
+        add = self.out.add
+        K = self.n_packets
+        pc_fall = self.pc0 + K
+        if self.end_kind == "halt":
+            # the halt exit emitted inside the packet already returned
+            return
+        if self.end_kind == "branch":
+            target = self.branch_static_target
+            if self.branch_pred is not None:
+                add(1, f"if {self.branch_pred}:")
+                if target is not None:
+                    self._emit_epilogue(2, K, K, str(target),
+                                        pending_branch=False)
+                    self._emit_chain_return(2, "_ct", target)
+                else:
+                    var = self.branch_index_var
+                    self._emit_epilogue(2, K, K, var, pending_branch=False)
+                    add(2, f"return _goto({var})")
+                self._emit_epilogue(1, K, K, str(pc_fall),
+                                    pending_branch=False)
+                self._emit_chain_return(1, "_cf", pc_fall)
+            else:
+                if target is not None:
+                    self._emit_epilogue(1, K, K, str(target),
+                                        pending_branch=False)
+                    self._emit_chain_return(1, "_ct", target)
+                else:
+                    var = self.branch_index_var
+                    self._emit_epilogue(1, K, K, var, pending_branch=False)
+                    add(1, f"return _goto({var})")
+            return
+        if self.end_kind == "cut":
+            self._emit_epilogue(1, K, K, str(pc_fall), pending_branch=False)
+            self._emit_chain_return(1, "_cf", pc_fall)
+            return
+        # 'interp': a second in-flight branch or the end of the program
+        self._emit_epilogue(1, K, K, str(pc_fall),
+                            pending_branch=self.branch_off is not None)
+        add(1, "return _INTERP")

@@ -131,6 +131,39 @@ class SyncDevice:
             self.stats.correction_cycles_generated += step
             emit -= step
 
+    def tick_n(self, count: int) -> None:
+        """Advance *count* target clock cycles of generation at once.
+
+        Exactly equivalent to *count* sequential :meth:`tick` calls —
+        the packet-compiled execution backend uses it to coalesce the
+        per-packet bookkeeping of straight-line code into one bulk
+        update.  Integer rates keep the fractional accumulator at
+        exactly ``0.0``, so the per-tick loop collapses to a closed
+        form; fractional rates replay the per-tick float sequence to
+        stay bit-identical with the interpretive core.
+        """
+        if count <= 0:
+            return
+        if not (self._pending_main or self._pending_corr):
+            self._accumulator = 0.0
+            return
+        if self.rate == int(self.rate) and self._accumulator == 0.0:
+            remaining = int(self.rate) * count
+            if self._pending_main:
+                step = min(remaining, self._pending_main)
+                self._pending_main -= step
+                self.emulated_cycles += step
+                self.stats.cycles_generated += step
+                remaining -= step
+            if remaining and self._pending_corr:
+                step = min(remaining, self._pending_corr)
+                self._pending_corr -= step
+                self.emulated_cycles += step
+                self.stats.correction_cycles_generated += step
+            return
+        for _ in range(count):
+            self.tick()
+
     def flush(self) -> None:
         """Finish all pending generation instantly (used at halt)."""
         self.emulated_cycles += self._pending_main + self._pending_corr

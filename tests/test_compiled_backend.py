@@ -1,0 +1,204 @@
+"""Differential tests of the packet-compiled execution backend.
+
+The compiled backend is only acceptable if it is *indistinguishable*
+from the interpretive core: every observable of
+:class:`~repro.vliw.platform.PlatformResult` — cycle counts, emulated
+cycles, data image, UART bytes, the cycle-stamped bus trace, exit code
+and the full statistics — must match bit for bit on every registry
+program at every detail level, under fractional sync rates, and with
+the inline-cache translation variant.
+"""
+
+import pytest
+
+from repro.errors import BusError, SimulationError
+from repro.programs.registry import build, program_names
+from repro.translator.driver import translate
+from repro.vliw.platform import PrototypingPlatform
+from repro.vliw.syncdev import SyncDevice
+
+LEVELS = (0, 1, 2, 3)
+
+
+def _observables(result):
+    """Everything PlatformResult exposes, in comparable form."""
+    return result.observables()
+
+
+def _run(program, backend, **kwargs):
+    return PrototypingPlatform(program, backend=backend, **kwargs).run()
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("level", LEVELS)
+    @pytest.mark.parametrize("name", program_names())
+    def test_identical_observables(self, name, level):
+        obj = build(name)
+        interp = _observables(_run(translate(obj, level=level).program,
+                                   "interp"))
+        compiled = _observables(_run(translate(obj, level=level).program,
+                                     "compiled"))
+        assert interp == compiled, (name, level)
+
+    @pytest.mark.parametrize("sync_rate", (0.25, 1.5, 4.0))
+    def test_identical_under_sync_rates(self, sync_rate):
+        obj = build("gcd")
+        tr = translate(obj, level=2)
+        interp = _observables(_run(tr.program, "interp",
+                                   sync_rate=sync_rate))
+        compiled = _observables(_run(tr.program, "compiled",
+                                     sync_rate=sync_rate))
+        assert interp == compiled
+
+    def test_identical_with_inline_cache(self):
+        obj = build("ellip")
+        tr = translate(obj, level=3, inline_cache_threshold=1)
+        interp = _observables(_run(tr.program, "interp"))
+        compiled = _observables(_run(tr.program, "compiled"))
+        assert interp == compiled
+
+
+class TestBackendPlumbing:
+    def test_unknown_backend_rejected(self):
+        tr = translate(build("gcd"), level=1)
+        with pytest.raises(SimulationError):
+            PrototypingPlatform(tr.program, backend="jit")
+
+    def test_measure_program_accepts_backend(self):
+        from repro.eval.runner import measure_program
+
+        interp = measure_program("gcd", levels=(1,))
+        compiled = measure_program("gcd", levels=(1,), backend="compiled")
+        assert (compiled.levels[1].result.target_cycles
+                == interp.levels[1].result.target_cycles)
+        assert (compiled.levels[1].result.emulated_cycles
+                == interp.levels[1].result.emulated_cycles)
+
+    def test_region_code_cache_shared_across_platforms(self):
+        tr = translate(build("gcd"), level=1)
+        _run(tr.program, "compiled")
+        caches = tr.program._region_code_cache
+        assert caches  # populated by the first run
+        (params, cache), = caches.items()
+        snapshot = {pc: entry[0] for pc, entry in cache.items()}
+        _run(tr.program, "compiled")
+        for pc, code in snapshot.items():
+            assert cache[pc][0] is code  # reused, not recompiled
+
+    def test_code_cache_not_shared_across_stall_parameters(self):
+        """Stall costs are baked into generated code: a platform with
+        different parameters must not reuse another platform's code."""
+        tr = translate(build("gcd"), level=2)
+        _run(tr.program, "compiled")  # warm the cache with defaults
+        for kwargs in (dict(sync_access_stall=9),
+                       dict(bridge_stall=11),
+                       dict(sync_access_stall=0, bridge_stall=0)):
+            interp = _observables(_run(tr.program, "interp", **kwargs))
+            compiled = _observables(_run(tr.program, "compiled", **kwargs))
+            assert interp == compiled, kwargs
+
+    def test_cli_run_with_compiled_backend(self, tmp_path, capsys):
+        from repro.cli import minic_main, translate_main
+
+        src = tmp_path / "p.c"
+        src.write_text("int main() { return 6 * 7; }")
+        out = tmp_path / "p.relf"
+        minic_main([str(src), "-o", str(out)])
+        assert translate_main([str(out), "--level", "1", "--run",
+                               "--backend", "compiled"]) == 0
+        assert "exit=42" in capsys.readouterr().out
+
+
+class TestBackendErrors:
+    def test_wild_store_raises_like_interp(self):
+        """A store far outside every window fails identically."""
+        from repro.isa.tricore.assembler import assemble
+
+        # a0 starts at 0: the store targets no mapped region at all
+        obj = assemble("""
+_start:
+    li d1, 7
+    st.w [a0]0, d1
+    halt
+""")
+        tr = translate(obj, level=0)
+        errors = []
+        for backend in ("interp", "compiled"):
+            try:
+                _run(tr.program, backend)
+            except BusError as exc:
+                errors.append(str(exc))
+        assert len(errors) == 2
+        assert errors[0] == errors[1]
+
+
+class TestBailPath:
+    def test_block_stats_counted_once_on_bail(self):
+        """A non-device load in a block-head packet whose address lands
+        in the sync window bails to the interpreter, which re-executes
+        the packet — block statistics must not be counted twice."""
+        from repro.arch.model import default_target_arch
+        from repro.isa.c6x.instructions import TargetInstr, TOp
+        from repro.isa.c6x.packets import BlockInfo, C6xProgram, ExecutePacket
+
+        target = default_target_arch()
+        program = C6xProgram(target=target)
+        program.packets = [
+            # r0 = sync_base (0x0180_0000): MVKL then MVKH
+            ExecutePacket([TargetInstr(TOp.MVKL, dst=0, imm=0)]),
+            ExecutePacket([TargetInstr(TOp.MVKH, dst=0, imm=0x0180)]),
+            # block head: plain (non-device) load hitting the sync window
+            ExecutePacket([TargetInstr(TOp.LDW, dst=1, src1=0,
+                                       imm=0x4)]),  # STATUS register
+            ExecutePacket([TargetInstr(TOp.NOP, imm=1)]),
+            ExecutePacket([TargetInstr(TOp.HALT)]),
+        ]
+        program.labels = {"__entry": 0}
+        program.block_at = {2: BlockInfo(source_addr=0x8000_0000,
+                                         n_instructions=3,
+                                         predicted_cycles=0,
+                                         entry_label="B_head")}
+        results = {}
+        for backend in ("interp", "compiled"):
+            result = _run(program, backend)
+            results[backend] = (
+                result.source_instructions,
+                dict(result.core_stats.block_executions),
+                result.core_stats.sync_stall_cycles,
+                result.target_cycles,
+            )
+        assert results["interp"] == results["compiled"]
+        assert results["interp"][0] == 3  # counted exactly once
+        assert results["interp"][1] == {0x8000_0000: 1}
+
+
+class TestTickN:
+    @pytest.mark.parametrize("rate", (1.0, 2.0, 0.25, 0.3, 1.5))
+    def test_tick_n_equals_tick_loop(self, rate):
+        """tick_n(k) is bit-identical to k sequential tick() calls."""
+        for pending_main, pending_corr, count in (
+                (10, 0, 4), (10, 0, 40), (3, 5, 12), (0, 7, 30),
+                (100, 100, 7), (1, 1, 3)):
+            a = SyncDevice(rate=rate)
+            b = SyncDevice(rate=rate)
+            for device in (a, b):
+                if pending_main:
+                    device.write(0x0, pending_main)
+                if pending_corr:
+                    device.write(0x8, pending_corr)
+            for _ in range(count):
+                a.tick()
+            b.tick_n(count)
+            assert a.emulated_cycles == b.emulated_cycles
+            assert a._pending_main == b._pending_main
+            assert a._pending_corr == b._pending_corr
+            assert a._accumulator == b._accumulator
+            assert vars(a.stats) == vars(b.stats)
+
+    def test_tick_n_idle_resets_accumulator(self):
+        device = SyncDevice(rate=0.25)
+        device.write(0x0, 1)
+        device.tick()  # accumulates 0.25
+        device.flush()
+        device.tick_n(3)  # idle: must clear the fractional accumulator
+        assert device._accumulator == 0.0
