@@ -1,0 +1,139 @@
+"""Shard-count scaling of the registry sweep — the parallel payoff.
+
+Times the full registry sweep (reference ISS run plus platform
+execution at every detail level, per program) three ways: through the
+serial :mod:`repro.eval.runner` path, and through
+:class:`repro.eval.sharded.ShardedRunner` at increasing worker counts.
+Observables are asserted identical along the way — a sharded sweep
+that is fast but wrong would be worse than useless — and a
+``BENCH_multicore.json`` record lands in the repo root, including a
+lockstep-overhead measurement of the multi-core SoC model itself.
+
+The speedup bar (>= 2x with 4 workers) is asserted only when the host
+actually has >= 4 usable CPUs; the record always carries the measured
+numbers and the CPU count, so a capacity-limited run is visible rather
+than silently green.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the sweep for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.eval.runner import measure_program
+from repro.eval.sharded import ShardedRunner, default_jobs
+from repro.programs.registry import program_names
+from repro.translator.driver import translate
+from repro.programs.registry import build
+from repro.vliw.multicore import MultiCoreSoC
+from repro.vliw.platform import PrototypingPlatform
+
+from conftest import write_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_multicore.json")
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+PROGRAMS = ("gcd", "fir") if SMOKE else tuple(program_names())
+LEVELS = (0, 1) if SMOKE else (0, 1, 2, 3)
+JOB_COUNTS = (2,) if SMOKE else (2, 4)
+BACKEND = "compiled"
+
+
+def _mp_context() -> str:
+    """Cheapest start method the host offers (fork skips re-imports);
+    the determinism tests cover the portable spawn path separately."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _sweep_observables(measurements) -> dict:
+    return {(name, level): m.levels[level].result.observables()
+            for name, m in measurements.items() for level in LEVELS}
+
+
+def test_sharded_sweep_scaling_record():
+    """Serial vs sharded registry sweep; writes BENCH_multicore.json."""
+    start = time.perf_counter()
+    serial = {name: measure_program(name, levels=LEVELS, backend=BACKEND)
+              for name in PROGRAMS}
+    serial_seconds = time.perf_counter() - start
+    expected = _sweep_observables(serial)
+
+    cpus = default_jobs()
+    mp_context = _mp_context()
+    record = {
+        "backend": BACKEND,
+        "programs": list(PROGRAMS),
+        "levels": list(LEVELS),
+        "usable_cpus": cpus,
+        "mp_context": mp_context,
+        "serial_seconds": round(serial_seconds, 4),
+        "jobs": {},
+    }
+    for jobs in JOB_COUNTS:
+        runner = ShardedRunner(jobs=jobs, mp_context=mp_context)
+        start = time.perf_counter()
+        sharded = runner.measure_registry(PROGRAMS, LEVELS, backend=BACKEND)
+        seconds = time.perf_counter() - start
+        assert _sweep_observables(sharded) == expected, \
+            f"sharded sweep (jobs={jobs}) diverges from the serial runner"
+        record["jobs"][str(jobs)] = {
+            "seconds": round(seconds, 4),
+            "speedup": round(serial_seconds / seconds, 3),
+        }
+
+    record["cpu_limited"] = cpus < max(JOB_COUNTS)
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    lines = [f"registry sweep ({len(PROGRAMS)} programs, levels "
+             f"{LEVELS}, backend {BACKEND}, {cpus} usable CPUs):",
+             f"  serial        {serial_seconds * 1e3:8.1f}ms"]
+    for jobs, row in record["jobs"].items():
+        lines.append(f"  jobs={jobs:<8s} {row['seconds'] * 1e3:8.1f}ms"
+                     f"  speedup {row['speedup']:.2f}x")
+    write_report("multicore_scaling.txt", "\n".join(lines))
+
+    # the acceptance bar applies where 4 workers can actually run in
+    # parallel; a 1-CPU host records its numbers honestly instead
+    if cpus >= 4 and 4 in JOB_COUNTS:
+        assert record["jobs"]["4"]["speedup"] >= 2.0, record
+
+
+def test_multicore_lockstep_overhead_smoke():
+    """The N-core lockstep scheduler should cost little over N
+    independent runs, and its per-core results must stay identical."""
+    program = translate(build("gcd"), level=2).program
+    single = PrototypingPlatform(program, backend=BACKEND)
+    start = time.perf_counter()
+    expected = single.run().observables()
+    single_seconds = time.perf_counter() - start
+
+    soc = MultiCoreSoC(program, cores=2, backends=BACKEND)
+    start = time.perf_counter()
+    multi = soc.run()
+    multi_seconds = time.perf_counter() - start
+    for result in multi.per_core:
+        assert result.observables() == expected
+
+    if os.path.exists(RECORD_PATH):
+        with open(RECORD_PATH) as handle:
+            record = json.load(handle)
+    else:  # file-independent when run via -k
+        record = {}
+    record["lockstep_2core_gcd"] = {
+        "single_seconds": round(single_seconds, 4),
+        "two_core_seconds": round(multi_seconds, 4),
+        "overhead_vs_2x": round(multi_seconds / (2 * single_seconds), 3)
+        if single_seconds else None,
+    }
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")

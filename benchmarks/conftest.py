@@ -14,6 +14,14 @@ either — the compiled backend just gets there faster.
 from __future__ import annotations
 
 import os
+import sys
+
+# Collection must work from a bare checkout (no PYTHONPATH): put the
+# package directory on the path before the first repro import.
+_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 import pytest
 

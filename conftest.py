@@ -1,0 +1,17 @@
+"""Repo-root pytest bootstrap: make ``repro`` importable everywhere.
+
+Tier-1 verify is ``PYTHONPATH=src python -m pytest -x -q``, but the
+suite must also collect and run from a bare checkout with
+``PYTHONPATH`` unset (``python -m pytest --co`` used to die in
+``benchmarks/conftest.py`` with ``ModuleNotFoundError: repro``).
+Worker processes spawned by the sharded runner get the same path via
+:func:`repro.eval.sharded.child_import_path`, which exports the
+package directory through the environment.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -93,11 +93,23 @@ def translate_main(argv: list[str] | None = None) -> int:
                         help="platform execution backend for --run: the "
                              "interpretive core or the packet-compiled "
                              "host translation (identical observables)")
+    parser.add_argument("--cores", type=int, default=1,
+                        help="for --run: replicate the program onto an "
+                             "N-core SoC model (one shared bus, "
+                             "round-robin arbitration) instead of the "
+                             "single-core platform")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="for --run: sweep all four detail levels, "
+                             "sharded across N worker processes "
+                             "(overrides --level)")
     args = parser.parse_args(argv)
     from repro.arch.xmlio import source_arch_from_xml
     from repro.translator.driver import translate
     from repro.vliw.platform import PrototypingPlatform
 
+    if args.cores < 1 or args.jobs < 1:
+        print("error: --cores and --jobs must be >= 1", file=sys.stderr)
+        return 1
     try:
         obj = _load_object(args.object)
         arch = None
@@ -118,14 +130,58 @@ def translate_main(argv: list[str] | None = None) -> int:
           f"{stats.spilled_registers} spilled registers")
     if args.listing:
         print(result.program.listing())
-    if args.run:
-        run = PrototypingPlatform(result.program, source_arch=arch,
-                                  backend=args.backend).run()
-        print(f"exit={run.exit_code} target_cycles={run.target_cycles} "
+    if not args.run:
+        return 0
+    if args.jobs > 1:
+        return _run_level_sweep(obj, arch, args)
+    if args.cores > 1:
+        from repro.vliw.multicore import MultiCoreSoC
+
+        multi = MultiCoreSoC(result.program, cores=args.cores,
+                             backends=args.backend, source_arch=arch).run()
+        for index, run in enumerate(multi.per_core):
+            print(f"core{index}: exit={run.exit_code} "
+                  f"target_cycles={run.target_cycles} "
+                  f"emulated_cycles={run.emulated_cycles} "
+                  f"cpi={run.target_cpi:.2f}")
+            if run.uart_output:
+                print(f"core{index} uart: {run.uart_output!r}")
+        print(f"platform: {multi.n_cores} cores, "
+              f"{multi.target_cycles} target cycles, "
+              f"{len(multi.bus_trace)} shared-bus transfers")
+        return 0
+    run = PrototypingPlatform(result.program, source_arch=arch,
+                              backend=args.backend).run()
+    print(f"exit={run.exit_code} target_cycles={run.target_cycles} "
+          f"emulated_cycles={run.emulated_cycles} "
+          f"cpi={run.target_cpi:.2f}")
+    if run.uart_output:
+        print(f"uart: {run.uart_output!r}")
+    return 0
+
+
+def _run_level_sweep(obj, arch, args) -> int:
+    """Run an object at every detail level via the sharded runner."""
+    from repro.eval.sharded import ShardedRunner, ShardSpec
+
+    runner = ShardedRunner(jobs=args.jobs, source_arch=arch)
+    specs = [ShardSpec(obj=obj, level=level, backend=args.backend,
+                       cores=args.cores)
+             for level in (0, 1, 2, 3)]
+    try:
+        outcomes = runner.run(specs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"level sweep across {args.jobs} jobs "
+          f"({args.cores} core{'s' if args.cores > 1 else ''} each):")
+    for outcome in outcomes:
+        run = outcome.result
+        print(f"  L{outcome.spec.level}: exit={run.exit_code} "
+              f"target_cycles={run.target_cycles} "
               f"emulated_cycles={run.emulated_cycles} "
-              f"cpi={run.target_cpi:.2f}")
-        if run.uart_output:
-            print(f"uart: {run.uart_output!r}")
+              f"cpi={run.target_cpi:.2f} "
+              f"wall={outcome.wall_seconds * 1e3:.1f}ms")
     return 0
 
 
@@ -181,12 +237,20 @@ def experiments_main(argv: list[str] | None = None) -> int:
         prog="repro-experiments", description=experiments_main.__doc__)
     parser.add_argument("--quick", action="store_true",
                         help="skip Table 2 (the slow RTL measurements)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="shard the measurements across N worker "
+                             "processes (identical numbers, less wall "
+                             "clock)")
+    parser.add_argument("--backend", default="interp",
+                        choices=("interp", "compiled"),
+                        help="platform execution backend for the "
+                             "measurements (identical observables)")
     parser.add_argument("-o", "--output",
                         help="also write the reports to a file")
     args = parser.parse_args(argv)
     from repro.eval.experiments import run_all
 
-    reports = run_all(quick=args.quick)
+    reports = run_all(quick=args.quick, jobs=args.jobs, backend=args.backend)
     text = "\n\n".join(report.text for report in reports)
     print(text)
     if args.output:

@@ -37,9 +37,22 @@ class ExperimentReport:
         return self.text
 
 
-def _measure_all(programs, levels, measure_rtl=False, backend="interp"):
+def _measure_all(programs, levels, measure_rtl=False, backend="interp",
+                 jobs=None, cores=1):
+    """Measure *programs*, serially or sharded across *jobs* processes.
+
+    Both paths produce identical measurements (the sharded runner's
+    determinism contract); *jobs* only changes the wall clock.
+    """
+    if jobs is not None and jobs > 1:
+        from repro.eval.sharded import ShardedRunner
+
+        return ShardedRunner(jobs=jobs).measure_registry(
+            programs, levels, backend=backend, measure_rtl=measure_rtl,
+            cores=cores)
     return {name: measure_program(name, levels=levels,
-                                  measure_rtl=measure_rtl, backend=backend)
+                                  measure_rtl=measure_rtl, backend=backend,
+                                  cores=cores)
             for name in programs}
 
 
@@ -231,15 +244,24 @@ def table2(measurements: dict[str, ProgramMeasurement] | None = None
     return report
 
 
-def run_all(quick: bool = False) -> list[ExperimentReport]:
-    """Run every experiment; returns the four reports in paper order."""
+def run_all(quick: bool = False, jobs: int | None = None,
+            backend: str = "interp") -> list[ExperimentReport]:
+    """Run every experiment; returns the four reports in paper order.
+
+    *jobs* > 1 shards the measurements across worker processes via
+    :class:`repro.eval.sharded.ShardedRunner`; reported numbers are
+    identical either way.
+    """
     levels = (0, 1, 2, 3)
-    fig5_measure = _measure_all(FIGURE5_PROGRAMS, levels)
+    fig5_measure = _measure_all(FIGURE5_PROGRAMS, levels, backend=backend,
+                                jobs=jobs)
     reports = [
         figure5(fig5_measure),
         table1(fig5_measure),
         figure6(fig5_measure),
     ]
     if not quick:
-        reports.append(table2())
+        reports.append(table2(_measure_all(TABLE2_PROGRAMS, (1, 2, 3),
+                                           measure_rtl=True, backend=backend,
+                                           jobs=jobs)))
     return reports

@@ -60,12 +60,18 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
                     measure_rtl: bool = False,
                     inline_cache_threshold: int | None = None,
                     sync_rate: float = 1.0,
-                    backend: str = "interp") -> ProgramMeasurement:
+                    backend: str = "interp",
+                    cores: int = 1) -> ProgramMeasurement:
     """Run the full measurement battery for one workload.
 
     *backend* selects the platform execution engine (``"interp"`` or
     ``"compiled"``); both produce identical observables, so every
     derived metric is backend-independent — only wall-clock differs.
+
+    *cores* > 1 replicates the program onto a
+    :class:`~repro.vliw.multicore.MultiCoreSoC`; every core then
+    produces the same observables as a single-core run (the multi-core
+    differential contract), so the measurement records core 0's.
     """
     arch = arch or default_source_arch()
     obj = build(name)
@@ -75,9 +81,19 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
         translation = translate(
             obj, level=level, source=arch,
             inline_cache_threshold=inline_cache_threshold)
-        platform = PrototypingPlatform(translation.program, source_arch=arch,
-                                       sync_rate=sync_rate, backend=backend)
-        result = platform.run()
+        if cores > 1:
+            from repro.vliw.multicore import MultiCoreSoC
+
+            soc = MultiCoreSoC(translation.program, cores=cores,
+                               backends=backend, source_arch=arch,
+                               sync_rate=sync_rate)
+            result = soc.run().per_core[0]
+        else:
+            platform = PrototypingPlatform(translation.program,
+                                           source_arch=arch,
+                                           sync_rate=sync_rate,
+                                           backend=backend)
+            result = platform.run()
         out.levels[level] = LevelMeasurement(level=level, result=result,
                                              translation=translation)
     if measure_rtl:

@@ -1,0 +1,311 @@
+"""Process-parallel evaluation: shard independent measurements.
+
+Every measurement the evaluation battery performs — a reference ISS
+run, an RTL timing run, a platform execution of one program at one
+detail level under one backend — is independent of every other, so a
+registry sweep is embarrassingly parallel.  :class:`ShardedRunner`
+fans :class:`ShardSpec` work units out across worker processes with
+:class:`concurrent.futures.ProcessPoolExecutor` and reassembles the
+results **in submission order**, so a sharded sweep returns exactly
+what the serial :mod:`repro.eval.runner` path returns, regardless of
+worker count, scheduling or completion order
+(``tests/test_sharded_determinism.py`` locks this down).
+
+Compilation sharing
+    The parent translates each unique (program, level) once and — for
+    compiled-backend shards — pre-generates every statically reachable
+    packet region via
+    :func:`repro.vliw.compiled.precompile_program`.  The region cache
+    stores plain Python *source*, which pickles, so the translated
+    program shipped to each worker carries the parent's generated
+    regions with it: workers ``compile()``/``exec`` and run, instead
+    of re-scanning and re-generating per process.
+
+Wall-clock accounting
+    Each shard's execution is timed with ``time.perf_counter`` inside
+    the worker, so :attr:`ShardOutcome.wall_seconds` measures the
+    measurement itself — pickling, queueing and pool management are
+    excluded.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_context
+
+from repro.eval.runner import LevelMeasurement, ProgramMeasurement
+from repro.objfile.elf import ObjectFile
+from repro.programs.registry import build
+from repro.refsim.iss import CycleAccurateISS
+from repro.refsim.rtlsim import RtlSimulator
+from repro.translator.driver import TranslationResult, translate
+from repro.vliw.compiled import precompile_program
+from repro.vliw.platform import PrototypingPlatform
+
+#: shard kinds: a platform execution, a reference-ISS run, or a timed
+#: RTL simulation (whose measurement is its wall clock, not a result)
+SHARD_KINDS = ("platform", "reference", "rtl")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One independent unit of evaluation work."""
+
+    program: str = ""
+    kind: str = "platform"
+    level: int = 1
+    backend: str = "interp"
+    sync_rate: float = 1.0
+    inline_cache_threshold: int | None = None
+    #: >1 runs the program replicated on a MultiCoreSoC; the shard's
+    #: result is core 0's (bit-identical to the single-core run)
+    cores: int = 1
+    #: explicit object file instead of a registry program name
+    obj: ObjectFile | None = None
+
+    def validate(self) -> "ShardSpec":
+        if self.kind not in SHARD_KINDS:
+            raise ValueError(f"unknown shard kind {self.kind!r}; "
+                             f"choose from {', '.join(SHARD_KINDS)}")
+        if not self.program and self.obj is None:
+            raise ValueError("shard needs a program name or an object file")
+        return self
+
+
+@dataclass
+class ShardOutcome:
+    """What came back from one shard."""
+
+    spec: ShardSpec
+    #: PlatformResult (platform shards), RunResult (reference shards),
+    #: or None (rtl shards, whose measurement is the wall clock)
+    result: object
+    wall_seconds: float
+    pid: int
+    regions_generated: int = 0
+    regions_from_cache: int = 0
+
+
+@contextlib.contextmanager
+def child_import_path():
+    """Make :mod:`repro` importable in spawned worker processes.
+
+    A ``spawn``-context child starts a fresh interpreter that knows
+    nothing of the parent's ``sys.path`` surgery (e.g. the repo-root
+    ``conftest.py`` used when ``PYTHONPATH`` is unset), so the package
+    directory is exported through the environment for the duration of
+    pool creation.
+    """
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    old = os.environ.get("PYTHONPATH")
+    parts = old.split(os.pathsep) if old else []
+    if src in parts:
+        yield
+        return
+    os.environ["PYTHONPATH"] = os.pathsep.join([src] + parts)
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ["PYTHONPATH"]
+        else:
+            os.environ["PYTHONPATH"] = old
+
+
+def default_jobs() -> int:
+    """Worker count matching the usable CPUs of this process."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _run_payload(payload: tuple) -> dict:
+    """Execute one shard.  Runs in a worker process (or inline)."""
+    kind, spec, carrier, arch = payload
+    pid = os.getpid()
+    if kind == "reference":
+        start = time.perf_counter()
+        result = CycleAccurateISS(carrier, arch).run()
+        return dict(result=result, wall_seconds=time.perf_counter() - start,
+                    pid=pid)
+    if kind == "rtl":
+        start = time.perf_counter()
+        RtlSimulator(carrier, arch).run()
+        return dict(result=None, wall_seconds=time.perf_counter() - start,
+                    pid=pid)
+    if spec.cores > 1:
+        from repro.vliw.multicore import MultiCoreSoC
+
+        soc = MultiCoreSoC(carrier, cores=spec.cores, backends=spec.backend,
+                           source_arch=arch, sync_rate=spec.sync_rate)
+        start = time.perf_counter()
+        multi = soc.run()
+        wall = time.perf_counter() - start
+        compilers = [s._compiler for s in soc.slots if s._compiler]
+        return dict(
+            result=multi.per_core[0], wall_seconds=wall, pid=pid,
+            regions_generated=sum(c.regions_generated for c in compilers),
+            regions_from_cache=sum(c.regions_from_cache for c in compilers))
+    platform = PrototypingPlatform(carrier, source_arch=arch,
+                                   sync_rate=spec.sync_rate,
+                                   backend=spec.backend)
+    start = time.perf_counter()
+    result = platform.run()
+    wall = time.perf_counter() - start
+    compiler = platform._compiler
+    return dict(
+        result=result, wall_seconds=wall, pid=pid,
+        regions_generated=compiler.regions_generated if compiler else 0,
+        regions_from_cache=compiler.regions_from_cache if compiler else 0)
+
+
+def run_pickled_program(blob: bytes, backend: str = "compiled",
+                        sync_rate: float = 1.0) -> tuple[dict, int, int]:
+    """Unpickle a translated program and execute it on the platform.
+
+    Returns ``(observables, regions_generated, regions_from_cache)``.
+    This is the worker-side half of the region-cache sharing contract:
+    when the parent precompiled the program before pickling,
+    ``regions_generated`` is 0 — every region the execution needed came
+    out of the shipped source cache.
+    """
+    program = pickle.loads(blob)
+    platform = PrototypingPlatform(program, sync_rate=sync_rate,
+                                   backend=backend)
+    result = platform.run()
+    compiler = platform._compiler
+    return (result.observables(),
+            compiler.regions_generated if compiler else 0,
+            compiler.regions_from_cache if compiler else 0)
+
+
+# -- parent side -------------------------------------------------------------
+
+
+class ShardedRunner:
+    """Fans independent measurements out across worker processes.
+
+    ``jobs=1`` executes shards inline (no pool), which is both the
+    serial baseline for the scaling benchmark and the cheap path for
+    small sweeps.  Results always come back in submission order.
+    """
+
+    def __init__(self, jobs: int | None = None, mp_context: str = "spawn",
+                 precompile: bool = True, source_arch=None) -> None:
+        self.jobs = jobs if jobs is not None else default_jobs()
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.mp_context = mp_context
+        self.precompile = precompile
+        #: None lets every simulator pick the default source
+        #: architecture; an explicit SourceArch (it pickles) rides
+        #: along to the workers
+        self.source_arch = source_arch
+        self._objs: dict[str, ObjectFile] = {}
+        self._translations: dict[tuple, TranslationResult] = {}
+        self._precompiled: set[tuple] = set()
+
+    # -- shared artefacts ------------------------------------------------
+
+    def _obj(self, spec: ShardSpec) -> ObjectFile:
+        if spec.obj is not None:
+            # pin the reference: translation memo keys use id(), which
+            # must stay unambiguous for the runner's lifetime
+            self._objs.setdefault(f"@{id(spec.obj)}", spec.obj)
+            return spec.obj
+        obj = self._objs.get(spec.program)
+        if obj is None:
+            obj = build(spec.program)
+            self._objs[spec.program] = obj
+        return obj
+
+    def translation(self, spec: ShardSpec) -> TranslationResult:
+        """The (memoized) translation a platform shard will execute."""
+        self._obj(spec)
+        key = (spec.program or id(spec.obj), spec.level,
+               spec.inline_cache_threshold)
+        tr = self._translations.get(key)
+        if tr is None:
+            tr = translate(self._obj(spec), level=spec.level,
+                           source=self.source_arch,
+                           inline_cache_threshold=spec.inline_cache_threshold)
+            self._translations[key] = tr
+        if (self.precompile and spec.backend == "compiled"
+                and key not in self._precompiled):
+            precompile_program(tr.program, source_arch=self.source_arch)
+            self._precompiled.add(key)
+        return tr
+
+    def _payload(self, spec: ShardSpec) -> tuple:
+        spec.validate()
+        if spec.kind == "platform":
+            return ("platform", spec, self.translation(spec).program,
+                    self.source_arch)
+        return (spec.kind, spec, self._obj(spec), self.source_arch)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, specs) -> list[ShardOutcome]:
+        """Execute every shard; outcomes are in *specs* order."""
+        specs = list(specs)
+        payloads = [self._payload(spec) for spec in specs]
+        if self.jobs == 1 or len(payloads) <= 1:
+            outs = [_run_payload(payload) for payload in payloads]
+        else:
+            workers = min(self.jobs, len(payloads))
+            with child_import_path():
+                with ProcessPoolExecutor(
+                        max_workers=workers,
+                        mp_context=get_context(self.mp_context)) as pool:
+                    futures = [pool.submit(_run_payload, payload)
+                               for payload in payloads]
+                    outs = [future.result() for future in futures]
+        return [ShardOutcome(spec=spec, **out)
+                for spec, out in zip(specs, outs)]
+
+    def measure_registry(self, programs, levels=(0, 1, 2, 3),
+                         backend: str = "interp", sync_rate: float = 1.0,
+                         measure_rtl: bool = False,
+                         inline_cache_threshold: int | None = None,
+                         cores: int = 1) -> dict[str, ProgramMeasurement]:
+        """The sharded equivalent of a serial ``measure_program`` sweep.
+
+        Produces the same ``{name: ProgramMeasurement}`` mapping as
+        calling :func:`repro.eval.runner.measure_program` per program
+        (default source architecture), with every reference run, RTL
+        timing and platform execution fanned out as its own shard.
+        """
+        specs: list[ShardSpec] = []
+        for name in programs:
+            specs.append(ShardSpec(program=name, kind="reference"))
+            if measure_rtl:
+                specs.append(ShardSpec(program=name, kind="rtl"))
+            for level in levels:
+                specs.append(ShardSpec(
+                    program=name, level=level, backend=backend,
+                    sync_rate=sync_rate, cores=cores,
+                    inline_cache_threshold=inline_cache_threshold))
+        out: dict[str, ProgramMeasurement] = {}
+        for outcome in self.run(specs):
+            spec = outcome.spec
+            if spec.kind == "reference":
+                out[spec.program] = ProgramMeasurement(
+                    name=spec.program, reference=outcome.result)
+            elif spec.kind == "rtl":
+                out[spec.program].rtl_wall_seconds = outcome.wall_seconds
+            else:
+                out[spec.program].levels[spec.level] = LevelMeasurement(
+                    level=spec.level, result=outcome.result,
+                    translation=self.translation(spec))
+        return out

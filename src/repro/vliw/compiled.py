@@ -52,13 +52,20 @@ affect the results of schedulable programs):
   ``instructions_executed`` count of that packet's earlier instructions
   may differ — no result is produced on that path.
 
-Generated code objects are cached on the program object itself, so
+Generated region *source* is cached on the program object itself, so
 several platforms executing the same translation (e.g. repeated
-benchmark runs) share one compilation.
+benchmark runs) share one code-generation pass.  The cache holds plain
+Python source strings — deliberately, because source pickles and code
+objects do not: a translated program can be pickled and shipped to a
+worker process (see :mod:`repro.eval.sharded`) with its region cache
+attached, so workers ``compile()``/``exec`` the parent's regions
+instead of re-scanning and re-generating them.  The host ``compile()``
+step itself is memoized per process, keyed by the source text.
 """
 
 from __future__ import annotations
 
+from types import CodeType
 from typing import Callable
 
 from repro.errors import BusError, SimulationError
@@ -85,6 +92,28 @@ INTERP = _InterpSentinel()
 
 _STORE_OPS = frozenset(_STORE_SIZE)
 _LOAD_OPS = frozenset(_LOAD_SIZE)
+
+#: per-process memo of host ``compile()`` results, keyed by region
+#: source.  The region name (which embeds the entry packet index) is
+#: part of the source, so identical source implies identical behaviour;
+#: every core executing the same region in one process shares one code
+#: object regardless of which program object carried the source here.
+#: The memo is only a cache: dropping it costs a recompile, never
+#: correctness — so it is cleared wholesale once it grows past a bound
+#: (a long sweep over many programs would otherwise pin every region's
+#: code object for the process lifetime).
+_HOST_CODE: dict[str, CodeType] = {}
+_HOST_CODE_LIMIT = 8192
+
+
+def _host_code(source: str, pc0: int) -> CodeType:
+    code = _HOST_CODE.get(source)
+    if code is None:
+        if len(_HOST_CODE) >= _HOST_CODE_LIMIT:
+            _HOST_CODE.clear()
+        code = compile(source, f"<packet-region {pc0}>", "exec")
+        _HOST_CODE[source] = code
+    return code
 
 
 def _is_value_op(op: TOp) -> bool:
@@ -123,13 +152,21 @@ class PacketCompiler:
         #: (or the INTERP sentinel for entries only the core can run)
         self._fns: dict[int, Callable | _InterpSentinel] = {}
         self.regions_compiled = 0
-        # Program-level cache of generated code objects, shared by every
-        # compiler (and therefore platform) executing this translation.
-        # Generated code bakes in the platform's stall parameters (the
-        # memory and device-window geometry is a property of the target
+        #: regions whose source this compiler had to generate (cache
+        #: misses) vs. regions whose source was already in the
+        #: program-level cache — e.g. shipped from a parent process
+        self.regions_generated = 0
+        self.regions_from_cache = 0
+        # Program-level cache of generated region source, shared by
+        # every compiler (and therefore platform) executing this
+        # translation — and, because source strings pickle, by worker
+        # processes receiving the pickled program.  Generated code
+        # bakes in the platform's stall parameters (the memory and
+        # device-window geometry is a property of the target
         # architecture, hence of the program itself), so the cache is
         # keyed by them: platforms with different stall costs never
-        # share code.
+        # share code.  Entries are ``(source, name, n_packets)``;
+        # ``(None, None, 0)`` marks entries only the interpreter runs.
         params = (core.sync_access_stall, core.bridge.access_stall)
         caches = getattr(self.program, "_region_code_cache", None)
         if caches is None:
@@ -141,11 +178,26 @@ class PacketCompiler:
 
     def run(self, max_cycles: int = 200_000_000) -> None:
         """Execute until halt, exit-device write, or the cycle limit."""
+        self.run_slice(None, max_cycles)
+
+    def run_slice(self, until: int | None,
+                  max_cycles: int = 200_000_000) -> None:
+        """Advance execution until ``core.cycles >= until``.
+
+        ``None`` runs to completion (halt, exit-device write, or the
+        cycle limit).  A finite *until* is the multi-core lockstep
+        quantum: the core always makes forward progress and stops at
+        the first region boundary (packet boundary on the interpretive
+        fallback) at or past *until*, so it may overshoot by up to one
+        region — machine state is architecturally consistent whenever
+        this returns.
+        """
         core = self.core
         fns = self._fns
         step = core.step_packet
         exit_device = self.exit_device
-        while not core.halted and not exit_device.exited:
+        while (not core.halted and not exit_device.exited
+               and (until is None or core.cycles < until)):
             nxt = fns.get(core.pc)
             if nxt is None:
                 nxt = self.function_for(core.pc)
@@ -154,8 +206,17 @@ class PacketCompiler:
                 if core.cycles >= max_cycles:
                     raise SimulationError(
                         f"target cycle limit {max_cycles} exceeded")
+                if (until is not None and core.cycles >= until
+                        and nxt is not INTERP):
+                    # re-entry dispatches through the block-function
+                    # cache at core.pc, which every epilogue keeps
+                    # set.  An INTERP hand-off must not stop here: it
+                    # may have spilled an in-flight branch, and the
+                    # interpretive drain below restores the clean
+                    # pipeline compiled regions assume at entry.
+                    return
             if nxt is None:  # a compiled region executed HALT or exit
-                break
+                return
             # Interpretive slow path: at least the next packet, then
             # keep stepping until no branch is in flight — compiled
             # regions assume a clean pipeline at entry.
@@ -217,24 +278,65 @@ class PacketCompiler:
 
     # -- code generation ---------------------------------------------------
 
+    def _generate_entry(self, pc0: int) -> tuple:
+        """Scan and generate the cache entry for the region at *pc0*."""
+        n_packets, end_kind, branch_off = self._scan(pc0)
+        if n_packets == 0:
+            entry = (None, None, 0)
+        else:
+            builder = _RegionBuilder(self, pc0, n_packets, end_kind,
+                                     branch_off)
+            source, name = builder.generate()
+            entry = (source, name, n_packets)
+        self._code_cache[pc0] = entry
+        return entry
+
     def _compile_region(self, pc0: int):
         cached = self._code_cache.get(pc0)
         if cached is None:
-            n_packets, end_kind, branch_off = self._scan(pc0)
-            if n_packets == 0:
-                self._code_cache[pc0] = (None, None)
-                return INTERP
-            builder = _RegionBuilder(self, pc0, n_packets, end_kind,
-                                     branch_off)
-            cached = builder.generate()
-            self._code_cache[pc0] = cached
-        code, name = cached
-        if code is None:
+            cached = self._generate_entry(pc0)
+            self.regions_generated += 1
+        else:
+            self.regions_from_cache += 1
+        source, name, _n_packets = cached
+        if source is None:
             return INTERP
         ns = self._namespace()
-        exec(code, ns)
+        exec(_host_code(source, pc0), ns)
         self.regions_compiled += 1
         return ns[name]
+
+    def precompile(self) -> int:
+        """Generate source for every statically reachable region entry.
+
+        Walks the program from its entry, every label (static branch
+        targets) and every indirect-branch landing site
+        (``addr_to_packet``), following region fall-throughs, and fills
+        the program-level source cache without executing anything.
+        Returns the number of regions generated.  A parent process
+        calls this once per translation so that pickled copies of the
+        program carry ready-made region source to worker processes.
+        """
+        program = self.program
+        n = len(program.packets)
+        pending = {program.entry}
+        pending.update(program.labels.values())
+        pending.update(program.addr_to_packet.values())
+        seen: set[int] = set()
+        generated = 0
+        while pending:
+            pc0 = pending.pop()
+            if pc0 in seen or not 0 <= pc0 < n:
+                continue
+            seen.add(pc0)
+            entry = self._code_cache.get(pc0)
+            if entry is None:
+                entry = self._generate_entry(pc0)
+                generated += 1
+            if entry[2]:
+                pending.add(pc0 + entry[2])
+        self.regions_generated += generated
+        return generated
 
     def _namespace(self) -> dict:
         core = self.core
@@ -478,7 +580,7 @@ class _RegionBuilder:
     # -- main build -------------------------------------------------------
 
     def generate(self) -> tuple:
-        """Produce ``(code_object, function_name)`` for this region."""
+        """Produce ``(source, function_name)`` for this region."""
         packets = self.program.packets
         pc0 = self.pc0
         name = f"_region_{pc0}"
@@ -515,9 +617,7 @@ class _RegionBuilder:
 
         self._emit_region_end()
 
-        source = out.source()
-        code = compile(source, f"<packet-region {pc0}>", "exec")
-        return code, name
+        return out.source(), name
 
     @staticmethod
     def _packet_runtime_nop(packet) -> bool:
@@ -894,3 +994,25 @@ class _RegionBuilder:
         self._emit_epilogue(1, K, K, str(pc_fall),
                             pending_branch=self.branch_off is not None)
         add(1, "return _INTERP")
+
+
+def precompile_program(program, source_arch=None, sync_rate: float = 1.0,
+                       bridge_stall: int = 4, sync_access_stall: int = 4,
+                       strict: bool = True) -> int:
+    """Populate *program*'s region-source cache without executing it.
+
+    Builds a throwaway platform (region source bakes in the core's
+    memory geometry and the platform's stall parameters, so a core must
+    exist) and statically walks every reachable region.  After this,
+    pickling the program ships the generated source along with it, and
+    any :class:`PacketCompiler` with the same stall parameters — in
+    this process or a worker — executes straight from the cache.
+    Returns the number of regions generated.
+    """
+    from repro.vliw.platform import PrototypingPlatform
+
+    platform = PrototypingPlatform(
+        program, source_arch=source_arch, sync_rate=sync_rate,
+        bridge_stall=bridge_stall, sync_access_stall=sync_access_stall,
+        strict=strict, backend="compiled")
+    return PacketCompiler(platform.core).precompile()

@@ -1,0 +1,264 @@
+"""Multi-core SoC model: N VLIW cores against one SoC bus.
+
+Scales the prototyping platform of :mod:`repro.vliw.platform` to
+several emulated cores, following the multi-core full-system
+acceleration line of work (Guo & Mullins; Bosbach et al.): every core
+is a full :class:`~repro.vliw.core.C6xCore` with its own
+synchronization device (all cores share one sync generation *rate*, so
+the emulated SoC clocks advance in the same ratio) and its own bus
+bridge, but all bridges decode onto a **single shared**
+:class:`~repro.soc.bus.SocBus`.
+
+Address partitioning
+    Each core owns an I/O partition of ``CORE_IO_STRIDE`` bytes on the
+    shared bus, holding its own instances of the standard peripherals
+    (UART, cycle timer, exit device, scratch RAM) at the standard
+    offsets.  A core's bridge adds the partition base on the way out,
+    so translated programs are completely unaware of the partitioning —
+    the same program binary runs unmodified on any core.
+
+Lockstep and arbitration
+    Cores tick in lockstep at target-cycle granularity: every
+    scheduling round advances only the cores at the minimum cycle
+    count, by (at least) one cycle.  When several cores are eligible in
+    the same round — simultaneous bus masters, in hardware terms — the
+    shared bus grants them in **round-robin** order: the grant pointer
+    rotates every round, so the global transaction trace interleaves
+    fairly and deterministically.  Packet-compiled cores advance one
+    compiled region per grant (regions are the backend's atomic unit),
+    so their lockstep skew is bounded by the region length cap rather
+    than a single packet.
+
+Determinism and the differential contract
+    Arbitration reorders only the *global* trace.  Per-core observables
+    are untouched by scheduling: cores share no memory, no sync device
+    and no peripherals, so for these non-contending address maps each
+    core's :class:`~repro.vliw.platform.PlatformResult` is **bit
+    identical** to the same program run alone on a single-core
+    :class:`~repro.vliw.platform.PrototypingPlatform` — the property
+    ``tests/test_multicore_differential.py`` locks down for every
+    registry program, detail level and backend mix.  Programs pointed
+    at a genuinely shared device would contend; their global ordering
+    is still deterministic (round-robin), but per-core equality with
+    isolated runs is then no longer guaranteed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.arch.model import SourceArch, default_source_arch
+from repro.errors import SimulationError
+from repro.isa.c6x.packets import C6xProgram
+from repro.soc.bus import BusAccess, BusMonitor, IoMap, SocBus
+from repro.soc.devices import CycleTimer, ExitDevice, ScratchRam, Uart
+from repro.vliw.bridge import BusBridge
+from repro.vliw.core import C6xCore
+from repro.vliw.platform import (
+    PlatformResult,
+    PrototypingPlatform,
+    collect_platform_result,
+)
+from repro.vliw.syncdev import SyncDevice
+
+#: size of each core's I/O partition on the shared bus.  The standard
+#: peripheral set (uart 0x00, timer 0x10, exit 0x20, scratch 0x40+64)
+#: ends at 0x80; one stride per core keeps partitions disjoint.
+CORE_IO_STRIDE = 0x100
+
+
+class CorePort:
+    """One core's window onto the shared SoC bus.
+
+    Quacks like :class:`~repro.soc.bus.SocBus` for the core's
+    :class:`~repro.vliw.bridge.BusBridge` and for result collection:
+    ``read``/``write`` remap the core's partition-local address onto
+    the shared bus, and a private monitor re-records every transaction
+    with its *local* address — so the per-core trace is directly
+    comparable with a single-core platform's bus trace, while the
+    shared bus monitor keeps the globally arbitrated view.
+    """
+
+    def __init__(self, shared: SocBus, index: int, base: int) -> None:
+        self.shared = shared
+        self.index = index
+        self.base = base
+        self.monitor = BusMonitor()
+
+    def read(self, addr: int, size: int, cycle: int) -> int:
+        value = self.shared.read(self.base + addr, size, cycle)
+        self.monitor.record(BusAccess(cycle, "r", addr, value, size))
+        return value
+
+    def write(self, addr: int, value: int, size: int, cycle: int) -> None:
+        self.shared.write(self.base + addr, value, size, cycle)
+        self.monitor.record(BusAccess(cycle, "w", addr, value, size))
+
+    def device(self, name: str):
+        return self.shared.device(f"{name}#{self.index}")
+
+
+@dataclass
+class MultiCorePlatformResult:
+    """Observables of one multi-core platform execution."""
+
+    per_core: list[PlatformResult]
+    #: globally arbitrated transaction trace of the shared bus
+    #: (addresses are partition-global: ``core_index * CORE_IO_STRIDE``
+    #: plus the device offset)
+    bus_trace: list[BusAccess]
+    #: scheduling grants each core received from the round-robin
+    #: arbiter (one grant = one lockstep advance)
+    grants: list[int] = field(default_factory=list)
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.per_core)
+
+    @property
+    def target_cycles(self) -> int:
+        """Platform runtime: the slowest core's cycle count."""
+        return max((r.target_cycles for r in self.per_core), default=0)
+
+    def observables(self) -> list[dict]:
+        """Per-core observable dicts, comparable field by field with N
+        independent single-core :meth:`PlatformResult.observables`."""
+        return [result.observables() for result in self.per_core]
+
+
+class _CoreSlot:
+    """One core's full vertical slice of the multi-core platform."""
+
+    def __init__(self, index: int, program: C6xProgram, backend: str,
+                 shared_bus: SocBus, sync_rate: float, bridge_stall: int,
+                 sync_access_stall: int, strict: bool) -> None:
+        if backend not in PrototypingPlatform.BACKENDS:
+            raise SimulationError(
+                f"unknown execution backend {backend!r} for core {index}; "
+                f"choose from {', '.join(PrototypingPlatform.BACKENDS)}")
+        self.index = index
+        self.backend = backend
+        base = index * CORE_IO_STRIDE
+        # the same peripheral set at the same offsets as the
+        # single-core platform's standard_bus(), relocated into this
+        # core's partition — the single I/O map is the source of truth
+        io_map = IoMap()
+        shared_bus.attach(base + io_map.uart, Uart(), f"uart#{index}")
+        shared_bus.attach(base + io_map.timer, CycleTimer(),
+                          f"timer#{index}")
+        shared_bus.attach(base + io_map.exit, ExitDevice(), f"exit#{index}")
+        shared_bus.attach(base + io_map.scratch, ScratchRam(64),
+                          f"scratch#{index}")
+        self.port = CorePort(shared_bus, index, base)
+        self.sync = SyncDevice(rate=sync_rate)
+        self.bridge = BusBridge(self.port, self.sync,
+                                access_stall=bridge_stall)
+        self.core = C6xCore(program, self.sync, self.bridge, strict=strict,
+                            sync_access_stall=sync_access_stall)
+        self.exit_device = self.port.device("exit")
+        self.grants = 0
+        if backend == "compiled":
+            from repro.vliw.compiled import PacketCompiler
+
+            self._compiler = PacketCompiler(self.core)
+        else:
+            self._compiler = None
+
+    @property
+    def finished(self) -> bool:
+        return self.core.halted or self.exit_device.exited
+
+    def advance(self, until: int, max_cycles: int) -> None:
+        """Run this core until its cycle count reaches *until*."""
+        if self._compiler is not None:
+            self._compiler.run_slice(until, max_cycles)
+            return
+        core = self.core
+        while not self.finished and core.cycles < until:
+            core.step_packet()
+            if core.cycles >= max_cycles:
+                raise SimulationError(
+                    f"target cycle limit {max_cycles} exceeded")
+
+
+class MultiCoreSoC:
+    """N translated programs executing in lockstep on one SoC bus.
+
+    *programs* is either one :class:`C6xProgram` replicated onto
+    *cores* cores, or a sequence of programs (one per core; *cores*
+    then defaults to its length).  *backends* is one backend name for
+    all cores or a per-core sequence — interpreted and packet-compiled
+    cores mix freely, since both mutate identical core state at region
+    boundaries.
+    """
+
+    def __init__(self, programs: C6xProgram | Sequence[C6xProgram],
+                 cores: int | None = None,
+                 backends: str | Sequence[str] = "interp",
+                 source_arch: SourceArch | None = None,
+                 sync_rate: float = 1.0,
+                 bridge_stall: int = 4,
+                 sync_access_stall: int = 4,
+                 strict: bool = True) -> None:
+        if isinstance(programs, C6xProgram):
+            if cores is None:
+                raise SimulationError(
+                    "cores= is required when one program is replicated")
+            program_list = [programs] * cores
+        else:
+            program_list = list(programs)
+            if cores is not None and cores != len(program_list):
+                raise SimulationError(
+                    f"cores={cores} but {len(program_list)} programs given")
+        if not program_list:
+            raise SimulationError("a multi-core SoC needs at least one core")
+        n = len(program_list)
+        if isinstance(backends, str):
+            backend_list = [backends] * n
+        else:
+            backend_list = list(backends)
+            if len(backend_list) != n:
+                raise SimulationError(
+                    f"{len(backend_list)} backends for {n} cores")
+        self.source_arch = source_arch or default_source_arch()
+        self.bus = SocBus()
+        self.slots = [
+            _CoreSlot(i, program_list[i], backend_list[i], self.bus,
+                      sync_rate, bridge_stall, sync_access_stall, strict)
+            for i in range(n)
+        ]
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.slots)
+
+    def run(self, max_cycles: int = 200_000_000) -> MultiCorePlatformResult:
+        """Run every core to halt/exit under round-robin lockstep."""
+        slots = self.slots
+        n = len(slots)
+        rr = 0  # round-robin grant pointer of the arbiter
+        running = [slot for slot in slots if not slot.finished]
+        while running:
+            horizon = min(slot.core.cycles for slot in running) + 1
+            for k in range(n):
+                slot = slots[(rr + k) % n]
+                if slot.finished or slot.core.cycles >= horizon:
+                    continue
+                slot.grants += 1
+                slot.advance(horizon, max_cycles)
+            rr = (rr + 1) % n
+            running = [slot for slot in slots if not slot.finished]
+        # Let outstanding cycle generation finish (the hardware would).
+        for slot in slots:
+            slot.sync.flush()
+        return self.collect_result()
+
+    def collect_result(self) -> MultiCorePlatformResult:
+        return MultiCorePlatformResult(
+            per_core=[collect_platform_result(slot.core, slot.sync,
+                                              slot.port, self.source_arch)
+                      for slot in self.slots],
+            bus_trace=self.bus.monitor.transfers(),
+            grants=[slot.grants for slot in self.slots],
+        )

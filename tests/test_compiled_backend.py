@@ -172,6 +172,124 @@ class TestBailPath:
         assert results["interp"][1] == {0x8000_0000: 1}
 
 
+class TestRunSlice:
+    def test_sliced_execution_is_bit_identical(self):
+        """Driving the compiled backend in 1-cycle lockstep quanta (the
+        multi-core scheduling pattern) must not change observables."""
+        tr = translate(build("gcd"), level=2)
+        interp = _observables(_run(tr.program, "interp"))
+        platform = PrototypingPlatform(tr.program, backend="compiled")
+        from repro.vliw.compiled import PacketCompiler
+
+        compiler = PacketCompiler(platform.core)
+        exit_device = platform.bus.device("exit")
+        while not platform.core.halted and not exit_device.exited:
+            compiler.run_slice(platform.core.cycles + 1)
+        platform.sync.flush()
+        assert _observables(platform.collect_result()) == interp
+
+    def test_interp_handoff_with_inflight_branch(self):
+        """A region that hands off to the interpreter with a branch in
+        flight (a second branch inside the first one's delay slots)
+        must drain the pipeline before a lockstep slice ends —
+        otherwise the next compiled region runs with a stale pending
+        branch and the trajectory diverges."""
+        from repro.arch.model import default_target_arch
+        from repro.isa.c6x.instructions import TargetInstr, TOp
+        from repro.isa.c6x.packets import C6xProgram, ExecutePacket
+        from repro.vliw.compiled import PacketCompiler
+
+        target = default_target_arch()
+        program = C6xProgram(target=target)
+        nop = lambda: ExecutePacket([TargetInstr(TOp.NOP, imm=1)])
+        program.packets = [
+            # 0: unconditional branch; matures after 5 delay slots
+            ExecutePacket([TargetInstr(TOp.B, target="far")]),
+            nop(),                                              # 1
+            # 2: predicated-false branch inside the delay slots —
+            # the region compiler refuses this shape ('interp' end)
+            ExecutePacket([TargetInstr(TOp.B, target="near",
+                                       pred=5, pred_sense=True)]),
+            nop(), nop(), nop(), nop(),                         # 3-6
+            # 7: 'near' — only reachable if the pipeline went wrong
+            ExecutePacket([TargetInstr(TOp.MVK, dst=1, imm=7)]),
+            ExecutePacket([TargetInstr(TOp.HALT)]),             # 8
+            # 9: 'far' — the correct landing site
+            ExecutePacket([TargetInstr(TOp.MVK, dst=1, imm=42)]),
+            ExecutePacket([TargetInstr(TOp.HALT)]),             # 10
+        ]
+        program.labels = {"__entry": 0, "near": 7, "far": 9}
+
+        interp = _observables(_run(program, "interp"))
+        assert _observables(_run(program, "compiled")) == interp
+        platform = PrototypingPlatform(program, backend="compiled")
+        compiler = PacketCompiler(platform.core)
+        exit_device = platform.bus.device("exit")
+        while not platform.core.halted and not exit_device.exited:
+            compiler.run_slice(platform.core.cycles + 1)
+        platform.sync.flush()
+        assert _observables(platform.collect_result()) == interp
+
+
+class TestRegionCachePickling:
+    """The region cache stores *source*, so it survives pickling.
+
+    This is the transport contract of the sharded evaluation runner:
+    a parent process compiles (or precompiles) packet regions once,
+    pickles the program, and every worker executes straight from the
+    shipped source instead of re-scanning and re-generating regions.
+    """
+
+    def test_unpickled_clone_runs_from_shipped_source(self):
+        import pickle
+
+        tr = translate(build("fir"), level=1)
+        interp = _observables(_run(tr.program, "interp"))
+        _run(tr.program, "compiled")  # populate the source cache
+        clone = pickle.loads(pickle.dumps(tr.program))
+        platform = PrototypingPlatform(clone, backend="compiled")
+        assert _observables(platform.run()) == interp
+        compiler = platform._compiler
+        assert compiler.regions_generated == 0
+        assert compiler.regions_from_cache > 0
+
+    def test_precompile_covers_every_executed_region(self):
+        from repro.vliw.compiled import precompile_program
+
+        tr = translate(build("gcd"), level=3)
+        generated = precompile_program(tr.program)
+        assert generated > 0
+        platform = PrototypingPlatform(tr.program, backend="compiled")
+        result = platform.run()
+        assert result.exit_code is not None
+        assert platform._compiler.regions_generated == 0
+
+    def test_roundtrip_into_spawn_context_child(self):
+        """Compile in the parent, execute from pickled source in a
+        spawn-context child process — the exact worker handshake."""
+        import pickle
+        from concurrent.futures import ProcessPoolExecutor
+        from multiprocessing import get_context
+
+        from repro.eval.sharded import child_import_path, \
+            run_pickled_program
+        from repro.vliw.compiled import precompile_program
+
+        tr = translate(build("gcd"), level=2)
+        precompile_program(tr.program)
+        parent = _run(tr.program, "compiled")
+        blob = pickle.dumps(tr.program)
+        with child_import_path():
+            with ProcessPoolExecutor(
+                    max_workers=1,
+                    mp_context=get_context("spawn")) as pool:
+                observables, generated, from_cache = pool.submit(
+                    run_pickled_program, blob).result()
+        assert observables == parent.observables()
+        assert generated == 0  # every region came out of the cache
+        assert from_cache > 0
+
+
 class TestTickN:
     @pytest.mark.parametrize("rate", (1.0, 2.0, 0.25, 0.3, 1.5))
     def test_tick_n_equals_tick_loop(self, rate):

@@ -1,0 +1,105 @@
+"""Property tests: sharded evaluation is indistinguishable from serial.
+
+:class:`repro.eval.sharded.ShardedRunner` may split work across any
+number of processes in any submission order, yet every
+``PlatformResult.observables()`` dict (and every reference run) must
+be identical to what the serial :mod:`repro.eval.runner` path
+produces, and outcomes must come back in submission order.  The shard
+orderings and worker counts are randomized from fixed seeds so the
+property is fuzzed but reproducible.
+
+``REPRO_SMOKE_JOBS`` caps the worker count (CI smoke runs use 2).
+"""
+
+import os
+import random
+
+import pytest
+
+from repro.eval.runner import measure_program
+from repro.eval.sharded import ShardedRunner, ShardSpec
+
+MAX_JOBS = max(2, int(os.environ.get("REPRO_SMOKE_JOBS", "3")))
+PROGRAMS = ("gcd", "uart_hello", "timer_probe")
+LEVELS = (0, 2)
+BACKENDS = ("interp", "compiled")
+SEEDS = (0xC6, 0x51, 0x2026)
+
+
+@pytest.fixture(scope="module")
+def serial():
+    """The serial runner's measurements, per (program, backend)."""
+    return {(name, backend): measure_program(name, levels=LEVELS,
+                                             backend=backend)
+            for name in PROGRAMS for backend in BACKENDS}
+
+
+def _all_specs() -> list[ShardSpec]:
+    return [ShardSpec(program=name, level=level, backend=backend)
+            for name in PROGRAMS for level in LEVELS for backend in BACKENDS]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_random_shard_order_and_worker_count(seed, serial):
+    """Any (seeded) shuffle and worker count reproduces serial results."""
+    rng = random.Random(seed)
+    specs = _all_specs()
+    rng.shuffle(specs)
+    jobs = rng.randint(2, MAX_JOBS)
+    outcomes = ShardedRunner(jobs=jobs).run(specs)
+    assert [outcome.spec for outcome in outcomes] == specs
+    parent = os.getpid()
+    assert all(outcome.pid != parent for outcome in outcomes)
+    for outcome in outcomes:
+        spec = outcome.spec
+        expected = serial[(spec.program, spec.backend)]
+        assert (outcome.result.observables()
+                == expected.levels[spec.level].result.observables()), \
+            (seed, jobs, spec)
+        assert outcome.wall_seconds > 0
+
+
+def test_inline_jobs1_matches_serial_runner(serial):
+    """jobs=1 (no pool at all) walks the identical code path result."""
+    outcomes = ShardedRunner(jobs=1).run(_all_specs())
+    parent = os.getpid()
+    for outcome in outcomes:
+        spec = outcome.spec
+        assert outcome.pid == parent
+        expected = serial[(spec.program, spec.backend)]
+        assert (outcome.result.observables()
+                == expected.levels[spec.level].result.observables())
+
+
+def test_measure_registry_matches_measure_program(serial):
+    """The assembled sweep equals per-program serial measurements."""
+    sharded = ShardedRunner(jobs=2).measure_registry(
+        PROGRAMS, LEVELS, backend="compiled")
+    for name in PROGRAMS:
+        expected = serial[(name, "compiled")]
+        got = sharded[name]
+        assert vars(got.reference) == vars(expected.reference)
+        assert sorted(got.levels) == sorted(expected.levels)
+        for level in LEVELS:
+            assert (got.levels[level].result.observables()
+                    == expected.levels[level].result.observables())
+
+
+def test_compiled_shards_reuse_parent_regions(serial):
+    """Workers execute regions precompiled by the parent: no worker
+    ever generates region source for itself."""
+    specs = [ShardSpec(program=name, level=2, backend="compiled")
+             for name in PROGRAMS for _ in range(2)]
+    outcomes = ShardedRunner(jobs=2).run(specs)
+    for outcome in outcomes:
+        assert outcome.regions_generated == 0, outcome.spec
+        assert outcome.regions_from_cache > 0, outcome.spec
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ShardSpec(program="gcd", kind="nonsense").validate()
+    with pytest.raises(ValueError):
+        ShardSpec().validate()
+    with pytest.raises(ValueError):
+        ShardedRunner(jobs=0)
