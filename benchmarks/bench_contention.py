@@ -1,0 +1,119 @@
+"""Shared-device contention: the communication cost ledger.
+
+Runs every shared workload (mailbox ping-pong, producer/consumer,
+scratch barrier) on a 2-core shared-capable SoC under the interp,
+compiled and mixed backend assignments, asserting the shared-device
+contract along the way — identical per-core observables and identical
+cycle-stamped shared-segment traces (contention markers included)
+across all mixes — and records the contention economics
+(arbitration conflicts, stall cycles per core, shared transfers,
+wall clock per mix) in ``BENCH_contention.json``.
+
+A non-sharing control workload rides along to pin the other half of
+the contract: zero recorded contention and bit-identity with the
+single-core platform on the very same SoC model.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the sweep for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.programs.registry import (
+    build,
+    expected_shared_exits,
+    shared_program_names,
+)
+from repro.translator.driver import translate
+from repro.vliw.multicore import MultiCoreSoC
+from repro.vliw.platform import PrototypingPlatform
+
+from conftest import write_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_contention.json")
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+WORKLOADS = (("mbox_prodcons",) if SMOKE
+             else tuple(shared_program_names()))
+CONTROL = "gcd"
+LEVEL = 2
+CORES = 2
+MIXES = {
+    "interp": ("interp",) * CORES,
+    "compiled": ("compiled",) * CORES,
+    "mixed": tuple("compiled" if i % 2 == 0 else "interp"
+                   for i in range(CORES)),
+}
+
+
+def _trace_tuples(accesses):
+    return [(a.cycle, a.kind, a.addr, a.value, a.size) for a in accesses]
+
+
+def test_contention_record():
+    """Shared-workload sweep across backend mixes; writes the record."""
+    record = {"cores": CORES, "level": LEVEL, "workloads": {}}
+    lines = [f"shared-device contention ({CORES} cores, level {LEVEL}):"]
+
+    for name in WORKLOADS:
+        program = translate(build(name), level=LEVEL).program
+        snapshots = {}
+        timings = {}
+        for mix_name, mix in MIXES.items():
+            soc = MultiCoreSoC(program, cores=CORES, backends=mix)
+            start = time.perf_counter()
+            multi = soc.run()
+            timings[mix_name] = time.perf_counter() - start
+            exits = [r.exit_code for r in multi.per_core]
+            assert exits == expected_shared_exits(name, CORES), \
+                (name, mix_name, exits)
+            snapshots[mix_name] = (
+                multi.observables(),
+                _trace_tuples(multi.shared_trace()),
+                multi.contention_stall_cycles,
+                multi.contention_conflicts,
+            )
+        reference = snapshots["interp"]
+        for mix_name, snapshot in snapshots.items():
+            assert snapshot == reference, \
+                f"{name}: backend mix {mix_name!r} diverges from interp"
+        obs, shared_trace, stalls, conflicts = reference
+        assert conflicts > 0, f"{name} recorded no contention"
+        record["workloads"][name] = {
+            "exits": [r["exit_code"] for r in obs],
+            "conflicts": conflicts,
+            "stall_cycles_per_core": stalls,
+            "shared_transfers": sum(
+                1 for a in shared_trace if a[1] in ("r", "w")),
+            "target_cycles": max(r["target_cycles"] for r in obs),
+            "wall_seconds": {mix: round(seconds, 4)
+                             for mix, seconds in timings.items()},
+        }
+        lines.append(
+            f"  {name:<16s} conflicts {conflicts:3d}  "
+            f"stalls {stalls}  "
+            f"shared transfers {record['workloads'][name]['shared_transfers']:4d}  "
+            f"cycles {record['workloads'][name]['target_cycles']}")
+
+    # control: a non-sharing workload on the same SoC model pays nothing
+    program = translate(build(CONTROL), level=LEVEL).program
+    single = PrototypingPlatform(program, backend="interp").run().observables()
+    multi = MultiCoreSoC(program, cores=CORES, backends="interp").run()
+    assert all(r.observables() == single for r in multi.per_core)
+    assert multi.contention_conflicts == 0
+    record["control"] = {
+        "program": CONTROL,
+        "conflicts": 0,
+        "bit_identical_to_single_core": True,
+    }
+    lines.append(f"  {CONTROL:<16s} (control) conflicts   0  "
+                 f"bit-identical to single core")
+
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    write_report("contention.txt", "\n".join(lines))

@@ -98,6 +98,12 @@ def translate_main(argv: list[str] | None = None) -> int:
                              "N-core SoC model (one shared bus, "
                              "round-robin arbitration) instead of the "
                              "single-core platform")
+    parser.add_argument("--shared", action="store_true",
+                        help="for --run --cores N: report the "
+                             "shared-device segment (mailbox/scratch/"
+                             "global timer) activity — per-core "
+                             "contention stalls, arbitration conflicts "
+                             "and shared-bus transfers")
     parser.add_argument("--jobs", type=int, default=1,
                         help="for --run: sweep all four detail levels, "
                              "sharded across N worker processes "
@@ -109,6 +115,10 @@ def translate_main(argv: list[str] | None = None) -> int:
 
     if args.cores < 1 or args.jobs < 1:
         print("error: --cores and --jobs must be >= 1", file=sys.stderr)
+        return 1
+    if args.shared and (not args.run or args.cores < 2 or args.jobs > 1):
+        print("error: --shared requires --run --cores >= 2 and is not "
+              "available with --jobs", file=sys.stderr)
         return 1
     try:
         obj = _load_object(args.object)
@@ -144,11 +154,20 @@ def translate_main(argv: list[str] | None = None) -> int:
                   f"target_cycles={run.target_cycles} "
                   f"emulated_cycles={run.emulated_cycles} "
                   f"cpi={run.target_cpi:.2f}")
+            if args.shared:
+                print(f"core{index} contention_stall_cycles="
+                      f"{run.core_stats.contention_stall_cycles}")
             if run.uart_output:
                 print(f"core{index} uart: {run.uart_output!r}")
         print(f"platform: {multi.n_cores} cores, "
               f"{multi.target_cycles} target cycles, "
               f"{len(multi.bus_trace)} shared-bus transfers")
+        if args.shared:
+            shared_trace = multi.shared_trace()
+            print(f"shared segment: {len(shared_trace)} transfers, "
+                  f"{multi.contention_conflicts} arbitration conflicts, "
+                  f"{sum(multi.contention_stall_cycles)} total stall "
+                  f"cycles")
         return 0
     run = PrototypingPlatform(result.program, source_arch=arch,
                               backend=args.backend).run()

@@ -50,8 +50,15 @@ class ProgramMeasurement:
         return self.reference.instructions / seconds / 1e6
 
     def deviation(self, level: int) -> float:
-        """Relative cycle-count deviation of a detail level (signed)."""
+        """Relative cycle-count deviation of a detail level (signed).
+
+        A degenerate workload whose reference run reports zero cycles
+        has no meaningful relative deviation; report 0.0 instead of
+        dividing by zero.
+        """
         emulated = self.levels[level].result.emulated_cycles
+        if not self.reference.cycles:
+            return 0.0
         return (emulated - self.reference.cycles) / self.reference.cycles
 
 
@@ -61,7 +68,8 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
                     inline_cache_threshold: int | None = None,
                     sync_rate: float = 1.0,
                     backend: str = "interp",
-                    cores: int = 1) -> ProgramMeasurement:
+                    cores: int = 1,
+                    shared: bool = False) -> ProgramMeasurement:
     """Run the full measurement battery for one workload.
 
     *backend* selects the platform execution engine (``"interp"`` or
@@ -71,7 +79,12 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
     *cores* > 1 replicates the program onto a
     :class:`~repro.vliw.multicore.MultiCoreSoC`; every core then
     produces the same observables as a single-core run (the multi-core
-    differential contract), so the measurement records core 0's.
+    differential contract), so the measurement records core 0's — and
+    **checks** the contract first: cross-core observable divergence
+    raises :class:`~repro.errors.SimulationError` instead of being
+    silently discarded.  Pass ``shared=True`` for workloads that use
+    the shared-device segment, where per-core results legitimately
+    differ (cores take different roles); the check is then skipped.
     """
     arch = arch or default_source_arch()
     obj = build(name)
@@ -82,12 +95,24 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
             obj, level=level, source=arch,
             inline_cache_threshold=inline_cache_threshold)
         if cores > 1:
+            from repro.errors import SimulationError
             from repro.vliw.multicore import MultiCoreSoC
 
             soc = MultiCoreSoC(translation.program, cores=cores,
                                backends=backend, source_arch=arch,
                                sync_rate=sync_rate)
-            result = soc.run().per_core[0]
+            multi = soc.run()
+            if not shared:
+                expected = multi.per_core[0].observables()
+                for index, other in enumerate(multi.per_core[1:], start=1):
+                    if other.observables() != expected:
+                        raise SimulationError(
+                            f"multi-core differential contract violated: "
+                            f"core {index} of {name!r} (level {level}) "
+                            f"diverges from core 0; pass shared=True if "
+                            f"this workload uses the shared-device "
+                            f"segment")
+            result = multi.per_core[0]
         else:
             platform = PrototypingPlatform(translation.program,
                                            source_arch=arch,

@@ -149,6 +149,16 @@ def _ref_uart_hello() -> int:
     return len("hello, soc!")
 
 
+def _ref_prodcons_checksum() -> int:
+    """Checksum the mbox_prodcons consumer core must exit with."""
+    seed = 12345
+    check = 0
+    for _ in range(16):
+        seed = u32(seed * 1103515245 + 12345)
+        check = u32(check * 31 + (seed & 255))
+    return check & 255
+
+
 @dataclass(frozen=True)
 class ProgramSpec:
     """One registered workload."""
@@ -189,6 +199,57 @@ PROGRAMS: dict[str, ProgramSpec] = {
     )
 }
 
+@dataclass(frozen=True)
+class SharedProgramSpec:
+    """A multi-core workload that communicates over shared devices.
+
+    Shared workloads are registered separately from :data:`PROGRAMS`:
+    they only terminate on a shared-capable multi-core SoC (a lone
+    core would poll a mailbox nobody fills), so the single-core
+    measurement sweeps and the non-contending differential suite must
+    not pick them up.  *expected_exits(cores)* predicts the per-core
+    exit codes from the protocol, mirroring the pure-Python reference
+    idiom of the ordinary registry entries.
+    """
+
+    name: str
+    filename: str
+    description: str
+    min_cores: int
+    expected_exits: Callable[[int], list[int]]
+
+
+def _pingpong_exits(cores: int) -> list[int]:
+    return [17, 15] + [0] * (cores - 2)
+
+
+def _prodcons_exits(cores: int) -> list[int]:
+    return [16, _ref_prodcons_checksum()] + [0] * (cores - 2)
+
+
+def _barrier_exits(cores: int) -> list[int]:
+    return [10 * cores * (cores + 1) // 2] + list(range(1, cores))
+
+
+SHARED_PROGRAMS: dict[str, SharedProgramSpec] = {
+    spec.name: spec
+    for spec in (
+        SharedProgramSpec(
+            "mbox_pingpong", "mbox_pingpong.mc",
+            "mailbox round-trip token exchange between cores 0 and 1",
+            2, _pingpong_exits),
+        SharedProgramSpec(
+            "mbox_prodcons", "mbox_prodcons.mc",
+            "producer/consumer stream over one word-deep mailbox slot",
+            2, _prodcons_exits),
+        SharedProgramSpec(
+            "shared_barrier", "shared_barrier.mc",
+            "four-round barrier and reduction via shared scratch RAM",
+            2, _barrier_exits),
+    )
+}
+
+
 #: the six workloads of Figure 5 / Table 1 / Figure 6, in paper order.
 FIGURE5_PROGRAMS = ("gcd", "dpcm", "fir", "ellip", "sieve", "subband")
 
@@ -199,16 +260,30 @@ _BUILD_CACHE: dict[tuple[str, int, int, int, int, int, int], ObjectFile] = {}
 
 
 def program_names() -> list[str]:
+    """Single-core-safe registry programs (excludes shared workloads)."""
     return list(PROGRAMS)
+
+
+def shared_program_names() -> list[str]:
+    """Multi-core shared-device workloads (mailbox, barrier, ...)."""
+    return list(SHARED_PROGRAMS)
+
+
+def expected_shared_exits(name: str, cores: int) -> list[int]:
+    """Per-core exit codes the shared workload *name* must produce."""
+    spec = SHARED_PROGRAMS[name]
+    if cores < spec.min_cores:
+        raise ReproError(f"shared workload {name!r} needs at least "
+                         f"{spec.min_cores} cores")
+    return spec.expected_exits(cores)
 
 
 def source(name: str) -> str:
     """minic source text of program *name*."""
-    try:
-        spec = PROGRAMS[name]
-    except KeyError:
-        raise ReproError(f"unknown program {name!r}; "
-                         f"known: {', '.join(PROGRAMS)}") from None
+    spec = PROGRAMS.get(name) or SHARED_PROGRAMS.get(name)
+    if spec is None:
+        known = ", ".join([*PROGRAMS, *SHARED_PROGRAMS])
+        raise ReproError(f"unknown program {name!r}; known: {known}")
     resource = importlib.resources.files("repro.programs") / "src" / spec.filename
     return resource.read_text()
 
@@ -233,5 +308,12 @@ def build(name: str, memory: MemoryMap | None = None) -> ObjectFile:
 
 def expected_exit(name: str) -> int | None:
     """Exit code predicted by the pure-Python reference (if any)."""
-    spec = PROGRAMS[name]
+    spec = PROGRAMS.get(name)
+    if spec is None:
+        if name in SHARED_PROGRAMS:
+            raise ReproError(
+                f"{name!r} is a shared multi-core workload; its per-core "
+                f"exit codes come from expected_shared_exits(name, cores)")
+        raise ReproError(f"unknown program {name!r}; "
+                         f"known: {', '.join(PROGRAMS)}")
     return spec.reference() if spec.reference else None

@@ -122,6 +122,129 @@ class CycleTimer(Device):
         raise BusError("invalid timer register write", offset)
 
 
+class CoreIdDevice(Device):
+    """Identification register pair: which core am I, of how many.
+
+    * ``+0`` reads the core index this partition belongs to;
+    * ``+4`` reads the total core count of the SoC.
+
+    Shared-device workloads read these to pick their role (producer,
+    consumer, barrier coordinator) from one unmodified binary.  The
+    single-core platform maps ``CoreIdDevice(0, 1)``.
+    """
+
+    size = 8
+
+    def __init__(self, index: int, total: int) -> None:
+        self.index = index
+        self.total = total
+
+    def read(self, offset: int, size: int, cycle: int) -> int:
+        if offset == 0:
+            return u32(self.index)
+        if offset == 4:
+            return u32(self.total)
+        raise BusError("invalid core-id register", offset)
+
+
+class GlobalCycleTimer(Device):
+    """Free-running counter of the *global* SoC timebase.
+
+    The per-core :class:`CycleTimer` reports the accessing core's own
+    emulated clock; this device instead reports the lockstep
+    scheduler's global cycle (the minimum target-cycle count across
+    running cores, advanced once per arbitration round by
+    :class:`~repro.vliw.multicore.MultiCoreSoC`).  Reading ``+0``
+    returns the global cycle; writing ``+4`` latches it into a capture
+    register readable at ``+4``.
+    """
+
+    size = 8
+
+    def __init__(self) -> None:
+        self.now = 0  # updated by the lockstep scheduler each round
+        self._capture = 0
+
+    def read(self, offset: int, size: int, cycle: int) -> int:
+        if offset == 0:
+            return u32(self.now)
+        if offset == 4:
+            return u32(self._capture)
+        raise BusError("invalid global timer register", offset)
+
+    def write(self, offset: int, value: int, size: int, cycle: int) -> None:
+        if offset == 4:
+            self._capture = self.now
+            return
+        raise BusError("invalid global timer register write", offset)
+
+
+class Mailbox(Device):
+    """Inter-core doorbell: MAX_CORES x MAX_CORES word-deep FIFOs.
+
+    Slot ``(sender, receiver)`` occupies ``SLOT_STRIDE`` bytes at
+    ``(sender * MAX_CORES + receiver) * SLOT_STRIDE``:
+
+    * ``+0`` DATA: write pushes a word (an already-full slot is
+      overwritten and counted in :attr:`overruns`); read pops the word
+      and clears the full flag (an empty slot reads 0 — mailbox reads
+      never block);
+    * ``+4`` STATUS: bit0 = full.  Readable without blocking, so
+      producers poll for space and consumers poll for data.
+
+    The slot stride is fixed at :attr:`MAX_CORES` regardless of the
+    actual core count, so mailbox addresses in program source do not
+    depend on the SoC configuration.
+    """
+
+    MAX_CORES = 16
+    SLOT_STRIDE = 8
+
+    size = MAX_CORES * MAX_CORES * SLOT_STRIDE
+
+    def __init__(self) -> None:
+        slots = self.MAX_CORES * self.MAX_CORES
+        self._data = [0] * slots
+        self._full = [False] * slots
+        self.pushes = 0
+        self.pops = 0
+        self.empty_reads = 0
+        self.overruns = 0
+
+    def _slot(self, offset: int) -> tuple[int, int]:
+        if offset < 0 or offset >= self.size:
+            raise BusError("mailbox access out of range", offset)
+        return divmod(offset, self.SLOT_STRIDE)
+
+    def full(self, sender: int, receiver: int) -> bool:
+        """Host-side view of one slot's full flag (tests, debugger)."""
+        return self._full[sender * self.MAX_CORES + receiver]
+
+    def read(self, offset: int, size: int, cycle: int) -> int:
+        slot, reg = self._slot(offset)
+        if reg == 0:
+            if not self._full[slot]:
+                self.empty_reads += 1
+                return 0
+            self._full[slot] = False
+            self.pops += 1
+            return self._data[slot]
+        if reg == 4:
+            return 1 if self._full[slot] else 0
+        raise BusError("invalid mailbox register", offset)
+
+    def write(self, offset: int, value: int, size: int, cycle: int) -> None:
+        slot, reg = self._slot(offset)
+        if reg == 0:
+            if self._full[slot]:
+                self.overruns += 1
+            self._data[slot] = u32(value)
+            self._full[slot] = True
+            self.pushes += 1
+            return
+        raise BusError("invalid mailbox register write", offset)
+
+
 class ExitDevice(Device):
     """Write-to-exit device: the program stores its exit code here.
 

@@ -70,12 +70,24 @@ from typing import Callable
 
 from repro.errors import BusError, SimulationError
 from repro.isa.c6x.instructions import TOp
+from repro.soc.bus import SharedIoMap
 from repro.utils.bits import s32, u32
 from repro.vliw.core import _LOAD_SIZE, _STORE_SIZE, C6xCore
 from repro.vliw.syncdev import SYNC_WINDOW
 
 #: width of the bus-bridge window (matches C6xCore._bridge_offset)
 _BRIDGE_WINDOW = 0x1_0000
+
+#: bridge-window offsets of the multi-core shared-device segment.
+#: Compiled regions bail out to the interpreter before executing any
+#: packet whose device access lands here: shared accesses must run at
+#: single-packet lockstep granularity (while the core sits at the
+#: global minimum cycle) so that shared-device interleaving — and with
+#: it contention and mailbox contents — is identical for interpreted
+#: and packet-compiled cores.  On a single-core platform nothing is
+#: mapped in this window, so the check never fires for plain devices.
+_SHARED_LO = SharedIoMap().base
+_SHARED_HI = SharedIoMap().end
 
 
 class _InterpSentinel:
@@ -187,10 +199,21 @@ class PacketCompiler:
         ``None`` runs to completion (halt, exit-device write, or the
         cycle limit).  A finite *until* is the multi-core lockstep
         quantum: the core always makes forward progress and stops at
-        the first region boundary (packet boundary on the interpretive
-        fallback) at or past *until*, so it may overshoot by up to one
-        region — machine state is architecturally consistent whenever
-        this returns.
+        the first region boundary at or past *until*, so it may
+        overshoot by up to one region — machine state is
+        architecturally consistent whenever this returns.
+
+        Packets the compiler hands to the interpreter (INTERP regions,
+        shared-device bails, pipeline drains after a spilled in-flight
+        branch) run at **single-packet granularity with respect to the
+        quantum**: once ``until`` is reached, the pending interpretive
+        packet is deferred to the next slice instead of running now.
+        That keeps every shared-device access executing while its core
+        sits exactly at the lockstep scheduler's global minimum cycle,
+        which is what makes shared-access interleaving identical for
+        interpreted and packet-compiled cores.  Compiled dispatch only
+        resumes once no branch is in flight — regions assume a clean
+        pipeline at entry.
         """
         core = self.core
         fns = self._fns
@@ -198,33 +221,30 @@ class PacketCompiler:
         exit_device = self.exit_device
         while (not core.halted and not exit_device.exited
                and (until is None or core.cycles < until)):
-            nxt = fns.get(core.pc)
-            if nxt is None:
-                nxt = self.function_for(core.pc)
-            while nxt is not None and nxt is not INTERP:
-                nxt = nxt()
-                if core.cycles >= max_cycles:
-                    raise SimulationError(
-                        f"target cycle limit {max_cycles} exceeded")
-                if (until is not None and core.cycles >= until
-                        and nxt is not INTERP):
-                    # re-entry dispatches through the block-function
-                    # cache at core.pc, which every epilogue keeps
-                    # set.  An INTERP hand-off must not stop here: it
-                    # may have spilled an in-flight branch, and the
-                    # interpretive drain below restores the clean
-                    # pipeline compiled regions assume at entry.
+            if core._pending_branch is None:
+                nxt = fns.get(core.pc)
+                if nxt is None:
+                    nxt = self.function_for(core.pc)
+                while nxt is not None and nxt is not INTERP:
+                    nxt = nxt()
+                    if core.cycles >= max_cycles:
+                        raise SimulationError(
+                            f"target cycle limit {max_cycles} exceeded")
+                    if (until is not None and core.cycles >= until
+                            and nxt is not INTERP):
+                        # re-entry dispatches through the
+                        # block-function cache at core.pc, which every
+                        # epilogue keeps set
+                        return
+                if nxt is None:  # a compiled region ran HALT or exit
                     return
-            if nxt is None:  # a compiled region executed HALT or exit
-                return
-            # Interpretive slow path: at least the next packet, then
-            # keep stepping until no branch is in flight — compiled
-            # regions assume a clean pipeline at entry.
+                # INTERP hand-off: the next packet must run on the
+                # interpretive core.  Defer it to the next slice when
+                # this one is already exhausted (the loop head's
+                # pending-branch check resumes a spilled pipeline).
+                if until is not None and core.cycles >= until:
+                    return
             step()
-            while (core._pending_branch is not None and not core.halted
-                   and not exit_device.exited
-                   and core.cycles < max_cycles):
-                step()
             if core.cycles >= max_cycles:
                 raise SimulationError(
                     f"target cycle limit {max_cycles} exceeded")
@@ -652,6 +672,13 @@ class _RegionBuilder:
 
         real = [i for i in instrs if i.op is not TOp.NOP]
 
+        # 2a. shared-segment guard: a device access landing in the
+        #     multi-core shared window must run on the interpretive
+        #     core (single-packet lockstep granularity), so the packet
+        #     bails *before* any of its accesses execute
+        if device and not self._emit_shared_guard(k, instrs):
+            return  # the packet unconditionally bails; rest is dead
+
         # 2. device packets are tick barriers: flush batched ticks, then
         #    replicate the interpreter's blocking-read stall loop
         if device:
@@ -788,6 +815,42 @@ class _RegionBuilder:
             else:
                 add(1, "if core.halted:")
                 self._emit_halt_exit(2, k)
+
+    def _emit_shared_guard(self, k: int, instrs) -> bool:
+        """Bail to the interpreter on shared-segment device addresses.
+
+        Emits one pre-access check per memory operation of a device
+        packet, evaluated against post-commit (pre-execution) register
+        state — the same state the interpreter would re-execute the
+        packet from.  Returns ``False`` when the packet must *always*
+        run interpreted (a store address depends on a same-packet
+        result, so it cannot be pre-computed here); the caller then
+        stops emitting the packet body.
+        """
+        checks = []
+        for pos, instr in enumerate(instrs):
+            if instr.op in _LOAD_OPS:
+                base = f"regs[{instr.src1}]"
+            elif instr.op in _STORE_OPS:
+                base = self._fwd(instr.src2, instrs, pos)
+                if base != f"regs[{instr.src2}]":
+                    self._emit_bail(1, k)
+                    return False
+            else:
+                continue
+            imm = instr.imm or 0
+            addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
+            cond = (f"{_SHARED_LO} <= ({addr}) - {self.bridge_base} "
+                    f"< {_SHARED_HI}")
+            if instr.pred is not None:
+                test = "!=" if instr.pred_sense else "=="
+                cond = f"regs[{instr.pred}] {test} 0 and ({cond})"
+            checks.append(f"({cond})")
+        if checks:
+            add = self.out.add
+            add(1, f"if {' or '.join(checks)}:")
+            self._emit_bail(2, k)
+        return True
 
     def _emit_stall_loop(self, instrs) -> None:
         """Replicate ``C6xCore._packet_blocks``: stall while a

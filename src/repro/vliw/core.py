@@ -37,6 +37,9 @@ class CoreStats:
     nop_packets: int = 0
     sync_stall_cycles: int = 0
     bridge_stall_cycles: int = 0
+    #: cycles lost as the round-robin loser on a contended shared
+    #: device of a multi-core SoC (always 0 on a single-core platform)
+    contention_stall_cycles: int = 0
     source_instructions: int = 0
     block_executions: dict[int, int] = field(default_factory=dict)
 

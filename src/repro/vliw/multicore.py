@@ -12,35 +12,65 @@ bridge, but all bridges decode onto a **single shared**
 Address partitioning
     Each core owns an I/O partition of ``CORE_IO_STRIDE`` bytes on the
     shared bus, holding its own instances of the standard peripherals
-    (UART, cycle timer, exit device, scratch RAM) at the standard
-    offsets.  A core's bridge adds the partition base on the way out,
-    so translated programs are completely unaware of the partitioning —
-    the same program binary runs unmodified on any core.
+    (UART, cycle timer, exit device, core-id register, scratch RAM) at
+    the standard offsets.  A core's bridge adds the partition base on
+    the way out, so translated programs are completely unaware of the
+    partitioning — the same program binary runs unmodified on any core.
+
+The shared-device segment
+    Above the partitions, at :data:`~repro.soc.bus.SHARED_IO_BASE`,
+    lives the :class:`~repro.soc.bus.SharedIoMap` segment: a shared
+    :class:`~repro.soc.devices.ScratchRam`, a
+    :class:`~repro.soc.devices.GlobalCycleTimer` (the SoC-wide
+    timebase) and an inter-core :class:`~repro.soc.devices.Mailbox`.
+    Shared-segment addresses are **not** relocated per core — every
+    core decodes them onto the same device instances, which is what
+    lets programs on different cores communicate, and contend.
 
 Lockstep and arbitration
     Cores tick in lockstep at target-cycle granularity: every
     scheduling round advances only the cores at the minimum cycle
     count, by (at least) one cycle.  When several cores are eligible in
     the same round — simultaneous bus masters, in hardware terms — the
-    shared bus grants them in **round-robin** order: the grant pointer
-    rotates every round, so the global transaction trace interleaves
-    fairly and deterministically.  Packet-compiled cores advance one
-    compiled region per grant (regions are the backend's atomic unit),
-    so their lockstep skew is bounded by the region length cap rather
-    than a single packet.
+    shared bus grants them in **round-robin** order: grant priority
+    rotates with the round's base cycle (core ``min_cycle % n`` first),
+    so the global transaction trace interleaves fairly and
+    deterministically.  Packet-compiled cores advance one compiled
+    region per grant (regions are the backend's atomic unit), so their
+    lockstep skew is bounded by the region length cap — except on the
+    shared segment, where compiled regions bail out to the interpreter
+    (see :mod:`repro.vliw.compiled`) so every shared access executes
+    at single-packet granularity while its core sits exactly at the
+    global minimum cycle.
+
+Contention
+    Within one arbitration round, the first core to reach a shared
+    device owns it; every later access to the same device by a
+    *different* core in the same round is a lost arbitration — the
+    loser is charged a deterministic ``contention_stall`` of target
+    cycles (recorded in ``CoreStats.contention_stall_cycles`` and as a
+    ``'c'`` marker in both the global and the per-core bus trace).
+    Because grant order within a round is the rotating round-robin
+    priority, "first to reach" *is* the round-robin winner.
+    Partition-local traffic never arbitrates, so non-sharing programs
+    pay nothing and see nothing.
 
 Determinism and the differential contract
     Arbitration reorders only the *global* trace.  Per-core observables
-    are untouched by scheduling: cores share no memory, no sync device
-    and no peripherals, so for these non-contending address maps each
-    core's :class:`~repro.vliw.platform.PlatformResult` is **bit
-    identical** to the same program run alone on a single-core
+    are untouched by scheduling for partition-local traffic: for
+    non-sharing programs each core's
+    :class:`~repro.vliw.platform.PlatformResult` is **bit identical**
+    to the same program run alone on a single-core
     :class:`~repro.vliw.platform.PrototypingPlatform` — the property
     ``tests/test_multicore_differential.py`` locks down for every
-    registry program, detail level and backend mix.  Programs pointed
-    at a genuinely shared device would contend; their global ordering
-    is still deterministic (round-robin), but per-core equality with
-    isolated runs is then no longer guaranteed.
+    registry program, detail level and backend mix.  Sharing programs
+    contend, so single-core equality no longer applies to them; their
+    contract is instead *backend independence*: because shared accesses
+    always execute interpreter-stepped at the global minimum cycle,
+    the shared-access interleaving — and with it mailbox contents,
+    contention stalls and every observable — is identical across
+    interp/compiled/mixed backend assignments
+    (``tests/test_contention_differential.py``).
 """
 
 from __future__ import annotations
@@ -51,8 +81,22 @@ from typing import Sequence
 from repro.arch.model import SourceArch, default_source_arch
 from repro.errors import SimulationError
 from repro.isa.c6x.packets import C6xProgram
-from repro.soc.bus import BusAccess, BusMonitor, IoMap, SocBus
-from repro.soc.devices import CycleTimer, ExitDevice, ScratchRam, Uart
+from repro.soc.bus import (
+    BusAccess,
+    BusMonitor,
+    IoMap,
+    SharedIoMap,
+    SocBus,
+)
+from repro.soc.devices import (
+    CoreIdDevice,
+    CycleTimer,
+    ExitDevice,
+    GlobalCycleTimer,
+    Mailbox,
+    ScratchRam,
+    Uart,
+)
 from repro.vliw.bridge import BusBridge
 from repro.vliw.core import C6xCore
 from repro.vliw.platform import (
@@ -63,9 +107,54 @@ from repro.vliw.platform import (
 from repro.vliw.syncdev import SyncDevice
 
 #: size of each core's I/O partition on the shared bus.  The standard
-#: peripheral set (uart 0x00, timer 0x10, exit 0x20, scratch 0x40+64)
-#: ends at 0x80; one stride per core keeps partitions disjoint.
+#: peripheral set (uart 0x00, timer 0x10, exit 0x20, coreid 0x30,
+#: scratch 0x40+64) ends at 0x80; one stride per core keeps partitions
+#: disjoint.  Partitions live below the shared segment at 0x1000, so
+#: the stride bounds the SoC at MAX_CORES cores.
 CORE_IO_STRIDE = 0x100
+
+#: largest supported core count: partitions must stay below the
+#: shared-device segment, and mailbox slots are MAX_CORES x MAX_CORES.
+MAX_CORES = Mailbox.MAX_CORES
+
+#: default target-cycle penalty charged to the round-robin loser of a
+#: shared-device arbitration round.
+CONTENTION_STALL = 3
+
+
+class SharedBusArbiter:
+    """Round-scoped ownership tracking for the shared-device segment.
+
+    One arbitration round corresponds to one lockstep scheduling round
+    of :class:`MultiCoreSoC` (identified by its global base cycle,
+    which strictly increases round over round).  The first core to
+    access a shared device window in a round claims it; later accesses
+    by other cores in the same round lose the arbitration and are
+    charged :attr:`contention_stall` target cycles.
+    """
+
+    def __init__(self, contention_stall: int = CONTENTION_STALL) -> None:
+        if contention_stall < 0:
+            raise SimulationError("contention stall must be >= 0")
+        self.contention_stall = contention_stall
+        self.round_id = 0
+        #: device window name -> (round_id, owning core) of last claim
+        self._owners: dict[str, tuple[int, int]] = {}
+        self.conflicts = 0
+
+    def begin_round(self, round_id: int) -> None:
+        self.round_id = round_id
+
+    def access(self, window: str, core: int) -> int:
+        """Arbitrate one shared access; returns the stall to charge."""
+        owner = self._owners.get(window)
+        if owner is not None and owner[0] == self.round_id:
+            if owner[1] == core:
+                return 0  # a core never contends with itself
+            self.conflicts += 1
+            return self.contention_stall
+        self._owners[window] = (self.round_id, core)
+        return 0
 
 
 class CorePort:
@@ -78,25 +167,73 @@ class CorePort:
     with its *local* address — so the per-core trace is directly
     comparable with a single-core platform's bus trace, while the
     shared bus monitor keeps the globally arbitrated view.
+
+    Addresses at or above the shared segment base pass through
+    **unrelocated** (all cores see the same shared devices there) and
+    are arbitrated: losing a round costs the core
+    ``contention_stall`` target cycles, charged before the transfer.
     """
 
-    def __init__(self, shared: SocBus, index: int, base: int) -> None:
+    def __init__(self, shared: SocBus, index: int, base: int,
+                 arbiter: SharedBusArbiter | None = None) -> None:
         self.shared = shared
         self.index = index
         self.base = base
+        self.arbiter = arbiter
+        # the segment layout is deliberately NOT configurable: compiled
+        # regions bake the default SharedIoMap window into their
+        # shared-segment bail guard (repro.vliw.compiled), so a port
+        # with a different map would break backend independence
+        self.shared_map = SharedIoMap()
         self.monitor = BusMonitor()
+        self.core: C6xCore | None = None  # bound by the owning slot
+
+    def bind(self, core: C6xCore) -> None:
+        """Attach the core whose clock absorbs contention stalls."""
+        self.core = core
+
+    def _global_addr(self, addr: int) -> tuple[int, bool]:
+        if self.shared_map.base <= addr < self.shared_map.end:
+            return addr, True
+        return self.base + addr, False
+
+    def _arbitrate(self, global_addr: int, cycle: int) -> None:
+        if self.arbiter is None:
+            return
+        window = self.shared.mapping_name(global_addr)
+        stall = self.arbiter.access(window, self.index)
+        if not stall:
+            return
+        core = self.core
+        if core is not None:
+            core._stall_cycles += stall
+            core.stats.contention_stall_cycles += stall
+        marker = BusAccess(cycle, "c", global_addr, self.index, stall)
+        self.shared.monitor.record(marker)
+        self.monitor.record(BusAccess(
+            cycle, "c", global_addr, self.index, stall))
 
     def read(self, addr: int, size: int, cycle: int) -> int:
-        value = self.shared.read(self.base + addr, size, cycle)
+        global_addr, is_shared = self._global_addr(addr)
+        if is_shared:
+            self._arbitrate(global_addr, cycle)
+        value = self.shared.read(global_addr, size, cycle)
         self.monitor.record(BusAccess(cycle, "r", addr, value, size))
         return value
 
     def write(self, addr: int, value: int, size: int, cycle: int) -> None:
-        self.shared.write(self.base + addr, value, size, cycle)
+        global_addr, is_shared = self._global_addr(addr)
+        if is_shared:
+            self._arbitrate(global_addr, cycle)
+        self.shared.write(global_addr, value, size, cycle)
         self.monitor.record(BusAccess(cycle, "w", addr, value, size))
 
     def device(self, name: str):
         return self.shared.device(f"{name}#{self.index}")
+
+    def shared_device(self, name: str):
+        """Look up a device of the shared segment by its global name."""
+        return self.shared.device(name)
 
 
 @dataclass
@@ -106,11 +243,14 @@ class MultiCorePlatformResult:
     per_core: list[PlatformResult]
     #: globally arbitrated transaction trace of the shared bus
     #: (addresses are partition-global: ``core_index * CORE_IO_STRIDE``
-    #: plus the device offset)
+    #: plus the device offset; shared-segment addresses are absolute;
+    #: ``'c'`` entries mark lost shared-device arbitrations)
     bus_trace: list[BusAccess]
     #: scheduling grants each core received from the round-robin
     #: arbiter (one grant = one lockstep advance)
     grants: list[int] = field(default_factory=list)
+    #: shared-device arbitration conflicts observed SoC-wide
+    contention_conflicts: int = 0
 
     @property
     def n_cores(self) -> int:
@@ -120,6 +260,17 @@ class MultiCorePlatformResult:
     def target_cycles(self) -> int:
         """Platform runtime: the slowest core's cycle count."""
         return max((r.target_cycles for r in self.per_core), default=0)
+
+    @property
+    def contention_stall_cycles(self) -> list[int]:
+        """Per-core cycles lost to shared-device contention."""
+        return [r.core_stats.contention_stall_cycles for r in self.per_core]
+
+    def shared_trace(self) -> list[BusAccess]:
+        """The shared-segment slice of the global trace."""
+        shared_map = SharedIoMap()
+        return [a for a in self.bus_trace
+                if shared_map.base <= a.addr < shared_map.end]
 
     def observables(self) -> list[dict]:
         """Per-core observable dicts, comparable field by field with N
@@ -131,7 +282,9 @@ class _CoreSlot:
     """One core's full vertical slice of the multi-core platform."""
 
     def __init__(self, index: int, program: C6xProgram, backend: str,
-                 shared_bus: SocBus, sync_rate: float, bridge_stall: int,
+                 shared_bus: SocBus, n_cores: int,
+                 arbiter: SharedBusArbiter,
+                 sync_rate: float, bridge_stall: int,
                  sync_access_stall: int, strict: bool) -> None:
         if backend not in PrototypingPlatform.BACKENDS:
             raise SimulationError(
@@ -148,14 +301,17 @@ class _CoreSlot:
         shared_bus.attach(base + io_map.timer, CycleTimer(),
                           f"timer#{index}")
         shared_bus.attach(base + io_map.exit, ExitDevice(), f"exit#{index}")
+        shared_bus.attach(base + io_map.coreid, CoreIdDevice(index, n_cores),
+                          f"coreid#{index}")
         shared_bus.attach(base + io_map.scratch, ScratchRam(64),
                           f"scratch#{index}")
-        self.port = CorePort(shared_bus, index, base)
+        self.port = CorePort(shared_bus, index, base, arbiter)
         self.sync = SyncDevice(rate=sync_rate)
         self.bridge = BusBridge(self.port, self.sync,
                                 access_stall=bridge_stall)
         self.core = C6xCore(program, self.sync, self.bridge, strict=strict,
                             sync_access_stall=sync_access_stall)
+        self.port.bind(self.core)
         self.exit_device = self.port.device("exit")
         self.grants = 0
         if backend == "compiled":
@@ -191,6 +347,13 @@ class MultiCoreSoC:
     all cores or a per-core sequence — interpreted and packet-compiled
     cores mix freely, since both mutate identical core state at region
     boundaries.
+
+    The SoC is always shared-capable: the
+    :class:`~repro.soc.bus.SharedIoMap` segment (shared scratch,
+    mailbox, global timer) is mapped above the per-core partitions, and
+    *contention_stall* sets the target-cycle penalty a core pays for
+    losing a shared-device arbitration round.  Programs that never
+    touch the segment behave exactly as on the partition-only SoC.
     """
 
     def __init__(self, programs: C6xProgram | Sequence[C6xProgram],
@@ -200,6 +363,7 @@ class MultiCoreSoC:
                  sync_rate: float = 1.0,
                  bridge_stall: int = 4,
                  sync_access_stall: int = 4,
+                 contention_stall: int = CONTENTION_STALL,
                  strict: bool = True) -> None:
         if isinstance(programs, C6xProgram):
             if cores is None:
@@ -214,6 +378,10 @@ class MultiCoreSoC:
         if not program_list:
             raise SimulationError("a multi-core SoC needs at least one core")
         n = len(program_list)
+        if n > MAX_CORES:
+            raise SimulationError(
+                f"{n} cores exceed the {MAX_CORES}-core limit of the "
+                f"shared-device address map")
         if isinstance(backends, str):
             backend_list = [backends] * n
         else:
@@ -223,9 +391,21 @@ class MultiCoreSoC:
                     f"{len(backend_list)} backends for {n} cores")
         self.source_arch = source_arch or default_source_arch()
         self.bus = SocBus()
+        self.shared_map = SharedIoMap()
+        self.arbiter = SharedBusArbiter(contention_stall=contention_stall)
+        self.global_timer = GlobalCycleTimer()
+        self.shared_scratch = ScratchRam(256)
+        self.mailbox = Mailbox()
+        self.bus.attach(self.shared_map.addr(self.shared_map.scratch),
+                        self.shared_scratch, "shared_scratch")
+        self.bus.attach(self.shared_map.addr(self.shared_map.timer),
+                        self.global_timer, "global_timer")
+        self.bus.attach(self.shared_map.addr(self.shared_map.mailbox),
+                        self.mailbox, "mailbox")
         self.slots = [
-            _CoreSlot(i, program_list[i], backend_list[i], self.bus,
-                      sync_rate, bridge_stall, sync_access_stall, strict)
+            _CoreSlot(i, program_list[i], backend_list[i], self.bus, n,
+                      self.arbiter, sync_rate, bridge_stall,
+                      sync_access_stall, strict)
             for i in range(n)
         ]
 
@@ -234,20 +414,42 @@ class MultiCoreSoC:
         return len(self.slots)
 
     def run(self, max_cycles: int = 200_000_000) -> MultiCorePlatformResult:
-        """Run every core to halt/exit under round-robin lockstep."""
+        """Run every core to halt/exit under round-robin lockstep.
+
+        The scheduler enforces *max_cycles* at round granularity in
+        addition to each core's own in-``advance`` check, and raises
+        :class:`SimulationError` if a full round passes in which no
+        granted core makes cycle progress — shared-device stalls make
+        "granted but stuck" a reachable state, and without the guard
+        the loop would spin forever.
+        """
         slots = self.slots
         n = len(slots)
-        rr = 0  # round-robin grant pointer of the arbiter
         running = [slot for slot in slots if not slot.finished]
         while running:
-            horizon = min(slot.core.cycles for slot in running) + 1
+            base = min(slot.core.cycles for slot in running)
+            if base >= max_cycles:
+                raise SimulationError(
+                    f"target cycle limit {max_cycles} exceeded")
+            horizon = base + 1
+            # one lockstep round == one shared-bus arbitration round;
+            # the global timebase is the round's base cycle
+            self.arbiter.begin_round(base)
+            self.global_timer.now = base
+            progressed = False
             for k in range(n):
-                slot = slots[(rr + k) % n]
+                # rotating grant priority: core (base % n) goes first
+                slot = slots[(base + k) % n]
                 if slot.finished or slot.core.cycles >= horizon:
                     continue
                 slot.grants += 1
+                before = slot.core.cycles
                 slot.advance(horizon, max_cycles)
-            rr = (rr + 1) % n
+                progressed |= slot.core.cycles > before or slot.finished
+            if not progressed:
+                raise SimulationError(
+                    f"lockstep scheduler livelock: no core advanced past "
+                    f"cycle {base} in a full arbitration round")
             running = [slot for slot in slots if not slot.finished]
         # Let outstanding cycle generation finish (the hardware would).
         for slot in slots:
@@ -261,4 +463,5 @@ class MultiCoreSoC:
                       for slot in self.slots],
             bus_trace=self.bus.monitor.transfers(),
             grants=[slot.grants for slot in self.slots],
+            contention_conflicts=self.arbiter.conflicts,
         )

@@ -165,9 +165,17 @@ class SyncDevice:
             self.tick()
 
     def flush(self) -> None:
-        """Finish all pending generation instantly (used at halt)."""
+        """Finish all pending generation instantly (used at halt).
+
+        Also clears the fractional-rate accumulator: a flushed device
+        is idle, and :meth:`tick`/:meth:`tick_n` reset the accumulator
+        whenever generation is idle — leaving residue here would make a
+        reused device's first post-flush ``tick_n`` skip the integer
+        fast path and inherit phase from the previous run.
+        """
         self.emulated_cycles += self._pending_main + self._pending_corr
         self.stats.cycles_generated += self._pending_main
         self.stats.correction_cycles_generated += self._pending_corr
         self._pending_main = 0
         self._pending_corr = 0
+        self._accumulator = 0.0

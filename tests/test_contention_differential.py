@@ -1,0 +1,302 @@
+"""Differential lockdown of the shared-device SoC and contention model.
+
+Two contracts coexist on the shared-capable :class:`MultiCoreSoC`:
+
+* **Non-sharing programs** never touch the shared segment, so the PR-2
+  contract is preserved bit for bit: every core's observables equal the
+  same program run alone on a single-core platform, and no contention
+  is ever recorded.
+* **Sharing programs** (mailbox, barrier) contend, so single-core
+  equality no longer applies; their contract is *backend independence*:
+  because every shared access executes interpreter-stepped while its
+  core sits at the global minimum cycle, the shared-device interleaving
+  — mailbox contents, arbitration winners, contention stalls, the
+  cycle-stamped shared trace — is identical across interp/compiled and
+  mixed (in either order) backend assignments, and across repeated
+  runs.
+
+The file also carries the robustness-fix regressions that ride along
+with the shared-device work: the sync-device flush residue, the
+lockstep scheduler's livelock/max-cycles guards, the zero-cycle
+reference deviation, and ``measure_program``'s cross-core equality
+check.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.programs.registry import (
+    build,
+    expected_shared_exits,
+    shared_program_names,
+)
+from repro.refsim.iss import RunResult
+from repro.translator.driver import translate
+from repro.vliw.multicore import MultiCoreSoC
+from repro.vliw.platform import PrototypingPlatform
+
+LEVEL = 2
+
+
+def _mixes(n: int) -> list[tuple[str, ...]]:
+    """Homogeneous and mixed assignments, the mix in both rotations."""
+    return [
+        ("interp",) * n,
+        ("compiled",) * n,
+        tuple("interp" if i % 2 == 0 else "compiled" for i in range(n)),
+        tuple("compiled" if i % 2 == 0 else "interp" for i in range(n)),
+    ]
+
+
+def _trace_tuples(accesses) -> list[tuple]:
+    return [(a.cycle, a.kind, a.addr, a.value, a.size) for a in accesses]
+
+
+@pytest.fixture(scope="module")
+def translated():
+    cache = {}
+
+    def get(name, level=LEVEL):
+        key = (name, level)
+        if key not in cache:
+            cache[key] = translate(build(name), level=level).program
+        return cache[key]
+
+    return get
+
+
+class TestNonSharingStaysBitIdentical:
+    """The shared-capable SoC must not perturb partition-only traffic.
+
+    (Full program x level x mix coverage lives in
+    ``test_multicore_differential.py``; these tests add the
+    contention-specific assertions on top.)
+    """
+
+    @pytest.mark.parametrize("name", ("gcd", "uart_hello", "timer_probe"))
+    def test_no_contention_and_single_core_equality(self, name, translated):
+        program = translated(name)
+        single = {backend: PrototypingPlatform(
+                      program, backend=backend).run().observables()
+                  for backend in ("interp", "compiled")}
+        for mix in _mixes(2):
+            multi = MultiCoreSoC(program, cores=2, backends=mix).run()
+            for index, backend in enumerate(mix):
+                result = multi.per_core[index]
+                assert result.observables() == single[backend], (name, mix)
+                assert result.core_stats.contention_stall_cycles == 0
+            assert multi.contention_conflicts == 0
+            assert not any(a.kind == "c" for a in multi.bus_trace)
+            assert multi.shared_trace() == []
+
+
+class TestSharedWorkloads:
+    @pytest.mark.parametrize("cores", (2, 3))
+    @pytest.mark.parametrize("name", shared_program_names())
+    def test_exit_codes_match_protocol_prediction(self, name, cores,
+                                                  translated):
+        program = translated(name)
+        multi = MultiCoreSoC(program, cores=cores,
+                             backends="interp").run()
+        exits = [r.exit_code for r in multi.per_core]
+        assert exits == expected_shared_exits(name, cores)
+        assert all(r.halted or r.exit_code is not None
+                   for r in multi.per_core)
+
+    @pytest.mark.parametrize("name", shared_program_names())
+    def test_backend_mixes_agree_bit_for_bit(self, name, translated):
+        """Observables, shared-segment trace and contention stalls are
+        identical under interp, compiled and mixed cores — in either
+        mix order."""
+        program = translated(name)
+        reference = None
+        for mix in _mixes(2):
+            multi = MultiCoreSoC(program, cores=2, backends=mix).run()
+            snapshot = (multi.observables(),
+                        _trace_tuples(multi.shared_trace()),
+                        multi.contention_stall_cycles,
+                        multi.contention_conflicts)
+            if reference is None:
+                reference = snapshot
+            else:
+                assert snapshot == reference, (name, mix)
+
+    @pytest.mark.parametrize("level", (0, 3))
+    def test_backend_independence_across_levels(self, level, translated):
+        program = translated("mbox_pingpong", level)
+        runs = [MultiCoreSoC(program, cores=2, backends=mix).run()
+                for mix in (("interp", "interp"), ("compiled", "interp"))]
+        assert runs[0].observables() == runs[1].observables()
+        assert (_trace_tuples(runs[0].shared_trace())
+                == _trace_tuples(runs[1].shared_trace()))
+
+    def test_repeated_runs_are_deterministic(self, translated):
+        program = translated("mbox_prodcons")
+        first = MultiCoreSoC(program, cores=2,
+                             backends=("compiled", "interp")).run()
+        second = MultiCoreSoC(program, cores=2,
+                              backends=("compiled", "interp")).run()
+        assert _trace_tuples(first.bus_trace) == _trace_tuples(
+            second.bus_trace)
+        assert first.grants == second.grants
+        assert first.contention_conflicts == second.contention_conflicts
+
+    def test_contention_is_recorded_consistently(self, translated):
+        """Nonzero stalls, with markers, stats and arbiter agreeing."""
+        program = translated("mbox_prodcons")
+        soc = MultiCoreSoC(program, cores=2, backends="interp")
+        multi = soc.run()
+        markers = [a for a in multi.bus_trace if a.kind == "c"]
+        assert markers, "producer/consumer run recorded no contention"
+        assert multi.contention_conflicts == len(markers)
+        per_core = multi.contention_stall_cycles
+        assert sum(per_core) > 0
+        assert sum(per_core) == sum(a.size for a in markers)
+        for marker in markers:
+            assert marker.size == soc.arbiter.contention_stall
+            assert per_core[marker.value] > 0
+        # markers also appear in the losing core's own trace
+        for index, result in enumerate(multi.per_core):
+            own = [a for a in result.bus_trace if a.kind == "c"]
+            assert sum(a.size for a in own) == per_core[index]
+
+    def test_mailbox_device_accounting(self, translated):
+        program = translated("mbox_prodcons")
+        soc = MultiCoreSoC(program, cores=2, backends="interp")
+        soc.run()
+        assert soc.mailbox.pushes == 16
+        assert soc.mailbox.pops == 16
+        assert soc.mailbox.overruns == 0
+        assert not soc.mailbox.full(0, 1)
+
+    def test_shared_programs_degrade_to_single_core(self, translated):
+        """On the single-core platform the core-id device reports
+        (0, 1), so shared workloads exit 0 instead of deadlocking."""
+        for name in shared_program_names():
+            result = PrototypingPlatform(translated(name)).run()
+            assert result.exit_code == 0
+
+
+class TestSchedulerGuards:
+    def test_granted_core_without_progress_raises(self, translated):
+        """A granted core that neither advances nor finishes must not
+        spin the scheduler forever."""
+        soc = MultiCoreSoC(translated("gcd"), cores=2, backends="interp")
+        soc.slots[0].advance = lambda until, max_cycles: None
+        with pytest.raises(SimulationError, match="livelock"):
+            soc.run()
+
+    def test_scheduler_level_max_cycles(self, translated):
+        """The round loop itself enforces the cycle budget even when a
+        core advances without ever finishing."""
+        soc = MultiCoreSoC(translated("gcd"), cores=2, backends="interp")
+
+        def stall_forever(slot):
+            def advance(until, max_cycles):
+                slot.core._stall_cycles += 1000
+            return advance
+
+        for slot in soc.slots:
+            slot.advance = stall_forever(slot)
+        with pytest.raises(SimulationError, match="cycle limit"):
+            soc.run(max_cycles=10_000)
+
+    def test_cycle_budget_cuts_off_polling_loops(self, translated):
+        """Mailbox polling spins instead of blocking, so the cycle
+        budget is the only thing standing between a protocol bug and
+        an infinite run — it must fire even mid-poll."""
+        program = translated("mbox_pingpong")
+        soc = MultiCoreSoC(program, cores=2, backends="interp")
+        with pytest.raises(SimulationError, match="cycle limit"):
+            soc.run(max_cycles=50)
+
+
+class TestSyncDeviceFlushResidue:
+    """``flush()`` must not leave fractional-accumulator residue."""
+
+    def test_accumulator_cleared_on_flush(self):
+        from repro.vliw.syncdev import REG_CMD, SyncDevice
+
+        dev = SyncDevice(rate=0.75)
+        dev.write(REG_CMD, 5)
+        dev.tick()  # accumulator now holds 0.75
+        assert dev._accumulator != 0.0
+        dev.flush()
+        assert dev._accumulator == 0.0
+        assert dev.emulated_cycles == 5
+
+    def test_reused_device_matches_fresh_device(self):
+        from repro.vliw.syncdev import REG_CMD, SyncDevice
+
+        reused = SyncDevice(rate=0.75)
+        reused.write(REG_CMD, 7)
+        for _ in range(3):
+            reused.tick()
+        reused.flush()
+        base = reused.emulated_cycles
+
+        fresh = SyncDevice(rate=0.75)
+        for dev in (reused, fresh):
+            dev.write(REG_CMD, 9)
+            dev.tick_n(20)
+        assert reused.emulated_cycles - base == fresh.emulated_cycles
+
+    def test_integer_rate_fast_path_after_flush(self):
+        from repro.vliw.syncdev import REG_CMD, SyncDevice
+
+        dev = SyncDevice(rate=2.0)
+        dev.write(REG_CMD, 3)
+        dev.tick()
+        dev.flush()
+        assert dev._accumulator == 0.0
+        dev.write(REG_CMD, 8)
+        dev.tick_n(4)  # integer fast path: 4 ticks x rate 2 covers 8
+        assert dev.emulated_cycles == 11
+
+
+class TestDeviationDegenerateReference:
+    def test_zero_cycle_reference_reports_zero_deviation(self):
+        from repro.eval.runner import LevelMeasurement, ProgramMeasurement
+        from repro.vliw.platform import PlatformResult
+
+        reference = RunResult(instructions=0, cycles=0, regs=(),
+                              data_image=b"", uart_output=b"",
+                              bus_trace=[], exit_code=0, halted=True)
+        result = PlatformResult(target_cycles=0, packets_issued=0,
+                                emulated_cycles=4, source_instructions=0,
+                                data_image=b"", uart_output=b"",
+                                bus_trace=[], exit_code=0, halted=True)
+        measurement = ProgramMeasurement(name="degenerate",
+                                         reference=reference)
+        measurement.levels[1] = LevelMeasurement(level=1, result=result,
+                                                 translation=None)
+        assert measurement.deviation(1) == 0.0
+
+
+class TestMeasureProgramCrossCoreCheck:
+    def test_non_sharing_program_passes_the_check(self):
+        from repro.eval.runner import measure_program
+
+        measurement = measure_program("gcd", levels=(1,), cores=2)
+        assert measurement.levels[1].result.exit_code is not None
+
+    def test_diverging_cores_raise_without_shared_flag(self):
+        from repro.eval.runner import measure_program
+
+        with pytest.raises(SimulationError, match="differential contract"):
+            measure_program("mbox_pingpong", levels=(1,), cores=2)
+
+    def test_shared_flag_skips_the_check_and_records_core0(self):
+        from repro.eval.runner import measure_program
+
+        measurement = measure_program("mbox_pingpong", levels=(1,),
+                                      cores=2, shared=True)
+        assert measurement.levels[1].result.exit_code == 17
+
+
+class TestConstructionLimits:
+    def test_core_count_bounded_by_shared_map(self, translated):
+        from repro.vliw.multicore import MAX_CORES
+
+        with pytest.raises(SimulationError, match="limit"):
+            MultiCoreSoC(translated("gcd"), cores=MAX_CORES + 1)
