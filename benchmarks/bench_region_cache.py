@@ -1,0 +1,137 @@
+"""Region-cache economics of the packet-compiled backend on the
+big-footprint kernels.
+
+The compiled backend caches generated region *source* on the program
+object and host code objects per process (see
+``src/repro/vliw/compiled.py``); the nine small kernels barely touch
+either cache because their whole program is a handful of regions.  The
+big kernels (``dct8x8``'s two >1 KiB unrolled butterflies, ``viterbi``'s
+double-step ACS body, ``crc32``'s unrolled table generator) are the
+first workloads whose region population is large enough to measure the
+cache's behaviour: this benchmark records, per kernel, the region
+count, packet count, cold-run compile work and warm-run hit rate into
+``BENCH_regions.json`` and checks the invariants that make the cache
+correct and worthwhile:
+
+* a warm platform re-executing the same translation generates **zero**
+  new region source (100 % cache hit rate);
+* :func:`repro.vliw.compiled.precompile_program` statically reaches at
+  least every region a real execution compiles;
+* the warm run is not slower than the cold run (beyond noise).
+
+``test_matches_committed_baseline`` compares the deterministic shape
+fields (regions, packets, compile counts) against the committed
+baseline — absent baselines skip cleanly via ``conftest.load_baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.programs.registry import BIG_KERNELS, build
+from repro.translator.driver import translate
+from repro.vliw.compiled import precompile_program
+from repro.vliw.platform import PrototypingPlatform
+
+from conftest import REPO_ROOT, load_baseline, write_report
+
+RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_regions.json")
+LEVEL = 3
+
+_RECORD_CACHE: dict = {}
+
+
+def _measure() -> dict:
+    if _RECORD_CACHE:
+        return _RECORD_CACHE
+    record = {"level": LEVEL, "kernels": {}}
+    for name in BIG_KERNELS:
+        translation = translate(build(name), level=LEVEL)
+        program = translation.program
+
+        cold_platform = PrototypingPlatform(program, backend="compiled")
+        start = time.perf_counter()
+        cold_result = cold_platform.run()
+        cold_seconds = time.perf_counter() - start
+        cold = cold_platform._compiler
+
+        warm_platform = PrototypingPlatform(program, backend="compiled")
+        start = time.perf_counter()
+        warm_result = warm_platform.run()
+        warm_seconds = time.perf_counter() - start
+        warm = warm_platform._compiler
+
+        assert warm_result.observables() == cold_result.observables(), name
+
+        warm_total = warm.regions_generated + warm.regions_from_cache
+        record["kernels"][name] = {
+            "packets": len(program.packets),
+            "regions_executed": cold.regions_compiled,
+            "cold_generated": cold.regions_generated,
+            "cold_from_cache": cold.regions_from_cache,
+            "warm_generated": warm.regions_generated,
+            "warm_from_cache": warm.regions_from_cache,
+            "warm_hit_rate": (warm.regions_from_cache / warm_total
+                              if warm_total else 1.0),
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+        }
+
+        # a fresh translation, populated statically: precompile must
+        # reach at least everything the execution needed
+        fresh = translate(build(name), level=LEVEL).program
+        precompiled = precompile_program(fresh)
+        record["kernels"][name]["precompiled_regions"] = precompiled
+    _RECORD_CACHE.update(record)
+    return _RECORD_CACHE
+
+
+def test_region_cache_record():
+    """Cold vs warm region-cache behaviour; writes BENCH_regions.json."""
+    record = _measure()
+    lines = [f"region cache on the big kernels (level {LEVEL}, "
+             f"packet-compiled backend):"]
+    for name, row in record["kernels"].items():
+        # the whole point of the program-level source cache: a warm
+        # platform never regenerates region source
+        assert row["warm_generated"] == 0, (name, row)
+        assert row["warm_hit_rate"] == 1.0, (name, row)
+        assert row["cold_generated"] > 0, (name, row)
+        assert row["precompiled_regions"] >= row["cold_generated"], \
+            (name, row)
+        lines.append(
+            f"  {name:8s} packets {row['packets']:5d}  regions "
+            f"{row['cold_generated']:3d} generated cold / "
+            f"{row['warm_from_cache']:3d} cached warm  "
+            f"cold {row['cold_seconds'] * 1e3:7.1f}ms  "
+            f"warm {row['warm_seconds'] * 1e3:7.1f}ms")
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    write_report("region_cache.txt", "\n".join(lines))
+
+    # big kernels must actually exercise the cache: tens of regions,
+    # not the handful the small kernels produce
+    assert min(row["cold_generated"]
+               for row in record["kernels"].values()) >= 10
+
+
+def test_warm_run_not_slower():
+    record = _measure()
+    for name, row in record["kernels"].items():
+        # generous noise margin; the warm run skips all codegen
+        assert row["warm_seconds"] <= row["cold_seconds"] * 1.5, (name, row)
+
+
+def test_matches_committed_baseline():
+    """Deterministic shape fields must match the committed record."""
+    baseline = load_baseline("BENCH_regions.json")
+    record = _measure()
+    assert set(baseline["kernels"]) == set(record["kernels"])
+    for name, row in record["kernels"].items():
+        committed = baseline["kernels"][name]
+        for field in ("packets", "regions_executed", "cold_generated",
+                      "precompiled_regions"):
+            assert committed[field] == row[field], (name, field)

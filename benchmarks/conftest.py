@@ -23,6 +23,9 @@ _SRC = os.path.join(
 if os.path.isdir(_SRC) and _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+import glob
+import json
+
 import pytest
 
 from repro.eval.experiments import _measure_all
@@ -30,6 +33,27 @@ from repro.eval.runner import measure_program
 from repro.programs.registry import FIGURE5_PROGRAMS
 
 OUTPUT_DIR = os.path.join(os.path.dirname(__file__), "output")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: all committed ``BENCH_*.json`` records, snapshotted when pytest
+#: imports this conftest — i.e. *before* any recording benchmark
+#: overwrites one in the same session, so baseline comparisons always
+#: see the committed state.
+_BASELINES: dict[str, dict] = {}
+for _path in glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")):
+    with open(_path) as _handle:
+        _BASELINES[os.path.basename(_path)] = json.load(_handle)
+
+
+def load_baseline(filename: str) -> dict:
+    """The committed ``BENCH_*.json`` baseline (collection-time
+    snapshot), or a clean skip — not an error — when it is absent on
+    this checkout (fresh clone, record not regenerated yet)."""
+    record = _BASELINES.get(filename)
+    if record is None:
+        pytest.skip(f"baseline {filename} absent on this checkout; run "
+                    f"the recording benchmark first and commit it")
+    return record
 
 
 def pytest_addoption(parser):

@@ -27,6 +27,7 @@ setup(
             "repro-minic = repro.cli:minic_main",
             "repro-translate = repro.cli:translate_main",
             "repro-run = repro.cli:run_main",
+            "repro-fuzz = repro.cli:fuzz_main",
             "repro-experiments = repro.cli:experiments_main",
         ],
     },

@@ -1,0 +1,28 @@
+"""Seeded property-based fuzzing of the whole translation pipeline.
+
+The fuzz subsystem closes the loop the curated corpus cannot: instead
+of nine hand-written kernels, it draws an unbounded population of
+structured random minic programs (:mod:`repro.fuzz.progen`) and checks
+every execution configuration of the platform against the reference
+ISS and against itself (:mod:`repro.fuzz.oracle`) — interpretive vs
+packet-compiled backends, one core vs N lockstep cores, detail levels
+0 through 3.  Failing programs are shrunk to minimal reproducers
+(:mod:`repro.fuzz.shrink`) and dumped under ``tests/fuzz_corpus/``.
+
+Entry points: the ``repro-fuzz`` console script, ``python -m
+repro.fuzz``, and :func:`repro.cli.fuzz_main`.
+"""
+
+from repro.fuzz.oracle import FuzzConfig, Mismatch, Verdict, check_source
+from repro.fuzz.progen import GenProgram, generate
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "FuzzConfig",
+    "GenProgram",
+    "Mismatch",
+    "Verdict",
+    "check_source",
+    "generate",
+    "shrink",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.fuzz`` — the ``repro-fuzz`` CLI without install."""
+
+import sys
+
+from repro.cli import fuzz_main
+
+if __name__ == "__main__":
+    sys.exit(fuzz_main())

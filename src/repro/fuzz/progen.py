@@ -1,0 +1,718 @@
+"""Seeded structured random minic program generator.
+
+Every generated program is drawn from a grammar restricted to
+constructs whose semantics this module can mirror *exactly* in Python
+(32-bit two's-complement arithmetic, arithmetic right shifts,
+C-truncating division, sign-extending char loads), so each program
+carries an independently computed expected exit checksum and expected
+UART byte stream — the registry's pure-Python-reference idiom, applied
+to an unbounded program population.
+
+Hard generation invariants:
+
+* **termination** — every loop has a constant trip count (``for``
+  counts up or down over a dedicated induction variable no other
+  statement may write; ``while`` loops increment their counter as the
+  first statement of the body, so ``continue`` can never skip it);
+* **totality** — divisors are forced odd (``| 1``), shift amounts are
+  masked to 0..15, array indices are masked to the power-of-two array
+  size, so no generated expression can trap or leave the data image;
+* **self-checking** — ``main`` folds every scalar local and every
+  global array into a multiplicative checksum and returns it, so any
+  state divergence between two executions surfaces in the exit code
+  even when intermediate observables are not compared.
+
+The generator is deterministic: ``generate(seed, index)`` always
+returns byte-identical source for the same ``(seed, index)`` pair (the
+RNG is seeded with a string key, which :class:`random.Random` hashes
+stably across processes and Python versions).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.utils.bits import s32, u32
+
+#: UART transmit data register (matches ``IoMap.uart`` on the SoC bus).
+UART_ADDR = 0xF000_0000
+
+#: interesting constants the expression grammar draws leaves from.
+_CONST_POOL = (
+    0, 1, 2, 3, 5, 7, 8, 13, 15, 16, 31, 63, 100, 255, 256, 999,
+    4096, 32767, 65535, 1103515245, 0x7FFFFFF1,
+    -1, -2, -7, -128, -999, -65536,
+)
+
+_ARRAY_SIZES = (8, 16, 32, 64)
+
+_BIN_ARITH = ("+", "-", "*", "&", "|", "^", "<<", ">>")
+_BIN_CMP = ("==", "!=", "<", ">", "<=", ">=")
+_BIN_LOGIC = ("&&", "||")
+_ASSIGN_OPS = ("=", "=", "=", "+=", "-=", "*=", "&=", "|=", "^=")
+
+
+class FuzzGenError(Exception):
+    """Internal invariant violation in the generator or its mirror."""
+
+
+def _c_div(a: int, b: int) -> int:
+    """C-truncating 32-bit division (mirrors the ``__div`` routine)."""
+    au = abs(a) & 0xFFFFFFFF
+    bu = abs(b) & 0xFFFFFFFF
+    q = au // bu
+    if (a < 0) != (b < 0):
+        q = -q
+    return s32(u32(q))
+
+
+def _c_mod(a: int, b: int) -> int:
+    """C remainder: takes the dividend's sign (mirrors ``__mod``)."""
+    au = abs(a) & 0xFFFFFFFF
+    bu = abs(b) & 0xFFFFFFFF
+    r = au % bu
+    if a < 0:
+        r = -r
+    return s32(u32(r))
+
+
+def _sext8(value: int) -> int:
+    value &= 0xFF
+    return value - 256 if value >= 128 else value
+
+
+# ---------------------------------------------------------------------------
+# expression nodes
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    __slots__ = ()
+
+
+@dataclass
+class ENum(Expr):
+    value: int
+
+    def render(self) -> str:
+        return str(self.value) if self.value >= 0 else f"({self.value})"
+
+
+@dataclass
+class EVar(Expr):
+    name: str
+
+    def render(self) -> str:
+        return self.name
+
+
+@dataclass
+class EIndex(Expr):
+    array: str
+    mask: int  # size - 1 of the (power-of-two sized) array
+    index: Expr
+
+    def render(self) -> str:
+        return f"{self.array}[({self.index.render()}) & {self.mask}]"
+
+
+@dataclass
+class EUn(Expr):
+    op: str  # - ~ !
+    operand: Expr
+
+    def render(self) -> str:
+        return f"({self.op}({self.operand.render()}))"
+
+
+@dataclass
+class EBin(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def render(self) -> str:
+        lhs = self.left.render()
+        rhs = self.right.render()
+        if self.op in ("<<", ">>"):
+            rhs = f"(({rhs}) & 15)"
+        elif self.op in ("/", "%"):
+            rhs = f"(({rhs}) | 1)"
+        return f"({lhs} {self.op} {rhs})"
+
+
+# ---------------------------------------------------------------------------
+# statement nodes
+# ---------------------------------------------------------------------------
+
+
+class Stmt:
+    __slots__ = ()
+
+
+@dataclass
+class SAssign(Stmt):
+    var: str
+    op: str
+    value: Expr
+
+    def render(self, ind: str) -> list[str]:
+        return [f"{ind}{self.var} {self.op} {self.value.render()};"]
+
+
+@dataclass
+class SStore(Stmt):
+    array: str
+    mask: int
+    index: Expr
+    value: Expr
+
+    def render(self, ind: str) -> list[str]:
+        return [f"{ind}{self.array}[({self.index.render()}) & {self.mask}]"
+                f" = {self.value.render()};"]
+
+
+@dataclass
+class SIoWrite(Stmt):
+    value: Expr
+
+    def render(self, ind: str) -> list[str]:
+        return [f"{ind}__io_write({UART_ADDR:#x}, "
+                f"({self.value.render()}) & 255);"]
+
+
+@dataclass
+class SCall(Stmt):
+    var: str
+    func: str
+    args: list[Expr]
+
+    def render(self, ind: str) -> list[str]:
+        args = ", ".join(a.render() for a in self.args)
+        return [f"{ind}{self.var} = {self.func}({args});"]
+
+
+@dataclass
+class SIf(Stmt):
+    cond: Expr
+    then: list[Stmt]
+    els: list[Stmt]
+
+    def render(self, ind: str) -> list[str]:
+        lines = [f"{ind}if ({self.cond.render()}) {{"]
+        lines += _render_block(self.then, ind + "    ")
+        if self.els:
+            lines.append(f"{ind}}} else {{")
+            lines += _render_block(self.els, ind + "    ")
+        lines.append(f"{ind}}}")
+        return lines
+
+
+@dataclass
+class SFor(Stmt):
+    var: str
+    count: int
+    down: bool
+    body: list[Stmt]
+
+    def render(self, ind: str) -> list[str]:
+        if self.down:
+            head = (f"{ind}for ({self.var} = {self.count}; {self.var} > 0; "
+                    f"{self.var} -= 1) {{")
+        else:
+            head = (f"{ind}for ({self.var} = 0; {self.var} < {self.count}; "
+                    f"{self.var} += 1) {{")
+        return [head, *_render_block(self.body, ind + "    "), f"{ind}}}"]
+
+
+@dataclass
+class SWhile(Stmt):
+    var: str
+    count: int
+    body: list[Stmt]
+
+    def render(self, ind: str) -> list[str]:
+        # The counter increments first, so `continue` cannot skip it.
+        lines = [f"{ind}{self.var} = 0;",
+                 f"{ind}while ({self.var} < {self.count}) {{",
+                 f"{ind}    {self.var} += 1;"]
+        lines += _render_block(self.body, ind + "    ")
+        lines.append(f"{ind}}}")
+        return lines
+
+
+@dataclass
+class SBreak(Stmt):
+    def render(self, ind: str) -> list[str]:
+        return [f"{ind}break;"]
+
+
+@dataclass
+class SContinue(Stmt):
+    def render(self, ind: str) -> list[str]:
+        return [f"{ind}continue;"]
+
+
+def _render_block(stmts: list[Stmt], ind: str) -> list[str]:
+    lines: list[str] = []
+    for stmt in stmts:
+        lines += stmt.render(ind)
+    if not stmts:
+        lines.append(f"{ind};")
+    return lines
+
+
+# ---------------------------------------------------------------------------
+# program structure
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class GArray:
+    name: str
+    ctype: str  # 'int' | 'char'
+    size: int
+    init: list[int] | None  # None = zero-filled
+
+    def render(self) -> list[str]:
+        if self.init is None:
+            return [f"{self.ctype} {self.name}[{self.size}];"]
+        body = ", ".join(str(v) for v in self.init)
+        return [f"{self.ctype} {self.name}[{self.size}] = {{ {body} }};"]
+
+
+@dataclass
+class GFunc:
+    name: str
+    params: list[str]
+    locals_: dict[str, int]
+    body: list[Stmt]
+    ret: Expr
+
+    def render(self) -> list[str]:
+        params = ", ".join(f"int {p}" for p in self.params)
+        lines = [f"int {self.name}({params}) {{"]
+        for name, init in self.locals_.items():
+            lines.append(f"    int {name} = {init};")
+        lines += _render_block(self.body, "    ")
+        lines.append(f"    return {self.ret.render()};")
+        lines.append("}")
+        return lines
+
+
+@dataclass
+class GenProgram:
+    """One generated program: AST plus derived source and expectations."""
+
+    key: str
+    arrays: list[GArray]
+    funcs: list[GFunc]
+    main_locals: dict[str, int] = field(default_factory=dict)
+    main_body: list[Stmt] = field(default_factory=list)
+    loop_vars: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        lines = [f"/* generated by repro.fuzz.progen ({self.key}) */", ""]
+        for array in self.arrays:
+            lines += array.render()
+        lines.append("")
+        for func in self.funcs:
+            lines += func.render()
+            lines.append("")
+        lines.append("int main() {")
+        for name, init in self.main_locals.items():
+            lines.append(f"    int {name} = {init};")
+        for var in self.loop_vars:
+            lines.append(f"    int {var} = 0;")
+        lines.append("    int chk = 0;")
+        lines.append("    int zz = 0;")
+        lines += _render_block(self.main_body, "    ")
+        for name in self.main_locals:
+            lines.append(f"    chk = chk * 31 + {name};")
+        for array in self.arrays:
+            lines.append(f"    for (zz = 0; zz < {array.size}; zz += 1) {{")
+            lines.append(f"        chk = chk * 31 + {array.name}[zz];")
+            lines.append("    }")
+        lines.append("    return chk & 255;")
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+    def evaluate(self) -> tuple[int, bytes]:
+        """Mirror execution: (expected exit code, expected UART bytes)."""
+        return _Eval(self).run()
+
+
+# ---------------------------------------------------------------------------
+# the mirror interpreter
+# ---------------------------------------------------------------------------
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Eval:
+    """Executes the program AST with exact target semantics."""
+
+    #: statement/expression evaluation budget; generated programs are
+    #: bounded by construction, so running out means a generator bug.
+    FUEL = 4_000_000
+
+    def __init__(self, program: GenProgram) -> None:
+        self.program = program
+        self.funcs = {f.name: f for f in program.funcs}
+        self.arrays = {}
+        self.kinds = {}
+        for array in program.arrays:
+            values = list(array.init) if array.init is not None else []
+            values += [0] * (array.size - len(values))
+            if array.ctype == "char":
+                values = [v & 0xFF for v in values]
+            else:
+                values = [s32(u32(v)) for v in values]
+            self.arrays[array.name] = values
+            self.kinds[array.name] = array.ctype
+        self.uart = bytearray()
+        self.fuel = self.FUEL
+
+    def run(self) -> tuple[int, bytes]:
+        env = {name: s32(u32(init))
+               for name, init in self.program.main_locals.items()}
+        for var in self.program.loop_vars:
+            env[var] = 0
+        self.exec_block(self.program.main_body, env)
+        chk = 0
+        for name in self.program.main_locals:
+            chk = s32(chk * 31 + env[name])
+        for array in self.program.arrays:
+            for value in self.arrays[array.name]:
+                if array.ctype == "char":
+                    value = _sext8(value)
+                chk = s32(chk * 31 + value)
+        return chk & 255, bytes(self.uart)
+
+    def _burn(self) -> None:
+        self.fuel -= 1
+        if self.fuel <= 0:
+            raise FuzzGenError("evaluation budget exhausted — the "
+                               "generator emitted an unbounded program")
+
+    # -- statements -----------------------------------------------------
+
+    def exec_block(self, stmts: list[Stmt], env: dict) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: Stmt, env: dict) -> None:
+        self._burn()
+        if isinstance(stmt, SAssign):
+            value = self.eval(stmt.value, env)
+            if stmt.op == "=":
+                env[stmt.var] = value
+            else:
+                env[stmt.var] = self._apply(stmt.op[:-1], env[stmt.var],
+                                            stmt.value, value)
+            return
+        if isinstance(stmt, SStore):
+            index = self.eval(stmt.index, env) & stmt.mask
+            value = self.eval(stmt.value, env)
+            if self.kinds[stmt.array] == "char":
+                self.arrays[stmt.array][index] = value & 0xFF
+            else:
+                self.arrays[stmt.array][index] = value
+            return
+        if isinstance(stmt, SIoWrite):
+            self.uart.append(self.eval(stmt.value, env) & 255)
+            return
+        if isinstance(stmt, SCall):
+            env[stmt.var] = self.call(stmt.func,
+                                      [self.eval(a, env) for a in stmt.args])
+            return
+        if isinstance(stmt, SIf):
+            branch = stmt.then if self.eval(stmt.cond, env) else stmt.els
+            self.exec_block(branch, env)
+            return
+        if isinstance(stmt, SFor):
+            iters = (range(stmt.count, 0, -1) if stmt.down
+                     else range(stmt.count))
+            for value in iters:
+                env[stmt.var] = value
+                try:
+                    self.exec_block(stmt.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            else:
+                # the loop variable holds its final header value
+                env[stmt.var] = 0 if stmt.down else stmt.count
+            return
+        if isinstance(stmt, SWhile):
+            env[stmt.var] = 0
+            while env[stmt.var] < stmt.count:
+                env[stmt.var] = s32(env[stmt.var] + 1)
+                try:
+                    self.exec_block(stmt.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            return
+        if isinstance(stmt, SBreak):
+            raise _Break()
+        if isinstance(stmt, SContinue):
+            raise _Continue()
+        raise FuzzGenError(f"unknown statement {type(stmt).__name__}")
+
+    def call(self, name: str, args: list[int]) -> int:
+        func = self.funcs[name]
+        env = dict(zip(func.params, args))
+        for local, init in func.locals_.items():
+            env[local] = s32(u32(init))
+        self.exec_block(func.body, env)
+        return self.eval(func.ret, env)
+
+    # -- expressions ----------------------------------------------------
+
+    def eval(self, expr: Expr, env: dict) -> int:
+        self._burn()
+        if isinstance(expr, ENum):
+            return s32(u32(expr.value))
+        if isinstance(expr, EVar):
+            return env[expr.name]
+        if isinstance(expr, EIndex):
+            index = self.eval(expr.index, env) & expr.mask
+            value = self.arrays[expr.array][index]
+            if self.kinds[expr.array] == "char":
+                value = _sext8(value)
+            return value
+        if isinstance(expr, EUn):
+            value = self.eval(expr.operand, env)
+            if expr.op == "-":
+                return s32(u32(-value))
+            if expr.op == "~":
+                return s32(u32(~value))
+            return 0 if value else 1
+        if isinstance(expr, EBin):
+            left = self.eval(expr.left, env)
+            if expr.op in _BIN_LOGIC:
+                if expr.op == "&&":
+                    return int(bool(left) and bool(self.eval(expr.right,
+                                                             env)))
+                return int(bool(left) or bool(self.eval(expr.right, env)))
+            right = self.eval(expr.right, env)
+            return self._binop(expr.op, left, right)
+        raise FuzzGenError(f"unknown expression {type(expr).__name__}")
+
+    def _apply(self, op: str, left: int, rhs_expr: Expr, right: int) -> int:
+        return self._binop(op, left, right)
+
+    def _binop(self, op: str, a: int, b: int) -> int:
+        if op == "+":
+            return s32(u32(a + b))
+        if op == "-":
+            return s32(u32(a - b))
+        if op == "*":
+            return s32(u32(a * b))
+        if op == "&":
+            return s32(u32(a) & u32(b))
+        if op == "|":
+            return s32(u32(a) | u32(b))
+        if op == "^":
+            return s32(u32(a) ^ u32(b))
+        if op == "<<":
+            return s32(u32(a << (b & 15)))
+        if op == ">>":
+            return a >> (b & 15)
+        if op == "/":
+            return _c_div(a, b | 1)
+        if op == "%":
+            return _c_mod(a, b | 1)
+        if op == "==":
+            return int(a == b)
+        if op == "!=":
+            return int(a != b)
+        if op == "<":
+            return int(a < b)
+        if op == ">":
+            return int(a > b)
+        if op == "<=":
+            return int(a <= b)
+        if op == ">=":
+            return int(a >= b)
+        raise FuzzGenError(f"unknown operator {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# generation
+# ---------------------------------------------------------------------------
+
+
+class _Gen:
+    """One generation run (one program) off a seeded RNG."""
+
+    MAX_STMTS = 36
+    MAX_EXPR_DEPTH = 3
+    MAX_LOOP_DEPTH = 2
+    MAX_BLOCK_DEPTH = 3
+
+    def __init__(self, rng: random.Random, key: str) -> None:
+        self.rng = rng
+        self.key = key
+        self.budget = self.MAX_STMTS
+        self.loop_counter = 0
+
+    def build(self) -> GenProgram:
+        rng = self.rng
+        arrays = []
+        for n in range(rng.randint(1, 3)):
+            size = rng.choice(_ARRAY_SIZES)
+            ctype = rng.choice(("int", "int", "char"))
+            init = None
+            if rng.random() < 0.5:
+                hi = 255 if ctype == "char" else 9999
+                init = [rng.randint(0, hi) for _ in range(size)]
+            arrays.append(GArray(f"g{n}", ctype, size, init))
+        self.arrays = arrays
+
+        funcs = []
+        for n in range(rng.randint(0, 2)):
+            params = [f"p{i}" for i in range(rng.randint(1, 3))]
+            locals_ = {f"a{i}": rng.choice(_CONST_POOL) for i in range(2)}
+            scope = [*params, *locals_]
+            first_loop = self.loop_counter
+            body = self.gen_block(rng.randint(2, 5), scope,
+                                  assignable=list(locals_),
+                                  funcs=(), loop_depth=0, block_depth=0,
+                                  io_ok=False)
+            ret = self.gen_expr(scope, 0)
+            # loop induction variables allocated inside this body are
+            # locals of this function
+            for k in range(first_loop, self.loop_counter):
+                locals_[f"i{k}"] = 0
+            funcs.append(GFunc(f"f{n}", params, locals_, body, ret))
+        self.funcs = funcs
+
+        main_locals = {f"v{i}": rng.choice(_CONST_POOL)
+                       for i in range(rng.randint(3, 5))}
+        scope = list(main_locals)
+        first_loop = self.loop_counter
+        body = self.gen_block(rng.randint(5, 12), scope,
+                              assignable=list(main_locals),
+                              funcs=tuple(f.name for f in funcs),
+                              loop_depth=0, block_depth=0, io_ok=True)
+        program = GenProgram(
+            key=self.key, arrays=arrays, funcs=funcs,
+            main_locals=main_locals, main_body=body,
+            loop_vars=[f"i{n}" for n in range(first_loop,
+                                              self.loop_counter)])
+        return program
+
+    # -- helpers --------------------------------------------------------
+
+    def gen_const(self) -> ENum:
+        rng = self.rng
+        if rng.random() < 0.6:
+            return ENum(rng.choice(_CONST_POOL))
+        return ENum(rng.randint(-(1 << 20), 1 << 20))
+
+    def gen_expr(self, scope: list[str], depth: int) -> Expr:
+        rng = self.rng
+        if depth >= self.MAX_EXPR_DEPTH or rng.random() < 0.25 + 0.2 * depth:
+            roll = rng.random()
+            if roll < 0.4 or not scope:
+                return self.gen_const()
+            if roll < 0.85:
+                return EVar(rng.choice(scope))
+            array = rng.choice(self.arrays)
+            return EIndex(array.name, array.size - 1,
+                          self.gen_expr(scope, depth + 1))
+        roll = rng.random()
+        if roll < 0.12:
+            return EUn(rng.choice(("-", "~", "!")),
+                       self.gen_expr(scope, depth + 1))
+        if roll < 0.80:
+            op = rng.choice(_BIN_ARITH)
+        elif roll < 0.88:
+            op = rng.choice(("/", "%"))
+        elif roll < 0.96:
+            op = rng.choice(_BIN_CMP)
+        else:
+            op = rng.choice(_BIN_LOGIC)
+        return EBin(op, self.gen_expr(scope, depth + 1),
+                    self.gen_expr(scope, depth + 1))
+
+    def gen_block(self, target: int, scope: list[str],
+                  assignable: list[str], funcs: tuple,
+                  loop_depth: int, block_depth: int,
+                  io_ok: bool) -> list[Stmt]:
+        stmts = []
+        for _ in range(target):
+            if self.budget <= 0:
+                break
+            stmts.append(self.gen_stmt(scope, assignable, funcs,
+                                       loop_depth, block_depth, io_ok))
+        return stmts
+
+    def gen_stmt(self, scope: list[str], assignable: list[str],
+                 funcs: tuple, loop_depth: int, block_depth: int,
+                 io_ok: bool) -> Stmt:
+        rng = self.rng
+        self.budget -= 1
+        roll = rng.random()
+        deep = block_depth >= self.MAX_BLOCK_DEPTH
+        if roll < 0.32 and assignable:
+            return SAssign(rng.choice(assignable),
+                           rng.choice(_ASSIGN_OPS),
+                           self.gen_expr(scope, 0))
+        if roll < 0.50:
+            array = rng.choice(self.arrays)
+            return SStore(array.name, array.size - 1,
+                          self.gen_expr(scope, 1),
+                          self.gen_expr(scope, 0))
+        if roll < 0.62 and not deep:
+            cond = self.gen_expr(scope, 1)
+            then = self.gen_block(rng.randint(1, 3), scope, assignable,
+                                  funcs, loop_depth, block_depth + 1, io_ok)
+            els = []
+            if rng.random() < 0.5:
+                els = self.gen_block(rng.randint(1, 2), scope, assignable,
+                                     funcs, loop_depth, block_depth + 1,
+                                     io_ok)
+            return SIf(cond, then, els)
+        if roll < 0.76 and loop_depth < self.MAX_LOOP_DEPTH and not deep:
+            var = f"i{self.loop_counter}"
+            self.loop_counter += 1
+            inner_scope = scope + [var]
+            body = self.gen_block(rng.randint(1, 4), inner_scope,
+                                  assignable, funcs, loop_depth + 1,
+                                  block_depth + 1, io_ok)
+            if rng.random() < 0.3:
+                return SWhile(var, rng.randint(1, 6), body)
+            return SFor(var, rng.randint(1, 6), rng.random() < 0.3, body)
+        if roll < 0.82 and funcs and assignable:
+            name = rng.choice(funcs)
+            func = next(f for f in self.funcs if f.name == name)
+            args = [self.gen_expr(scope, 1) for _ in func.params]
+            return SCall(rng.choice(assignable), name, args)
+        if roll < 0.88 and io_ok:
+            return SIoWrite(self.gen_expr(scope, 1))
+        if roll < 0.93 and loop_depth > 0:
+            return SBreak() if rng.random() < 0.6 else SContinue()
+        if assignable:
+            return SAssign(rng.choice(assignable), "=",
+                           self.gen_expr(scope, 0))
+        return SStore(self.arrays[0].name, self.arrays[0].size - 1,
+                      self.gen_expr(scope, 1), self.gen_expr(scope, 0))
+
+
+def generate(seed: int, index: int = 0) -> GenProgram:
+    """Generate program *index* of the population seeded with *seed*."""
+    key = f"progen:{seed}:{index}"
+    rng = random.Random(key)
+    return _Gen(rng, key).build()

@@ -1,0 +1,236 @@
+"""Greedy structural shrinking of failing generated programs.
+
+Given a :class:`~repro.fuzz.progen.GenProgram` and a predicate that
+re-runs the oracle, the shrinker tries a fixed repertoire of
+semantics-shrinking (not semantics-preserving — any still-failing
+program is a valid reproducer) transformations until none applies or
+the attempt budget runs out:
+
+1. drop whole helper functions (and the calls into them) and global
+   array initializers;
+2. delete statements, one at a time, innermost blocks first;
+3. hoist an ``if`` branch or a loop body in place of the construct;
+4. reduce loop trip counts to 1;
+5. replace expression operands with the constant 0.
+
+Each candidate mutates a deep copy, so the original program object is
+never changed; the smallest still-failing program found is returned.
+The walk is deterministic, so one failing seed always shrinks to the
+same reproducer.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable
+
+from repro.fuzz.progen import (
+    EBin,
+    EIndex,
+    ENum,
+    EUn,
+    GenProgram,
+    SAssign,
+    SCall,
+    SFor,
+    SIf,
+    SIoWrite,
+    SStore,
+    SWhile,
+    Stmt,
+)
+
+
+def _blocks(program: GenProgram) -> list[list[Stmt]]:
+    """Every statement list of the program, innermost first."""
+    found: list[list[Stmt]] = []
+
+    def walk(block: list[Stmt]) -> None:
+        for stmt in block:
+            if isinstance(stmt, SIf):
+                walk(stmt.then)
+                walk(stmt.els)
+            elif isinstance(stmt, (SFor, SWhile)):
+                walk(stmt.body)
+        found.append(block)
+
+    for func in program.funcs:
+        walk(func.body)
+    walk(program.main_body)
+    return found
+
+
+def _exprs(stmt: Stmt) -> list[tuple[object, str]]:
+    """(owner, attribute) pairs of the statement's direct expressions."""
+    if isinstance(stmt, SAssign):
+        return [(stmt, "value")]
+    if isinstance(stmt, SStore):
+        return [(stmt, "index"), (stmt, "value")]
+    if isinstance(stmt, SIoWrite):
+        return [(stmt, "value")]
+    if isinstance(stmt, SIf):
+        return [(stmt, "cond")]
+    return []
+
+
+def _expr_sites(expr, owner, attr, out) -> None:
+    """Collect (owner, attr) slots holding non-constant subexpressions."""
+    if isinstance(expr, ENum):
+        return
+    out.append((owner, attr))
+    if isinstance(expr, EBin):
+        _expr_sites(expr.left, expr, "left", out)
+        _expr_sites(expr.right, expr, "right", out)
+    elif isinstance(expr, EUn):
+        _expr_sites(expr.operand, expr, "operand", out)
+    elif isinstance(expr, EIndex):
+        _expr_sites(expr.index, expr, "index", out)
+
+
+def _valid(program: GenProgram) -> bool:
+    """Reject mutants whose break/continue escaped every loop."""
+    from repro.fuzz.progen import SBreak, SContinue
+
+    def walk(block: list[Stmt], loop_depth: int) -> bool:
+        for stmt in block:
+            if isinstance(stmt, (SBreak, SContinue)) and loop_depth == 0:
+                return False
+            if isinstance(stmt, SIf):
+                if not walk(stmt.then, loop_depth) \
+                        or not walk(stmt.els, loop_depth):
+                    return False
+            elif isinstance(stmt, (SFor, SWhile)):
+                if not walk(stmt.body, loop_depth + 1):
+                    return False
+        return True
+
+    return all(walk(f.body, 0) for f in program.funcs) \
+        and walk(program.main_body, 0)
+
+
+class _Budget:
+    def __init__(self, attempts: int) -> None:
+        self.left = attempts
+
+    def spend(self) -> bool:
+        self.left -= 1
+        return self.left >= 0
+
+
+def _size(program: GenProgram) -> int:
+    return len(program.render())
+
+
+def shrink(program: GenProgram,
+           still_fails: Callable[[GenProgram], bool],
+           max_attempts: int = 400) -> GenProgram:
+    """Smallest still-failing variant of *program* found within budget."""
+    best = copy.deepcopy(program)
+    budget = _Budget(max_attempts)
+
+    def attempt(candidate: GenProgram) -> bool:
+        nonlocal best
+        if not budget.spend():
+            return False
+        if not _valid(candidate) or _size(candidate) >= _size(best):
+            return False
+        if still_fails(candidate):
+            best = candidate
+            return True
+        return False
+
+    progress = True
+    while progress and budget.left > 0:
+        progress = False
+
+        # 1. drop helper functions entirely
+        for index in range(len(best.funcs) - 1, -1, -1):
+            candidate = copy.deepcopy(best)
+            dropped = candidate.funcs.pop(index).name
+            for block in _blocks(candidate):
+                block[:] = [s for s in block
+                            if not (isinstance(s, SCall)
+                                    and s.func == dropped)]
+            if attempt(candidate):
+                progress = True
+
+        # 1b. drop array initializers (zero-filled arrays are smaller)
+        for index, array in enumerate(best.arrays):
+            if array.init is not None:
+                candidate = copy.deepcopy(best)
+                candidate.arrays[index].init = None
+                if attempt(candidate):
+                    progress = True
+
+        # 2. delete statements one at a time, innermost blocks first.
+        # Every successful deletion changes the block structure, so the
+        # walk restarts from fresh indices after each hit.
+        changed = True
+        while changed and budget.left > 0:
+            changed = False
+            for b_index, block in enumerate(_blocks(best)):
+                for s_index in range(len(block) - 1, -1, -1):
+                    candidate = copy.deepcopy(best)
+                    del _blocks(candidate)[b_index][s_index]
+                    if attempt(candidate):
+                        progress = True
+                        changed = True
+                        break
+                if changed:
+                    break
+
+        # 3. hoist branch/loop bodies over their construct (restart on
+        # every hit for the same index-staleness reason)
+        changed = True
+        while changed and budget.left > 0:
+            changed = False
+            for b_index, block in enumerate(_blocks(best)):
+                for s_index, stmt in enumerate(block):
+                    replacements: list[list[Stmt]] = []
+                    if isinstance(stmt, SIf):
+                        replacements = [stmt.then, stmt.els]
+                    elif isinstance(stmt, (SFor, SWhile)):
+                        replacements = [stmt.body]
+                    for replacement in replacements:
+                        candidate = copy.deepcopy(best)
+                        target = _blocks(candidate)[b_index]
+                        target[s_index:s_index + 1] = \
+                            copy.deepcopy(replacement)
+                        if attempt(candidate):
+                            progress = True
+                            changed = True
+                            break
+                    if changed:
+                        break
+                if changed:
+                    break
+
+        # 4. reduce loop trip counts to 1
+        for b_index, block in enumerate(_blocks(best)):
+            for s_index, stmt in enumerate(block):
+                if isinstance(stmt, (SFor, SWhile)) and stmt.count > 1:
+                    candidate = copy.deepcopy(best)
+                    _blocks(candidate)[b_index][s_index].count = 1
+                    if attempt(candidate):
+                        progress = True
+
+        # 5. zero out expression operands
+        for b_index, block in enumerate(_blocks(best)):
+            for s_index, stmt in enumerate(block):
+                sites: list[tuple[object, str]] = []
+                for owner, attr in _exprs(stmt):
+                    _expr_sites(getattr(owner, attr), owner, attr, sites)
+                for site_index in range(len(sites)):
+                    candidate = copy.deepcopy(best)
+                    cand_stmt = _blocks(candidate)[b_index][s_index]
+                    cand_sites: list[tuple[object, str]] = []
+                    for owner, attr in _exprs(cand_stmt):
+                        _expr_sites(getattr(owner, attr), owner, attr,
+                                    cand_sites)
+                    if site_index >= len(cand_sites):
+                        continue  # an earlier hit shrank this statement
+                    owner, attr = cand_sites[site_index]
+                    setattr(owner, attr, ENum(0))
+                    if attempt(candidate):
+                        progress = True
+    return best

@@ -1,0 +1,219 @@
+"""Fuzz subsystem: seeded reproducibility, oracle verdicts, shrinking,
+and the ``repro-fuzz`` CLI.
+
+The contract under test: ``generate(seed, index)`` is a pure function
+(byte-identical source, identical predicted observables, identical
+oracle verdicts for the same pair), the mirror's predicted exit/UART
+match the reference ISS, the oracle flags prediction mismatches and
+crashes, and the shrinker deterministically minimizes while preserving
+the failure predicate.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.cli import fuzz_main
+from repro.fuzz import FuzzConfig, check_source, generate, shrink
+from repro.fuzz.oracle import check_generated
+from repro.fuzz.progen import FuzzGenError
+from repro.minic.compiler import compile_source
+from repro.refsim.iss import FunctionalISS
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
+
+#: small sweep the smoke tests use (the full matrix is the CLI's job)
+SMOKE = FuzzConfig(levels=(0, 2), backends=("interp", "compiled"), cores=2)
+
+
+class TestGenerator:
+    def test_seeded_reproducibility(self):
+        for index in (0, 3, 9):
+            first = generate(42, index)
+            second = generate(42, index)
+            assert first.render() == second.render()
+            assert first.evaluate() == second.evaluate()
+
+    def test_population_is_diverse(self):
+        sources = {generate(42, index).render() for index in range(20)}
+        assert len(sources) == 20
+
+    def test_seed_changes_population(self):
+        assert generate(1, 0).render() != generate(2, 0).render()
+
+    @pytest.mark.parametrize("index", range(8))
+    def test_mirror_matches_reference_iss(self, index):
+        program = generate(1234, index)
+        expected_exit, expected_uart = program.evaluate()
+        obj = compile_source(program.render())
+        result = FunctionalISS(obj).run(max_instructions=2_000_000)
+        assert result.exit_code == expected_exit
+        assert result.uart_output == expected_uart
+
+    def test_mirror_is_bounded(self):
+        # evaluation always terminates well inside the fuel budget
+        for index in range(10):
+            generate(7, index).evaluate()
+
+
+class TestOracle:
+    @pytest.mark.parametrize("index", range(3))
+    def test_population_passes(self, index):
+        verdict = check_generated(generate(42, index), SMOKE)
+        assert verdict.ok, verdict.summary()
+
+    def test_verdicts_reproducible(self):
+        program = generate(42, 1)
+        first = check_generated(program, SMOKE)
+        second = check_generated(generate(42, 1), SMOKE)
+        assert first.ok == second.ok
+        assert first.summary() == second.summary()
+        assert first.exit_code == second.exit_code
+
+    def test_detects_wrong_prediction(self):
+        verdict = check_source("int main() { return 7; }", expected_exit=9,
+                               config=FuzzConfig(levels=(0,)))
+        assert not verdict.ok
+        assert any(m.kind == "predicted" for m in verdict.mismatches)
+
+    def test_detects_wrong_uart(self):
+        verdict = check_source("int main() { return 0; }",
+                               expected_uart=b"x",
+                               config=FuzzConfig(levels=(0,)))
+        assert not verdict.ok
+        assert any(m.kind == "predicted" for m in verdict.mismatches)
+
+    def test_detects_hang_as_crash(self):
+        verdict = check_source(
+            "int main() { while (1) { } return 0; }",
+            config=FuzzConfig(levels=(0,), max_instructions=50_000,
+                              max_cycles=200_000))
+        assert not verdict.ok
+        assert any(m.kind == "crash" for m in verdict.mismatches)
+
+    def test_detects_frontend_error(self):
+        verdict = check_source("int main( { return; }")
+        assert not verdict.ok
+        assert verdict.mismatches[0].kind == "frontend"
+
+    def test_single_core_skips_multicore_sweep(self):
+        verdict = check_source("int main() { return 5; }",
+                               config=FuzzConfig(levels=(1,), cores=1))
+        assert verdict.ok
+        assert verdict.exit_code == 5
+
+
+class TestShrink:
+    @staticmethod
+    def _has_io(program) -> bool:
+        return "__io_write" in program.render()
+
+    def _io_program(self):
+        for index in range(40):
+            program = generate(11, index)
+            if self._has_io(program):
+                return index, program
+        raise AssertionError("population unexpectedly free of io writes")
+
+    def test_shrink_minimizes_and_preserves_predicate(self):
+        _, program = self._io_program()
+        small = shrink(program, self._has_io, max_attempts=300)
+        assert self._has_io(small)
+        assert len(small.render()) < len(program.render())
+        # the shrunk program still compiles and evaluates
+        compile_source(small.render())
+        small.evaluate()
+
+    def test_shrink_is_deterministic(self):
+        index, program = self._io_program()
+        again = generate(11, index)
+        first = shrink(program, self._has_io, max_attempts=300)
+        second = shrink(again, self._has_io, max_attempts=300)
+        assert first.render() == second.render()
+
+    def test_shrink_keeps_original_when_nothing_helps(self):
+        program = generate(42, 0)
+        kept = shrink(program, lambda p: False, max_attempts=50)
+        assert kept.render() == program.render()
+
+
+class TestCli:
+    def test_smoke_green(self, capsys, tmp_path):
+        rc = fuzz_main(["--seed", "42", "--count", "3", "--levels", "0,1",
+                        "--cores", "2",
+                        "--corpus-dir", str(tmp_path / "corpus")])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "0 failure(s)" in out
+        assert not (tmp_path / "corpus").exists()  # nothing dumped
+
+    def test_output_reproducible(self, capsys, tmp_path):
+        args = ["--seed", "42", "--count", "2", "--levels", "0",
+                "--cores", "1", "-v",
+                "--corpus-dir", str(tmp_path / "corpus")]
+        assert fuzz_main(args) == 0
+        first = capsys.readouterr().out
+        assert fuzz_main(args) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_rejects_bad_levels(self, capsys):
+        assert fuzz_main(["--levels", "0,9"]) == 1
+        assert "levels" in capsys.readouterr().err
+
+    def test_rejects_bad_count(self, capsys):
+        assert fuzz_main(["--count", "0"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_failure_dumps_shrunk_reproducer(self, capsys, tmp_path,
+                                             monkeypatch):
+        # force the oracle to fail so the dump/shrink path runs
+        from repro.fuzz import oracle as oracle_mod
+        from repro.fuzz.oracle import Mismatch, Verdict
+
+        def always_fails(program, config=None):
+            verdict = Verdict(ok=False)
+            verdict.mismatches.append(
+                Mismatch("backend", "L0 interp vs compiled", "forced"))
+            return verdict
+
+        monkeypatch.setattr(oracle_mod, "check_generated", always_fails)
+        corpus = tmp_path / "corpus"
+        rc = fuzz_main(["--seed", "5", "--count", "1", "--levels", "0",
+                        "--cores", "1", "--max-shrink", "40",
+                        "--corpus-dir", str(corpus)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "FAIL" in out and "reproducer" in out
+        (mc_path,) = glob.glob(str(corpus / "*.mc"))
+        (json_path,) = glob.glob(str(corpus / "*.json"))
+        assert "main" in open(mc_path).read()
+        meta = json.load(open(json_path))
+        assert meta["seed"] == 5
+        assert meta["mismatches"]
+
+
+class TestCorpusReplay:
+    """Committed reproducers document *fixed* bugs: they must pass."""
+
+    def test_corpus_reproducers_stay_green(self):
+        sources = sorted(glob.glob(os.path.join(CORPUS_DIR, "*.mc")))
+        if not sources:
+            pytest.skip("no reproducers in the corpus yet")
+        for path in sources:
+            meta_path = path[:-3] + ".json"
+            expected_exit = None
+            if os.path.exists(meta_path):
+                expected_exit = json.load(open(meta_path)).get(
+                    "expected_exit")
+            verdict = check_source(open(path).read(),
+                                   expected_exit=expected_exit,
+                                   config=SMOKE)
+            assert verdict.ok, f"{path}: {verdict.summary()}"
+
+
+def test_fuzz_gen_error_is_exported():
+    # the mirror's safety net is part of the public surface
+    assert issubclass(FuzzGenError, Exception)

@@ -1,10 +1,12 @@
-"""Instruction-cache model tests, including a hypothesis differential
-test against a naive reference implementation."""
+"""Instruction-cache model tests: a hypothesis differential test
+against a naive reference implementation, and capacity-miss coverage
+under the big-kernel workloads (whose code exceeds the cache)."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.arch.model import ICacheModel
+from repro.arch.model import ICacheModel, default_source_arch
 from repro.cache.icache import InstructionCache
 
 
@@ -125,3 +127,76 @@ def test_against_naive_model(ways, sets_log, addrs):
     for addr in addrs:
         assert cache.access(addr) == naive.access(addr), (
             f"divergence at {addr:#x}")
+
+
+class TestBigKernelCapacityMisses:
+    """The big kernels genuinely overflow the 2 KiB instruction cache.
+
+    The small Section-4 kernels all fit in the default cache (every
+    miss is compulsory), so until the big kernels landed, the icache
+    model's replacement behaviour was never exercised by a whole
+    program — only by the synthetic traces above.  ``dct8x8`` and
+    ``viterbi`` must incur *capacity* misses: more misses under the
+    default geometry than under a cache large enough to hold their
+    whole text, by a wide margin.
+    """
+
+    @staticmethod
+    def _stats(name, arch):
+        from repro.programs.registry import build
+        from repro.refsim.iss import CycleAccurateISS
+
+        return CycleAccurateISS(build(name), arch).run().cache_stats
+
+    @staticmethod
+    def _code_bytes(name) -> int:
+        from repro.programs.registry import build
+
+        return len(build(name).text().data)
+
+    @pytest.mark.parametrize("name", ("dct8x8", "viterbi"))
+    def test_big_kernels_incur_capacity_misses(self, name):
+        arch = default_source_arch()
+        assert self._code_bytes(name) > arch.icache.size, \
+            f"{name} no longer overflows the {arch.icache.size}-byte cache"
+        default = self._stats(name, arch)
+        # 64x the sets => whole text fits => only compulsory misses
+        compulsory = self._stats(name, arch.with_icache(sets=2048))
+        capacity = default.misses - compulsory.misses
+        assert compulsory.misses > 0
+        assert capacity >= 500, (
+            f"{name}: only {capacity} capacity misses "
+            f"({default.misses} total, {compulsory.misses} compulsory)")
+
+    @pytest.mark.parametrize("name", ("gcd", "sieve", "fir"))
+    def test_small_kernels_only_miss_compulsorily(self, name):
+        # the property that makes the big kernels *distinct*: the
+        # Section-4 kernels fit, so every miss is a cold fill
+        arch = default_source_arch()
+        assert self._code_bytes(name) < arch.icache.size
+        default = self._stats(name, arch)
+        compulsory = self._stats(name, arch.with_icache(sets=2048))
+        assert default.misses == compulsory.misses
+
+    def test_level3_translation_charges_the_misses(self):
+        """The level-3 generated cache simulation must surface the
+        capacity misses as emulated cycles: switching from level 2
+        (no cache model) to level 3 adds at least the reference
+        simulator's miss-penalty total, within the usual tolerance."""
+        from repro.programs.registry import build
+        from repro.translator.driver import translate
+        from repro.vliw.platform import PrototypingPlatform
+
+        arch = default_source_arch()
+        obj = build("dct8x8")
+        misses = self._stats("dct8x8", arch).misses
+        penalty = arch.icache.miss_penalty
+        runs = {}
+        for level in (2, 3):
+            program = translate(obj, level=level).program
+            runs[level] = PrototypingPlatform(
+                program, backend="compiled").run().emulated_cycles
+        added = runs[3] - runs[2]
+        assert added >= 0.9 * misses * penalty, (
+            f"level 3 added only {added} emulated cycles; the reference "
+            f"charges ~{misses * penalty}")

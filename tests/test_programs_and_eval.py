@@ -12,13 +12,16 @@ from repro.cli import (
 )
 from repro.errors import RegisterAllocationError, ReproError
 from repro.programs.registry import (
+    BIG_KERNELS,
     FIGURE5_PROGRAMS,
     PROGRAMS,
     TABLE2_PROGRAMS,
+    ProgramSpec,
     build,
     expected_exit,
     program_names,
     source,
+    validate_sources,
 )
 from repro.refsim.iss import FunctionalISS
 
@@ -52,6 +55,21 @@ class TestRegistry:
 
     def test_build_cached(self):
         assert build("gcd") is build("gcd")
+
+    def test_big_kernel_set(self):
+        assert set(BIG_KERNELS) <= set(PROGRAMS)
+        for name in BIG_KERNELS:
+            assert expected_exit(name) is not None, name
+
+    def test_registry_sources_all_present(self):
+        # the same check that runs at import time, invoked explicitly
+        validate_sources()
+
+    def test_missing_source_named_in_error(self):
+        ghost = ProgramSpec("ghost", "ghost_kernel.mc",
+                            "deliberately missing", "control", None)
+        with pytest.raises(ReproError, match="ghost_kernel.mc"):
+            validate_sources([ghost])
 
 
 class TestLowering:
