@@ -1,14 +1,23 @@
-"""Backend speedup — interpretive core vs packet-compiled host code.
+"""Backend speedup — interpreter vs packet-compiled vs native C.
 
-Times one platform execution of every Figure-5 workload at detail
-level 3 under both execution backends, checks they produce identical
-observables, and writes a ``BENCH_backend.json`` speedup record to the
-repo root.  The acceptance bar: the compiled backend is at least 3x
-faster than the interpretive core on ``sieve`` at detail level 3.
+Times one platform execution of every Figure-5 workload (and, for the
+native record, the big kernels) at detail level 3 under every
+execution backend, checks they produce identical observables, and
+writes speedup records to the repo root:
 
-``cold`` timings include region compilation; ``warm`` timings reuse the
-program-level region-code cache, which is the steady state for repeated
-measurement runs (the benchmark suite's own usage pattern).
+* ``BENCH_backend.json`` — interp vs packet-compiled (the PR-1 bar:
+  compiled >= 3x interp on ``sieve`` at level 3);
+* ``BENCH_native.json`` — interp vs packet-compiled vs native
+  (three-stage pipeline, C emitter).  The bar: *warm* native at least
+  matches *warm* packet-compiled on the big kernels (dct8x8, viterbi,
+  crc32), where regions are long and the C body dominates the
+  per-region dispatch overhead.  On hosts without a C toolchain the
+  record is still written with ``"native_available": false`` and the
+  bar is skipped — honest numbers either way.
+
+``cold`` timings include region code generation (and for native the
+shared-object compile unless disk-cached); ``warm`` timings reuse the
+program-level caches, the steady state for repeated measurement runs.
 """
 
 from __future__ import annotations
@@ -17,14 +26,18 @@ import json
 import os
 import time
 
-from repro.programs.registry import FIGURE5_PROGRAMS, build
+import pytest
+
+from repro.programs.registry import BIG_KERNELS, FIGURE5_PROGRAMS, build
 from repro.translator.driver import translate
+from repro.vliw.codegen.native import native_available
 from repro.vliw.platform import PrototypingPlatform
 
 from conftest import write_report
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_backend.json")
+NATIVE_RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_native.json")
 LEVEL = 3
 
 
@@ -90,3 +103,82 @@ def test_backend_smoke_gcd():
     _, interp_result = _timed_run(program, "interp")
     _, compiled_result = _timed_run(program, "compiled")
     assert interp_result.observables() == compiled_result.observables()
+
+
+def _best_of(program, backend, runs=2):
+    times = []
+    result = None
+    for _ in range(runs):
+        seconds, result = _timed_run(program, backend)
+        times.append(seconds)
+    return min(times), result
+
+
+def test_native_speedup_record():
+    """Figure-5 + big-kernel sweep at level 3 across all three
+    backends; writes BENCH_native.json."""
+    available = native_available()
+    record = {
+        "level": LEVEL,
+        "native_available": available,
+        "programs": {},
+    }
+    for name in (*FIGURE5_PROGRAMS, *BIG_KERNELS):
+        # two independent translations of the same object, so each
+        # backend's cold run starts from genuinely empty region caches
+        # (a shared program would let whichever backend runs second
+        # reuse the first's lowering/source work); translation is
+        # deterministic, so observables still compare across the two
+        obj = build(name)
+        program = translate(obj, level=LEVEL).program
+        native_program = translate(obj, level=LEVEL).program
+        compiled_cold, compiled_result = _timed_run(program, "compiled")
+        compiled_warm, compiled_result = _best_of(program, "compiled")
+        # native cold includes codegen + the C compile (or a disk-cache
+        # dlopen on repeated benchmark runs)
+        native_cold, native_result = _timed_run(native_program, "native")
+        native_warm, native_result = _best_of(native_program, "native")
+        interp_time, interp_result = _best_of(program, "interp")
+        assert (interp_result.observables()
+                == compiled_result.observables()
+                == native_result.observables()), name
+        record["programs"][name] = {
+            "interp_seconds": round(interp_time, 6),
+            "compiled_cold_seconds": round(compiled_cold, 6),
+            "compiled_warm_seconds": round(compiled_warm, 6),
+            "native_cold_seconds": round(native_cold, 6),
+            "native_warm_seconds": round(native_warm, 6),
+            "native_vs_interp_warm": round(interp_time / native_warm, 3),
+            "native_vs_compiled_warm": round(
+                compiled_warm / native_warm, 3),
+        }
+    with open(NATIVE_RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    lines = [f"three-stage backend speedup at detail level {LEVEL} "
+             f"(interp vs packet-compiled vs native C, "
+             f"native_available={available}):"]
+    for name, row in record["programs"].items():
+        lines.append(
+            f"  {name:10s} interp {row['interp_seconds']*1000:8.1f}ms"
+            f"  compiled {row['compiled_warm_seconds']*1000:8.1f}ms"
+            f"  native {row['native_warm_seconds']*1000:8.1f}ms"
+            f"  (native {row['native_vs_interp_warm']:.1f}x interp,"
+            f" {row['native_vs_compiled_warm']:.2f}x compiled)")
+    write_report("native_speedup.txt", "\n".join(lines))
+    if not available:
+        pytest.skip("no C toolchain: BENCH_native.json records the "
+                    "Python-emitter fallback; speedup bar not applicable")
+    # the acceptance bar: warm native at least matches warm
+    # packet-compiled on every big kernel
+    for name in BIG_KERNELS:
+        row = record["programs"][name]
+        assert row["native_vs_compiled_warm"] >= 1.0, (name, row)
+
+
+def test_native_smoke_gcd():
+    """Quick CI smoke: native agrees with interp on gcd at level 1."""
+    program = translate(build("gcd"), level=1).program
+    _, interp_result = _timed_run(program, "interp")
+    _, native_result = _timed_run(program, "native")
+    assert interp_result.observables() == native_result.observables()

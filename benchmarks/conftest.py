@@ -57,9 +57,11 @@ def load_baseline(filename: str) -> dict:
 
 
 def pytest_addoption(parser):
+    from repro.vliw.codegen import backend_names
+
     parser.addoption(
         "--platform-backend", default="compiled",
-        choices=("interp", "compiled"),
+        choices=backend_names(),
         help="execution backend for platform measurements")
 
 

@@ -22,6 +22,16 @@ def _load_object(path: str):
     return elf.load(path)
 
 
+def _backend_choices() -> tuple[str, ...]:
+    """Registered execution backends (single source of truth), so CLI
+    choices stay in sync with :mod:`repro.vliw.codegen` automatically —
+    a backend registered there is immediately selectable here, and an
+    unknown name is rejected naming the registered set."""
+    from repro.vliw.codegen import backend_names
+
+    return backend_names()
+
+
 def asm_main(argv: list[str] | None = None) -> int:
     """Assemble a source file into a RELF object file."""
     parser = argparse.ArgumentParser(
@@ -90,10 +100,11 @@ def translate_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--run", action="store_true",
                         help="execute on the platform after translating")
     parser.add_argument("--backend", default="interp",
-                        choices=("interp", "compiled"),
+                        choices=_backend_choices(),
                         help="platform execution backend for --run: the "
-                             "interpretive core or the packet-compiled "
-                             "host translation (identical observables)")
+                             "interpretive core, the packet-compiled "
+                             "host translation, or the native C backend "
+                             "(identical observables)")
     parser.add_argument("--cores", type=int, default=1,
                         help="for --run: replicate the program onto an "
                              "N-core SoC model (one shared bus, "
@@ -170,11 +181,22 @@ def translate_main(argv: list[str] | None = None) -> int:
                   f"{sum(multi.contention_stall_cycles)} total stall "
                   f"cycles")
         return 0
-    run = PrototypingPlatform(result.program, source_arch=arch,
-                              backend=args.backend).run()
+    platform = PrototypingPlatform(result.program, source_arch=arch,
+                                   backend=args.backend)
+    run = platform.run()
     print(f"exit={run.exit_code} target_cycles={run.target_cycles} "
           f"emulated_cycles={run.emulated_cycles} "
           f"cpi={run.target_cpi:.2f}")
+    if args.backend == "native":
+        context = (platform._compiler.native_context
+                   if platform._compiler else None)
+        if context is None:
+            print("native: unavailable (no C toolchain or REPRO_NATIVE=0); "
+                  "ran on the Python emitter")
+        else:
+            print(f"native: {context.n_native_regions} regions compiled "
+                  f"({context.binding.kind}), {context.regions_native} "
+                  f"entered, {context.regions_demoted} demoted to Python")
     if run.uart_output:
         print(f"uart: {run.uart_output!r}")
     return 0
@@ -273,8 +295,11 @@ def fuzz_main(argv: list[str] | None = None) -> int:
                         help="core count for the lockstep SoC check "
                              "(1 disables the multi-core sweep)")
     parser.add_argument("--backend", default="both",
-                        choices=("interp", "compiled", "both"),
-                        help="platform backend(s) to cross-check")
+                        choices=(*_backend_choices(), "both", "all"),
+                        help="platform backend(s) to cross-check: one "
+                             "registered backend, 'both' (interp + "
+                             "compiled), or 'all' (every registered "
+                             "backend)")
     parser.add_argument("--levels", default="0,1,2,3",
                         help="comma-separated detail levels to sweep")
     parser.add_argument("--corpus-dir", default="tests/fuzz_corpus",
@@ -302,8 +327,12 @@ def fuzz_main(argv: list[str] | None = None) -> int:
         print("error: --levels must be a comma-separated subset of 0,1,2,3",
               file=sys.stderr)
         return 1
-    backends = (("interp", "compiled") if args.backend == "both"
-                else (args.backend,))
+    if args.backend == "both":
+        backends = ("interp", "compiled")
+    elif args.backend == "all":
+        backends = _backend_choices()
+    else:
+        backends = (args.backend,)
     config = FuzzConfig(levels=levels, backends=backends, cores=args.cores)
     configurations = len(levels) * (len(backends) + (args.cores > 1))
 
@@ -376,7 +405,7 @@ def experiments_main(argv: list[str] | None = None) -> int:
                              "processes (identical numbers, less wall "
                              "clock)")
     parser.add_argument("--backend", default="interp",
-                        choices=("interp", "compiled"),
+                        choices=_backend_choices(),
                         help="platform execution backend for the "
                              "measurements (identical observables)")
     parser.add_argument("-o", "--output",

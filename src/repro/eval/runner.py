@@ -72,9 +72,12 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
                     shared: bool = False) -> ProgramMeasurement:
     """Run the full measurement battery for one workload.
 
-    *backend* selects the platform execution engine (``"interp"`` or
-    ``"compiled"``); both produce identical observables, so every
-    derived metric is backend-independent — only wall-clock differs.
+    *backend* selects the platform execution engine (any name
+    registered in :mod:`repro.vliw.codegen` — ``"interp"``,
+    ``"compiled"`` or ``"native"``); all produce identical observables,
+    so every derived metric is backend-independent — only wall-clock
+    differs.  An unknown name fails immediately with the registered
+    list, before any measurement runs.
 
     *cores* > 1 replicates the program onto a
     :class:`~repro.vliw.multicore.MultiCoreSoC`; every core then
@@ -86,6 +89,9 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
     the shared-device segment, where per-core results legitimately
     differ (cores take different roles); the check is then skipped.
     """
+    from repro.vliw.codegen import resolve_backend
+
+    resolve_backend(backend)  # fail fast, naming the registered backends
     arch = arch or default_source_arch()
     obj = build(name)
     reference = CycleAccurateISS(obj, arch).run()

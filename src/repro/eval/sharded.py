@@ -34,7 +34,7 @@ import contextlib
 import os
 import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from multiprocessing import get_context
 
@@ -44,6 +44,7 @@ from repro.programs.registry import build
 from repro.refsim.iss import CycleAccurateISS
 from repro.refsim.rtlsim import RtlSimulator
 from repro.translator.driver import TranslationResult, translate
+from repro.vliw.codegen import resolve_backend
 from repro.vliw.compiled import precompile_program
 from repro.vliw.platform import PrototypingPlatform
 
@@ -74,6 +75,9 @@ class ShardSpec:
                              f"choose from {', '.join(SHARD_KINDS)}")
         if not self.program and self.obj is None:
             raise ValueError("shard needs a program name or an object file")
+        # fail fast in the parent, naming the registered backends,
+        # instead of a worker-side crash
+        resolve_backend(self.backend)
         return self
 
 
@@ -241,10 +245,15 @@ class ShardedRunner:
                            source=self.source_arch,
                            inline_cache_threshold=spec.inline_cache_threshold)
             self._translations[key] = tr
-        if (self.precompile and spec.backend == "compiled"
-                and key not in self._precompiled):
-            precompile_program(tr.program, source_arch=self.source_arch)
-            self._precompiled.add(key)
+        pre_key = (key, spec.backend)
+        if (self.precompile and resolve_backend(spec.backend).compiled
+                and pre_key not in self._precompiled):
+            # fills the program's source + IR caches; the native
+            # backend also builds the module into the on-disk cache,
+            # so workers dlopen instead of invoking the C compiler
+            precompile_program(tr.program, source_arch=self.source_arch,
+                               backend=spec.backend)
+            self._precompiled.add(pre_key)
         return tr
 
     def _payload(self, spec: ShardSpec) -> tuple:
@@ -273,6 +282,43 @@ class ShardedRunner:
                     outs = [future.result() for future in futures]
         return [ShardOutcome(spec=spec, **out)
                 for spec, out in zip(specs, outs)]
+
+    def run_all(self, specs, stream: bool = False):
+        """Execute every shard, optionally streaming completions.
+
+        The default (``stream=False``) is exactly :meth:`run`: a list
+        of outcomes in deterministic submission order, identical to the
+        serial runner regardless of scheduling.  ``stream=True``
+        returns an *iterator* that yields each :class:`ShardOutcome` as
+        its shard completes (``as_completed`` order) — for long sweeps
+        where early results should surface immediately — so the
+        arrival order is nondeterministic, but the outcome *set* (and
+        every observable in it) is the same; each outcome carries its
+        ``spec``, so callers reassemble deterministically if needed.
+        """
+        if not stream:
+            return self.run(specs)
+        return self._run_streaming(list(specs))
+
+    def _run_streaming(self, specs: list[ShardSpec]):
+        """Generator behind ``run_all(stream=True)``."""
+        payloads = [self._payload(spec) for spec in specs]
+        if self.jobs == 1 or len(payloads) <= 1:
+            # inline execution *is* completion order
+            for spec, payload in zip(specs, payloads):
+                yield ShardOutcome(spec=spec, **_run_payload(payload))
+            return
+        workers = min(self.jobs, len(payloads))
+        with child_import_path():
+            with ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=get_context(self.mp_context)) as pool:
+                by_future = {
+                    pool.submit(_run_payload, payload): spec
+                    for spec, payload in zip(specs, payloads)}
+                for future in as_completed(by_future):
+                    yield ShardOutcome(spec=by_future[future],
+                                       **future.result())
 
     def measure_registry(self, programs, levels=(0, 1, 2, 3),
                          backend: str = "interp", sync_rate: float = 1.0,

@@ -1,0 +1,388 @@
+"""Region IR: the typed intermediate representation between region
+discovery and host code generation.
+
+The packet-compiled backend is a three-stage pipeline (see
+``docs/ir.md``):
+
+1. **translate** — target binary to cycle-annotated
+   :class:`~repro.isa.c6x.packets.C6xProgram` (``repro.translator``);
+2. **lower** — straight-line packet regions of that program to the
+   *Region IR* in this module (:mod:`repro.vliw.codegen.lower`);
+3. **emit** — Region IR to executable host code through a pluggable
+   :class:`~repro.vliw.codegen.RegionEmitter`
+   (:mod:`repro.vliw.codegen.emit_python`,
+   :mod:`repro.vliw.codegen.emit_c`).
+
+The IR is deliberately *complete*: every observable side effect of a
+region — register and memory mutation, statically placed delay-slot
+writebacks, batched cycle/counter updates, device-dispatch points,
+shared-window guards, interpreter bail-outs and block-chain edges — is
+an explicit node, so an emitter is a dumb renderer and never re-derives
+semantics.  Epilogues are precomputed per exit site (counter prefixes,
+writeback spills, pending-branch spill), which is what makes backends
+that cannot reach Python state (the C emitter) able to report exits
+through a fixed ABI instead.
+
+Everything here is an immutable dataclass built from plain ints,
+strings and tuples: Region IR pickles, so the program-level cache can
+ship lowered regions to worker processes (:mod:`repro.eval.sharded`),
+and it renders deterministically, so the C emitted from it can be
+content-addressed on disk (:mod:`repro.vliw.codegen.native` keys
+shared objects by the SHA-256 of the generated source — itself a pure
+function of the IR set — plus the ABI revision).
+
+Value operands
+    Operands that may be forwarded from an earlier instruction of the
+    same packet are ``("reg", n)`` (pre-packet register state),
+    ``("var", m)`` (the phase-1 result of instruction *m*) or
+    ``("cvar", m, p, n)`` (instruction *m*'s result if predicate
+    variable *p* is true, else ``regs[n]`` — a predicated zero-delay
+    forward).  Instruction numbers *m* name the per-region value and
+    predicate variables of the generated code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+
+from repro.isa.c6x.instructions import TOp
+
+#: operand tuple kinds (see module docstring)
+OPERAND_KINDS = ("reg", "var", "cvar")
+
+
+@dataclass(frozen=True)
+class Spill:
+    """One delay-slot writeback returned to the core's in-flight dict."""
+
+    mature: int  # matures at issue index ``ii0 + mature``
+    dst: int
+    var: int  # value variable id
+    pred: int | None  # predicate variable id gating the spill
+
+
+@dataclass(frozen=True)
+class BranchSpill:
+    """An unmatured branch returned to ``core._pending_branch``."""
+
+    effective: int  # takes effect at issue index ``ii0 + effective``
+    pred: int | None  # predicate variable id, None = unconditional
+    target: int | None  # static packet index ...
+    target_var: int | None  # ... or the id of a resolved indirect target
+
+
+@dataclass(frozen=True)
+class Epilogue:
+    """The batched state flush of one region exit, fully precomputed.
+
+    *executed* packets issued; commit sections ran for the first
+    *commits_ran* packets (``executed + 1`` at interpreter bails, whose
+    packet re-executes on the core).  Counter fields are the static
+    prefix totals at this exit; ``use_ci``/``use_cn`` add the region's
+    run-time predicated counters on top.  *ticks* is the batched
+    sync-device advance still owed at this exit.
+    """
+
+    executed: int
+    commits_ran: int
+    pc: int | None  # static packet index to resume at ...
+    pc_var: int | None  # ... or the id of a resolved indirect target
+    instr_static: int
+    use_ci: bool
+    nop_static: int
+    use_cn: bool
+    src_static: int
+    ticks: int
+    spills: tuple[Spill, ...]
+    branch: BranchSpill | None
+
+
+@dataclass(frozen=True)
+class PredDef:
+    """Phase-1 predicate evaluation against pre-packet state."""
+
+    var: int
+    reg: int
+    sense: bool  # True: taken when reg != 0
+
+
+@dataclass(frozen=True)
+class AluOp:
+    """A register-result computation (phase 1 of the packet)."""
+
+    var: int
+    op: TOp
+    dst: int | None
+    src1: int | None
+    src2: int | None
+    imm: int | None
+    pred: int | None
+
+
+@dataclass(frozen=True)
+class PlainLoad:
+    """A load the translator proved targets plain data memory.
+
+    Carries the interpreter *bail* for the run-time case where the
+    address leaves the plain-memory window after all.
+    """
+
+    var: int
+    op: TOp
+    src1: int
+    imm: int
+    pred: int | None
+    bail: Epilogue
+
+
+@dataclass(frozen=True)
+class DeviceLoad:
+    """A device-flagged load: the full three-way address dispatch."""
+
+    var: int
+    op: TOp
+    src1: int
+    imm: int
+    pred: int | None
+
+
+@dataclass(frozen=True)
+class StoreCheck:
+    """Pre-apply range check of a plain store (bails before mutating)."""
+
+    m: int  # instruction id: names the ``so{m}`` offset variable
+    base: tuple
+    imm: int
+    size: int
+    pred: int | None
+    bail: Epilogue
+
+
+@dataclass(frozen=True)
+class PlainStore:
+    """Apply-phase plain store through the checked ``so{m}`` offset."""
+
+    m: int
+    val: tuple
+    size: int
+    pred: int | None
+
+
+@dataclass(frozen=True)
+class DeviceStore:
+    """A device-flagged store: the full three-way address dispatch."""
+
+    m: int
+    base: tuple
+    val: tuple
+    imm: int
+    size: int
+    pred: int | None
+
+
+@dataclass(frozen=True)
+class RegWrite:
+    """Apply-phase zero-delay register writeback."""
+
+    dst: int
+    var: int
+    pred: int | None
+
+
+@dataclass(frozen=True)
+class HaltOp:
+    """Apply-phase HALT: sets the core's halted flag."""
+
+    pred: int | None
+
+
+@dataclass(frozen=True)
+class IndirectBranch:
+    """Apply-phase indirect-branch resolution.
+
+    Maps the run-time source address to a packet index through the
+    program's landing map; an unmapped address is a simulation error
+    raised at this point, exactly like the interpretive core.
+    """
+
+    m: int  # names the ``bt{m}``/``bi{m}`` variables
+    value: tuple
+    pred: int | None
+
+
+@dataclass(frozen=True)
+class Commit:
+    """A statically placed delay-slot writeback maturing at a packet."""
+
+    dst: int
+    var: int
+    pred: int | None
+
+
+@dataclass(frozen=True)
+class GuardCheck:
+    """One address test of a shared-window guard."""
+
+    base: tuple
+    imm: int
+    pred_reg: int | None
+    pred_sense: bool
+
+
+@dataclass(frozen=True)
+class SharedGuard:
+    """Shared-segment guard of a device packet (multi-core lockstep).
+
+    ``checks`` empty means the packet *always* runs interpreted (a
+    store address depends on a same-packet result and cannot be
+    pre-computed); the packet body after the guard is dead.
+    """
+
+    checks: tuple[GuardCheck, ...]
+    bail: Epilogue
+
+
+@dataclass(frozen=True)
+class StallCheck:
+    """One load of a device packet's blocking-read stall loop."""
+
+    m: int  # names the ``w{m}`` window-offset variable
+    src1: int
+    imm: int
+    pred_reg: int | None
+    pred_sense: bool
+
+
+@dataclass(frozen=True)
+class PacketIR:
+    """Everything one execute packet contributes to the region body.
+
+    Field order mirrors emission order: writeback commits, shared
+    guard, tick flush + stall loop, predicates, values, store checks,
+    block statistics, run-time counters, apply-phase effects, device
+    tick + exit-device check, halt exit.
+    """
+
+    index: int  # absolute packet index
+    offset: int  # packets into the region
+    entry_commit: bool  # scan the in-flight dict (entry window)
+    commits: tuple[Commit, ...]
+    device: bool
+    guard: SharedGuard | None
+    tick_flush: int  # batched ticks owed before this device packet
+    stall_checks: tuple[StallCheck, ...]
+    preds: tuple[PredDef, ...]
+    values: tuple[AluOp | PlainLoad | DeviceLoad, ...]
+    store_checks: tuple[StoreCheck, ...]
+    block: tuple[int, int] | None  # (source_addr, n_instructions)
+    ci_preds: tuple[int, ...]  # predicate vars counting into ``_ci``
+    static_instr: int  # unpredicated instructions this packet
+    static_nop: bool  # statically known all-NOP packet
+    cn_preds: tuple[int, ...]  # all-predicated packet: run-time NOP test
+    applies: tuple[HaltOp | IndirectBranch | PlainStore | DeviceStore
+                   | RegWrite, ...]
+    device_tick: bool
+    exit_check: Epilogue | None  # device store: stop if the exit device fired
+    halt_exit: tuple[bool, Epilogue] | None  # (unpredicated, epilogue)
+
+
+@dataclass(frozen=True)
+class BranchEnd:
+    """Region ends at a matured branch."""
+
+    pred: int | None
+    target: int | None  # static packet index; None = indirect
+    target_var: int | None
+    taken: Epilogue
+    fallthrough: Epilogue | None  # predicated branches fall through
+    fall_pc: int
+
+
+@dataclass(frozen=True)
+class CutEnd:
+    """Region ends at the length cap; chains to the next packet."""
+
+    epilogue: Epilogue
+    chain_pc: int
+
+
+@dataclass(frozen=True)
+class InterpEnd:
+    """The next packet needs the interpretive core."""
+
+    epilogue: Epilogue
+
+
+@dataclass(frozen=True)
+class RegionIR:
+    """One lowered region: the unit emitters consume.
+
+    Geometry and stall parameters are part of the IR because generated
+    code bakes them in — two platforms with different parameters never
+    share code (the program-level cache is keyed accordingly).
+    """
+
+    pc0: int
+    n_packets: int
+    end_kind: str  # 'branch' | 'halt' | 'cut' | 'interp'
+    entry_window: int
+    use_ci: bool
+    use_cn: bool
+    packets: tuple[PacketIR, ...]
+    end: BranchEnd | CutEnd | InterpEnd | None  # None: 'halt' exits inline
+    #: static successor entries (block-chain edges): fall-throughs and
+    #: static branch targets; indirect targets resolve at run time
+    chain_targets: tuple[int, ...]
+    # -- baked-in platform geometry --------------------------------------
+    mem_base: int
+    mem_len: int
+    sync_base: int
+    bridge_base: int
+    sync_stall: int
+    bridge_stall: int
+
+    @property
+    def pure(self) -> bool:
+        """True if no packet touches a device or shared window.
+
+        Pure regions mutate only registers, plain memory and counters —
+        the subset the native C backend compiles; regions with device
+        dispatch points always render through the Python emitter.
+        """
+        return not any(p.device for p in self.packets)
+
+
+def _fmt(node, out: list) -> None:
+    """Canonical flat rendering of an IR node for fingerprinting."""
+    if isinstance(node, tuple):
+        out.append("(")
+        for item in node:
+            _fmt(item, out)
+        out.append(")")
+    elif hasattr(node, "__dataclass_fields__"):
+        out.append(type(node).__name__)
+        out.append("{")
+        for f in fields(node):
+            _fmt(getattr(node, f.name), out)
+        out.append("}")
+    elif isinstance(node, TOp):
+        out.append(node.name)
+    else:
+        out.append(repr(node))
+    out.append(";")
+
+
+def fingerprint(ir: RegionIR) -> str:
+    """Stable content hash of one lowered region.
+
+    Two regions with equal fingerprints generate identical host code
+    under every emitter.  This is the golden-snapshot pin of
+    ``tests/test_region_ir.py``; the native backend's on-disk cache is
+    keyed one derivation later, by the SHA-256 of the *generated C*
+    (see :func:`repro.vliw.codegen.native.source_digest`) so that an
+    emitter change invalidates it even when the IR is unchanged.
+    """
+    out: list[str] = []
+    _fmt(ir, out)
+    return hashlib.sha256("".join(out).encode()).hexdigest()

@@ -1,27 +1,26 @@
 """Packet-compiled execution backend: the translated program, translated.
 
-The paper's thesis applied one level up: instead of interpreting the
-translated C6x program one :meth:`C6xCore.step_packet` call per cycle
-(paying Python dispatch, predicate checks and dict lookups every
-packet), :class:`PacketCompiler` walks the finalized
-:class:`~repro.isa.c6x.packets.C6xProgram` and emits one specialized
-host-Python function per straight-line packet run via
-``compile()``/``exec``:
+The paper's thesis applied one level up, as an explicit three-stage
+pipeline (see ``docs/ir.md``): instead of interpreting the translated
+C6x program one :meth:`C6xCore.step_packet` call per cycle (paying
+Python dispatch, predicate checks and dict lookups every packet),
+:class:`PacketCompiler` discovers straight-line packet *regions*,
+**lowers** each to the typed Region IR of
+:mod:`repro.vliw.codegen.lower`, and **emits** host code through a
+pluggable :class:`~repro.vliw.codegen.RegionEmitter`:
 
-* register numbers, immediates, predicates and load/store offsets are
-  resolved at compile time into direct list/bytearray operations;
-* delay-slot writebacks become statically placed assignments (the
-  in-flight dict is only consulted for values carried *into* a region);
-* per-block cycle, ``packets_issued``, ``instructions_executed``,
-  ``nop_packets`` and ``source_instructions`` counters are added in one
-  batched update per region;
-* the per-packet sync-device ticks of straight-line code coalesce into
-  a single :meth:`SyncDevice.tick_n` bulk advance — packets that touch
-  the synchronization device or the bus bridge act as tick barriers
-  and keep the interpreter's exact stall/tick interleaving;
-* device-flagged memory operations compile to the same three-way
-  address dispatch (sync window, bridge window, plain memory) the
-  interpretive core performs, including the blocking-read stall loop.
+* the ``compiled`` backend renders every region with the reference
+  :class:`~repro.vliw.codegen.emit_python.PythonEmitter` — register
+  numbers, immediates, predicates and load/store offsets resolved into
+  direct list/bytearray operations, delay-slot writebacks placed
+  statically, counters and sync-device ticks batched per region,
+  device packets keeping the interpreter's exact dispatch and stall
+  interleaving;
+* the ``native`` backend additionally compiles *pure* (device-free)
+  regions to C99 at run time (:mod:`repro.vliw.codegen.emit_c`,
+  :mod:`repro.vliw.codegen.native`), falling back to the Python
+  emitter per region for device packets, for entries discovered only
+  at run time, and entirely when no C toolchain is available.
 
 Compiled functions form a *block-function cache* keyed by entry packet
 index, with direct chaining: each function returns the next block's
@@ -52,15 +51,18 @@ affect the results of schedulable programs):
   ``instructions_executed`` count of that packet's earlier instructions
   may differ — no result is produced on that path.
 
-Generated region *source* is cached on the program object itself, so
-several platforms executing the same translation (e.g. repeated
-benchmark runs) share one code-generation pass.  The cache holds plain
-Python source strings — deliberately, because source pickles and code
-objects do not: a translated program can be pickled and shipped to a
-worker process (see :mod:`repro.eval.sharded`) with its region cache
-attached, so workers ``compile()``/``exec`` the parent's regions
-instead of re-scanning and re-generating them.  The host ``compile()``
-step itself is memoized per process, keyed by the source text.
+Generated region *source* and *IR* are cached on the program object
+itself, so several platforms executing the same translation (e.g.
+repeated benchmark runs) share one lowering pass.  Both caches hold
+plain picklable data — deliberately, because source strings and IR
+dataclasses pickle while code objects and shared-library handles do
+not: a translated program can be pickled and shipped to a worker
+process (see :mod:`repro.eval.sharded`) with its region caches
+attached, so workers ``compile()``/``exec`` the parent's Python
+regions and re-bind (or, cache-cold, rebuild from the shipped IR) the
+parent's native module instead of re-scanning and re-generating.  The
+host ``compile()`` step itself is memoized per process, keyed by the
+source text.
 """
 
 from __future__ import annotations
@@ -70,24 +72,11 @@ from typing import Callable
 
 from repro.errors import BusError, SimulationError
 from repro.isa.c6x.instructions import TOp
-from repro.soc.bus import SharedIoMap
-from repro.utils.bits import s32, u32
-from repro.vliw.core import _LOAD_SIZE, _STORE_SIZE, C6xCore
-from repro.vliw.syncdev import SYNC_WINDOW
-
-#: width of the bus-bridge window (matches C6xCore._bridge_offset)
-_BRIDGE_WINDOW = 0x1_0000
-
-#: bridge-window offsets of the multi-core shared-device segment.
-#: Compiled regions bail out to the interpreter before executing any
-#: packet whose device access lands here: shared accesses must run at
-#: single-packet lockstep granularity (while the core sits at the
-#: global minimum cycle) so that shared-device interleaving — and with
-#: it contention and mailbox contents — is identical for interpreted
-#: and packet-compiled cores.  On a single-core platform nothing is
-#: mapped in this window, so the check never fires for plain devices.
-_SHARED_LO = SharedIoMap().base
-_SHARED_HI = SharedIoMap().end
+from repro.vliw.codegen import resolve_backend
+from repro.vliw.codegen.emit_python import PythonEmitter
+from repro.vliw.codegen.lower import lower_region, params_for_core
+from repro.vliw.core import C6xCore
+from repro.utils.bits import s32
 
 
 class _InterpSentinel:
@@ -101,9 +90,6 @@ class _InterpSentinel:
 
 #: sentinel: "the next packet must run on the interpretive core".
 INTERP = _InterpSentinel()
-
-_STORE_OPS = frozenset(_STORE_SIZE)
-_LOAD_OPS = frozenset(_LOAD_SIZE)
 
 #: per-process memo of host ``compile()`` results, keyed by region
 #: source.  The region name (which embeds the entry packet index) is
@@ -128,38 +114,32 @@ def _host_code(source: str, pc0: int) -> CodeType:
     return code
 
 
-def _is_value_op(op: TOp) -> bool:
-    """True if *op* produces a register result."""
-    return op not in (TOp.B, TOp.HALT, TOp.NOP) and op not in _STORE_OPS
-
-
-class _Emit:
-    """Tiny indented-source accumulator."""
-
-    def __init__(self) -> None:
-        self.lines: list[str] = []
-
-    def add(self, indent: int, text: str) -> None:
-        self.lines.append("    " * indent + text)
-
-    def source(self) -> str:
-        return "\n".join(self.lines) + "\n"
-
-
 class PacketCompiler:
     """Compiles and dispatches packet regions of one core's program.
 
     One compiler owns one :class:`C6xCore`; compiled functions close
     over that core's mutable state (register file, data memory, stats,
     sync device), so the compiler must be rebuilt if the core is.
+    *backend* selects the stage-3 emitter set: ``"compiled"`` renders
+    every region as host Python, ``"native"`` additionally routes pure
+    regions through the C emitter (transparently downgrading to the
+    Python emitter when no toolchain is available).
     """
 
-    def __init__(self, core: C6xCore, max_region_packets: int = 256) -> None:
+    def __init__(self, core: C6xCore, max_region_packets: int = 256,
+                 backend: str = "compiled") -> None:
+        spec = resolve_backend(backend)
+        if not spec.compiled:
+            raise SimulationError(
+                f"backend {spec.name!r} does not use the packet compiler")
         self.core = core
         self.program = core.program
         self.target = core.target
+        self.backend = backend
         self.max_region_packets = max_region_packets
         self.exit_device = core.bridge.bus.device("exit")
+        self.emitter = PythonEmitter()
+        self.params = params_for_core(core)
         #: block-function cache: entry packet index -> compiled callable
         #: (or the INTERP sentinel for entries only the core can run)
         self._fns: dict[int, Callable | _InterpSentinel] = {}
@@ -169,22 +149,38 @@ class PacketCompiler:
         #: program-level cache — e.g. shipped from a parent process
         self.regions_generated = 0
         self.regions_from_cache = 0
-        # Program-level cache of generated region source, shared by
-        # every compiler (and therefore platform) executing this
-        # translation — and, because source strings pickle, by worker
+        # Program-level caches of generated region source and IR,
+        # shared by every compiler (and therefore platform) executing
+        # this translation — and, because both pickle, by worker
         # processes receiving the pickled program.  Generated code
         # bakes in the platform's stall parameters (the memory and
         # device-window geometry is a property of the target
-        # architecture, hence of the program itself), so the cache is
+        # architecture, hence of the program itself), so the caches are
         # keyed by them: platforms with different stall costs never
-        # share code.  Entries are ``(source, name, n_packets)``;
-        # ``(None, None, 0)`` marks entries only the interpreter runs.
-        params = (core.sync_access_stall, core.bridge.access_stall)
-        caches = getattr(self.program, "_region_code_cache", None)
+        # share code.  Code entries are ``(source, name, n_packets)``;
+        # ``(None, None, 0)`` marks entries only the interpreter runs
+        # (mirrored by ``None`` in the IR cache).
+        self.cache_params = (core.sync_access_stall,
+                             core.bridge.access_stall)
+        self._code_cache = self._program_cache("_region_code_cache")
+        self._ir_cache = self._program_cache("_region_ir_cache")
+        self._native = None
+        if spec.native:
+            from repro.vliw.codegen.native import NativeContext
+
+            self._native = NativeContext.attach(self)
+
+    def _program_cache(self, attr: str) -> dict:
+        caches = getattr(self.program, attr, None)
         if caches is None:
             caches = {}
-            self.program._region_code_cache = caches
-        self._code_cache: dict[int, tuple] = caches.setdefault(params, {})
+            setattr(self.program, attr, caches)
+        return caches.setdefault(self.cache_params, {})
+
+    @property
+    def native_context(self):
+        """The live native module context, or None (Python emitter)."""
+        return self._native
 
     # -- dispatch ----------------------------------------------------------
 
@@ -296,18 +292,23 @@ class PacketCompiler:
                    for i in packet.instrs):
                 return k, "halt", branch_off
 
-    # -- code generation ---------------------------------------------------
+    # -- lowering + emission -----------------------------------------------
 
     def _generate_entry(self, pc0: int) -> tuple:
-        """Scan and generate the cache entry for the region at *pc0*."""
+        """Scan, lower and emit the cache entries for the region at
+        *pc0* — stage 2 (Region IR) and the reference stage-3 rendering
+        (Python source) in one pass; both land in the program-level
+        caches."""
         n_packets, end_kind, branch_off = self._scan(pc0)
         if n_packets == 0:
             entry = (None, None, 0)
+            self._ir_cache[pc0] = None
         else:
-            builder = _RegionBuilder(self, pc0, n_packets, end_kind,
-                                     branch_off)
-            source, name = builder.generate()
+            region_ir = lower_region(self.program, self.params, pc0,
+                                     n_packets, end_kind, branch_off)
+            source, name = self.emitter.emit(region_ir)
             entry = (source, name, n_packets)
+            self._ir_cache[pc0] = region_ir
         self._code_cache[pc0] = entry
         return entry
 
@@ -321,21 +322,41 @@ class PacketCompiler:
         source, name, _n_packets = cached
         if source is None:
             return INTERP
+        if self._native is not None:
+            fn = self._native.wrapper_for(pc0)
+            if fn is not None:
+                self.regions_compiled += 1
+                return fn
         ns = self._namespace()
         exec(_host_code(source, pc0), ns)
         self.regions_compiled += 1
         return ns[name]
 
+    def _python_region(self, pc0: int):
+        """The Python-emitted callable for region *pc0*, uncached.
+
+        Used by the native runtime to demote a region whose packets
+        keep bailing to the interpreter (bus-bridge traffic): the
+        Python rendering dispatches device accesses inline instead of
+        re-executing packets on the core, so it is the faster engine
+        for exactly those regions.  Both renderings mutate identical
+        state, so swapping at a region boundary is always safe.
+        """
+        source, name, _n_packets = self._code_cache[pc0]
+        ns = self._namespace()
+        exec(_host_code(source, pc0), ns)
+        return ns[name]
+
     def precompile(self) -> int:
-        """Generate source for every statically reachable region entry.
+        """Generate source + IR for every statically reachable region.
 
         Walks the program from its entry, every label (static branch
         targets) and every indirect-branch landing site
         (``addr_to_packet``), following region fall-throughs, and fills
-        the program-level source cache without executing anything.
-        Returns the number of regions generated.  A parent process
-        calls this once per translation so that pickled copies of the
-        program carry ready-made region source to worker processes.
+        the program-level caches without executing anything.  Returns
+        the number of regions generated.  A parent process calls this
+        once per translation so that pickled copies of the program
+        carry ready-made region source and IR to worker processes.
         """
         program = self.program
         n = len(program.packets)
@@ -388,694 +409,27 @@ class PacketCompiler:
         return fn
 
 
-class _RegionBuilder:
-    """Generates the Python source of one region and compiles it."""
-
-    def __init__(self, compiler: PacketCompiler, pc0: int, n_packets: int,
-                 end_kind: str, branch_off: int | None) -> None:
-        self.compiler = compiler
-        self.core = compiler.core
-        self.program = compiler.program
-        self.target = compiler.target
-        self.pc0 = pc0
-        self.n_packets = n_packets
-        self.end_kind = end_kind
-        self.branch_off = branch_off
-        self.mem_base = self.core._mem_base
-        self.mem_len = len(self.core._mem)
-        self.sync_base = self.target.sync_base
-        self.bridge_base = self.target.bridge_base
-        self.sync_stall = self.core.sync_access_stall
-        self.bridge_stall = self.core.bridge.access_stall
-        #: commits carried into the region mature within this window
-        self.entry_window = max(self.target.load_delay_slots,
-                                self.target.mul_delay_slots) + 1
-        self.out = _Emit()
-        #: delayed register writes: (mature_offset, dst, val, pred|None)
-        self.writes: list[tuple[int, int, str, str | None]] = []
-        # running static counters (prefix totals at the emission point)
-        self.st_instr = 0
-        self.st_nop = 0
-        self.st_src = 0
-        self.ticks_flushed = 0
-        self.uses_ci = False
-        self.uses_cn = False
-        # branch bookkeeping (filled while emitting the branch packet)
-        self.branch_pred: str | None = None
-        self.branch_static_target: int | None = None
-        self.branch_index_var: str | None = None
-
-    # -- helpers ---------------------------------------------------------
-
-    def _delay(self, op: TOp) -> int:
-        if op in _LOAD_OPS:
-            return self.target.load_delay_slots
-        if op is TOp.MPY:
-            return self.target.mul_delay_slots
-        return 0
-
-    def _fwd(self, reg: int, instrs, pos: int) -> str:
-        """Apply-time value of *reg* for the instruction at *pos*.
-
-        Mirrors the interpretive core: effects apply in packet order,
-        so a zero-delay write by an earlier instruction of the same
-        packet is visible to later stores / indirect branches.
-        """
-        for n in range(pos - 1, -1, -1):
-            prev = instrs[n]
-            if (prev.op is not TOp.NOP and _is_value_op(prev.op)
-                    and prev.dst == reg and self._delay(prev.op) == 0):
-                var = self._var(prev)
-                if prev.pred is not None:
-                    return f"({var} if {self._pvar(prev)} else regs[{reg}])"
-                return var
-        return f"regs[{reg}]"
-
-    def _var(self, instr) -> str:
-        return f"v{self._instr_ids[id(instr)]}"
-
-    def _pvar(self, instr) -> str:
-        return f"p{self._instr_ids[id(instr)]}"
-
-    # -- value expressions ------------------------------------------------
-
-    def _value_expr(self, instr) -> str:
-        """Python expression for the phase-1 result of *instr*."""
-        op = instr.op
-        M = "0xFFFFFFFF"
-        if op in (TOp.MVK, TOp.MVKL):
-            return str(u32(instr.imm if instr.imm is not None else 0))
-        if op is TOp.MVKH:
-            high = u32((instr.imm or 0) << 16) & 0xFFFF0000
-            return f"{high} | (regs[{instr.dst}] & 0xFFFF)"
-        a = f"regs[{instr.src1}]" if instr.src1 is not None else "0"
-        if op is TOp.MV:
-            return a
-        if op is TOp.ABS:
-            return (f"((0x100000000 - {a}) & {M}) "
-                    f"if {a} & 0x80000000 else {a}")
-        if instr.src2 is not None:
-            b = f"regs[{instr.src2}]"
-            b_u = b
-            b_s = f"s32({b})"
-            b_sh = f"({b} & 31)"
-        else:
-            imm = instr.imm or 0
-            b = str(imm)
-            b_u = str(u32(imm))
-            b_s = str(s32(u32(imm)))
-            b_sh = str(imm & 31)
-        if op is TOp.ADD:
-            return f"({a} + {b}) & {M}"
-        if op is TOp.SUB:
-            return f"({a} - {b}) & {M}"
-        if op is TOp.MPY:
-            return f"(s32({a}) * {b_s}) & {M}"
-        if op is TOp.AND:
-            return f"{a} & {b_u}"
-        if op is TOp.OR:
-            return f"{a} | {b_u}"
-        if op is TOp.XOR:
-            return f"{a} ^ {b_u}"
-        if op is TOp.ANDN:
-            return f"({a} & ~{b_u}) & {M}"
-        if op is TOp.SHL:
-            return f"({a} << {b_sh}) & {M}"
-        if op is TOp.SHRU:
-            return f"{a} >> {b_sh}"
-        if op is TOp.SHRA:
-            return f"(s32({a}) >> {b_sh}) & {M}"
-        if op is TOp.MIN:
-            return f"min(s32({a}), {b_s}) & {M}"
-        if op is TOp.MAX:
-            return f"max(s32({a}), {b_s}) & {M}"
-        if op is TOp.CMPEQ:
-            return f"1 if {a} == {b_u} else 0"
-        if op is TOp.CMPNE:
-            return f"1 if {a} != {b_u} else 0"
-        if op is TOp.CMPLT:
-            return f"1 if s32({a}) < {b_s} else 0"
-        if op is TOp.CMPLTU:
-            return f"1 if {a} < {b_u} else 0"
-        if op is TOp.CMPGE:
-            return f"1 if s32({a}) >= {b_s} else 0"
-        if op is TOp.CMPGEU:
-            return f"1 if {a} >= {b_u} else 0"
-        raise SimulationError(f"unhandled target op {op}")  # pragma: no cover
-
-    # -- epilogue ---------------------------------------------------------
-
-    def _emit_epilogue(self, indent: int, executed: int, commits_ran: int,
-                       pc_expr: str, pending_branch: bool) -> None:
-        """Counter flush + state spill shared by every region exit.
-
-        *executed* packets ran; commit sections ran for the first
-        *commits_ran* packets, so delayed writes maturing at or after
-        that offset must be spilled back into the core's in-flight
-        dict.  *pending_branch* spills an unmatured branch.
-        """
-        add = self.out.add
-        add(indent, f"core._issue_index = ii0 + {executed}")
-        add(indent, f"core.pc = {pc_expr}")
-        add(indent, f"stats.packets_issued += {executed}")
-        instr_expr = str(self.st_instr)
-        if self.uses_ci:
-            instr_expr += " + _ci"
-        add(indent, f"stats.instructions_executed += {instr_expr}")
-        if self.st_nop or self.uses_cn:
-            nop_expr = str(self.st_nop)
-            if self.uses_cn:
-                nop_expr += " + _cn"
-            add(indent, f"stats.nop_packets += {nop_expr}")
-        if self.st_src:
-            add(indent, f"stats.source_instructions += {self.st_src}")
-        ticks = executed - self.ticks_flushed
-        if ticks > 0:
-            add(indent, f"sync.tick_n({ticks})")
-        for mature, dst, val, pred in self.writes:
-            if mature >= commits_ran:
-                if pred is not None:
-                    add(indent, f"if {pred}:")
-                    add(indent + 1,
-                        f"inflight[{dst}] = (ii0 + {mature}, {val})")
-                else:
-                    add(indent, f"inflight[{dst}] = (ii0 + {mature}, {val})")
-        if pending_branch and self.branch_off is not None:
-            effective = self.branch_off + 1 + self.target.branch_delay_slots
-            target = (str(self.branch_static_target)
-                      if self.branch_static_target is not None
-                      else self.branch_index_var)
-            if self.branch_pred is not None:
-                add(indent, f"if {self.branch_pred}:")
-                add(indent + 1,
-                    f"core._pending_branch = (ii0 + {effective}, {target})")
-            else:
-                add(indent,
-                    f"core._pending_branch = (ii0 + {effective}, {target})")
-
-    def _emit_chain_return(self, indent: int, cell: str, pc: int) -> None:
-        """Direct chaining: return the successor's cached callable."""
-        add = self.out.add
-        add(indent, f"_n = {cell}[0]")
-        add(indent, "if _n is None:")
-        add(indent + 1, f"_n = _link({cell}, {pc})")
-        add(indent, "return _n")
-
-    def _emit_bail(self, indent: int, packet_offset: int) -> None:
-        """Hand the current packet to the interpretive core untouched.
-
-        Only locals have been written for this packet so far; commit
-        sections for it ran (idempotent with the interpreter's own
-        commit pass), so the interpreter can simply re-execute it.
-        """
-        self._emit_epilogue(indent, packet_offset, packet_offset + 1,
-                            str(self.pc0 + packet_offset),
-                            pending_branch=self._branch_in_flight_at(
-                                packet_offset))
-        self.out.add(indent, "return _INTERP")
-
-    def _branch_in_flight_at(self, offset: int) -> bool:
-        return (self.branch_off is not None and self.branch_off < offset)
-
-    # -- main build -------------------------------------------------------
-
-    def generate(self) -> tuple:
-        """Produce ``(source, function_name)`` for this region."""
-        packets = self.program.packets
-        pc0 = self.pc0
-        name = f"_region_{pc0}"
-        out = self.out
-        add = out.add
-
-        # number every instruction in the region for variable naming
-        self._instr_ids: dict[int, int] = {}
-        counter = 0
-        for k in range(self.n_packets):
-            for instr in packets[pc0 + k].instrs:
-                self._instr_ids[id(instr)] = counter
-                counter += 1
-
-        self.uses_ci = any(
-            i.pred is not None and i.op is not TOp.NOP
-            for k in range(self.n_packets)
-            for i in packets[pc0 + k].instrs)
-        self.uses_cn = any(
-            self._packet_runtime_nop(packets[pc0 + k])
-            for k in range(self.n_packets))
-
-        add(0, f"def {name}():")
-        add(1, "regs = _regs; mem = _mem")
-        add(1, "ii0 = core._issue_index")
-        add(1, "inflight = core._inflight")
-        if self.uses_ci:
-            add(1, "_ci = 0")
-        if self.uses_cn:
-            add(1, "_cn = 0")
-
-        for k in range(self.n_packets):
-            self._emit_packet(k)
-
-        self._emit_region_end()
-
-        return out.source(), name
-
-    @staticmethod
-    def _packet_runtime_nop(packet) -> bool:
-        """True if the packet's action count is predicate-dependent."""
-        real = [i for i in packet.instrs if i.op is not TOp.NOP]
-        return bool(real) and all(i.pred is not None for i in real)
-
-    # -- per-packet emission ----------------------------------------------
-
-    def _emit_packet(self, k: int) -> None:
-        packets = self.program.packets
-        pc0 = self.pc0
-        idx = pc0 + k
-        packet = packets[idx]
-        instrs = packet.instrs
-        add = self.out.add
-        add(1, f"# packet {idx} (+{k})")
-        device = any(i.device for i in instrs)
-
-        # 1. writeback commits due at this packet's issue point
-        if k < self.entry_window:
-            add(1, "if inflight:")
-            add(2, f"for _r in [_x for _x in inflight "
-                   f"if inflight[_x][0] <= ii0 + {k}]:")
-            add(3, "regs[_r] = inflight.pop(_r)[1]")
-        for mature, dst, val, pred in self.writes:
-            if mature == k:
-                if pred is not None:
-                    add(1, f"if {pred}: regs[{dst}] = {val}")
-                else:
-                    add(1, f"regs[{dst}] = {val}")
-
-        real = [i for i in instrs if i.op is not TOp.NOP]
-
-        # 2a. shared-segment guard: a device access landing in the
-        #     multi-core shared window must run on the interpretive
-        #     core (single-packet lockstep granularity), so the packet
-        #     bails *before* any of its accesses execute
-        if device and not self._emit_shared_guard(k, instrs):
-            return  # the packet unconditionally bails; rest is dead
-
-        # 2. device packets are tick barriers: flush batched ticks, then
-        #    replicate the interpreter's blocking-read stall loop
-        if device:
-            pending_ticks = k - self.ticks_flushed
-            if pending_ticks > 0:
-                add(1, f"sync.tick_n({pending_ticks})")
-            self.ticks_flushed = k
-            self._emit_stall_loop(instrs)
-
-        # 3. phase A1: predicates (pre-packet register state)
-        for instr in real:
-            if instr.pred is not None:
-                test = "!=" if instr.pred_sense else "=="
-                add(1, f"{self._pvar(instr)} = regs[{instr.pred}] {test} 0")
-
-        # 4. phase A2: values (loads carry their memory dispatch)
-        for instr in real:
-            if not _is_value_op(instr.op):
-                continue
-            indent = 1
-            if instr.pred is not None:
-                add(1, f"if {self._pvar(instr)}:")
-                indent = 2
-            if instr.op in _LOAD_OPS:
-                if device:
-                    self._emit_device_load(indent, instr)
-                else:
-                    self._emit_plain_load(indent, instr, k)
-            else:
-                add(indent, f"{self._var(instr)} = {self._value_expr(instr)}")
-
-        # 5. phase A3: plain-store range checks (apply-time bases); the
-        #    generic dispatch of device packets needs no pre-check
-        if not device:
-            for pos, instr in enumerate(instrs):
-                if instr.op not in _STORE_OPS:
-                    continue
-                size = _STORE_SIZE[instr.op]
-                indent = 1
-                if instr.pred is not None:
-                    add(1, f"if {self._pvar(instr)}:")
-                    indent = 2
-                m = self._instr_ids[id(instr)]
-                base = self._fwd(instr.src2, instrs, pos)
-                imm = instr.imm or 0
-                addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
-                add(indent, f"so{m} = ({addr}) - {self.mem_base}")
-                add(indent,
-                    f"if so{m} < 0 or so{m} > {self.mem_len - size}:")
-                self._emit_bail(indent + 1, k)
-
-        # 6. per-block stats at translated block heads — emitted after
-        #    every bail point, so a bailed packet's block statistics are
-        #    counted only once, by the interpreter's re-execution
-        info = self.program.block_at.get(idx)
-        if info is not None:
-            self.st_src += info.n_instructions
-            addr = info.source_addr
-            add(1, f"_bex[{addr}] = _bex.get({addr}, 0) + 1")
-
-        # 7. phase A4: execution counters (after every possible bail)
-        for instr in real:
-            if instr.pred is not None:
-                add(1, f"if {self._pvar(instr)}: _ci += 1")
-            else:
-                self.st_instr += 1
-        if not real:
-            self.st_nop += 1
-        elif all(i.pred is not None for i in real):
-            test = " or ".join(self._pvar(i) for i in real)
-            add(1, f"if not ({test}): _cn += 1")
-
-        # 8. phase B: apply effects in packet order
-        packet_has_halt = False
-        halt_unpred = False
-        has_store = False
-        for pos, instr in enumerate(instrs):
-            op = instr.op
-            if op is TOp.NOP:
-                continue
-            guarded = instr.pred is not None
-            if op is TOp.HALT:
-                packet_has_halt = True
-                halt_unpred = halt_unpred or not guarded
-                if guarded:
-                    add(1, f"if {self._pvar(instr)}: core.halted = True")
-                else:
-                    add(1, "core.halted = True")
-                continue
-            if op is TOp.B:
-                self._emit_branch_apply(instr, instrs, pos)
-                continue
-            if op in _STORE_OPS:
-                has_store = True
-                indent = 1
-                if guarded:
-                    add(1, f"if {self._pvar(instr)}:")
-                    indent = 2
-                if device:
-                    self._emit_device_store(indent, instr, instrs, pos)
-                else:
-                    self._emit_plain_store(indent, instr, instrs, pos)
-                continue
-            # register write
-            delay = self._delay(op)
-            var = self._var(instr)
-            pred = self._pvar(instr) if guarded else None
-            if delay == 0:
-                if guarded:
-                    add(1, f"if {pred}: regs[{instr.dst}] = {var}")
-                else:
-                    add(1, f"regs[{instr.dst}] = {var}")
-            else:
-                self.writes.append((k + 1 + delay, instr.dst, var, pred))
-
-        # 9. a device packet ticks immediately (order vs. device writes
-        #    matters); pure packets batch their tick into the epilogue
-        if device:
-            add(1, "sync.tick()")
-            self.ticks_flushed = k + 1
-            if has_store:
-                # a bridge store may have hit the exit device: stop at
-                # this packet, exactly like the interpretive run loop
-                add(1, "if _exitdev.exited:")
-                self._emit_epilogue(2, k + 1, k + 1, str(pc0 + k + 1),
-                                    pending_branch=self._branch_in_flight_at(
-                                        k + 1))
-                add(2, "return None")
-
-        # 10. conditional halt exit
-        if packet_has_halt:
-            if halt_unpred:
-                self._emit_halt_exit(1, k)
-            else:
-                add(1, "if core.halted:")
-                self._emit_halt_exit(2, k)
-
-    def _emit_shared_guard(self, k: int, instrs) -> bool:
-        """Bail to the interpreter on shared-segment device addresses.
-
-        Emits one pre-access check per memory operation of a device
-        packet, evaluated against post-commit (pre-execution) register
-        state — the same state the interpreter would re-execute the
-        packet from.  Returns ``False`` when the packet must *always*
-        run interpreted (a store address depends on a same-packet
-        result, so it cannot be pre-computed here); the caller then
-        stops emitting the packet body.
-        """
-        checks = []
-        for pos, instr in enumerate(instrs):
-            if instr.op in _LOAD_OPS:
-                base = f"regs[{instr.src1}]"
-            elif instr.op in _STORE_OPS:
-                base = self._fwd(instr.src2, instrs, pos)
-                if base != f"regs[{instr.src2}]":
-                    self._emit_bail(1, k)
-                    return False
-            else:
-                continue
-            imm = instr.imm or 0
-            addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
-            cond = (f"{_SHARED_LO} <= ({addr}) - {self.bridge_base} "
-                    f"< {_SHARED_HI}")
-            if instr.pred is not None:
-                test = "!=" if instr.pred_sense else "=="
-                cond = f"regs[{instr.pred}] {test} 0 and ({cond})"
-            checks.append(f"({cond})")
-        if checks:
-            add = self.out.add
-            add(1, f"if {' or '.join(checks)}:")
-            self._emit_bail(2, k)
-        return True
-
-    def _emit_stall_loop(self, instrs) -> None:
-        """Replicate ``C6xCore._packet_blocks``: stall while a
-        sync-status read in this packet would block."""
-        checks = []
-        for instr in instrs:
-            if instr.op not in _LOAD_OPS:
-                continue
-            m = self._instr_ids[id(instr)]
-            imm = instr.imm or 0
-            base = f"regs[{instr.src1}]"
-            addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
-            cond = (f"0 <= (w{m} := ({addr}) - {self.sync_base}) "
-                    f"< {SYNC_WINDOW} and sync.read_blocks(w{m})")
-            if instr.pred is not None:
-                test = "!=" if instr.pred_sense else "=="
-                cond = f"regs[{instr.pred}] {test} 0 and {cond}"
-            checks.append(f"({cond})")
-        if not checks:
-            return
-        add = self.out.add
-        add(1, f"while {' or '.join(checks)}:")
-        add(2, "core._stall_cycles += 1")
-        add(2, "stats.sync_stall_cycles += 1")
-        add(2, "sync.tick()")
-
-    def _emit_plain_load(self, indent: int, instr, k: int) -> None:
-        """Direct bytearray load with a plain-memory range guard."""
-        add = self.out.add
-        m = self._instr_ids[id(instr)]
-        size = _LOAD_SIZE[instr.op]
-        imm = instr.imm or 0
-        base = f"regs[{instr.src1}]"
-        addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
-        add(indent, f"o{m} = ({addr}) - {self.mem_base}")
-        add(indent, f"if o{m} < 0 or o{m} > {self.mem_len - size}:")
-        self._emit_bail(indent + 1, k)
-        var = self._var(instr)
-        if size == 1:
-            add(indent, f"{var} = mem[o{m}]")
-        elif size == 2:
-            add(indent, f"{var} = fb(mem[o{m}:o{m} + 2], 'little')")
-        else:
-            add(indent, f"{var} = fb(mem[o{m}:o{m} + 4], 'little')")
-        self._emit_sign_fix(indent, instr, var)
-
-    def _emit_device_load(self, indent: int, instr) -> None:
-        """The interpreter's three-way load dispatch, inline."""
-        add = self.out.add
-        m = self._instr_ids[id(instr)]
-        size = _LOAD_SIZE[instr.op]
-        imm = instr.imm or 0
-        base = f"regs[{instr.src1}]"
-        addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
-        var = self._var(instr)
-        add(indent, f"a{m} = {addr}")
-        add(indent, f"o{m} = a{m} - {self.sync_base}")
-        add(indent, f"if 0 <= o{m} < {SYNC_WINDOW}:")
-        add(indent + 1, f"{var} = sync.read_value(o{m})")
-        add(indent + 1, f"core._stall_cycles += {self.sync_stall}")
-        add(indent + 1, f"stats.sync_stall_cycles += {self.sync_stall}")
-        add(indent, "else:")
-        add(indent + 1, f"b{m} = a{m} - {self.bridge_base}")
-        add(indent + 1, f"if 0 <= b{m} < {_BRIDGE_WINDOW}:")
-        add(indent + 2, f"{var} = bridge.read(b{m}, {size})")
-        add(indent + 2, f"core._stall_cycles += {self.bridge_stall}")
-        add(indent + 2, f"stats.bridge_stall_cycles += {self.bridge_stall}")
-        add(indent + 1, "else:")
-        add(indent + 2, f"mo{m} = a{m} - {self.mem_base}")
-        add(indent + 2, f"if mo{m} < 0 or mo{m} > {self.mem_len - size}:")
-        add(indent + 3,
-            f"raise _BusError('target load outside memory', a{m})")
-        if size == 1:
-            add(indent + 2, f"{var} = mem[mo{m}]")
-        else:
-            add(indent + 2,
-                f"{var} = fb(mem[mo{m}:mo{m} + {size}], 'little')")
-        self._emit_sign_fix(indent, instr, var)
-
-    def _emit_sign_fix(self, indent: int, instr, var: str) -> None:
-        if instr.op is TOp.LDH:
-            self.out.add(indent, f"if {var} & 0x8000: {var} |= 0xFFFF0000")
-        elif instr.op is TOp.LDB:
-            self.out.add(indent, f"if {var} & 0x80: {var} |= 0xFFFFFF00")
-
-    def _emit_plain_store(self, indent: int, instr, instrs, pos: int) -> None:
-        add = self.out.add
-        m = self._instr_ids[id(instr)]
-        val = self._fwd(instr.src1, instrs, pos)
-        size = _STORE_SIZE[instr.op]
-        if size == 1:
-            add(indent, f"mem[so{m}] = {val} & 0xFF")
-        elif size == 2:
-            add(indent, f"mem[so{m}:so{m} + 2] = "
-                        f"({val} & 0xFFFF).to_bytes(2, 'little')")
-        else:
-            add(indent, f"mem[so{m}:so{m} + 4] = "
-                        f"({val}).to_bytes(4, 'little')")
-
-    def _emit_device_store(self, indent: int, instr, instrs,
-                           pos: int) -> None:
-        """The interpreter's three-way store dispatch, inline."""
-        add = self.out.add
-        m = self._instr_ids[id(instr)]
-        size = _STORE_SIZE[instr.op]
-        base = self._fwd(instr.src2, instrs, pos)
-        imm = instr.imm or 0
-        addr = f"({base} + {imm}) & 0xFFFFFFFF" if imm else base
-        val = self._fwd(instr.src1, instrs, pos)
-        add(indent, f"sa{m} = {addr}")
-        add(indent, f"sv{m} = {val}")
-        add(indent, f"o{m} = sa{m} - {self.sync_base}")
-        add(indent, f"if 0 <= o{m} < {SYNC_WINDOW}:")
-        add(indent + 1, f"sync.write(o{m}, sv{m})")
-        add(indent + 1, f"core._stall_cycles += {self.sync_stall}")
-        add(indent + 1, f"stats.sync_stall_cycles += {self.sync_stall}")
-        add(indent, "else:")
-        add(indent + 1, f"b{m} = sa{m} - {self.bridge_base}")
-        add(indent + 1, f"if 0 <= b{m} < {_BRIDGE_WINDOW}:")
-        add(indent + 2, f"bridge.write(b{m}, sv{m}, {size})")
-        add(indent + 2, f"core._stall_cycles += {self.bridge_stall}")
-        add(indent + 2, f"stats.bridge_stall_cycles += {self.bridge_stall}")
-        add(indent + 1, "else:")
-        add(indent + 2, f"mo{m} = sa{m} - {self.mem_base}")
-        add(indent + 2, f"if mo{m} < 0 or mo{m} > {self.mem_len - size}:")
-        add(indent + 3,
-            f"raise _BusError('target store outside memory', sa{m})")
-        if size == 1:
-            add(indent + 2, f"mem[mo{m}] = sv{m} & 0xFF")
-        elif size == 2:
-            add(indent + 2, f"mem[mo{m}:mo{m} + 2] = "
-                            f"(sv{m} & 0xFFFF).to_bytes(2, 'little')")
-        else:
-            add(indent + 2, f"mem[mo{m}:mo{m} + 4] = "
-                            f"(sv{m}).to_bytes(4, 'little')")
-
-    def _emit_branch_apply(self, instr, instrs, pos: int) -> None:
-        """Record the branch; indirect targets resolve at apply time."""
-        add = self.out.add
-        self.branch_pred = (self._pvar(instr)
-                            if instr.pred is not None else None)
-        if instr.target is not None:
-            self.branch_static_target = self.program.label_packet(
-                instr.target)
-            return
-        m = self._instr_ids[id(instr)]
-        indent = 1
-        if self.branch_pred is not None:
-            add(1, f"if {self.branch_pred}:")
-            indent = 2
-        value = self._fwd(instr.src1, instrs, pos)
-        add(indent, f"bt{m} = {value}")
-        add(indent, f"bi{m} = _a2p.get(bt{m})")
-        add(indent, f"if bi{m} is None:")
-        add(indent + 1, f"raise _SimulationError("
-                        f"f\"indirect branch to untranslated source "
-                        f"address {{bt{m}:#010x}}\")")
-        self.branch_index_var = f"bi{m}"
-
-    def _emit_halt_exit(self, indent: int, k: int) -> None:
-        self._emit_epilogue(indent, k + 1, k + 1, str(self.pc0 + k + 1),
-                            pending_branch=self._branch_in_flight_at(k + 1))
-        self.out.add(indent, "return None")
-
-    # -- region end -------------------------------------------------------
-
-    def _emit_region_end(self) -> None:
-        add = self.out.add
-        K = self.n_packets
-        pc_fall = self.pc0 + K
-        if self.end_kind == "halt":
-            # the halt exit emitted inside the packet already returned
-            return
-        if self.end_kind == "branch":
-            target = self.branch_static_target
-            if self.branch_pred is not None:
-                add(1, f"if {self.branch_pred}:")
-                if target is not None:
-                    self._emit_epilogue(2, K, K, str(target),
-                                        pending_branch=False)
-                    self._emit_chain_return(2, "_ct", target)
-                else:
-                    var = self.branch_index_var
-                    self._emit_epilogue(2, K, K, var, pending_branch=False)
-                    add(2, f"return _goto({var})")
-                self._emit_epilogue(1, K, K, str(pc_fall),
-                                    pending_branch=False)
-                self._emit_chain_return(1, "_cf", pc_fall)
-            else:
-                if target is not None:
-                    self._emit_epilogue(1, K, K, str(target),
-                                        pending_branch=False)
-                    self._emit_chain_return(1, "_ct", target)
-                else:
-                    var = self.branch_index_var
-                    self._emit_epilogue(1, K, K, var, pending_branch=False)
-                    add(1, f"return _goto({var})")
-            return
-        if self.end_kind == "cut":
-            self._emit_epilogue(1, K, K, str(pc_fall), pending_branch=False)
-            self._emit_chain_return(1, "_cf", pc_fall)
-            return
-        # 'interp': a second in-flight branch or the end of the program
-        self._emit_epilogue(1, K, K, str(pc_fall),
-                            pending_branch=self.branch_off is not None)
-        add(1, "return _INTERP")
-
-
 def precompile_program(program, source_arch=None, sync_rate: float = 1.0,
                        bridge_stall: int = 4, sync_access_stall: int = 4,
-                       strict: bool = True) -> int:
-    """Populate *program*'s region-source cache without executing it.
+                       strict: bool = True,
+                       backend: str = "compiled") -> int:
+    """Populate *program*'s region caches without executing it.
 
-    Builds a throwaway platform (region source bakes in the core's
+    Builds a throwaway platform (region code bakes in the core's
     memory geometry and the platform's stall parameters, so a core must
     exist) and statically walks every reachable region.  After this,
-    pickling the program ships the generated source along with it, and
-    any :class:`PacketCompiler` with the same stall parameters — in
-    this process or a worker — executes straight from the cache.
-    Returns the number of regions generated.
+    pickling the program ships the generated source and IR along with
+    it, and any :class:`PacketCompiler` with the same stall parameters
+    — in this process or a worker — executes straight from the cache.
+    ``backend="native"`` additionally emits, compiles and disk-caches
+    the program's native module, so workers (sharing the cache
+    directory) only ``dlopen`` it.  Returns the number of regions
+    generated.
     """
     from repro.vliw.platform import PrototypingPlatform
 
     platform = PrototypingPlatform(
         program, source_arch=source_arch, sync_rate=sync_rate,
         bridge_stall=bridge_stall, sync_access_stall=sync_access_stall,
-        strict=strict, backend="compiled")
-    return PacketCompiler(platform.core).precompile()
+        strict=strict, backend=backend)
+    return PacketCompiler(platform.core, backend=backend).precompile()

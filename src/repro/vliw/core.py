@@ -29,6 +29,10 @@ _LOAD_SIZE = {TOp.LDW: 4, TOp.LDH: 2, TOp.LDHU: 2, TOp.LDB: 1, TOp.LDBU: 1}
 _STORE_SIZE = {TOp.STW: 4, TOp.STH: 2, TOp.STB: 1}
 _SIGNED_LOADS = {TOp.LDH: 16, TOp.LDB: 8}
 
+#: width of the bus-bridge window; the single source of truth for the
+#: interpreter's dispatch and every code-generating backend
+BRIDGE_WINDOW = 0x1_0000
+
 
 @dataclass
 class CoreStats:
@@ -157,7 +161,7 @@ class C6xCore:
 
     def _bridge_offset(self, addr: int) -> int | None:
         base = self.target.bridge_base
-        if base <= addr < base + 0x1_0000:
+        if base <= addr < base + BRIDGE_WINDOW:
             return addr - base
         return None
 

@@ -286,10 +286,12 @@ class _CoreSlot:
                  arbiter: SharedBusArbiter,
                  sync_rate: float, bridge_stall: int,
                  sync_access_stall: int, strict: bool) -> None:
-        if backend not in PrototypingPlatform.BACKENDS:
-            raise SimulationError(
-                f"unknown execution backend {backend!r} for core {index}; "
-                f"choose from {', '.join(PrototypingPlatform.BACKENDS)}")
+        from repro.vliw.codegen import resolve_backend
+
+        try:
+            spec = resolve_backend(backend)
+        except SimulationError as exc:
+            raise SimulationError(f"{exc} (core {index})") from None
         self.index = index
         self.backend = backend
         base = index * CORE_IO_STRIDE
@@ -314,10 +316,10 @@ class _CoreSlot:
         self.port.bind(self.core)
         self.exit_device = self.port.device("exit")
         self.grants = 0
-        if backend == "compiled":
+        if spec.compiled:
             from repro.vliw.compiled import PacketCompiler
 
-            self._compiler = PacketCompiler(self.core)
+            self._compiler = PacketCompiler(self.core, backend=backend)
         else:
             self._compiler = None
 
@@ -344,9 +346,10 @@ class MultiCoreSoC:
     *programs* is either one :class:`C6xProgram` replicated onto
     *cores* cores, or a sequence of programs (one per core; *cores*
     then defaults to its length).  *backends* is one backend name for
-    all cores or a per-core sequence — interpreted and packet-compiled
-    cores mix freely, since both mutate identical core state at region
-    boundaries.
+    all cores or a per-core sequence (any name registered in
+    :mod:`repro.vliw.codegen`) — interpreted, packet-compiled and
+    native cores mix freely, since all mutate identical core state at
+    region boundaries.
 
     The SoC is always shared-capable: the
     :class:`~repro.soc.bus.SharedIoMap` segment (shared scratch,

@@ -21,11 +21,18 @@ from repro.fuzz.oracle import check_generated
 from repro.fuzz.progen import FuzzGenError
 from repro.minic.compiler import compile_source
 from repro.refsim.iss import FunctionalISS
+from repro.vliw.codegen.native import native_available
 
 CORPUS_DIR = os.path.join(os.path.dirname(__file__), "fuzz_corpus")
 
 #: small sweep the smoke tests use (the full matrix is the CLI's job)
 SMOKE = FuzzConfig(levels=(0, 2), backends=("interp", "compiled"), cores=2)
+
+#: the same sweep with the native C backend in the cross-check (only
+#: meaningful with a toolchain; without one it exercises the Python
+#: emitter twice)
+NATIVE_SMOKE = FuzzConfig(levels=(0, 2), backends=("interp", "native"),
+                          cores=2)
 
 
 class TestGenerator:
@@ -103,6 +110,17 @@ class TestOracle:
                                config=FuzzConfig(levels=(1,), cores=1))
         assert verdict.ok
         assert verdict.exit_code == 5
+
+
+class TestNativeOracle:
+    """The fuzz oracle sweeps the native backend like any other."""
+
+    @pytest.mark.skipif(not native_available(),
+                        reason="no working C toolchain (or REPRO_NATIVE=0)")
+    @pytest.mark.parametrize("index", range(6))
+    def test_population_passes_native(self, index):
+        verdict = check_generated(generate(42, index), NATIVE_SMOKE)
+        assert verdict.ok, verdict.summary()
 
 
 class TestShrink:

@@ -22,20 +22,30 @@ import pytest
 from repro.errors import SimulationError
 from repro.programs.registry import build, program_names
 from repro.translator.driver import translate
+from repro.vliw.codegen.native import native_available
 from repro.vliw.multicore import CORE_IO_STRIDE, MultiCoreSoC
 from repro.vliw.platform import PrototypingPlatform
 
 N_CORES = max(2, int(os.environ.get("REPRO_SMOKE_CORES", "2")))
 LEVELS = (0, 1, 2, 3)
 
+#: the native backend joins every mix when a C toolchain is present
+#: (without one it would just exercise the Python emitter twice)
+_NATIVE = native_available()
+
 
 def _mixes(n: int) -> list[tuple[str, ...]]:
-    """Homogeneous interp, homogeneous compiled, and a mixed assignment."""
-    return [
+    """Homogeneous and mixed per-core backend assignments."""
+    mixes = [
         ("interp",) * n,
         ("compiled",) * n,
         tuple("interp" if i % 2 == 0 else "compiled" for i in range(n)),
     ]
+    if _NATIVE:
+        mixes.append(("native",) * n)
+        rotation = ("native", "interp", "compiled")
+        mixes.append(tuple(rotation[i % 3] for i in range(n)))
+    return mixes
 
 
 @pytest.fixture(scope="module")

@@ -96,6 +96,49 @@ def test_compiled_shards_reuse_parent_regions(serial):
         assert outcome.regions_from_cache > 0, outcome.spec
 
 
+class TestStreaming:
+    """``run_all(stream=True)`` yields outcomes as shards complete."""
+
+    def test_default_run_all_is_deterministic_run(self, serial):
+        """Without stream=, run_all is exactly run(): a submission-order
+        list — the deterministic default path stays untouched."""
+        specs = _all_specs()
+        outcomes = ShardedRunner(jobs=2).run_all(specs)
+        assert isinstance(outcomes, list)
+        assert [outcome.spec for outcome in outcomes] == specs
+        for outcome in outcomes:
+            spec = outcome.spec
+            expected = serial[(spec.program, spec.backend)]
+            assert (outcome.result.observables()
+                    == expected.levels[spec.level].result.observables())
+
+    def test_stream_yields_every_outcome_with_identical_results(
+            self, serial):
+        """Completion order may differ, but the outcome *set* — and
+        every observable in it — matches the serial runner."""
+        specs = _all_specs()
+        streamed = ShardedRunner(jobs=2).run_all(specs, stream=True)
+        assert not isinstance(streamed, list)  # lazily yielded
+        seen = []
+        for outcome in streamed:
+            seen.append(outcome.spec)
+            expected = serial[(outcome.spec.program, outcome.spec.backend)]
+            assert (outcome.result.observables()
+                    == expected.levels[
+                        outcome.spec.level].result.observables())
+            assert outcome.wall_seconds > 0
+        # every submitted shard came back exactly once
+        assert sorted(map(repr, seen)) == sorted(map(repr, specs))
+
+    def test_stream_inline_jobs1(self, serial):
+        """jobs=1 streams inline, in submission order by construction."""
+        specs = _all_specs()[:4]
+        outcomes = list(ShardedRunner(jobs=1).run_all(specs, stream=True))
+        assert [outcome.spec for outcome in outcomes] == specs
+        parent = os.getpid()
+        assert all(outcome.pid == parent for outcome in outcomes)
+
+
 def test_spec_validation():
     with pytest.raises(ValueError):
         ShardSpec(program="gcd", kind="nonsense").validate()
