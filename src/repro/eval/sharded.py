@@ -44,7 +44,7 @@ from repro.programs.registry import build
 from repro.refsim.iss import CycleAccurateISS
 from repro.refsim.rtlsim import RtlSimulator
 from repro.translator.driver import TranslationResult, translate
-from repro.vliw.codegen import resolve_backend
+from repro.vliw.codegen import TierConfig, resolve_backend
 from repro.vliw.compiled import precompile_program
 from repro.vliw.platform import PrototypingPlatform
 
@@ -68,6 +68,10 @@ class ShardSpec:
     cores: int = 1
     #: explicit object file instead of a registry program name
     obj: ObjectFile | None = None
+    #: tier-ladder thresholds for ``backend="tiered"`` shards (frozen,
+    #: so it both hashes into the precompile memo key and pickles to
+    #: workers); None reads the worker's ``REPRO_TIER_*`` environment
+    tier: TierConfig | None = None
 
     def validate(self) -> "ShardSpec":
         if self.kind not in SHARD_KINDS:
@@ -152,7 +156,8 @@ def _run_payload(payload: tuple) -> dict:
         from repro.vliw.multicore import MultiCoreSoC
 
         soc = MultiCoreSoC(carrier, cores=spec.cores, backends=spec.backend,
-                           source_arch=arch, sync_rate=spec.sync_rate)
+                           source_arch=arch, sync_rate=spec.sync_rate,
+                           tier=spec.tier)
         start = time.perf_counter()
         multi = soc.run()
         wall = time.perf_counter() - start
@@ -163,7 +168,7 @@ def _run_payload(payload: tuple) -> dict:
             regions_from_cache=sum(c.regions_from_cache for c in compilers))
     platform = PrototypingPlatform(carrier, source_arch=arch,
                                    sync_rate=spec.sync_rate,
-                                   backend=spec.backend)
+                                   backend=spec.backend, tier=spec.tier)
     start = time.perf_counter()
     result = platform.run()
     wall = time.perf_counter() - start
@@ -175,7 +180,9 @@ def _run_payload(payload: tuple) -> dict:
 
 
 def run_pickled_program(blob: bytes, backend: str = "compiled",
-                        sync_rate: float = 1.0) -> tuple[dict, int, int]:
+                        sync_rate: float = 1.0,
+                        tier: TierConfig | None = None,
+                        ) -> tuple[dict, int, int]:
     """Unpickle a translated program and execute it on the platform.
 
     Returns ``(observables, regions_generated, regions_from_cache)``.
@@ -186,7 +193,7 @@ def run_pickled_program(blob: bytes, backend: str = "compiled",
     """
     program = pickle.loads(blob)
     platform = PrototypingPlatform(program, sync_rate=sync_rate,
-                                   backend=backend)
+                                   backend=backend, tier=tier)
     result = platform.run()
     compiler = platform._compiler
     return (result.observables(),
@@ -245,14 +252,15 @@ class ShardedRunner:
                            source=self.source_arch,
                            inline_cache_threshold=spec.inline_cache_threshold)
             self._translations[key] = tr
-        pre_key = (key, spec.backend)
+        pre_key = (key, spec.backend, spec.tier)
         if (self.precompile and resolve_backend(spec.backend).compiled
                 and pre_key not in self._precompiled):
-            # fills the program's source + IR caches; the native
-            # backend also builds the module into the on-disk cache,
-            # so workers dlopen instead of invoking the C compiler
+            # fills the program's source + IR caches; the native and
+            # tiered backends also build the superblock module into
+            # the on-disk cache, so workers dlopen instead of invoking
+            # the C compiler
             precompile_program(tr.program, source_arch=self.source_arch,
-                               backend=spec.backend)
+                               backend=spec.backend, tier=spec.tier)
             self._precompiled.add(pre_key)
         return tr
 

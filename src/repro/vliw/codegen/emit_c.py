@@ -1,9 +1,25 @@
-"""C emitter: renders Region IR to C99 for the native backend.
+"""C emitter: renders Region IR to C99 superblocks for the native backend.
 
-The third pipeline stage, natively: a region body compiles to one C
+The third pipeline stage, natively: regions are grouped into
+**superblocks** by the trace-formation pass
+(:mod:`repro.vliw.codegen.trace`) and each superblock compiles to one C
 function operating **in place** on the core's register file and data
 memory, with everything else crossing a fixed ABI struct (``rio_t``)
 that a thin Python wrapper (:mod:`repro.vliw.codegen.native`) applies.
+
+Inside a superblock every member region is a labelled block; chain
+edges between members are direct ``goto``\\ s (indirect branches go
+through an in-function ``switch`` dispatch over entry packet indices),
+so whole hot traces — including self-chaining loop regions — execute
+in a single C call.  The sync-device mirror and the in-flight
+writeback set stay resident in the ABI struct across those internal
+edges (``_sb_flight`` rebases the writebacks exactly the way the
+Python wrapper used to between calls); they are flushed back to Python
+only when the function returns: on bail, halt, interp hand-off, an
+exit edge leaving the superblock, or **lockstep-quantum expiry** — a
+budget check at every internal chain edge reproduces ``run_slice``'s
+region-boundary quantum test bit for bit, so multi-core lockstep and
+contention contracts are untouched.
 
 What runs in C:
 
@@ -75,6 +91,7 @@ from repro.vliw.codegen.ir import (
     RegionIR,
     RegWrite,
 )
+from repro.vliw.codegen.trace import ModulePlan, SuperblockPlan, form_traces
 from repro.vliw.core import _LOAD_SIZE, BRIDGE_WINDOW as _BRIDGE_WINDOW
 from repro.vliw.syncdev import (
     REG_CMD,
@@ -85,20 +102,24 @@ from repro.vliw.syncdev import (
 )
 
 #: ABI revision — part of the shared-object cache key; bump on any
-#: change to ``rio_t`` or the calling convention.
-ABI_VERSION = 2
+#: change to ``rio_t`` or the calling convention.  Rev 3: superblock
+#: ABI (resident in-flight set, budget, accumulated totals, demotion
+#: bitmap, dirty block-site counters).
+ABI_VERSION = 3
 
 #: fixed array capacities of the ABI struct
 IN_MAX = 64  # >= register-file size (model caps at 2 x 32)
 SPILL_MAX = 64
 
-#: exit kinds reported by a region function
+#: exit kinds reported by a superblock function
 KIND_CHAIN = 0  # continue at ``next_pc`` (branch taken / fall-through)
 KIND_INTERP = 1  # region end only the interpreter can follow
 KIND_BAIL = 2  # current packet must re-execute on the interpreter
 KIND_HALT = 3  # the core halted
 #: error kinds (>= KIND_ERROR_BASE): the wrapper re-raises the
-#: interpreter's exception; no epilogue was applied
+#: interpreter's exception after applying the totals of the internally
+#: chained regions that *did* complete; the erroring region itself
+#: contributed nothing (same contract as the packet-compiled backend)
 KIND_ERROR_BASE = 4
 KIND_BADBRANCH = 4  # indirect branch to an untranslated address (aux)
 KIND_BUSERR_LOAD = 5  # load outside every window (aux = address)
@@ -107,13 +128,22 @@ KIND_SYNC_BADWRITE = 7  # invalid sync register write (aux = offset)
 KIND_SYNC_BADREAD = 8  # invalid sync register read (aux = offset)
 KIND_SYNC_PROTO_MAIN = 9  # main-channel protocol violation
 KIND_SYNC_PROTO_CORR = 10  # correction-channel protocol violation
+KIND_INFLIGHT_OVF = 11  # in-flight set overflowed IN_MAX (WAW hazard)
 
 #: the ABI struct, shared verbatim between the generated C, the cffi
 #: cdef and the ctypes mirror (see ``native.py``).  The sync_* block
 #: mirrors :class:`~repro.vliw.syncdev.SyncDevice` state; the wrapper
 #: loads it before the call and stores it back after (all paths,
 #: including errors — the device mutates exactly as far as the
-#: interpreter's would).
+#: interpreter's would).  Superblock fields: ``sb_pc`` carries the
+#: entry packet index in and the exiting (bail-attributed) member's
+#: entry index out; ``budget`` is the remaining lockstep quantum in
+#: target cycles; the ``*_total`` counters accumulate across the
+#: internally chained regions of one call; ``sb_off`` is the
+#: module-wide per-member demotion bitmap; ``blk``/``blk_dirty`` are
+#: the module-wide block-site counters plus the dirty list
+#: (``blocks_done`` counts dirty sites) the wrapper folds into
+#: ``CoreStats.block_executions``.
 RIO_STRUCT = f"""\
 typedef struct {{
     int32_t in_n;
@@ -123,11 +153,12 @@ typedef struct {{
     int32_t a2p_n;
     const uint32_t *a2p_addr;
     const int32_t *a2p_idx;
+    const uint8_t *sb_off;
+    int64_t *blk;
+    int32_t *blk_dirty;
     int32_t kind;
-    int32_t executed;
-    int32_t ci;
-    int32_t cn;
     int32_t next_pc;
+    int32_t sb_pc;
     uint32_t aux;
     int32_t blocks_done;
     int32_t n_spill;
@@ -137,6 +168,11 @@ typedef struct {{
     int32_t pb;
     int32_t pb_mat;
     int32_t pb_target;
+    int64_t budget;
+    int64_t executed_total;
+    int64_t instr_total;
+    int64_t nop_total;
+    int64_t src_total;
     int64_t sync_stall;
     double sync_rate;
     double sync_acc;
@@ -170,6 +206,34 @@ static void _spill(rio_t *io, int32_t r, int32_t m, uint32_t v) {{
     io->spill_mat[io->n_spill] = m;
     io->spill_val[io->n_spill] = v;
     io->n_spill++;
+}}
+
+/* Rebase the resident in-flight writeback set across a region exit:
+   drop entries that matured inside the region just executed (its
+   commit sections already applied them, up to the entry window),
+   shift the survivors to the new issue origin and fold in the spills.
+   Mirrors the drop-then-respill dance the Python wrapper performs
+   between per-region calls.  Returns 1 on overflow (two writes to one
+   register in flight at once — a WAW scheduler hazard). */
+static int32_t _sb_flight(rio_t *io, int32_t executed, int32_t limit) {{
+    int32_t n = 0, i;
+    for (i = 0; i < io->in_n; i++) {{
+        if (io->in_mat[i] < limit) continue;
+        io->in_reg[n] = io->in_reg[i];
+        io->in_mat[n] = io->in_mat[i] - executed;
+        io->in_val[n] = io->in_val[i];
+        n++;
+    }}
+    for (i = 0; i < io->n_spill; i++) {{
+        if (n >= {IN_MAX}) return 1;
+        io->in_reg[n] = io->spill_reg[i];
+        io->in_mat[n] = io->spill_mat[i] - executed;
+        io->in_val[n] = io->spill_val[i];
+        n++;
+    }}
+    io->in_n = n;
+    io->n_spill = 0;
+    return 0;
 }}
 
 /* SyncDevice.tick — bit-identical port (IEEE doubles, truncation) */
@@ -251,47 +315,130 @@ def _addr(base: str, imm: int) -> str:
 class UnsupportedRegion(Exception):
     """Raised internally when a region does not fit the native ABI."""
 
+    def __init__(self, reason: str, pc0: int | None = None) -> None:
+        super().__init__(reason)
+        self.pc0 = pc0
+
 
 class CEmitter:
-    """Renders regions to C99; declines what the ABI cannot express."""
+    """Renders superblocks to C99; declines what the ABI cannot express."""
 
     name = "c"
 
     def symbol(self, ir: RegionIR) -> str:
-        return f"r{ir.pc0}"
+        return f"sb{ir.pc0}"
 
     def emit(self, ir: RegionIR) -> tuple[str, str] | None:
-        """Render *ir*; ``(c_source, symbol)`` or ``None`` to decline."""
+        """Render *ir* as a single-member superblock;
+        ``(c_source, symbol)`` or ``None`` to decline."""
+        symbol = self.symbol(ir)
         try:
-            return _CRenderer(ir).render(), self.symbol(ir)
+            source = self._render_superblock(
+                symbol, (ir.pc0,), {ir.pc0: ir}, {ir.pc0: 0}, [])
         except UnsupportedRegion:
             return None
+        return source, symbol
 
-    def emit_module(self, irs) -> tuple[str, dict[int, str]]:
-        """One translation unit for every supported region of *irs*.
+    def emit_module(self, irs, landing_sites=()) -> tuple[str, ModulePlan]:
+        """One translation unit of superblocks covering *irs*.
 
-        Returns ``(c_source, {pc0: symbol})``; declined regions are
-        simply absent from the plan.  The source is deterministic for a
-        given IR set, which is what makes the on-disk shared-object
-        cache content-addressable.
+        *landing_sites* is the program's indirect-branch landing set
+        (``addr_to_packet`` values), used by trace formation to keep
+        indirect chains inside one superblock.  Returns
+        ``(c_source, plan)``; regions the ABI cannot express are
+        simply absent from the plan (their superblock group re-forms
+        without them).  The source is deterministic for a given IR
+        set, which is what makes the on-disk shared-object cache
+        content-addressable.
         """
+        irs_by_pc = {ir.pc0: ir for ir in irs}
+        while True:
+            try:
+                return self._emit_module_once(irs_by_pc, landing_sites)
+            except UnsupportedRegion as exc:  # pragma: no cover - the
+                # op set is closed today; this path guards future ops
+                if exc.pc0 is None or exc.pc0 not in irs_by_pc:
+                    raise
+                del irs_by_pc[exc.pc0]
+
+    def _emit_module_once(self, irs_by_pc: dict[int, RegionIR],
+                          landing_sites) -> tuple[str, ModulePlan]:
+        groups = form_traces(irs_by_pc, landing_sites)
+        member_index: dict[int, int] = {}
+        for members in groups:
+            for pc0 in members:
+                member_index[pc0] = len(member_index)
+        sites: list[int] = []
         chunks = [_PRELUDE]
-        plan: dict[int, str] = {}
-        for ir in sorted(irs, key=lambda ir: ir.pc0):
-            rendered = self.emit(ir)
-            if rendered is None:
-                continue
-            source, symbol = rendered
-            chunks.append(source)
-            plan[ir.pc0] = symbol
+        superblocks = []
+        for members in groups:
+            symbol = f"sb{members[0]}"
+            chunks.append(self._render_superblock(
+                symbol, members, irs_by_pc, member_index, sites))
+            superblocks.append(SuperblockPlan(symbol=symbol,
+                                              members=members))
+        plan = ModulePlan(tuple(superblocks), tuple(sites))
         return "\n".join(chunks), plan
+
+    def _render_superblock(self, symbol: str, members, irs_by_pc,
+                           member_index, sites: list) -> str:
+        """One C function: labelled member blocks + dispatch switch.
+
+        Entry loads ``io->sb_pc`` and the quantum budget, then jumps to
+        the dispatch switch, which routes any member entry (initial or
+        indirect) to its block unless its demotion bit is set.  Control
+        that reaches ``Lexit`` leaves with ``KIND_CHAIN`` at ``spc``.
+        """
+        member_set = frozenset(members)
+        lines = [
+            f"int32_t {symbol}(uint32_t *regs, uint8_t *mem, "
+            f"rio_t *io) {{",
+            "    int32_t spc = io->sb_pc;",
+            "    int64_t budget = io->budget;",
+            "    io->pb = 0;",
+            "    goto Ldispatch;",
+        ]
+        for pc0 in members:
+            renderer = _CRenderer(irs_by_pc[pc0], member_set,
+                                  member_index, sites)
+            try:
+                lines.append(renderer.render_block())
+            except UnsupportedRegion as exc:
+                raise UnsupportedRegion(str(exc), pc0) from None
+        lines.append("Ldispatch:")
+        lines.append("    switch (spc) {")
+        for pc0 in members:
+            lines.append(f"    case {pc0}: "
+                         f"if (!io->sb_off[{member_index[pc0]}]) "
+                         f"goto L{pc0}; break;")
+        lines.append("    default: break;")
+        lines.append("    }")
+        lines.append("Lexit:")
+        lines.append("    io->next_pc = spc;")
+        lines.append(f"    io->kind = {KIND_CHAIN};")
+        lines.append(f"    return {KIND_CHAIN};")
+        lines.append("}")
+        lines.append("")
+        return "\n".join(lines)
 
 
 class _CRenderer:
-    """Walks one region's IR, emitting C lines."""
+    """Walks one member region's IR, emitting its superblock block.
 
-    def __init__(self, ir: RegionIR) -> None:
+    *members* is the owning superblock's member set (chain edges into
+    it render as internal ``goto``\\ s), *member_index* the module-wide
+    member numbering (demotion-bitmap indices) and *sites* the
+    module-wide block-site allocator (the renderer appends each block
+    head's source address and indexes ``io->blk`` with its position).
+    """
+
+    def __init__(self, ir: RegionIR, members: frozenset = frozenset(),
+                 member_index: dict | None = None,
+                 sites: list | None = None) -> None:
         self.ir = ir
+        self.members = members
+        self.member_index = member_index if member_index is not None else {}
+        self.sites = sites if sites is not None else []
         self.lines: list[str] = []
         self.indent = 1
 
@@ -337,15 +484,29 @@ class _CRenderer:
 
     # -- epilogues -------------------------------------------------------
 
-    def _emit_epilogue(self, ep: Epilogue, kind: int,
-                       next_pc_expr: str) -> None:
-        """The ABI half of an exit; the wrapper applies the rest."""
+    def _accumulate(self, ep: Epilogue) -> None:
+        """Fold one exiting region's epilogue into the resident state:
+        counter totals, batched ticks, then the in-flight rebase
+        (commit-window drop + spill fold) and the executed count."""
         if len(ep.spills) > SPILL_MAX:
             raise UnsupportedRegion(f"{len(ep.spills)} spills")
         add = self.add
-        add(f"io->executed = {ep.executed};")
-        add("io->ci = ci; io->cn = cn;")
-        add(f"io->next_pc = {next_pc_expr};")
+        terms = []
+        if ep.instr_static:
+            terms.append(str(ep.instr_static))
+        if ep.use_ci:
+            terms.append("ci")
+        if terms:
+            add(f"io->instr_total += {' + '.join(terms)};")
+        terms = []
+        if ep.nop_static:
+            terms.append(str(ep.nop_static))
+        if ep.use_cn:
+            terms.append("cn")
+        if terms:
+            add(f"io->nop_total += {' + '.join(terms)};")
+        if ep.src_static:
+            add(f"io->src_total += {ep.src_static};")
         if ep.ticks > 0:
             add(f"_tick_n(io, {ep.ticks});")
         add("io->n_spill = 0;")
@@ -355,22 +516,76 @@ class _CRenderer:
                 add(f"if (p{spill.pred}) {line}")
             else:
                 add(line)
-        if ep.branch is None:
-            add("io->pb = 0;")
-        else:
+        # the commit sections ran for the first commits_ran packets
+        # (a bail packet's too: it re-executes on the core); the entry
+        # window bounds how deep commit sections scan the in-flight set
+        limit = min(ep.commits_ran, self.ir.entry_window)
+        add(f"if (_sb_flight(io, {ep.executed}, {limit})) "
+            f"{{ io->kind = {KIND_INFLIGHT_OVF}; "
+            f"return {KIND_INFLIGHT_OVF}; }}")
+        add(f"io->executed_total += {ep.executed};")
+
+    def _emit_epilogue(self, ep: Epilogue, kind: int,
+                       next_pc_expr: str) -> None:
+        """An external exit: accumulate, report, return to the wrapper.
+
+        ``pb_mat`` is rebased to the exit's issue origin (the wrapper
+        adds the whole call's executed total); ``sb_pc`` attributes the
+        exit — in particular a bail — to this member region.
+        """
+        add = self.add
+        self._accumulate(ep)
+        add(f"io->next_pc = {next_pc_expr};")
+        if ep.branch is not None:
             br = ep.branch
             target = str(br.target) if br.target is not None else "btarget"
-            fire = (f"io->pb = 1; io->pb_mat = {br.effective}; "
+            fire = (f"io->pb = 1; io->pb_mat = {br.effective - ep.executed}; "
                     f"io->pb_target = {target};")
             if br.pred is not None:
-                add("io->pb = 0;")
                 add(f"if (p{br.pred}) {{ {fire} }}")
             else:
                 add(fire)
+        add(f"io->sb_pc = {self.ir.pc0};")
         add(f"io->kind = {kind}; return {kind};")
 
     def _emit_bail(self, ep: Epilogue) -> None:
         self._emit_epilogue(ep, KIND_BAIL, str(self.ir.pc0 + ep.executed))
+
+    def _chain_exit(self, ep: Epilogue, target: int | None) -> None:
+        """A chain edge: internal when the target is an enabled member
+        and the quantum budget allows, external otherwise.
+
+        The budget test ``executed_total + sync_stall >= budget``
+        reproduces ``run_slice``'s post-region ``cycles >= until``
+        check exactly (the wrapper computes ``budget`` as the limit
+        minus the core's cycle count at entry), so lockstep quanta
+        stop at the same region boundaries as per-region dispatch.
+        """
+        add = self.add
+        if ep.branch is not None:  # pragma: no cover - lower builds
+            # chain exits with a clean pipeline; render externally if
+            # that ever changes
+            self._emit_epilogue(
+                ep, KIND_CHAIN,
+                str(target) if target is not None else "btarget")
+            return
+        if target is not None and target not in self.members:
+            self._emit_epilogue(ep, KIND_CHAIN, str(target))
+            return
+        self._accumulate(ep)
+        add(f"io->sb_pc = {self.ir.pc0};")
+        if target is None:
+            add("spc = btarget;")
+            add("if (io->executed_total + io->sync_stall >= budget) "
+                "goto Lexit;")
+            add("goto Ldispatch;")
+        else:
+            add(f"spc = {target};")
+            add("if (io->executed_total + io->sync_stall >= budget) "
+                "goto Lexit;")
+            add(f"if (!io->sb_off[{self.member_index[target]}]) "
+                f"goto L{target};")
+            add("goto Lexit;")
 
     def _emit_error(self, kind: int, aux_expr: str) -> None:
         self.add(f"io->aux = (uint32_t)({aux_expr}); "
@@ -378,16 +593,21 @@ class _CRenderer:
 
     # -- main ------------------------------------------------------------
 
-    def render(self) -> str:
+    def render_block(self) -> str:
+        """This member as a labelled block of its superblock function.
+
+        The label precedes the compound statement, so jumping to it
+        (dispatch or an internal chain edge) runs the declarations'
+        initializers — re-entry via a loop back edge starts from a
+        clean slate of locals, exactly like a fresh call used to.
+        """
         ir = self.ir
-        header = (f"int32_t r{ir.pc0}(uint32_t *regs, uint8_t *mem, "
-                  f"rio_t *io) {{")
         for p in ir.packets:
             self._render_packet(p)
         self._render_end()
         body = self.lines
         decls = ["    " + line for line in self._declarations()]
-        return "\n".join([header] + decls + body + ["}", ""])
+        return "\n".join([f"L{ir.pc0}: {{"] + decls + body + ["}"])
 
     def _render_packet(self, p: PacketIR) -> None:
         ir = self.ir
@@ -483,11 +703,16 @@ class _CRenderer:
                 self.indent -= 1
                 add("}")
 
-        # 6. per-block statistics: the dict lives in Python, so the
-        #    region only counts the block-head sites it passed; the
-        #    wrapper replays them against the IR's site list
+        # 6. per-block statistics: the dict lives in Python, so each
+        #    block-head site bumps its module-wide counter and, on the
+        #    0 -> 1 transition, registers itself on the dirty list —
+        #    the wrapper folds only touched sites (exact even on error
+        #    paths, cheap even when a call runs one region)
         if p.block is not None:
-            add("io->blocks_done++;")
+            site = len(self.sites)
+            self.sites.append(p.block[0])
+            add(f"if (io->blk[{site}]++ == 0) "
+                f"io->blk_dirty[io->blocks_done++] = {site};")
 
         # 7. phase A4: execution counters (after every possible bail)
         for var in p.ci_preds:
@@ -823,21 +1048,18 @@ class _CRenderer:
         if end is None:  # 'halt': the exit inside the packet returned
             return
         if isinstance(end, BranchEnd):
-            target = (str(end.target) if end.target is not None
-                      else "btarget")
             if end.pred is not None:
                 add(f"if (p{end.pred}) {{")
                 self.indent += 1
-                self._emit_epilogue(end.taken, KIND_CHAIN, target)
+                self._chain_exit(end.taken, end.target)
                 self.indent -= 1
                 add("}")
-                self._emit_epilogue(end.fallthrough, KIND_CHAIN,
-                                    str(end.fall_pc))
+                self._chain_exit(end.fallthrough, end.fall_pc)
             else:
-                self._emit_epilogue(end.taken, KIND_CHAIN, target)
+                self._chain_exit(end.taken, end.target)
             return
         if isinstance(end, CutEnd):
-            self._emit_epilogue(end.epilogue, KIND_CHAIN, str(end.chain_pc))
+            self._chain_exit(end.epilogue, end.chain_pc)
             return
         assert isinstance(end, InterpEnd)
         self._emit_epilogue(end.epilogue, KIND_INTERP,

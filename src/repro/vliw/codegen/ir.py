@@ -346,11 +346,23 @@ class RegionIR:
     def pure(self) -> bool:
         """True if no packet touches a device or shared window.
 
-        Pure regions mutate only registers, plain memory and counters —
-        the subset the native C backend compiles; regions with device
-        dispatch points always render through the Python emitter.
+        Pure regions mutate only registers, plain memory and counters;
+        device packets carry dispatch points (tick barriers, stall
+        loops, the bridge-window pre-check that bails bus traffic to
+        the interpreter).
         """
         return not any(p.device for p in self.packets)
+
+    @property
+    def has_indirect(self) -> bool:
+        """True if the region resolves a register-indirect branch.
+
+        Trace formation (:mod:`repro.vliw.codegen.trace`) treats every
+        indirect-branch landing site as a potential chain successor of
+        such a region.
+        """
+        return any(isinstance(node, IndirectBranch)
+                   for p in self.packets for node in p.applies)
 
 
 def _fmt(node, out: list) -> None:

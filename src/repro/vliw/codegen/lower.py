@@ -107,6 +107,23 @@ def params_for_core(core) -> LoweringParams:
     )
 
 
+def packet_device_flags(program, pc0: int, n_packets: int) -> tuple:
+    """Per-packet device flags of the region at *pc0*.
+
+    ``flags[k]`` is True when packet ``pc0 + k`` carries at least one
+    device-flagged access — the same test
+    :meth:`RegionLowerer._lower_packet` uses to give a packet its
+    dispatch shape.  The tiered backend's cold (interpreted) tier uses
+    these to defer device packets at a lockstep-quantum boundary, the
+    way ``run_slice`` defers individual interpreted packets, without
+    lowering the region first.
+    """
+    packets = program.packets
+    return tuple(
+        any(i.device for i in packets[pc0 + k].instrs)
+        for k in range(n_packets))
+
+
 def _is_value_op(op: TOp) -> bool:
     """True if *op* produces a register result."""
     return op not in (TOp.B, TOp.HALT, TOp.NOP) and op not in _STORE_OPS

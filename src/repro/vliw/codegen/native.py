@@ -20,22 +20,25 @@ that source into running code:
   concurrent builders race harmlessly.
 * **Bindings** — cffi in ABI mode when importable (faster calls),
   ctypes otherwise.  Both operate **in place** on the core's register
-  file and data memory: the register list is swapped for an
-  ``array('I')`` (same indexing semantics for the interpreter and the
-  Python-emitted regions) so both buffers cross the FFI boundary
-  without copying.
-* **Wrappers** — each native region gets a small Python closure obeying
-  the dispatch contract of :mod:`repro.vliw.compiled` (return the next
-  region's callable, ``INTERP``, or ``None``).  Per call the wrapper
-  loads the sync-device mirror and the in-flight writebacks into the
-  ABI struct, calls the C function, stores the mirror back (all exit
-  paths — the device mutates exactly as far as the interpreter's
-  would), applies the Python-side half of the exit epilogue
-  (statistics from IR-derived prefix tables, block execution counts,
-  stall charges, writeback/pending-branch spills) and chains.  A
-  region that keeps bailing — bus-bridge traffic in a loop — swaps
-  itself for its Python rendering after :data:`BAIL_SWITCH` bails, so
-  steady-state performance is never worse than the packet compiler's.
+  file (an ``array('I')`` by construction) and data memory, so both
+  buffers cross the FFI boundary without copying.
+* **Wrappers** — each superblock *entry* gets a small Python closure
+  obeying the dispatch contract of :mod:`repro.vliw.compiled` (return
+  the next region's callable, ``INTERP``, or ``None``).  Per call the
+  wrapper loads the sync-device mirror, the in-flight writebacks and
+  the remaining lockstep-quantum budget into the ABI struct, calls the
+  C function — which may chain through many member regions internally
+  — then stores the mirror back (all exit paths: the device mutates
+  exactly as far as the interpreter's would), applies the accumulated
+  totals (statistics, dirty block-site counters, stall charges, the
+  rebased in-flight set and pending branch) and chains.  A member that
+  keeps bailing — bus-bridge traffic in a loop — is *demoted*: its bit
+  in the module-wide ``sb_off`` bitmap turns every native entry and
+  internal chain edge into an exit, and its Python rendering (which
+  dispatches device accesses inline) takes over, so steady-state
+  performance is never worse than the packet compiler's.  The bail
+  threshold is :data:`BAIL_SWITCH` unless the compiler's
+  :class:`~repro.vliw.codegen.tiering.TierConfig` overrides it.
 """
 
 from __future__ import annotations
@@ -45,7 +48,6 @@ import os
 import shutil
 import subprocess
 import tempfile
-from array import array
 
 from repro.errors import BusError, SimulationError
 from repro.vliw.codegen.emit_c import (
@@ -58,6 +60,7 @@ from repro.vliw.codegen.emit_c import (
     KIND_CHAIN,
     KIND_ERROR_BASE,
     KIND_HALT,
+    KIND_INFLIGHT_OVF,
     KIND_SYNC_BADREAD,
     KIND_SYNC_BADWRITE,
     KIND_SYNC_PROTO_CORR,
@@ -66,7 +69,9 @@ from repro.vliw.codegen.emit_c import (
 )
 from repro.vliw.codegen.ir import RegionIR
 
-#: bails after which a native region swaps in its Python rendering
+#: bails after which a native member demotes to its Python rendering
+#: (the default demotion rung of the tier ladder; a compiler's
+#: :class:`~repro.vliw.codegen.tiering.TierConfig` may override it)
 BAIL_SWITCH = 16
 
 #: probe program for toolchain discovery
@@ -234,6 +239,21 @@ class CffiBinding:
         io.a2p_idx = idx_arr
         return (addr_arr, idx_arr)
 
+    def u8_array(self, n: int):
+        return self.ffi.new("uint8_t[]", max(n, 1))
+
+    def i64_array(self, n: int):
+        return self.ffi.new("int64_t[]", max(n, 1))
+
+    def i32_array(self, n: int):
+        return self.ffi.new("int32_t[]", max(n, 1))
+
+    def set_sb(self, io, off, blk, blk_dirty) -> None:
+        """Install the module-wide superblock state arrays."""
+        io.sb_off = off
+        io.blk = blk
+        io.blk_dirty = blk_dirty
+
 
 class CtypesBinding:
     """ctypes binding: always available, slightly slower calls."""
@@ -254,11 +274,12 @@ class CtypesBinding:
                 ("a2p_n", ctypes.c_int32),
                 ("a2p_addr", ctypes.POINTER(ctypes.c_uint32)),
                 ("a2p_idx", ctypes.POINTER(ctypes.c_int32)),
+                ("sb_off", ctypes.POINTER(ctypes.c_uint8)),
+                ("blk", ctypes.POINTER(ctypes.c_int64)),
+                ("blk_dirty", ctypes.POINTER(ctypes.c_int32)),
                 ("kind", ctypes.c_int32),
-                ("executed", ctypes.c_int32),
-                ("ci", ctypes.c_int32),
-                ("cn", ctypes.c_int32),
                 ("next_pc", ctypes.c_int32),
+                ("sb_pc", ctypes.c_int32),
                 ("aux", ctypes.c_uint32),
                 ("blocks_done", ctypes.c_int32),
                 ("n_spill", ctypes.c_int32),
@@ -268,6 +289,11 @@ class CtypesBinding:
                 ("pb", ctypes.c_int32),
                 ("pb_mat", ctypes.c_int32),
                 ("pb_target", ctypes.c_int32),
+                ("budget", ctypes.c_int64),
+                ("executed_total", ctypes.c_int64),
+                ("instr_total", ctypes.c_int64),
+                ("nop_total", ctypes.c_int64),
+                ("src_total", ctypes.c_int64),
                 ("sync_stall", ctypes.c_int64),
                 ("sync_rate", ctypes.c_double),
                 ("sync_acc", ctypes.c_double),
@@ -314,6 +340,22 @@ class CtypesBinding:
         io.a2p_idx = ctypes.cast(idx_arr, ctypes.POINTER(ctypes.c_int32))
         return (addr_arr, idx_arr)
 
+    def u8_array(self, n: int):
+        return (self._ctypes.c_uint8 * max(n, 1))()
+
+    def i64_array(self, n: int):
+        return (self._ctypes.c_int64 * max(n, 1))()
+
+    def i32_array(self, n: int):
+        return (self._ctypes.c_int32 * max(n, 1))()
+
+    def set_sb(self, io, off, blk, blk_dirty) -> None:
+        ctypes = self._ctypes
+        io.sb_off = ctypes.cast(off, ctypes.POINTER(ctypes.c_uint8))
+        io.blk = ctypes.cast(blk, ctypes.POINTER(ctypes.c_int64))
+        io.blk_dirty = ctypes.cast(blk_dirty,
+                                   ctypes.POINTER(ctypes.c_int32))
+
 
 def _load_binding(so_path: str, symbols):
     """cffi if importable, ctypes otherwise."""
@@ -353,12 +395,14 @@ class NativeContext:
             plans = {}
             program._native_plans = plans
         plan_entry = plans.get(compiler.cache_params)
+        landing = tuple(sorted(program.addr_to_packet.values()))
         source = None
         if plan_entry is None:
             # emitting the module is pure Python: do it even without a
             # toolchain, because a warm disk cache can serve the .so
             # compiler-free (build_shared only compiles on a miss)
-            source, plan = CEmitter().emit_module(cls._module_irs(compiler))
+            source, plan = CEmitter().emit_module(
+                cls._module_irs(compiler), landing)
             digest = source_digest(source)
             plans[compiler.cache_params] = (digest, plan)
         else:
@@ -375,13 +419,13 @@ class NativeContext:
                     # cold cache (e.g. a worker on a fresh cache dir):
                     # rebuild from the IR shipped with the program
                     source, plan = CEmitter().emit_module(
-                        cls._module_irs(compiler))
+                        cls._module_irs(compiler), landing)
                     if source_digest(source) != digest:
                         return None  # pragma: no cover - caches in sync
                 so_path = build_shared(source, digest)
                 if so_path is None:
                     return None
-            binding = _load_binding(so_path, sorted(plan.values()))
+            binding = _load_binding(so_path, plan.symbols())
             _LOADED[digest] = binding
         return cls(compiler, binding, plan)
 
@@ -390,16 +434,17 @@ class NativeContext:
         compiler.precompile()
         return [ir for ir in compiler._ir_cache.values() if ir is not None]
 
-    def __init__(self, compiler, binding, plan: dict[int, str]) -> None:
+    def __init__(self, compiler, binding, plan) -> None:
         self.compiler = compiler
         self.binding = binding
+        #: the :class:`~repro.vliw.codegen.trace.ModulePlan`
         self.plan = plan
         core = compiler.core
-        # in-place FFI views need buffer-protocol register storage; the
-        # array has identical indexing semantics for the interpreter
-        # and the Python-emitted regions
-        if not isinstance(core.regs, array):
-            core.regs = array("I", core.regs)
+        # C6xCore guarantees buffer-protocol register storage from
+        # construction; replacing the object here instead would strand
+        # every Python-emitted region exec'd before a mid-run attach
+        # (backend="tiered" attaches at the first native promotion) on
+        # a dead snapshot of the register file
         self.regs_buf = binding.u32_buffer(core.regs)
         self.mem_buf = binding.u8_buffer(core._mem)
         self.io = binding.new_io()
@@ -408,53 +453,90 @@ class NativeContext:
         self._a2p_refs = binding.set_a2p(
             self.io, [addr for addr, _ in landing],
             [index for _, index in landing])
-        #: regions this core actually runs natively (diagnostics)
+        # module-wide superblock state the generated C indexes: the
+        # per-member demotion bitmap, the block-site counters and their
+        # dirty list (wrapper folds + zeroes touched sites per call)
+        self._off = binding.u8_array(plan.n_members)
+        self._blk = binding.i64_array(len(plan.block_sites))
+        self._blk_dirty = binding.i32_array(len(plan.block_sites))
+        binding.set_sb(self.io, self._off, self._blk, self._blk_dirty)
+        #: entry pc -> (wrapper, fallback cell) of built wrappers
+        self._wrappers: dict[int, tuple] = {}
+        #: interpreter bails per member entry (demotion attribution)
+        self._bails: dict[int, int] = {}
+        self._demoted: set[int] = set()
+        #: superblock entries this core actually runs natively
         self.regions_native = 0
-        #: native regions demoted to their Python rendering at run time
+        #: native members demoted to their Python rendering at run time
         self.regions_demoted = 0
 
     @property
     def n_native_regions(self) -> int:
-        """Regions of the program's module compiled to C."""
+        """Region entries of the program's module compiled to C."""
         return len(self.plan)
 
     def wrapper_for(self, pc0: int):
-        """The dispatch-contract callable for native region *pc0*."""
-        symbol = self.plan.get(pc0)
-        if symbol is None:
+        """The dispatch-contract callable for superblock entry *pc0*."""
+        if pc0 in self._demoted:
             return None
-        ir = self.compiler._ir_cache.get(pc0)
-        if ir is None:  # pragma: no cover - plan and IR cache in sync
+        entry = self.plan.entry(pc0)
+        if entry is None:
             return None
-        self.regions_native += 1
-        return self._make_wrapper(ir, self.binding.fn(symbol))
+        cached = self._wrappers.get(pc0)
+        if cached is None:
+            fallback: list = [None]
+            wrapper = self._make_wrapper(pc0, self.binding.fn(entry[0]),
+                                         fallback)
+            cached = (wrapper, fallback)
+            self._wrappers[pc0] = cached
+            self.regions_native += 1
+        return cached[0]
 
-    def _make_wrapper(self, ir: RegionIR, cfun):
-        """Close the Python half of the region over one core's state.
+    def _bail_switch(self) -> int:
+        tier = getattr(self.compiler, "tier", None)
+        if tier is not None and tier.demote_bails is not None:
+            return tier.demote_bails
+        return BAIL_SWITCH  # module global: patchable in tests
 
-        Everything static is precomputed from the IR: per-offset prefix
-        tables for the batched counter updates (indexable by the
-        *executed* packet count every exit kind reports) and the block
-        heads whose execution counts the region charges (replayed by
-        the ``blocks_done`` site counter, exact even on error paths).
+    def _count_bail(self, pc0: int) -> None:
+        """One interpreter bail attributed to member entry *pc0*."""
+        bails = self._bails.get(pc0, 0) + 1
+        self._bails[pc0] = bails
+        if bails >= self._bail_switch() and pc0 not in self._demoted:
+            self.demote(pc0)
+
+    def demote(self, pc0: int) -> None:
+        """Retire member *pc0* from native execution for good.
+
+        Bridge-window traffic in a loop: the member is
+        interpreter-bound, so its Python rendering (which dispatches
+        device accesses inline) wins.  Setting its bit in the
+        module-wide ``sb_off`` bitmap turns every native dispatch and
+        internal chain edge into an exit; the block-function cache and
+        any stale wrapper reference (via its fallback cell) swap to the
+        Python rendering for every future entry.
+        """
+        self._demoted.add(pc0)
+        entry = self.plan.entry(pc0)
+        if entry is not None:
+            self._off[entry[1]] = 1
+        python_fn = self.compiler._python_region(pc0)
+        cached = self._wrappers.get(pc0)
+        if cached is not None:
+            cached[1][0] = python_fn
+        self.compiler._fns[pc0] = python_fn
+        self.regions_demoted += 1
+
+    def _make_wrapper(self, pc0: int, cfun, fallback: list):
+        """Close the Python half of one superblock entry over the core.
+
+        The C function chains internally through member regions and
+        reports accumulated totals, so the wrapper needs no per-region
+        prefix tables: it syncs the sync-device mirror, folds the dirty
+        block-site counters, applies the totals and the rebased
+        in-flight set, and follows the exit kind.
         """
         from repro.vliw.compiled import INTERP
-
-        instr_prefix = [0]
-        nop_prefix = [0]
-        src_prefix = [0]
-        blocks: list[int] = []
-        for p in ir.packets:
-            instr_prefix.append(instr_prefix[-1] + p.static_instr)
-            nop_prefix.append(nop_prefix[-1] + (1 if p.static_nop else 0))
-            src_prefix.append(src_prefix[-1]
-                              + (p.block[1] if p.block else 0))
-            if p.block is not None:
-                blocks.append(p.block[0])
-        instr_prefix = tuple(instr_prefix)
-        nop_prefix = tuple(nop_prefix)
-        src_prefix = tuple(src_prefix)
-        blocks = tuple(blocks)
 
         context = self
         compiler = self.compiler
@@ -467,10 +549,10 @@ class NativeContext:
         io = self.io
         regs_buf = self.regs_buf
         mem_buf = self.mem_buf
-        pc0 = ir.pc0
-        entry_window = ir.entry_window
-        fallback: list = [None]
-        bails = [0]
+        blk = self._blk
+        blk_dirty = self._blk_dirty
+        block_sites = self.plan.block_sites
+        limit_cell = compiler._limit
 
         def region():
             python_fn = fallback[0]
@@ -479,17 +561,20 @@ class NativeContext:
             inflight = core._inflight
             ii0 = core._issue_index
             n_in = 0
-            if inflight:
-                in_regs = list(inflight)
-                for reg in in_regs:
-                    ready, value = inflight[reg]
-                    io.in_reg[n_in] = reg
-                    io.in_mat[n_in] = ready - ii0
-                    io.in_val[n_in] = value
-                    n_in += 1
+            for reg, (ready, value) in inflight.items():
+                io.in_reg[n_in] = reg
+                io.in_mat[n_in] = ready - ii0
+                io.in_val[n_in] = value
+                n_in += 1
             io.in_n = n_in
             io.blocks_done = 0
             io.sync_stall = 0
+            io.executed_total = 0
+            io.instr_total = 0
+            io.nop_total = 0
+            io.src_total = 0
+            io.sb_pc = pc0
+            io.budget = limit_cell[0] - core.cycles
             io.sync_acc = sync._accumulator
             io.sync_pending_main = sync._pending_main
             io.sync_pending_corr = sync._pending_corr
@@ -516,55 +601,51 @@ class NativeContext:
                 core._stall_cycles += stall
                 stats.sync_stall_cycles += stall
             for i in range(io.blocks_done):
-                addr = blocks[i]
-                bex[addr] = bex.get(addr, 0) + 1
-            if kind >= KIND_ERROR_BASE:
-                _raise_native_error(kind, io.aux)
-            executed = io.executed
-            core._issue_index = ii0 + executed
+                site = blk_dirty[i]
+                bex[block_sites[site]] = (
+                    bex.get(block_sites[site], 0) + blk[site])
+                blk[site] = 0
+            executed = io.executed_total
+            ii = ii0 + executed
+            core._issue_index = ii
             stats.packets_issued += executed
-            stats.instructions_executed += instr_prefix[executed] + io.ci
-            nops = nop_prefix[executed] + io.cn
-            if nops:
-                stats.nop_packets += nops
-            src = src_prefix[executed]
-            if src:
-                stats.source_instructions += src
-            if n_in:
-                # commit sections ran for the first commits_ran packets
-                # (the bail packet's ran too: it re-executes on the
-                # core); the entry window bounds how deep the region
-                # scans the in-flight dict
-                limit = min(executed + (kind == KIND_BAIL), entry_window)
-                for reg in in_regs:
-                    if inflight[reg][0] - ii0 < limit:
-                        del inflight[reg]
-            for i in range(io.n_spill):
-                inflight[io.spill_reg[i]] = (ii0 + io.spill_mat[i],
-                                             io.spill_val[i])
+            stats.instructions_executed += io.instr_total
+            if io.nop_total:
+                stats.nop_packets += io.nop_total
+            if io.src_total:
+                stats.source_instructions += io.src_total
+            # the C side rebased the resident in-flight set at every
+            # member exit (commit-window drop + spill fold): replace
+            # the dict with it wholesale
+            if n_in or io.in_n:
+                inflight.clear()
+                for i in range(io.in_n):
+                    inflight[io.in_reg[i]] = (ii + io.in_mat[i],
+                                              io.in_val[i])
+            if kind >= KIND_ERROR_BASE:
+                # internally chained members that completed contributed
+                # their totals above; the erroring member contributed
+                # nothing (same contract as the packet-compiled backend)
+                _raise_native_error(kind, io.aux)
             if io.pb:
-                core._pending_branch = (ii0 + io.pb_mat, io.pb_target)
+                core._pending_branch = (ii + io.pb_mat, io.pb_target)
+            next_pc = io.next_pc
             if kind == KIND_CHAIN:
-                next_pc = io.next_pc
+                if executed == 0 and next_pc == pc0:
+                    # stale reference to a demoted entry: no progress
+                    # was made; hand the packet to the interpreter
+                    return INTERP
                 core.pc = next_pc
                 return goto(next_pc)
-            core.pc = pc0 + executed
+            core.pc = next_pc
             if kind == KIND_HALT:
                 core.halted = True
                 return None
             if kind == KIND_BAIL:
-                bails[0] += 1
-                if bails[0] >= BAIL_SWITCH:
-                    # bridge-window traffic in a loop: this region is
-                    # interpreter-bound, so its Python rendering (which
-                    # dispatches device accesses inline) wins — swap it
-                    # in for every future entry
-                    fallback[0] = compiler._python_region(pc0)
-                    compiler._fns[pc0] = fallback[0]
-                    context.regions_demoted += 1
+                context._count_bail(io.sb_pc)
             return INTERP  # KIND_INTERP / KIND_BAIL
 
-        region.__name__ = f"_native_region_{pc0}"
+        region.__name__ = f"_native_superblock_{pc0}"
         return region
 
 
@@ -592,5 +673,9 @@ def _raise_native_error(kind: int, aux: int):
         raise SimulationError(
             "sync-device protocol violation: correction generation "
             "already running")
+    if kind == KIND_INFLIGHT_OVF:
+        raise SimulationError(
+            "in-flight writeback overflow in native superblock "
+            "(WAW scheduler hazard)")
     raise SimulationError(
         f"native region returned unknown exit kind {kind}")

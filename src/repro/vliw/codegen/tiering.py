@@ -1,0 +1,104 @@
+"""Tier-ladder configuration for the profile-guided ``tiered`` backend.
+
+The ladder (see ``docs/tiering.md``): every region entry starts on the
+interpretive core, promotes to its Python-emitted rendering after
+:attr:`TierConfig.promote_python` executions, promotes again to the
+native superblock module after :attr:`TierConfig.promote_native`
+executions, and a native region that keeps bailing to the interpreter
+demotes back to its Python rendering after
+:attr:`TierConfig.demote_bails` bails (the pre-existing native bail
+switch, now one rung of the same ladder).
+
+Thresholds come from three places, highest priority first:
+
+1. an explicit :class:`TierConfig` passed to
+   :class:`~repro.vliw.platform.PrototypingPlatform`,
+   :class:`~repro.vliw.multicore.MultiCoreSoC` or
+   :class:`~repro.vliw.compiled.PacketCompiler` (``tier=...``);
+2. the ``REPRO_TIER_*`` environment knobs read by :meth:`from_env`;
+3. the defaults below.
+
+Unknown ``REPRO_TIER_*`` names and malformed values are hard errors
+naming the valid knobs — a misspelled knob silently reverting to the
+defaults would invalidate a whole measurement campaign.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+#: executions on the interpretive core before a region entry promotes
+#: to its Python-emitted rendering
+DEFAULT_PROMOTE_PYTHON = 4
+#: total executions before a Python-tier region promotes to the native
+#: superblock module (must be >= the Python threshold)
+DEFAULT_PROMOTE_NATIVE = 32
+
+#: the environment knobs :meth:`TierConfig.from_env` understands
+ENV_KNOBS = ("REPRO_TIER_PROMOTE_PYTHON", "REPRO_TIER_PROMOTE_NATIVE",
+             "REPRO_TIER_DEMOTE_BAILS")
+
+_ENV_PREFIX = "REPRO_TIER_"
+
+
+def _knob_error(name: str, value: str, why: str) -> SimulationError:
+    return SimulationError(
+        f"invalid tier knob {name}={value!r}: {why}; valid knobs: "
+        f"{', '.join(ENV_KNOBS)}")
+
+
+@dataclass(frozen=True)
+class TierConfig:
+    """Promotion/demotion thresholds of the execution-tier ladder."""
+
+    #: interpreter executions before promotion to the Python emitter
+    promote_python: int = DEFAULT_PROMOTE_PYTHON
+    #: total executions before promotion to the native superblock
+    promote_native: int = DEFAULT_PROMOTE_NATIVE
+    #: native bails before demotion to the Python rendering;
+    #: None defers to :data:`repro.vliw.codegen.native.BAIL_SWITCH`
+    #: (which stays patchable for tests and experiments)
+    demote_bails: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.promote_python < 1:
+            raise _knob_error("REPRO_TIER_PROMOTE_PYTHON",
+                             str(self.promote_python), "must be >= 1")
+        if self.promote_native < self.promote_python:
+            raise _knob_error(
+                "REPRO_TIER_PROMOTE_NATIVE", str(self.promote_native),
+                "must be >= the Python promotion threshold")
+        if self.demote_bails is not None and self.demote_bails < 1:
+            raise _knob_error("REPRO_TIER_DEMOTE_BAILS",
+                             str(self.demote_bails), "must be >= 1")
+
+    @classmethod
+    def from_env(cls) -> "TierConfig":
+        """Thresholds from ``REPRO_TIER_*``, defaults where unset.
+
+        Rejects unknown ``REPRO_TIER_*`` names and non-integer values
+        with errors naming the valid knobs.
+        """
+        for name in os.environ:
+            if name.startswith(_ENV_PREFIX) and name not in ENV_KNOBS:
+                raise SimulationError(
+                    f"unknown tier knob {name}; valid knobs: "
+                    f"{', '.join(ENV_KNOBS)}")
+        values: dict[str, int] = {}
+        for name in ENV_KNOBS:
+            raw = os.environ.get(name)
+            if raw is None:
+                continue
+            try:
+                values[name] = int(raw, 0)
+            except ValueError:
+                raise _knob_error(name, raw, "expected an integer") from None
+        return cls(
+            promote_python=values.get("REPRO_TIER_PROMOTE_PYTHON",
+                                      DEFAULT_PROMOTE_PYTHON),
+            promote_native=values.get("REPRO_TIER_PROMOTE_NATIVE",
+                                      DEFAULT_PROMOTE_NATIVE),
+            demote_bails=values.get("REPRO_TIER_DEMOTE_BAILS"))

@@ -14,6 +14,7 @@ behaviour of a stalled in-order pipeline.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 from repro.arch.model import TargetArch
@@ -70,7 +71,12 @@ class C6xCore:
         #: in the FPGA behind the C6x external memory interface, so
         #: every access pays bus cycles even when no wait is needed.
         self.sync_access_stall = sync_access_stall
-        self.regs = [0] * reg_count(self.target)
+        # a typed array, not a list: the native backend maps the
+        # register file into C through the buffer protocol, and
+        # compiled regions close over this exact object — it must stay
+        # the same object for the core's whole life, or code emitted
+        # before a mid-run native attach would mutate a dead snapshot
+        self.regs = array("I", bytes(4 * reg_count(self.target)))
         self.pc = program.entry
         self.halted = False
         self.stats = CoreStats()

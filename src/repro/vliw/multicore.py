@@ -285,7 +285,8 @@ class _CoreSlot:
                  shared_bus: SocBus, n_cores: int,
                  arbiter: SharedBusArbiter,
                  sync_rate: float, bridge_stall: int,
-                 sync_access_stall: int, strict: bool) -> None:
+                 sync_access_stall: int, strict: bool,
+                 tier=None) -> None:
         from repro.vliw.codegen import resolve_backend
 
         try:
@@ -319,7 +320,8 @@ class _CoreSlot:
         if spec.compiled:
             from repro.vliw.compiled import PacketCompiler
 
-            self._compiler = PacketCompiler(self.core, backend=backend)
+            self._compiler = PacketCompiler(self.core, backend=backend,
+                                            tier=tier)
         else:
             self._compiler = None
 
@@ -349,7 +351,10 @@ class MultiCoreSoC:
     all cores or a per-core sequence (any name registered in
     :mod:`repro.vliw.codegen`) — interpreted, packet-compiled and
     native cores mix freely, since all mutate identical core state at
-    region boundaries.
+    region boundaries.  *tier* carries the
+    :class:`~repro.vliw.codegen.tiering.TierConfig` ladder thresholds
+    to every compiled slot (``None`` reads the ``REPRO_TIER_*``
+    environment).
 
     The SoC is always shared-capable: the
     :class:`~repro.soc.bus.SharedIoMap` segment (shared scratch,
@@ -367,7 +372,8 @@ class MultiCoreSoC:
                  bridge_stall: int = 4,
                  sync_access_stall: int = 4,
                  contention_stall: int = CONTENTION_STALL,
-                 strict: bool = True) -> None:
+                 strict: bool = True,
+                 tier=None) -> None:
         if isinstance(programs, C6xProgram):
             if cores is None:
                 raise SimulationError(
@@ -408,7 +414,7 @@ class MultiCoreSoC:
         self.slots = [
             _CoreSlot(i, program_list[i], backend_list[i], self.bus, n,
                       self.arbiter, sync_rate, bridge_stall,
-                      sync_access_stall, strict)
+                      sync_access_stall, strict, tier=tier)
             for i in range(n)
         ]
 

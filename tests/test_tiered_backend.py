@@ -1,0 +1,231 @@
+"""Differential lockdown of the profile-guided tiered backend.
+
+``backend="tiered"`` climbs a ladder at run time — interpretive core,
+Python emitter, native superblocks — so mid-program the *same* region
+entry is served by up to three different execution engines.  The
+contract stays the one every other backend honors: bit-identical
+:meth:`PlatformResult.observables` with the interpretive core, on
+every registry program, at every detail level, single-core and under
+multi-core lockstep, across promotions *and* demotions.  The ladder
+tests use aggressive thresholds so every rung is actually exercised
+within small programs; threshold plumbing (``REPRO_TIER_*``, platform
+kwargs) and knob validation are locked down alongside.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.programs.registry import build, program_names
+from repro.translator.driver import translate
+from repro.vliw.codegen import TierConfig
+from repro.vliw.codegen.native import native_available
+from repro.vliw.codegen.tiering import ENV_KNOBS
+from repro.vliw.compiled import PacketCompiler, precompile_program
+from repro.vliw.multicore import MultiCoreSoC
+from repro.vliw.platform import PrototypingPlatform
+
+needs_toolchain = pytest.mark.skipif(
+    not native_available(),
+    reason="no working C toolchain (or REPRO_NATIVE=0)")
+
+#: thresholds low enough that promotion fires inside small kernels
+FAST = TierConfig(promote_python=2, promote_native=4)
+
+LEVELS = (0, 1, 2, 3)
+
+
+def _run(program, backend, **kwargs):
+    return PrototypingPlatform(program, backend=backend, **kwargs).run()
+
+
+def _tiered(program, tier=FAST, **kwargs):
+    platform = PrototypingPlatform(program, backend="tiered", tier=tier,
+                                   **kwargs)
+    result = platform.run()
+    return platform, result
+
+
+class TestTieredEquivalence:
+    @pytest.mark.parametrize("level", LEVELS)
+    @pytest.mark.parametrize("name", program_names())
+    def test_identical_observables(self, name, level):
+        program = translate(build(name), level=level).program
+        interp = _run(program, "interp").observables()
+        platform, tiered = _tiered(program)
+        assert tiered.observables() == interp, (name, level)
+        stats = platform._compiler.tier_stats()
+        assert stats["promoted_python"] > 0, (name, level)
+
+    @pytest.mark.parametrize("level", (0, 2))
+    @pytest.mark.parametrize("name", ("gcd", "crc32"))
+    def test_multicore_lockstep_identical(self, name, level):
+        """Every core of a tiered/interp lockstep SoC reports the same
+        observables as its single-core run — promotion points under
+        1-cycle lockstep quanta differ from the single-core schedule,
+        which must not leak into any observable."""
+        program = translate(build(name), level=level).program
+        singles = {
+            backend: _run(program, backend, tier=FAST).observables()
+            for backend in ("interp", "tiered")}
+        mix = ("tiered", "interp")
+        multi = MultiCoreSoC(program, cores=2, backends=mix, tier=FAST).run()
+        for index, backend in enumerate(mix):
+            assert (multi.per_core[index].observables()
+                    == singles[backend]), (name, level, index)
+
+    def test_run_slice_lockstep_quanta(self):
+        """Driving tiered in 1-cycle quanta (the multi-core scheduling
+        pattern) must not change observables."""
+        program = translate(build("gcd"), level=2).program
+        interp = _run(program, "interp").observables()
+        platform = PrototypingPlatform(program, backend="tiered", tier=FAST)
+        compiler = PacketCompiler(platform.core, backend="tiered", tier=FAST)
+        exit_device = platform.bus.device("exit")
+        while not platform.core.halted and not exit_device.exited:
+            compiler.run_slice(platform.core.cycles + 1)
+        platform.sync.flush()
+        assert platform.collect_result().observables() == interp
+
+    def test_identical_under_sync_rates(self):
+        program = translate(build("gcd"), level=2).program
+        for sync_rate in (0.25, 1.5, 4.0):
+            interp = _run(program, "interp",
+                          sync_rate=sync_rate).observables()
+            _platform, tiered = _tiered(program, sync_rate=sync_rate)
+            assert tiered.observables() == interp, sync_rate
+
+
+class TestTierLadder:
+    def test_regions_climb_the_ladder(self):
+        """Hot entries promote to the Python tier; the stats profile
+        names the rung every entry ended on."""
+        program = translate(build("gcd"), level=2).program
+        platform, _result = _tiered(program)
+        stats = platform._compiler.tier_stats()
+        tiers = {info["tier"] for info in stats["regions"].values()}
+        assert "interp" in tiers  # cold entries stay interpreted
+        assert stats["promoted_python"] >= 1
+        for info in stats["regions"].values():
+            assert info["executions"] >= 1
+        assert set(stats) == {"regions", "promoted_python",
+                              "promoted_native", "demoted", "bails"}
+
+    @needs_toolchain
+    def test_hot_regions_reach_native_superblocks(self):
+        program = translate(build("gcd"), level=2).program
+        platform, _result = _tiered(program)
+        stats = platform._compiler.tier_stats()
+        assert stats["promoted_native"] >= 1
+        assert any(info["tier"] == "native"
+                   for info in stats["regions"].values())
+
+    @needs_toolchain
+    def test_bailing_region_demotes_back_to_python(self):
+        """The pre-existing native bail switch is a ladder rung: a
+        region that keeps bailing after its native promotion drops back
+        to the Python tier, observables unchanged across both swaps."""
+        tier = TierConfig(promote_python=1, promote_native=2,
+                          demote_bails=2)
+        program = translate(build("uart_hello"), level=1).program
+        interp = _run(program, "interp").observables()
+        platform, tiered = _tiered(program, tier=tier)
+        assert tiered.observables() == interp
+        stats = platform._compiler.tier_stats()
+        assert stats["demoted"] >= 1
+        assert sum(stats["bails"].values()) >= 2
+
+    def test_without_native_ladder_tops_out_at_python(self, monkeypatch):
+        """REPRO_NATIVE=0: promotion past the Python tier is declined
+        and entries keep running there — same observables, and the
+        native attach is attempted only once."""
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        program = translate(build("gcd"), level=1).program
+        interp = _run(program, "interp").observables()
+        platform, tiered = _tiered(program)
+        compiler = platform._compiler
+        assert tiered.observables() == interp
+        assert compiler.native_context is None
+        assert compiler.tier_stats()["promoted_native"] == 0
+
+    def test_pickled_program_promotes_from_shipped_regions(self):
+        """A precompiled program ships its region sources (and the
+        superblock module plan), so a tiered worker promotes without
+        re-generating anything."""
+        program = translate(build("gcd"), level=2).program
+        precompile_program(program, backend="tiered", tier=FAST)
+        parent = _run(program, "tiered", tier=FAST).observables()
+        clone = pickle.loads(pickle.dumps(program))
+        platform, tiered = _tiered(clone)
+        assert tiered.observables() == parent
+        assert platform._compiler.regions_generated == 0
+        assert platform._compiler.regions_from_cache > 0
+
+    def test_sharded_tiered_shard_matches_serial(self):
+        from repro.eval.sharded import ShardedRunner, ShardSpec
+
+        program = translate(build("gcd"), level=1).program
+        serial = _run(program, "tiered", tier=FAST).observables()
+        runner = ShardedRunner(jobs=1)
+        spec = ShardSpec(program="gcd", level=1, backend="tiered",
+                         tier=FAST)
+        outcome = runner.run([spec])[0]
+        assert outcome.result.observables() == serial
+
+    def test_fuzz_oracle_covers_tiered(self):
+        from repro.fuzz import FuzzConfig, generate
+        from repro.fuzz.oracle import check_generated
+
+        config = FuzzConfig(levels=(1, 2), backends=("interp", "tiered"),
+                            cores=2)
+        verdict = check_generated(generate(42, 0), config)
+        assert verdict.ok, verdict.summary()
+
+
+class TestTierKnobs:
+    def test_invalid_thresholds_name_the_knobs(self):
+        cases = (dict(promote_python=0),
+                 dict(promote_python=8, promote_native=4),
+                 dict(demote_bails=0))
+        for kwargs in cases:
+            with pytest.raises(SimulationError) as excinfo:
+                TierConfig(**kwargs)
+            message = str(excinfo.value)
+            for knob in ENV_KNOBS:
+                assert knob in message, kwargs
+
+    def test_env_knobs_are_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER_PROMOTE_PYTHON", "1")
+        monkeypatch.setenv("REPRO_TIER_PROMOTE_NATIVE", "3")
+        monkeypatch.setenv("REPRO_TIER_DEMOTE_BAILS", "7")
+        assert TierConfig.from_env() == TierConfig(
+            promote_python=1, promote_native=3, demote_bails=7)
+        # the compiler resolves the environment when no explicit
+        # TierConfig rides in through the platform
+        program = translate(build("gcd"), level=0).program
+        platform = PrototypingPlatform(program, backend="tiered")
+        compiler = PacketCompiler(platform.core, backend="tiered")
+        assert compiler.tier == TierConfig(
+            promote_python=1, promote_native=3, demote_bails=7)
+
+    def test_unknown_env_knob_is_a_hard_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER_PROMOTE_PYTHN", "2")  # typo
+        with pytest.raises(SimulationError) as excinfo:
+            TierConfig.from_env()
+        message = str(excinfo.value)
+        assert "REPRO_TIER_PROMOTE_PYTHN" in message
+        for knob in ENV_KNOBS:
+            assert knob in message
+
+    def test_malformed_env_value_is_a_hard_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER_PROMOTE_NATIVE", "lots")
+        with pytest.raises(SimulationError, match="expected an integer"):
+            TierConfig.from_env()
+
+    def test_explicit_config_shadows_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIER_PROMOTE_PYTHN", "2")  # would raise
+        program = translate(build("gcd"), level=0).program
+        platform = PrototypingPlatform(program, backend="tiered", tier=FAST)
+        compiler = PacketCompiler(platform.core, backend="tiered", tier=FAST)
+        assert compiler.tier is FAST
