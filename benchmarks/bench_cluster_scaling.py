@@ -1,0 +1,123 @@
+"""Cluster scaling over the modeled fabric — SoC-count trajectories.
+
+Runs the distributed workloads on growing clusters under both
+synchronization barriers and records a ``BENCH_cluster.json`` in the
+repo root:
+
+* **token_ring** is communication-bound — its runtime grows with the
+  node count (more hops per circulation), making fabric timing visible
+  in the record (words routed, hop cycles, contention);
+* **crc32** replicated per node is embarrassingly parallel — the
+  shape the cross-process barrier exists for: N workers execute their
+  lockstep windows concurrently, so on a multi-CPU host wall time
+  approaches the single-SoC cost.
+
+Observables are asserted bit-identical between the in-process and
+cross-process barriers along the way (a parallel cluster that is fast
+but wrong would be worse than useless).  No speedup bar is asserted —
+this host may be CPU-limited — but the record always carries the
+measured wall times, the usable CPU count and a ``cpu_limited`` flag,
+so a capacity-limited run is visible rather than silently green.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the sweep for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.eval.sharded import default_jobs
+from repro.programs.registry import build, expected_cluster_exits
+from repro.translator.driver import translate
+from repro.vliw.cluster import Cluster
+
+from conftest import write_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_cluster.json")
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+NODE_COUNTS = (2,) if SMOKE else (2, 4)
+LEVEL = 2
+BACKEND = "compiled"
+
+
+def _run(program, nodes: int, barrier: str, cores: int = 1):
+    cluster = Cluster(program, socs=nodes, cores=cores, backends=BACKEND,
+                      barrier=barrier)
+    start = time.perf_counter()
+    result = cluster.run()
+    return result, time.perf_counter() - start
+
+
+def test_cluster_scaling_record():
+    """Both barriers, growing node counts; writes BENCH_cluster.json."""
+    cpus = default_jobs()
+    record = {
+        "backend": BACKEND,
+        "level": LEVEL,
+        "usable_cpus": cpus,
+        "cpu_limited": cpus < max(NODE_COUNTS),
+        "token_ring": {},
+        "parallel_crc32": {},
+    }
+
+    ring = translate(build("token_ring"), level=LEVEL).program
+    for nodes in NODE_COUNTS:
+        serial, serial_seconds = _run(ring, nodes, "lockstep")
+        parallel, process_seconds = _run(ring, nodes, "process")
+        assert parallel.observables() == serial.observables(), \
+            f"cross-process barrier diverges at {nodes} nodes"
+        assert serial.exit_codes() == expected_cluster_exits("token_ring",
+                                                             nodes)
+        record["token_ring"][str(nodes)] = {
+            "lockstep_seconds": round(serial_seconds, 4),
+            "process_seconds": round(process_seconds, 4),
+            "target_cycles": serial.target_cycles,
+            "rounds": serial.rounds,
+            "fabric": serial.fabric,
+        }
+
+    crc = translate(build("crc32"), level=LEVEL).program
+    _, single_seconds = _run(crc, 1, "lockstep")
+    record["parallel_crc32"]["1"] = {
+        "lockstep_seconds": round(single_seconds, 4)}
+    for nodes in NODE_COUNTS:
+        serial, serial_seconds = _run(crc, nodes, "lockstep")
+        parallel, process_seconds = _run(crc, nodes, "process")
+        assert parallel.observables() == serial.observables()
+        record["parallel_crc32"][str(nodes)] = {
+            "lockstep_seconds": round(serial_seconds, 4),
+            "process_seconds": round(process_seconds, 4),
+            "process_speedup_vs_lockstep": round(
+                serial_seconds / process_seconds, 3)
+            if process_seconds else None,
+        }
+
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    lines = [f"cluster scaling (backend {BACKEND}, level {LEVEL}, "
+             f"{cpus} usable CPUs):",
+             "  token_ring (communication-bound):"]
+    for nodes, row in record["token_ring"].items():
+        lines.append(
+            f"    nodes={nodes}  lockstep {row['lockstep_seconds'] * 1e3:8.1f}ms"
+            f"  process {row['process_seconds'] * 1e3:8.1f}ms"
+            f"  cycles {row['target_cycles']}"
+            f"  words {row['fabric']['words_routed']}")
+    lines.append("  crc32 replicated (embarrassingly parallel):")
+    for nodes, row in record["parallel_crc32"].items():
+        process = row.get("process_seconds")
+        lines.append(
+            f"    nodes={nodes}  lockstep {row['lockstep_seconds'] * 1e3:8.1f}ms"
+            + (f"  process {process * 1e3:8.1f}ms" if process else ""))
+    write_report("cluster_scaling.txt", "\n".join(lines))
+
+    # more nodes => more hops per circulation => more target cycles
+    cycles = [row["target_cycles"]
+              for row in record["token_ring"].values()]
+    assert cycles == sorted(cycles)

@@ -1,0 +1,73 @@
+"""One-stop benchmark trajectory table.
+
+Aggregates every ``BENCH_*.json`` record in the repo root into a
+single ``benchmarks/output/summary.txt``: one section per record, one
+row per headline metric, so the performance trajectory of the repo is
+readable in one file instead of six JSON blobs.  Runs last in any
+benchmark session (plain scalars only — nested structure is flattened
+with dotted keys) and never fails on a missing record: it summarizes
+whatever the checkout has.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+from conftest import write_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: flatten depth: BENCH records are shallow by convention (scalars,
+#: one level of grouping, one level of per-configuration rows)
+MAX_DEPTH = 3
+
+
+def _flatten(value, prefix="", depth=0):
+    """Dotted-key scalar rows of one record, insertion-ordered."""
+    rows = []
+    if isinstance(value, dict):
+        if depth >= MAX_DEPTH:
+            rows.append((prefix, f"<{len(value)} entries>"))
+        else:
+            for key, inner in value.items():
+                dotted = f"{prefix}.{key}" if prefix else str(key)
+                rows.extend(_flatten(inner, dotted, depth + 1))
+    elif isinstance(value, list):
+        if all(not isinstance(v, (dict, list)) for v in value):
+            rows.append((prefix, ", ".join(str(v) for v in value)))
+        else:
+            rows.append((prefix, f"<{len(value)} entries>"))
+    else:
+        rows.append((prefix, str(value)))
+    return rows
+
+
+def summarize(records: dict[str, dict]) -> str:
+    lines = ["benchmark record summary", "========================"]
+    if not records:
+        lines.append("(no BENCH_*.json records in the repo root)")
+    for filename in sorted(records):
+        lines.append("")
+        lines.append(filename)
+        lines.append("-" * len(filename))
+        rows = _flatten(records[filename])
+        width = max(len(key) for key, _ in rows)
+        for key, value in rows:
+            lines.append(f"  {key:<{width}}  {value}")
+    return "\n".join(lines)
+
+
+def test_write_benchmark_summary():
+    """Reads the records as they are *now* — after any recording
+    benchmark of the same session rewrote them — so the summary always
+    reflects the session's final state."""
+    records = {}
+    for path in sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))):
+        with open(path) as handle:
+            records[os.path.basename(path)] = json.load(handle)
+    text = summarize(records)
+    write_report("summary.txt", text)
+    for filename in records:
+        assert filename in text

@@ -120,17 +120,41 @@ def translate_main(argv: list[str] | None = None) -> int:
                         help="for --run: sweep all four detail levels, "
                              "sharded across N worker processes "
                              "(overrides --level)")
+    parser.add_argument("--nodes", type=int, default=1,
+                        help="for --run: join N copies of the "
+                             "(--cores-core) SoC into a cluster over a "
+                             "modeled network fabric")
+    parser.add_argument("--barrier", default="lockstep",
+                        choices=("lockstep", "process"),
+                        help="for --nodes: the cluster synchronization "
+                             "barrier — serial in-process lockstep, or "
+                             "one worker process per SoC (identical "
+                             "observables)")
+    parser.add_argument("--fabric-latency", type=int, default=16,
+                        help="fabric per-hop latency in target cycles "
+                             "(also the default lockstep quantum)")
+    parser.add_argument("--fabric-word-cycles", type=int, default=2,
+                        help="fabric link serialization cost per word")
+    parser.add_argument("--fabric-topology", default="xbar",
+                        choices=("xbar", "ring"),
+                        help="fabric topology for --nodes")
     args = parser.parse_args(argv)
     from repro.arch.xmlio import source_arch_from_xml
     from repro.translator.driver import translate
     from repro.vliw.platform import PrototypingPlatform
 
-    if args.cores < 1 or args.jobs < 1:
-        print("error: --cores and --jobs must be >= 1", file=sys.stderr)
+    if args.cores < 1 or args.jobs < 1 or args.nodes < 1:
+        print("error: --cores, --jobs and --nodes must be >= 1",
+              file=sys.stderr)
         return 1
-    if args.shared and (not args.run or args.cores < 2 or args.jobs > 1):
+    if args.shared and (not args.run or args.cores < 2 or args.jobs > 1
+                        or args.nodes > 1):
         print("error: --shared requires --run --cores >= 2 and is not "
-              "available with --jobs", file=sys.stderr)
+              "available with --jobs or --nodes", file=sys.stderr)
+        return 1
+    if args.nodes > 1 and args.jobs > 1:
+        print("error: --nodes and --jobs are mutually exclusive",
+              file=sys.stderr)
         return 1
     try:
         obj = _load_object(args.object)
@@ -156,6 +180,8 @@ def translate_main(argv: list[str] | None = None) -> int:
         return 0
     if args.jobs > 1:
         return _run_level_sweep(obj, arch, args)
+    if args.nodes > 1:
+        return _run_cluster(result.program, arch, args)
     if args.cores > 1:
         from repro.vliw.multicore import MultiCoreSoC
 
@@ -208,6 +234,42 @@ def translate_main(argv: list[str] | None = None) -> int:
               f"superblocks, {tier_stats['demoted']} demoted")
     if run.uart_output:
         print(f"uart: {run.uart_output!r}")
+    return 0
+
+
+def _run_cluster(program, arch, args) -> int:
+    """Run a translated program on an N-SoC cluster (``--nodes``)."""
+    from repro.vliw.cluster import Cluster
+    from repro.vliw.fabric import FabricConfig
+
+    try:
+        cluster = Cluster(
+            program, socs=args.nodes, cores=args.cores,
+            backends=args.backend, barrier=args.barrier, source_arch=arch,
+            fabric=FabricConfig(latency=args.fabric_latency,
+                                word_cycles=args.fabric_word_cycles,
+                                topology=args.fabric_topology))
+        result = cluster.run()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    for node, soc in enumerate(result.per_soc):
+        for index, run in enumerate(soc.per_core):
+            print(f"soc{node}.core{index}: exit={run.exit_code} "
+                  f"target_cycles={run.target_cycles} "
+                  f"emulated_cycles={run.emulated_cycles} "
+                  f"cpi={run.target_cpi:.2f}")
+            if run.uart_output:
+                print(f"soc{node}.core{index} uart: {run.uart_output!r}")
+    fabric = result.fabric
+    print(f"cluster: {result.n_socs} SoCs x {args.cores} cores, "
+          f"{args.barrier} barrier, quantum {cluster.quantum}, "
+          f"{result.rounds} windows, {result.target_cycles} target cycles")
+    print(f"fabric ({args.fabric_topology}): "
+          f"{fabric['words_routed']} words routed, "
+          f"{fabric['hop_cycles']} hop cycles, "
+          f"{fabric['ingress_conflicts']} ingress conflicts, "
+          f"{fabric['egress_wait_cycles']} egress wait cycles")
     return 0
 
 

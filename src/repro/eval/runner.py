@@ -69,7 +69,9 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
                     sync_rate: float = 1.0,
                     backend: str = "interp",
                     cores: int = 1,
-                    shared: bool = False) -> ProgramMeasurement:
+                    shared: bool = False,
+                    nodes: int = 1,
+                    barrier: str = "lockstep") -> ProgramMeasurement:
     """Run the full measurement battery for one workload.
 
     *backend* selects the platform execution engine (any name
@@ -88,6 +90,14 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
     silently discarded.  Pass ``shared=True`` for workloads that use
     the shared-device segment, where per-core results legitimately
     differ (cores take different roles); the check is then skipped.
+
+    *nodes* > 1 replicates the (*cores*-core) SoC onto an N-node
+    :class:`~repro.vliw.cluster.Cluster` joined by the modeled network
+    fabric, under the *barrier* synchronization implementation
+    (``"lockstep"`` in-process or ``"process"`` workers — identical
+    observables).  The measurement records SoC 0's core 0; pass
+    ``shared=True`` for distributed workloads, whose per-SoC results
+    legitimately differ.
     """
     from repro.vliw.codegen import resolve_backend
 
@@ -100,7 +110,26 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
         translation = translate(
             obj, level=level, source=arch,
             inline_cache_threshold=inline_cache_threshold)
-        if cores > 1:
+        if nodes > 1:
+            from repro.errors import SimulationError
+            from repro.vliw.cluster import Cluster
+
+            cluster = Cluster(translation.program, socs=nodes, cores=cores,
+                              backends=backend, barrier=barrier,
+                              source_arch=arch, sync_rate=sync_rate)
+            clustered = cluster.run()
+            if not shared:
+                expected = clustered.per_soc[0].observables()
+                for index, other in enumerate(clustered.per_soc[1:],
+                                              start=1):
+                    if other.observables() != expected:
+                        raise SimulationError(
+                            f"cluster differential contract violated: "
+                            f"SoC {index} of {name!r} (level {level}) "
+                            f"diverges from SoC 0; pass shared=True if "
+                            f"this workload communicates over the fabric")
+            result = clustered.per_soc[0].per_core[0]
+        elif cores > 1:
             from repro.errors import SimulationError
             from repro.vliw.multicore import MultiCoreSoC
 

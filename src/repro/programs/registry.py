@@ -385,6 +385,66 @@ SHARED_PROGRAMS: dict[str, SharedProgramSpec] = {
 }
 
 
+@dataclass(frozen=True)
+class ClusterProgramSpec:
+    """A distributed workload that communicates over the cluster fabric.
+
+    Like shared workloads, cluster workloads are registered separately:
+    they only make progress on a multi-SoC
+    :class:`~repro.vliw.cluster.Cluster` (on fewer than *min_nodes*
+    fabric nodes they read the endpoint's node-count register and exit
+    0 immediately).  *expected_exits(nodes, cores)* predicts the
+    per-SoC, per-core exit codes from the protocol — distribution
+    dynamics may depend on fabric timing (work stealing), but every
+    registered workload's exit codes are schedule-invariant.
+    """
+
+    name: str
+    filename: str
+    description: str
+    min_nodes: int
+    expected_exits: Callable[[int, int], list[list[int]]]
+
+
+def _node_rows(cores: int, node_exits: list[int]) -> list[list[int]]:
+    """Per-SoC rows: core 0 exits the node value, other cores 0."""
+    return [[code] + [0] * (cores - 1) for code in node_exits]
+
+
+def _token_ring_exits(nodes: int, cores: int) -> list[list[int]]:
+    return _node_rows(cores, [4 * nodes] + [3 * nodes + k
+                                            for k in range(1, nodes)])
+
+
+def _allreduce_exits(nodes: int, cores: int) -> list[list[int]]:
+    total = nodes * (nodes + 1) * (nodes + 2) // 6
+    return _node_rows(cores, [total + k for k in range(nodes)])
+
+
+def _work_steal_exits(nodes: int, cores: int) -> list[list[int]]:
+    total = sum(_lcg_stream(77, 16, 16, 127)) & 255
+    return _node_rows(cores, [total] + list(range(1, nodes)))
+
+
+CLUSTER_PROGRAMS: dict[str, ClusterProgramSpec] = {
+    spec.name: spec
+    for spec in (
+        ClusterProgramSpec(
+            "token_ring", "token_ring.mc",
+            "token circulating a logical ring of SoCs four times",
+            2, _token_ring_exits),
+        ClusterProgramSpec(
+            "allreduce", "allreduce.mc",
+            "ring reduce + broadcast of per-node contributions",
+            2, _allreduce_exits),
+        ClusterProgramSpec(
+            "work_steal", "work_steal.mc",
+            "thief nodes draining a victim node's work queue",
+            2, _work_steal_exits),
+    )
+}
+
+
 #: the six workloads of Figure 5 / Table 1 / Figure 6, in paper order.
 FIGURE5_PROGRAMS = ("gcd", "dpcm", "fir", "ellip", "sieve", "subband")
 
@@ -410,7 +470,8 @@ def validate_sources(specs=None) -> None:
     narrows the check for tests.
     """
     if specs is None:
-        specs = [*PROGRAMS.values(), *SHARED_PROGRAMS.values()]
+        specs = [*PROGRAMS.values(), *SHARED_PROGRAMS.values(),
+                 *CLUSTER_PROGRAMS.values()]
     root = importlib.resources.files("repro.programs") / "src"
     missing = [
         f"{spec.name!r} (expected {spec.filename})"
@@ -437,6 +498,11 @@ def shared_program_names() -> list[str]:
     return list(SHARED_PROGRAMS)
 
 
+def cluster_program_names() -> list[str]:
+    """Multi-SoC fabric workloads (token ring, all-reduce, ...)."""
+    return list(CLUSTER_PROGRAMS)
+
+
 def expected_shared_exits(name: str, cores: int) -> list[int]:
     """Per-core exit codes the shared workload *name* must produce."""
     spec = SHARED_PROGRAMS[name]
@@ -446,11 +512,22 @@ def expected_shared_exits(name: str, cores: int) -> list[int]:
     return spec.expected_exits(cores)
 
 
+def expected_cluster_exits(name: str, nodes: int,
+                           cores: int = 1) -> list[list[int]]:
+    """Per-SoC, per-core exit codes of cluster workload *name*."""
+    spec = CLUSTER_PROGRAMS[name]
+    if nodes < spec.min_nodes:
+        raise ReproError(f"cluster workload {name!r} needs at least "
+                         f"{spec.min_nodes} fabric nodes")
+    return spec.expected_exits(nodes, cores)
+
+
 def source(name: str) -> str:
     """minic source text of program *name*."""
-    spec = PROGRAMS.get(name) or SHARED_PROGRAMS.get(name)
+    spec = (PROGRAMS.get(name) or SHARED_PROGRAMS.get(name)
+            or CLUSTER_PROGRAMS.get(name))
     if spec is None:
-        known = ", ".join([*PROGRAMS, *SHARED_PROGRAMS])
+        known = ", ".join([*PROGRAMS, *SHARED_PROGRAMS, *CLUSTER_PROGRAMS])
         raise ReproError(f"unknown program {name!r}; known: {known}")
     resource = importlib.resources.files("repro.programs") / "src" / spec.filename
     return resource.read_text()
@@ -482,6 +559,11 @@ def expected_exit(name: str) -> int | None:
             raise ReproError(
                 f"{name!r} is a shared multi-core workload; its per-core "
                 f"exit codes come from expected_shared_exits(name, cores)")
+        if name in CLUSTER_PROGRAMS:
+            raise ReproError(
+                f"{name!r} is a distributed cluster workload; its exit "
+                f"codes come from expected_cluster_exits(name, nodes, "
+                f"cores)")
         raise ReproError(f"unknown program {name!r}; "
                          f"known: {', '.join(PROGRAMS)}")
     return spec.reference() if spec.reference else None

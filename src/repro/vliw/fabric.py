@@ -1,0 +1,281 @@
+"""Latency/bandwidth-modeled network fabric joining SoCs in a cluster.
+
+A :class:`~repro.vliw.cluster.Cluster` connects N
+:class:`~repro.vliw.multicore.MultiCoreSoC` instances through a routed
+interconnect with mailbox semantics: each SoC maps a
+:class:`FabricEndpoint` device in its shared-device segment (offset
+``SharedIoMap.fabric``), and a parent-side :class:`NetworkFabric`
+routes the words posted there between endpoints at lockstep-window
+boundaries.
+
+Timing model
+    The fabric keeps time in **target cycles of the cluster frontier**
+    (the same domain as the lockstep round base), not in the per-core
+    emulated clock of :class:`~repro.vliw.bridge.BusBridge` stamps —
+    the emulated clock scales with the sync generation rate, which
+    would make routing decisions depend on a simulation knob.  A word
+    sent in the window starting at cycle ``T`` is stamped with the
+    sender SoC's round base; it leaves the source link no earlier than
+    its stamp (egress serialization: one word per ``word_cycles`` per
+    source), crosses the fabric in ``latency`` cycles per hop, and
+    becomes *visible* at the destination after ingress serialization —
+    ingress conflicts are charged through the same rotating-priority
+    rule as :class:`~repro.vliw.multicore.SharedBusArbiter` grants
+    (source ``(src - window) % nodes`` wins ties first).
+
+The determinism contract (conservative quantum synchronization)
+    The cluster's lockstep quantum ``Q`` must not exceed
+    :meth:`FabricConfig.min_latency`.  Then any word sent in window
+    ``[T, T+Q)`` has ``visible_at >= T + Q``: routing it at the window
+    barrier — after every SoC finished the window — cannot miss a
+    read, because no read in the same window can legally observe it.
+    That makes message visibility (and therefore every observable)
+    independent of the order in which SoCs execute their window, which
+    is what lets the in-process and cross-process barriers be
+    bit-identical (``tests/test_cluster_differential.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import BusError, SimulationError
+from repro.soc.bus import Device
+from repro.utils.bits import u32
+
+#: largest supported cluster: endpoint slots are per-peer, and the
+#: endpoint window must fit in the shared-device segment.
+MAX_NODES = 16
+
+_TOPOLOGIES = ("xbar", "ring")
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Interconnect parameters.
+
+    *latency* is the per-hop routing latency in target cycles;
+    *word_cycles* the serialization cost of one word on a link (the
+    bandwidth model: a link moves one word per ``word_cycles``);
+    *topology* is ``"xbar"`` (every pair one hop) or ``"ring"``
+    (messages take ``hop-count * latency`` around the shorter arc).
+    """
+
+    latency: int = 16
+    word_cycles: int = 2
+    topology: str = "xbar"
+
+    def __post_init__(self) -> None:
+        if self.latency < 1:
+            raise SimulationError(
+                f"fabric latency must be >= 1 cycle, got {self.latency}")
+        if self.word_cycles < 1:
+            raise SimulationError(
+                f"fabric word serialization must be >= 1 cycle, "
+                f"got {self.word_cycles}")
+        if self.topology not in _TOPOLOGIES:
+            raise SimulationError(
+                f"unknown fabric topology {self.topology!r} "
+                f"(choose from {', '.join(_TOPOLOGIES)})")
+
+    def hops(self, src: int, dst: int, nodes: int) -> int:
+        """Routed hop count between two nodes (loopback = 1 hop)."""
+        if self.topology == "ring" and nodes > 1:
+            around = abs(dst - src)
+            return max(1, min(around, nodes - around))
+        return 1
+
+    def route_latency(self, src: int, dst: int, nodes: int) -> int:
+        return self.hops(src, dst, nodes) * self.latency
+
+    def min_latency(self, nodes: int) -> int:
+        """Smallest latency over all routes — the quantum ceiling."""
+        return self.latency  # every topology's shortest route is 1 hop
+
+
+@dataclass(frozen=True)
+class FabricMessage:
+    """One word in flight: *seq* orders words of the same sender."""
+
+    src: int
+    dst: int
+    value: int
+    sent_at: int
+    seq: int
+
+
+@dataclass
+class FabricStats:
+    """Parent-side routing statistics (identical for both barriers)."""
+
+    words_routed: int = 0
+    egress_wait_cycles: int = 0
+    ingress_conflicts: int = 0
+    ingress_wait_cycles: int = 0
+    hop_cycles: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(vars(self))
+
+
+class NetworkFabric:
+    """Routes endpoint outboxes between SoCs at window barriers.
+
+    Owned by the cluster parent in *both* barrier modes, so routing
+    decisions and statistics are identical whether the SoCs execute
+    serially in-process or in parallel workers.
+    """
+
+    def __init__(self, nodes: int, config: FabricConfig | None = None) -> None:
+        if not 1 <= nodes <= MAX_NODES:
+            raise SimulationError(
+                f"fabric supports 1..{MAX_NODES} nodes, got {nodes}")
+        self.nodes = nodes
+        self.config = config or FabricConfig()
+        self.stats = FabricStats()
+        self._egress_free = [0] * nodes   # next cycle each source link is idle
+        self._ingress_free = [0] * nodes  # next cycle each sink port is idle
+
+    def route(self, messages: list[FabricMessage],
+              window: int) -> dict[int, list[tuple[int, int, int]]]:
+        """Route one window's messages; returns per-destination
+        deliveries ``dst -> [(src, value, visible_at), ...]`` in
+        visibility order.
+
+        *window* is the lockstep round base the messages were collected
+        at; it seeds the rotating ingress tie-break, mirroring the
+        shared-bus arbiter's rotating grant priority.
+        """
+        cfg = self.config
+        stats = self.stats
+        # global determinism: departure order is (stamp, source, seq)
+        inflight = []
+        for msg in sorted(messages, key=lambda m: (m.sent_at, m.src, m.seq)):
+            depart = max(msg.sent_at, self._egress_free[msg.src])
+            stats.egress_wait_cycles += depart - msg.sent_at
+            self._egress_free[msg.src] = depart + cfg.word_cycles
+            hop_cycles = cfg.route_latency(msg.src, msg.dst, self.nodes)
+            stats.hop_cycles += hop_cycles
+            inflight.append((depart + hop_cycles, msg))
+        deliveries: dict[int, list[tuple[int, int, int]]] = {}
+        # rotating ingress priority, like the shared-bus round-robin
+        inflight.sort(key=lambda pair: (
+            pair[0], (pair[1].src - window) % self.nodes, pair[1].seq))
+        for arrival, msg in inflight:
+            visible = max(arrival, self._ingress_free[msg.dst])
+            if visible > arrival:
+                stats.ingress_conflicts += 1
+                stats.ingress_wait_cycles += visible - arrival
+            self._ingress_free[msg.dst] = visible + cfg.word_cycles
+            stats.words_routed += 1
+            deliveries.setdefault(msg.dst, []).append(
+                (msg.src, msg.value, visible))
+        return deliveries
+
+
+class FabricEndpoint(Device):
+    """One SoC's memory-mapped port onto the cluster fabric.
+
+    Lives in the shared-device segment (``SharedIoMap.fabric``), so
+    compiled regions bail out to the interpreter for every access and
+    the per-SoC :class:`~repro.vliw.multicore.SharedBusArbiter` charges
+    intra-SoC contention on it exactly like on the mailbox.
+
+    Register map (slot *p* talks to peer node *p*; never blocking,
+    mirroring :class:`~repro.soc.devices.Mailbox` semantics):
+
+    * ``p*8 + 0`` DATA: write sends one word to node *p*, stamped with
+      the SoC's current lockstep round base; read pops the oldest
+      *visible* word received from node *p* (0 if none visible);
+    * ``p*8 + 4`` STATUS: bit0 = a word from node *p* is visible;
+    * ``0x80 + 0`` node index, ``0x80 + 4`` node count (the cluster
+      analogue of :class:`~repro.soc.devices.CoreIdDevice`).
+
+    Visibility gates on :attr:`now` — the SoC's lockstep round base,
+    updated by the scheduler each round like
+    :class:`~repro.soc.devices.GlobalCycleTimer` — against the
+    ``visible_at`` stamps the parent fabric computed when routing.
+    """
+
+    SLOT_STRIDE = 8
+    ID_OFFSET = MAX_NODES * SLOT_STRIDE
+
+    size = ID_OFFSET + 8
+
+    def __init__(self, node: int, nodes: int) -> None:
+        if not 1 <= nodes <= MAX_NODES:
+            raise SimulationError(
+                f"fabric supports 1..{MAX_NODES} nodes, got {nodes}")
+        if not 0 <= node < nodes:
+            raise SimulationError(f"node {node} out of range for {nodes}")
+        self.node = node
+        self.nodes = nodes
+        self.now = 0  # lockstep round base, set by the scheduler
+        self.outbox: list[FabricMessage] = []
+        self._rx: list[list[tuple[int, int]]] = [[] for _ in range(MAX_NODES)]
+        self._seq = 0
+        self.sent = 0
+        self.received = 0
+        self.popped = 0
+        self.empty_polls = 0
+
+    def collect_outbox(self) -> list[FabricMessage]:
+        """Drain the words sent this window (scheduler-side)."""
+        out, self.outbox = self.outbox, []
+        return out
+
+    def deliver(self, src: int, value: int, visible_at: int) -> None:
+        """Queue a routed word from *src* (scheduler-side)."""
+        self._rx[src].append((visible_at, value))
+        self.received += 1
+
+    def _visible(self, peer: int) -> bool:
+        queue = self._rx[peer]
+        return bool(queue) and queue[0][0] <= self.now
+
+    def read(self, offset: int, size: int, cycle: int) -> int:
+        if offset >= self.ID_OFFSET:
+            reg = offset - self.ID_OFFSET
+            if reg == 0:
+                return u32(self.node)
+            if reg == 4:
+                return u32(self.nodes)
+            raise BusError("invalid fabric register", offset)
+        peer, reg = divmod(offset, self.SLOT_STRIDE)
+        if reg == 0:
+            if not self._visible(peer):
+                self.empty_polls += 1
+                return 0
+            _visible_at, value = self._rx[peer].pop(0)
+            self.popped += 1
+            return u32(value)
+        if reg == 4:
+            return 1 if self._visible(peer) else 0
+        raise BusError("invalid fabric register", offset)
+
+    def write(self, offset: int, value: int, size: int, cycle: int) -> None:
+        if offset >= self.ID_OFFSET:
+            raise BusError("invalid fabric register write", offset)
+        peer, reg = divmod(offset, self.SLOT_STRIDE)
+        if reg != 0:
+            raise BusError("invalid fabric register write", offset)
+        if peer >= self.nodes:
+            raise BusError(f"fabric send to absent node {peer}", offset)
+        self.outbox.append(FabricMessage(
+            src=self.node, dst=peer, value=u32(value),
+            sent_at=self.now, seq=self._seq))
+        self._seq += 1
+        self.sent += 1
+
+    def pending(self) -> int:
+        """Words received but not yet popped (any visibility)."""
+        return sum(len(queue) for queue in self._rx)
+
+    def device_stats(self) -> dict:
+        return {
+            "sent": self.sent,
+            "received": self.received,
+            "popped": self.popped,
+            "empty_polls": self.empty_polls,
+            "pending": self.pending(),
+        }

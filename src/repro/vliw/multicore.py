@@ -99,11 +99,13 @@ from repro.soc.devices import (
 )
 from repro.vliw.bridge import BusBridge
 from repro.vliw.core import C6xCore
+from repro.vliw.fabric import FabricEndpoint
 from repro.vliw.platform import (
     PlatformResult,
     PrototypingPlatform,
     collect_platform_result,
 )
+from repro.vliw.sync import LockstepBarrier
 from repro.vliw.syncdev import SyncDevice
 
 #: size of each core's I/O partition on the shared bus.  The standard
@@ -326,6 +328,11 @@ class _CoreSlot:
             self._compiler = None
 
     @property
+    def cycles(self) -> int:
+        """Target-cycle count (the :class:`SyncMember` frontier view)."""
+        return self.core.cycles
+
+    @property
     def finished(self) -> bool:
         return self.core.halted or self.exit_device.exited
 
@@ -358,10 +365,16 @@ class MultiCoreSoC:
 
     The SoC is always shared-capable: the
     :class:`~repro.soc.bus.SharedIoMap` segment (shared scratch,
-    mailbox, global timer) is mapped above the per-core partitions, and
-    *contention_stall* sets the target-cycle penalty a core pays for
-    losing a shared-device arbitration round.  Programs that never
-    touch the segment behave exactly as on the partition-only SoC.
+    mailbox, global timer, cluster fabric endpoint) is mapped above the
+    per-core partitions, and *contention_stall* sets the target-cycle
+    penalty a core pays for losing a shared-device arbitration round.
+    Programs that never touch the segment behave exactly as on the
+    partition-only SoC.
+
+    *node*/*nodes* give the SoC its identity inside a
+    :class:`~repro.vliw.cluster.Cluster` (the fabric endpoint's node-id
+    registers); a standalone SoC is the degenerate single-node cluster
+    ``(0, 1)``, so distributed workloads degrade gracefully on it.
     """
 
     def __init__(self, programs: C6xProgram | Sequence[C6xProgram],
@@ -373,7 +386,9 @@ class MultiCoreSoC:
                  sync_access_stall: int = 4,
                  contention_stall: int = CONTENTION_STALL,
                  strict: bool = True,
-                 tier=None) -> None:
+                 tier=None,
+                 node: int = 0,
+                 nodes: int = 1) -> None:
         if isinstance(programs, C6xProgram):
             if cores is None:
                 raise SimulationError(
@@ -411,59 +426,68 @@ class MultiCoreSoC:
                         self.global_timer, "global_timer")
         self.bus.attach(self.shared_map.addr(self.shared_map.mailbox),
                         self.mailbox, "mailbox")
+        self.fabric_endpoint = FabricEndpoint(node, nodes)
+        self.bus.attach(self.shared_map.addr(self.shared_map.fabric),
+                        self.fabric_endpoint, "fabric")
         self.slots = [
             _CoreSlot(i, program_list[i], backend_list[i], self.bus, n,
                       self.arbiter, sync_rate, bridge_stall,
                       sync_access_stall, strict, tier=tier)
             for i in range(n)
         ]
+        self.barrier = LockstepBarrier(self.slots, quantum=1,
+                                       on_round=self._begin_round)
 
     @property
     def n_cores(self) -> int:
         return len(self.slots)
 
+    @property
+    def frontier(self) -> int:
+        """The SoC's global cycle: minimum over unfinished cores."""
+        return self.barrier.frontier
+
+    @property
+    def finished(self) -> bool:
+        return self.barrier.finished
+
+    def _begin_round(self, base: int) -> None:
+        # one lockstep round == one shared-bus arbitration round;
+        # the global timebase is the round's base cycle
+        self.arbiter.begin_round(base)
+        self.global_timer.now = base
+        self.fabric_endpoint.now = base
+
+    def run_slice(self, until: int, max_cycles: int) -> None:
+        """Advance the whole SoC until its frontier reaches *until*.
+
+        The SoC-level lockstep-quantum contract used by
+        :class:`~repro.vliw.cluster.Cluster`: rounds executed here are
+        exactly the rounds :meth:`run` would execute, just cut at the
+        cluster's window boundary — so a clustered SoC schedules (and
+        arbitrates) identically to a standalone one.
+        """
+        self.barrier.run_until(until, max_cycles)
+
     def run(self, max_cycles: int = 200_000_000) -> MultiCorePlatformResult:
         """Run every core to halt/exit under round-robin lockstep.
 
-        The scheduler enforces *max_cycles* at round granularity in
+        Scheduling lives in the :class:`~repro.vliw.sync.LockstepBarrier`
+        the SoC owns: it enforces *max_cycles* at round granularity in
         addition to each core's own in-``advance`` check, and raises
         :class:`SimulationError` if a full round passes in which no
         granted core makes cycle progress — shared-device stalls make
         "granted but stuck" a reachable state, and without the guard
         the loop would spin forever.
         """
-        slots = self.slots
-        n = len(slots)
-        running = [slot for slot in slots if not slot.finished]
-        while running:
-            base = min(slot.core.cycles for slot in running)
-            if base >= max_cycles:
-                raise SimulationError(
-                    f"target cycle limit {max_cycles} exceeded")
-            horizon = base + 1
-            # one lockstep round == one shared-bus arbitration round;
-            # the global timebase is the round's base cycle
-            self.arbiter.begin_round(base)
-            self.global_timer.now = base
-            progressed = False
-            for k in range(n):
-                # rotating grant priority: core (base % n) goes first
-                slot = slots[(base + k) % n]
-                if slot.finished or slot.core.cycles >= horizon:
-                    continue
-                slot.grants += 1
-                before = slot.core.cycles
-                slot.advance(horizon, max_cycles)
-                progressed |= slot.core.cycles > before or slot.finished
-            if not progressed:
-                raise SimulationError(
-                    f"lockstep scheduler livelock: no core advanced past "
-                    f"cycle {base} in a full arbitration round")
-            running = [slot for slot in slots if not slot.finished]
-        # Let outstanding cycle generation finish (the hardware would).
-        for slot in slots:
-            slot.sync.flush()
+        self.barrier.run_until(None, max_cycles)
+        self.flush()
         return self.collect_result()
+
+    def flush(self) -> None:
+        """Let outstanding cycle generation finish (the hardware would)."""
+        for slot in self.slots:
+            slot.sync.flush()
 
     def collect_result(self) -> MultiCorePlatformResult:
         return MultiCorePlatformResult(

@@ -1,0 +1,196 @@
+"""Pluggable lockstep synchronization barriers.
+
+The round-robin lockstep loop that :class:`~repro.vliw.multicore.MultiCoreSoC`
+historically ran inline is extracted here into a *synchronization
+barrier*: an engine that advances a set of members (cores, or whole
+SoCs) in lockstep rounds at target-cycle granularity.  Two
+implementations share one round engine:
+
+* :class:`LockstepBarrier` advances members serially in-process — it is
+  bit-identical to the historical ``MultiCoreSoC.run()`` loop (same
+  frontier computation, same rotating grant order, same error strings).
+* :class:`ProcessBarrier` drives members that live in worker processes:
+  each round it *posts* the advance command to every eligible member,
+  then collects replies — members execute their quantum in parallel,
+  while the round structure (and therefore every scheduling decision)
+  stays identical to the serial barrier.
+
+The round contract (established in PR 3 and preserved here for both
+implementations — ``tests/test_sync_barrier.py`` pins it):
+
+* every round starts at the **frontier** — the minimum cycle count over
+  unfinished members — and grants only members strictly below
+  ``frontier + quantum``;
+* ``max_cycles`` is enforced at round granularity: a round whose base
+  has reached the limit raises before granting anyone;
+* a full round in which no granted member makes cycle progress (and
+  none finishes) raises instead of spinning forever — shared-device
+  stalls make "granted but stuck" a reachable state;
+* grant priority rotates with the round base (member ``base % n``
+  first), so bus arbitration interleaves fairly and deterministically.
+
+Members are anything satisfying the :class:`SyncMember` protocol.  The
+barrier itself knows nothing about buses, arbiters or fabrics; owners
+hook per-round work in via *on_round* (called with the round base
+before any grant — ``MultiCoreSoC`` wires its arbiter and global timer
+here) and *on_round_end* (called after the round's grants —
+``Cluster`` exchanges fabric messages here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, Sequence, runtime_checkable
+
+from repro.errors import SimulationError
+
+
+@runtime_checkable
+class SyncMember(Protocol):
+    """One lockstep participant (a core slot, or a whole SoC).
+
+    ``cycles`` is the member's target-cycle count, ``finished`` whether
+    it has halted/exited, and ``grants`` a counter the barrier
+    increments once per scheduling grant.  ``advance`` runs the member
+    until its cycle count reaches *until* (members may overshoot by
+    their backend's atomic unit — one compiled region, or one inner
+    lockstep quantum) and must itself raise
+    :class:`~repro.errors.SimulationError` if it crosses *max_cycles*.
+    """
+
+    cycles: int
+    finished: bool
+    grants: int
+
+    def advance(self, until: int, max_cycles: int) -> None: ...
+
+
+class SyncBarrier:
+    """Shared round engine of both barrier implementations.
+
+    Subclasses implement :meth:`_advance_round`, which receives the
+    round's granted members *in rotating grant order* and must advance
+    each of them to *horizon*.  Everything else — frontier computation,
+    round-level ``max_cycles``, the no-progress guard, the round hooks
+    — lives here so the two implementations cannot drift.
+    """
+
+    def __init__(self, members: Sequence[SyncMember],
+                 quantum: int = 1,
+                 on_round: Callable[[int], None] | None = None,
+                 on_round_end: Callable[[int, int], None] | None = None,
+                 ) -> None:
+        if not members:
+            raise SimulationError("a sync barrier needs at least one member")
+        if quantum < 1:
+            raise SimulationError(
+                f"lockstep quantum must be >= 1, got {quantum}")
+        self.members = list(members)
+        self.quantum = quantum
+        self.on_round = on_round
+        self.on_round_end = on_round_end
+        self.rounds = 0
+
+    @property
+    def frontier(self) -> int:
+        """Minimum cycle count over unfinished members (the global
+        timebase); the maximum over all members once everyone halted."""
+        running = [m.cycles for m in self.members if not m.finished]
+        if running:
+            return min(running)
+        return max((m.cycles for m in self.members), default=0)
+
+    @property
+    def finished(self) -> bool:
+        return all(m.finished for m in self.members)
+
+    def run_until(self, until: int | None, max_cycles: int) -> None:
+        """Advance lockstep rounds until every member finished, or the
+        frontier reaches *until* (``None`` = run to completion).
+
+        Raises :class:`SimulationError` when a round base reaches
+        *max_cycles*, or when a full round passes without progress.
+        """
+        members = self.members
+        n = len(members)
+        running = [m for m in members if not m.finished]
+        while running:
+            base = min(m.cycles for m in running)
+            if until is not None and base >= until:
+                return
+            if base >= max_cycles:
+                raise SimulationError(
+                    f"target cycle limit {max_cycles} exceeded")
+            horizon = base + self.quantum
+            self.rounds += 1
+            if self.on_round is not None:
+                self.on_round(base)
+            # rotating grant priority: member (base % n) goes first
+            granted = [members[(base + k) % n] for k in range(n)
+                       if not members[(base + k) % n].finished
+                       and members[(base + k) % n].cycles < horizon]
+            for member in granted:
+                member.grants += 1
+            before = [(m.cycles, m.finished) for m in granted]
+            self._advance_round(granted, horizon, max_cycles)
+            progressed = any(
+                m.cycles > cyc or m.finished != fin
+                for m, (cyc, fin) in zip(granted, before))
+            if self.on_round_end is not None:
+                self.on_round_end(base, horizon)
+            if not progressed:
+                raise SimulationError(
+                    f"lockstep scheduler livelock: no core advanced past "
+                    f"cycle {base} in a full arbitration round")
+            running = [m for m in members if not m.finished]
+
+    def _advance_round(self, granted: Sequence[SyncMember],
+                       horizon: int, max_cycles: int) -> None:
+        raise NotImplementedError
+
+
+class LockstepBarrier(SyncBarrier):
+    """In-process barrier: members advance serially in grant order.
+
+    With ``quantum=1`` this reproduces the historical
+    ``MultiCoreSoC.run()`` loop bit for bit — the serial order is the
+    rotating grant order, so shared-bus transactions interleave exactly
+    as before the extraction.
+    """
+
+    def _advance_round(self, granted: Sequence[SyncMember],
+                       horizon: int, max_cycles: int) -> None:
+        for member in granted:
+            member.advance(horizon, max_cycles)
+
+
+@runtime_checkable
+class AsyncSyncMember(SyncMember, Protocol):
+    """A member whose advance can be posted and awaited separately."""
+
+    def post_advance(self, until: int, max_cycles: int) -> None: ...
+
+    def wait_advance(self) -> None: ...
+
+
+class ProcessBarrier(SyncBarrier):
+    """Cross-process barrier: grants of one round execute in parallel.
+
+    Members must additionally implement :class:`AsyncSyncMember`:
+    ``post_advance`` ships the quantum command to the member's worker
+    without blocking, ``wait_advance`` blocks until the worker's reply
+    updates the member's cached ``cycles``/``finished`` state.  Replies
+    are collected in grant order, so the parent-side view of a round is
+    deterministic regardless of worker timing.
+
+    Round-level safety is enforced *in the parent*: the ``max_cycles``
+    and no-progress raises of :meth:`SyncBarrier.run_until` fire here
+    from the workers' reported frontiers, independent of (and in
+    addition to) each worker's own in-quantum limit check.
+    """
+
+    def _advance_round(self, granted: Sequence[SyncMember],
+                       horizon: int, max_cycles: int) -> None:
+        for member in granted:
+            member.post_advance(horizon, max_cycles)
+        for member in granted:
+            member.wait_advance()
