@@ -29,6 +29,8 @@ setup(
             "repro-run = repro.cli:run_main",
             "repro-fuzz = repro.cli:fuzz_main",
             "repro-experiments = repro.cli:experiments_main",
+            "repro-serve = repro.cli:serve_main",
+            "repro-submit = repro.cli:submit_main",
         ],
     },
 )

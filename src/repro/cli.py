@@ -6,6 +6,8 @@
 * ``repro-run`` — execute an object file (reference ISS or platform)
 * ``repro-fuzz`` — differential fuzzing across backends/cores/levels
 * ``repro-experiments`` — regenerate the paper's tables and figures
+* ``repro-serve`` — resident simulation service (warm caches, HTTP/JSON)
+* ``repro-submit`` — submit a sweep to a running repro-serve
 """
 
 from __future__ import annotations
@@ -463,6 +465,50 @@ def _dump_reproducer(corpus_dir: str, seed: int, index: int,
         }, handle, indent=2)
         handle.write("\n")
     return stem + ".mc"
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Run the resident simulation service (see docs/serving.md).
+
+    A long-lived HTTP/JSON server that accepts translate/measure/fuzz
+    jobs and executes them on one persistent sharded runner whose
+    translation, region and native-module caches stay warm across
+    requests — repeated sweeps pay no cold-start cost.
+    """
+    parser = argparse.ArgumentParser(
+        prog="repro-serve", description=serve_main.__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8357,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes in the persistent pool "
+                             "(default: usable CPUs; 1 executes shards "
+                             "inline)")
+    parser.add_argument("--max-cached", type=int, default=None,
+                        help="bound the object/translation/precompile "
+                             "memos with LRU eviction (default 256)")
+    args = parser.parse_args(argv)
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 1
+    if args.max_cached is not None and args.max_cached < 1:
+        print("error: --max-cached must be >= 1", file=sys.stderr)
+        return 1
+    from repro.serve.server import DEFAULT_MAX_CACHED, ReproServe
+
+    server = ReproServe(host=args.host, port=args.port, jobs=args.jobs,
+                        max_cached=(args.max_cached
+                                    if args.max_cached is not None
+                                    else DEFAULT_MAX_CACHED))
+    server.run_forever()
+    return 0
+
+
+def submit_main(argv: list[str] | None = None) -> int:
+    """Submit a sweep to a running repro-serve (see repro.serve.client)."""
+    from repro.serve.client import submit_main as _submit_main
+
+    return _submit_main(argv)
 
 
 def experiments_main(argv: list[str] | None = None) -> int:

@@ -71,6 +71,23 @@ class SimulationError(ReproError):
     """Runtime error inside one of the simulators."""
 
 
+class ShardError(SimulationError):
+    """A sharded-evaluation worker failed while executing one shard.
+
+    Carries the :class:`~repro.eval.sharded.ShardSpec` that died and the
+    formatted traceback of the underlying failure (which, for pool
+    execution, includes the worker-side frames), so a long sweep that
+    loses one shard reports *which* measurement broke, not just a bare
+    exception bubbled out of ``future.result()``.
+    """
+
+    def __init__(self, message: str, spec=None,
+                 worker_traceback: str | None = None) -> None:
+        super().__init__(message)
+        self.spec = spec
+        self.worker_traceback = worker_traceback
+
+
 class BusError(SimulationError):
     """Access to an unmapped or ill-sized bus address."""
 

@@ -26,20 +26,36 @@ Wall-clock accounting
     the worker, so :attr:`ShardOutcome.wall_seconds` measures the
     measurement itself — pickling, queueing and pool management are
     excluded.
+
+Resident use
+    A runner constructed with ``persistent=True`` keeps one worker
+    pool alive across :meth:`run`/:meth:`run_all` calls (shut it down
+    with :meth:`close`, or use the runner as a context manager), and
+    ``max_cached=N`` bounds every memo with LRU eviction — the mode
+    ``repro-serve`` runs in, where the runner lives for days and the
+    memos would otherwise grow without bound.  Worker failures raise
+    :class:`~repro.errors.ShardError` naming the shard that died, and
+    abandoning a ``run_all(stream=True)`` iterator mid-sweep cancels
+    the not-yet-started shards instead of waiting for them.
 """
 
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import os
 import pickle
+import threading
 import time
+import traceback
+from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from multiprocessing import get_context
 
+from repro.errors import ShardError
 from repro.eval.runner import LevelMeasurement, ProgramMeasurement
-from repro.objfile.elf import ObjectFile
+from repro.objfile.elf import ObjectFile, dump_bytes
 from repro.programs.registry import build
 from repro.refsim.iss import CycleAccurateISS
 from repro.refsim.rtlsim import RtlSimulator
@@ -84,6 +100,12 @@ class ShardSpec:
         resolve_backend(self.backend)
         return self
 
+    def describe(self) -> str:
+        """Human-readable identity, used by :class:`ShardError`."""
+        name = self.program or "<object file>"
+        return (f"program={name} kind={self.kind} level={self.level} "
+                f"backend={self.backend} cores={self.cores}")
+
 
 @dataclass
 class ShardOutcome:
@@ -99,6 +121,55 @@ class ShardOutcome:
     regions_from_cache: int = 0
 
 
+def object_content_key(obj: ObjectFile) -> str:
+    """Stable identity of an object file: hash of its serialized form.
+
+    Explicit-``obj`` shards are memoized under this key instead of
+    ``id(obj)``: two separately constructed but byte-identical object
+    files share one memo entry, the runner never needs to pin the
+    caller's object alive to keep an id unambiguous, and eviction from
+    a bounded memo cannot be confused by CPython reusing a freed id.
+    """
+    return "@" + hashlib.sha256(dump_bytes(obj)).hexdigest()
+
+
+class _BoundedMemo(OrderedDict):
+    """A memo dict with optional LRU eviction past *bound*.
+
+    ``bound=None`` (the default) never evicts — identical to the plain
+    dicts the one-shot CLI sweeps always used.  With a bound, ``get``
+    refreshes recency and inserting past the bound evicts the least
+    recently used entry, so a resident server's memos stay flat no
+    matter how many distinct programs pass through.
+    """
+
+    def __init__(self, bound: int | None = None) -> None:
+        super().__init__()
+        if bound is not None and bound < 1:
+            raise ValueError("memo bound must be >= 1")
+        self.bound = bound
+
+    def get(self, key, default=None):
+        if key in self:
+            self.move_to_end(key)
+        return super().get(key, default)
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self.move_to_end(key)
+        if self.bound is not None:
+            while len(self) > self.bound:
+                self.popitem(last=False)
+
+
+# -- child PYTHONPATH export (reentrant) -------------------------------------
+
+_IMPORT_PATH_LOCK = threading.Lock()
+_IMPORT_PATH_REFS = 0
+_IMPORT_PATH_SAVED: str | None = None
+_IMPORT_PATH_RESTORE = False
+
+
 @contextlib.contextmanager
 def child_import_path():
     """Make :mod:`repro` importable in spawned worker processes.
@@ -106,25 +177,42 @@ def child_import_path():
     A ``spawn``-context child starts a fresh interpreter that knows
     nothing of the parent's ``sys.path`` surgery (e.g. the repo-root
     ``conftest.py`` used when ``PYTHONPATH`` is unset), so the package
-    directory is exported through the environment for the duration of
-    pool creation.
+    directory is exported through the environment while any pool that
+    may still spawn children is alive.
+
+    Reentrant: concurrent or nested enters (an async server creating
+    pools from several contexts, a persistent pool held open across a
+    one-shot sweep) share one saved value under a lock and a refcount —
+    only the outermost exit restores ``PYTHONPATH``, so interleaved
+    lifetimes can no longer restore a stale value over a live one.
     """
+    global _IMPORT_PATH_REFS, _IMPORT_PATH_SAVED, _IMPORT_PATH_RESTORE
     import repro
 
     src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
-    old = os.environ.get("PYTHONPATH")
-    parts = old.split(os.pathsep) if old else []
-    if src in parts:
-        yield
-        return
-    os.environ["PYTHONPATH"] = os.pathsep.join([src] + parts)
+    with _IMPORT_PATH_LOCK:
+        if _IMPORT_PATH_REFS == 0:
+            old = os.environ.get("PYTHONPATH")
+            parts = old.split(os.pathsep) if old else []
+            if src in parts:
+                _IMPORT_PATH_RESTORE = False
+            else:
+                _IMPORT_PATH_SAVED = old
+                _IMPORT_PATH_RESTORE = True
+                os.environ["PYTHONPATH"] = os.pathsep.join([src] + parts)
+        _IMPORT_PATH_REFS += 1
     try:
         yield
     finally:
-        if old is None:
-            del os.environ["PYTHONPATH"]
-        else:
-            os.environ["PYTHONPATH"] = old
+        with _IMPORT_PATH_LOCK:
+            _IMPORT_PATH_REFS -= 1
+            if _IMPORT_PATH_REFS == 0 and _IMPORT_PATH_RESTORE:
+                if _IMPORT_PATH_SAVED is None:
+                    os.environ.pop("PYTHONPATH", None)
+                else:
+                    os.environ["PYTHONPATH"] = _IMPORT_PATH_SAVED
+                _IMPORT_PATH_SAVED = None
+                _IMPORT_PATH_RESTORE = False
 
 
 def default_jobs() -> int:
@@ -204,64 +292,167 @@ def run_pickled_program(blob: bytes, backend: str = "compiled",
 # -- parent side -------------------------------------------------------------
 
 
+@dataclass
+class _PoolLease:
+    """A borrowed or owned worker pool plus its PYTHONPATH export."""
+
+    pool: ProcessPoolExecutor
+    owned: bool
+    import_cm: object = None
+
+    def release(self, abandon: bool = False) -> None:
+        """Return the lease; owned pools shut down.
+
+        *abandon* is the early-close path: cancel every not-yet-started
+        future and do **not** wait for the running ones, so closing a
+        streaming generator mid-sweep returns promptly instead of
+        blocking in ``ProcessPoolExecutor.__exit__`` until the whole
+        abandoned sweep has executed.
+        """
+        if not self.owned:
+            return
+        self.pool.shutdown(wait=not abandon, cancel_futures=abandon)
+        if self.import_cm is not None:
+            self.import_cm.__exit__(None, None, None)
+
+
 class ShardedRunner:
     """Fans independent measurements out across worker processes.
 
     ``jobs=1`` executes shards inline (no pool), which is both the
     serial baseline for the scaling benchmark and the cheap path for
     small sweeps.  Results always come back in submission order.
+
+    *persistent* keeps one worker pool alive across calls (the
+    resident-server mode; :meth:`close` or context-manager exit shuts
+    it down); *max_cached* bounds the object/translation/precompile
+    memos with LRU eviction.  :attr:`stats` counts memo traffic —
+    ``translations_built`` vs ``translation_hits`` is how a warm
+    resident runner proves a repeated request recompiled nothing.
     """
 
     def __init__(self, jobs: int | None = None, mp_context: str = "spawn",
-                 precompile: bool = True, source_arch=None) -> None:
+                 precompile: bool = True, source_arch=None,
+                 persistent: bool = False,
+                 max_cached: int | None = None) -> None:
         self.jobs = jobs if jobs is not None else default_jobs()
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.mp_context = mp_context
         self.precompile = precompile
+        self.persistent = persistent
         #: None lets every simulator pick the default source
         #: architecture; an explicit SourceArch (it pickles) rides
         #: along to the workers
         self.source_arch = source_arch
-        self._objs: dict[str, ObjectFile] = {}
-        self._translations: dict[tuple, TranslationResult] = {}
-        self._precompiled: set[tuple] = set()
+        self._objs: _BoundedMemo = _BoundedMemo(max_cached)
+        self._translations: _BoundedMemo = _BoundedMemo(max_cached)
+        self._precompiled: _BoundedMemo = _BoundedMemo(max_cached)
+        self._pool: ProcessPoolExecutor | None = None
+        self._pool_import_cm = None
+        #: memo traffic counters (monotonic over the runner's lifetime)
+        self.stats = {"objects_built": 0, "object_hits": 0,
+                      "translations_built": 0, "translation_hits": 0,
+                      "precompiles": 0, "shards_completed": 0}
+        #: shards cancelled because a streaming consumer went away
+        self.cancelled_shards = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Shut down the persistent pool (no-op without one)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=not wait)
+            self._pool = None
+        if self._pool_import_cm is not None:
+            self._pool_import_cm.__exit__(None, None, None)
+            self._pool_import_cm = None
+
+    def __enter__(self) -> "ShardedRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _reap_broken_pool(self) -> None:
+        """Drop a persistent pool whose workers died.
+
+        ``BrokenProcessPool`` poisons an executor permanently; a
+        resident server must not stay wedged because one worker was
+        OOM-killed — the next sweep simply builds a fresh pool.
+        """
+        if (self.persistent and self._pool is not None
+                and getattr(self._pool, "_broken", False)):
+            self.close(wait=False)
+
+    def _acquire_pool(self, n_payloads: int) -> _PoolLease:
+        if self.persistent:
+            self._reap_broken_pool()
+            if self._pool is None:
+                # the PYTHONPATH export stays entered for the pool's
+                # lifetime: a persistent pool respawns crashed workers
+                # at arbitrary later submits, and spawn-children read
+                # the environment at that moment
+                self._pool_import_cm = child_import_path()
+                self._pool_import_cm.__enter__()
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs,
+                    mp_context=get_context(self.mp_context))
+            return _PoolLease(pool=self._pool, owned=False)
+        import_cm = child_import_path()
+        import_cm.__enter__()
+        pool = ProcessPoolExecutor(
+            max_workers=min(self.jobs, n_payloads),
+            mp_context=get_context(self.mp_context))
+        return _PoolLease(pool=pool, owned=True, import_cm=import_cm)
 
     # -- shared artefacts ------------------------------------------------
 
+    def _obj_key(self, spec: ShardSpec) -> str:
+        if spec.obj is None:
+            return spec.program
+        return object_content_key(spec.obj)
+
     def _obj(self, spec: ShardSpec) -> ObjectFile:
-        if spec.obj is not None:
-            # pin the reference: translation memo keys use id(), which
-            # must stay unambiguous for the runner's lifetime
-            self._objs.setdefault(f"@{id(spec.obj)}", spec.obj)
-            return spec.obj
-        obj = self._objs.get(spec.program)
+        key = self._obj_key(spec)
+        obj = self._objs.get(key)
         if obj is None:
-            obj = build(spec.program)
-            self._objs[spec.program] = obj
+            obj = spec.obj if spec.obj is not None else build(spec.program)
+            self._objs[key] = obj
+            self.stats["objects_built"] += 1
+        else:
+            self.stats["object_hits"] += 1
         return obj
 
     def translation(self, spec: ShardSpec) -> TranslationResult:
         """The (memoized) translation a platform shard will execute."""
-        self._obj(spec)
-        key = (spec.program or id(spec.obj), spec.level,
-               spec.inline_cache_threshold)
+        obj = self._obj(spec)
+        key = (self._obj_key(spec), spec.level, spec.inline_cache_threshold)
         tr = self._translations.get(key)
         if tr is None:
-            tr = translate(self._obj(spec), level=spec.level,
+            tr = translate(obj, level=spec.level,
                            source=self.source_arch,
                            inline_cache_threshold=spec.inline_cache_threshold)
             self._translations[key] = tr
+            self.stats["translations_built"] += 1
+            # a re-translation starts with empty region caches, so any
+            # precompile recorded against this key describes an evicted
+            # program object — forget it and precompile afresh
+            for stale in [pk for pk in self._precompiled if pk[0] == key]:
+                del self._precompiled[stale]
+        else:
+            self.stats["translation_hits"] += 1
         pre_key = (key, spec.backend, spec.tier)
         if (self.precompile and resolve_backend(spec.backend).compiled
-                and pre_key not in self._precompiled):
+                and self._precompiled.get(pre_key) is None):
             # fills the program's source + IR caches; the native and
             # tiered backends also build the superblock module into
             # the on-disk cache, so workers dlopen instead of invoking
             # the C compiler
             precompile_program(tr.program, source_arch=self.source_arch,
                                backend=spec.backend, tier=spec.tier)
-            self._precompiled.add(pre_key)
+            self._precompiled[pre_key] = True
+            self.stats["precompiles"] += 1
         return tr
 
     def _payload(self, spec: ShardSpec) -> tuple:
@@ -273,21 +464,62 @@ class ShardedRunner:
 
     # -- execution -------------------------------------------------------
 
+    def _shard_error(self, spec: ShardSpec, exc: Exception) -> ShardError:
+        """Wrap a worker (or inline) failure with the shard's identity.
+
+        ``future.result()`` re-raises the worker's exception with the
+        remote traceback chained as ``__cause__``; formatting the full
+        chain preserves the worker-side frames in the message.
+        """
+        tb = "".join(traceback.format_exception(
+            type(exc), exc, exc.__traceback__))
+        return ShardError(
+            f"shard failed ({spec.describe()}): "
+            f"{type(exc).__name__}: {exc}",
+            spec=spec, worker_traceback=tb)
+
+    def _run_inline(self, spec: ShardSpec, payload: tuple) -> dict:
+        try:
+            out = _run_payload(payload)
+        except Exception as exc:
+            raise self._shard_error(spec, exc) from exc
+        self.stats["shards_completed"] += 1
+        return out
+
+    def _collect(self, spec: ShardSpec, future) -> dict:
+        try:
+            out = future.result()
+        except Exception as exc:
+            raise self._shard_error(spec, exc) from exc
+        self.stats["shards_completed"] += 1
+        return out
+
     def run(self, specs) -> list[ShardOutcome]:
         """Execute every shard; outcomes are in *specs* order."""
         specs = list(specs)
         payloads = [self._payload(spec) for spec in specs]
         if self.jobs == 1 or len(payloads) <= 1:
-            outs = [_run_payload(payload) for payload in payloads]
-        else:
-            workers = min(self.jobs, len(payloads))
-            with child_import_path():
-                with ProcessPoolExecutor(
-                        max_workers=workers,
-                        mp_context=get_context(self.mp_context)) as pool:
-                    futures = [pool.submit(_run_payload, payload)
-                               for payload in payloads]
-                    outs = [future.result() for future in futures]
+            outs = [self._run_inline(spec, payload)
+                    for spec, payload in zip(specs, payloads)]
+            return [ShardOutcome(spec=spec, **out)
+                    for spec, out in zip(specs, outs)]
+        lease = self._acquire_pool(len(payloads))
+        futures: list = []
+        completed = False
+        try:
+            futures = [lease.pool.submit(_run_payload, payload)
+                       for payload in payloads]
+            outs = [self._collect(spec, future)
+                    for spec, future in zip(specs, futures)]
+            completed = True
+        finally:
+            if not completed:
+                # a failed shard abandons the rest of the sweep: stop
+                # the not-yet-started shards instead of running them
+                # for a result nobody will read
+                self.cancelled_shards += sum(
+                    1 for future in futures if future.cancel())
+            lease.release(abandon=not completed)
         return [ShardOutcome(spec=spec, **out)
                 for spec, out in zip(specs, outs)]
 
@@ -303,6 +535,9 @@ class ShardedRunner:
         arrival order is nondeterministic, but the outcome *set* (and
         every observable in it) is the same; each outcome carries its
         ``spec``, so callers reassemble deterministically if needed.
+        Closing the iterator early (a disconnected consumer) cancels
+        every shard that has not started yet and never waits for the
+        abandoned sweep.
         """
         if not stream:
             return self.run(specs)
@@ -314,19 +549,25 @@ class ShardedRunner:
         if self.jobs == 1 or len(payloads) <= 1:
             # inline execution *is* completion order
             for spec, payload in zip(specs, payloads):
-                yield ShardOutcome(spec=spec, **_run_payload(payload))
+                yield ShardOutcome(spec=spec, **self._run_inline(spec,
+                                                                 payload))
             return
-        workers = min(self.jobs, len(payloads))
-        with child_import_path():
-            with ProcessPoolExecutor(
-                    max_workers=workers,
-                    mp_context=get_context(self.mp_context)) as pool:
-                by_future = {
-                    pool.submit(_run_payload, payload): spec
-                    for spec, payload in zip(specs, payloads)}
-                for future in as_completed(by_future):
-                    yield ShardOutcome(spec=by_future[future],
-                                       **future.result())
+        lease = self._acquire_pool(len(payloads))
+        by_future: dict = {}
+        completed = False
+        try:
+            by_future = {
+                lease.pool.submit(_run_payload, payload): spec
+                for spec, payload in zip(specs, payloads)}
+            for future in as_completed(by_future):
+                spec = by_future[future]
+                yield ShardOutcome(spec=spec, **self._collect(spec, future))
+            completed = True
+        finally:
+            if not completed:
+                self.cancelled_shards += sum(
+                    1 for future in by_future if future.cancel())
+            lease.release(abandon=not completed)
 
     def measure_registry(self, programs, levels=(0, 1, 2, 3),
                          backend: str = "interp", sync_rate: float = 1.0,
@@ -340,16 +581,10 @@ class ShardedRunner:
         (default source architecture), with every reference run, RTL
         timing and platform execution fanned out as its own shard.
         """
-        specs: list[ShardSpec] = []
-        for name in programs:
-            specs.append(ShardSpec(program=name, kind="reference"))
-            if measure_rtl:
-                specs.append(ShardSpec(program=name, kind="rtl"))
-            for level in levels:
-                specs.append(ShardSpec(
-                    program=name, level=level, backend=backend,
-                    sync_rate=sync_rate, cores=cores,
-                    inline_cache_threshold=inline_cache_threshold))
+        specs = registry_specs(programs, levels=levels, backend=backend,
+                               sync_rate=sync_rate, measure_rtl=measure_rtl,
+                               inline_cache_threshold=inline_cache_threshold,
+                               cores=cores)
         out: dict[str, ProgramMeasurement] = {}
         for outcome in self.run(specs):
             spec = outcome.spec
@@ -363,3 +598,27 @@ class ShardedRunner:
                     level=spec.level, result=outcome.result,
                     translation=self.translation(spec))
         return out
+
+
+def registry_specs(programs, levels=(0, 1, 2, 3), backend: str = "interp",
+                   sync_rate: float = 1.0, measure_rtl: bool = False,
+                   inline_cache_threshold: int | None = None,
+                   cores: int = 1) -> list[ShardSpec]:
+    """The canonical shard expansion of a registry measurement sweep.
+
+    Shared by :meth:`ShardedRunner.measure_registry` and the serving
+    layer, so a served sweep submits exactly the shards (in exactly the
+    submission order) the serial path measures — the determinism
+    contract's starting point.
+    """
+    specs: list[ShardSpec] = []
+    for name in programs:
+        specs.append(ShardSpec(program=name, kind="reference"))
+        if measure_rtl:
+            specs.append(ShardSpec(program=name, kind="rtl"))
+        for level in levels:
+            specs.append(ShardSpec(
+                program=name, level=level, backend=backend,
+                sync_rate=sync_rate, cores=cores,
+                inline_cache_threshold=inline_cache_threshold))
+    return specs

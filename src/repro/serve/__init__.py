@@ -1,0 +1,23 @@
+"""Simulation-as-a-service: the resident ``repro-serve`` server.
+
+The paper's pitch is that cycle-accurate speed comes from amortizing
+translation cost; this package amortizes it across *processes and
+users* instead of only across a single run.  A long-lived asyncio
+server (:mod:`repro.serve.server`) accepts translate/measure/fuzz jobs
+over HTTP/JSON, multiplexes them onto one persistent
+:class:`~repro.eval.sharded.ShardedRunner` whose region-source/IR/
+``.so`` caches stay warm across requests, and streams per-shard
+results back as NDJSON (:mod:`repro.serve.protocol`).  The batch
+client (:mod:`repro.serve.client`, ``repro-submit``) reassembles the
+stream into deterministic submission order and can assert bit-identity
+against the serial runner.
+
+Entry points: the ``repro-serve``/``repro-submit`` console scripts,
+``python -m repro.serve``, and :func:`repro.cli.serve_main` /
+:func:`repro.cli.submit_main`.
+"""
+
+from repro.serve.client import submit_main
+from repro.serve.server import ReproServe
+
+__all__ = ["ReproServe", "submit_main"]

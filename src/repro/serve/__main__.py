@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — start the resident simulation service."""
+
+from repro.cli import serve_main
+
+if __name__ == "__main__":
+    raise SystemExit(serve_main())

@@ -1,0 +1,254 @@
+"""``repro-submit``: batch client for a running ``repro-serve``.
+
+Submits one job, follows its NDJSON stream, and reassembles the
+shard records into deterministic submission order (the server stamps
+every record with its submission index ``seq``; completion order is
+whatever the pool produced).  With ``--check-serial`` the client also
+runs the equivalent serial :func:`repro.eval.runner.measure_program`
+sweep locally and asserts the served observables are bit-identical —
+the end-to-end determinism contract of the service.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+
+
+def request(host: str, port: int, method: str, path: str,
+            body: dict | None = None, timeout: float = 600.0
+            ) -> tuple[int, dict]:
+    """One JSON request/response round trip."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        payload = json.dumps(body).encode("utf-8") if body is not None \
+            else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"}
+                     if payload else {})
+        response = conn.getresponse()
+        data = response.read().decode("utf-8")
+        return response.status, (json.loads(data) if data else {})
+    finally:
+        conn.close()
+
+
+def stream(host: str, port: int, job_id: str, timeout: float = 600.0):
+    """Yield parsed NDJSON records of ``GET /jobs/<id>/stream``."""
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", f"/jobs/{job_id}/stream")
+        response = conn.getresponse()
+        if response.status != 200:
+            raise RuntimeError(f"stream failed: HTTP {response.status} "
+                               f"{response.read().decode('utf-8')}")
+        for line in response:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+    finally:
+        conn.close()
+
+
+def submit(host: str, port: int, payload: dict,
+           timeout: float = 600.0) -> dict:
+    """POST a job; returns the job record or raises on rejection."""
+    status, body = request(host, port, "POST", "/jobs", body=payload,
+                           timeout=timeout)
+    if status != 202:
+        raise RuntimeError(f"job rejected: HTTP {status} "
+                           f"{body.get('error', body)}")
+    return body
+
+
+def collect(host: str, port: int, job_id: str, timeout: float = 600.0
+            ) -> tuple[list[dict], dict]:
+    """Stream a job to the end; returns (seq-sorted records, final)."""
+    records, final = [], {}
+    for record in stream(host, port, job_id, timeout=timeout):
+        if "seq" in record:
+            records.append(record)
+        else:
+            final.update(record)  # the summary, then the status line
+    records.sort(key=lambda record: record["seq"])
+    return records, final
+
+
+# -- serial cross-check ------------------------------------------------------
+
+
+def serial_records(params: dict) -> dict:
+    """What the serial path produces, keyed like served records.
+
+    Runs :func:`measure_program` per program and encodes every result
+    through the same protocol encoder the server uses, so comparing
+    entries is comparing canonical encodings of the same observables.
+    """
+    from repro.eval.runner import measure_program
+    from repro.serve.protocol import encode_value, run_result_fields
+
+    expected: dict[tuple, object] = {}
+    for name in params["programs"]:
+        measurement = measure_program(
+            name, levels=tuple(params["levels"]),
+            backend=params["backend"], sync_rate=params["sync_rate"],
+            cores=params["cores"])
+        expected[(name, "reference", None)] = encode_value(
+            run_result_fields(measurement.reference))
+        for level in params["levels"]:
+            expected[(name, "platform", level)] = encode_value(
+                measurement.levels[level].result.observables())
+    return expected
+
+
+def check_serial(records: list[dict], params: dict) -> list[str]:
+    """Compare served records to the serial path; returns mismatches."""
+    expected = serial_records(params)
+    problems = []
+    seen = set()
+    for record in records:
+        spec = record["spec"]
+        kind = spec["kind"]
+        if kind == "rtl":
+            continue  # its measurement is wall clock, not a result
+        key = (spec["program"], kind,
+               spec["level"] if kind == "platform" else None)
+        seen.add(key)
+        if key not in expected:
+            problems.append(f"unexpected shard {key}")
+        elif record["result"] != expected[key]:
+            problems.append(f"observables differ from serial path: {key}")
+    for key in sorted(expected.keys() - seen, key=str):
+        problems.append(f"shard missing from served sweep: {key}")
+    return problems
+
+
+# -- CLI ---------------------------------------------------------------------
+
+
+def _parse_list(text: str) -> list[str]:
+    return [part for part in text.split(",") if part]
+
+
+def build_payload(args) -> dict:
+    payload: dict = {"type": args.type}
+    if args.type in ("measure", "translate"):
+        if not args.programs:
+            raise SystemExit("error: --programs is required for "
+                             "measure/translate jobs")
+        payload["programs"] = _parse_list(args.programs)
+        payload["levels"] = [int(level)
+                             for level in _parse_list(args.levels)]
+    if args.type == "measure":
+        payload.update(backend=args.backend, cores=args.cores,
+                       sync_rate=args.sync_rate)
+    if args.type == "fuzz":
+        payload.update(seed=args.seed, count=args.count, cores=args.cores,
+                       levels=[int(level)
+                               for level in _parse_list(args.levels)],
+                       backends=_parse_list(args.backends))
+    return payload
+
+
+def _print_measure(records: list[dict]) -> None:
+    for record in records:
+        spec = record["spec"]
+        wall = record["wall_seconds"] * 1e3
+        if spec["kind"] == "platform":
+            result = record["result"]
+            print(f"  L{spec['level']} {spec['program']} "
+                  f"[{spec['backend']}]: exit={result['exit_code']} "
+                  f"target_cycles={result['target_cycles']} "
+                  f"emulated_cycles={result['emulated_cycles']} "
+                  f"wall={wall:.1f}ms")
+        elif spec["kind"] == "reference":
+            result = record["result"]
+            print(f"  ref {spec['program']}: exit={result['exit_code']} "
+                  f"instructions={result['instructions']} "
+                  f"cycles={result['cycles']} wall={wall:.1f}ms")
+        else:
+            print(f"  rtl {spec['program']}: wall={wall:.1f}ms")
+
+
+def submit_main(argv: list[str] | None = None) -> int:
+    """Submit a sweep to repro-serve and reassemble the results."""
+    parser = argparse.ArgumentParser(
+        prog="repro-submit", description=submit_main.__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--type", default="measure",
+                        choices=("measure", "translate", "fuzz"))
+    parser.add_argument("--programs", default="",
+                        help="comma-separated registry program names")
+    parser.add_argument("--levels", default="0,1,2,3")
+    parser.add_argument("--backend", default="interp")
+    parser.add_argument("--backends", default="interp,compiled",
+                        help="for fuzz jobs")
+    parser.add_argument("--cores", type=int, default=1)
+    parser.add_argument("--sync-rate", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--count", type=int, default=10)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument("--json", help="write seq-ordered records here")
+    parser.add_argument("--check-serial", action="store_true",
+                        help="run the serial sweep locally and assert "
+                             "bit-identical observables")
+    parser.add_argument("--no-stream", action="store_true",
+                        help="submit and print the job id, don't wait")
+    args = parser.parse_args(argv)
+
+    try:
+        job = submit(args.host, args.port, build_payload(args),
+                     timeout=args.timeout)
+    except (OSError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"submitted {job['id']} ({job['type']}) to "
+          f"{args.host}:{args.port}")
+    if args.no_stream:
+        return 0
+    try:
+        records, final = collect(args.host, args.port, job["id"],
+                                 timeout=args.timeout)
+    except (OSError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    status = final.get("status", "done")
+    if args.type == "measure":
+        _print_measure(records)
+    else:
+        for record in records:
+            line = {key: value for key, value in record.items()
+                    if key != "seq"}
+            print(f"  {json.dumps(line, sort_keys=True)}")
+    summary = final.get("summary") or {}
+    print(f"{job['id']}: {status}, {len(records)} records, "
+          f"regions_generated={summary.get('regions_generated')}, "
+          f"regions_from_cache={summary.get('regions_from_cache')}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(records, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+    if status != "done":
+        print(f"error: job ended {status}: {final.get('error')}",
+              file=sys.stderr)
+        return 1
+    if args.check_serial:
+        if args.type != "measure":
+            print("error: --check-serial only applies to measure jobs",
+                  file=sys.stderr)
+            return 1
+        problems = check_serial(records, dict(
+            programs=_parse_list(args.programs),
+            levels=[int(level) for level in _parse_list(args.levels)],
+            backend=args.backend, cores=args.cores,
+            sync_rate=args.sync_rate))
+        if problems:
+            for problem in problems:
+                print(f"MISMATCH: {problem}", file=sys.stderr)
+            return 1
+        print("serial check: served observables are bit-identical to "
+              "the serial runner")
+    return 0

@@ -1,0 +1,259 @@
+"""Job queue: ids, status, cancellation, result streaming.
+
+One asyncio worker task drains the queue and runs each job to
+completion in a single dedicated executor thread, so the shared
+:class:`~repro.eval.sharded.ShardedRunner` (whose memos are plain
+dicts) is only ever touched from one thread at a time — the *shards*
+of a job still parallelize across the runner's persistent worker
+pool.  Results accumulate on the job record as already-encoded NDJSON
+records; streaming consumers replay the backlog and then follow live
+completions through a per-job wakeup event.
+
+Cancellation is cooperative: a queued job is dropped before it starts,
+a running measure job closes its streaming iterator between outcomes —
+which, on the hardened runner, cancels every shard that has not
+started yet instead of waiting the sweep out — and a running fuzz job
+stops between programs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import ShardError
+from repro.eval.sharded import ShardedRunner, ShardSpec, registry_specs
+from repro.serve.metrics import Metrics
+from repro.serve.protocol import encode_outcome, encode_value
+
+#: statuses a job can end in (streaming stops at any of these)
+TERMINAL = ("done", "failed", "cancelled")
+
+
+@dataclass
+class Job:
+    """One submitted unit of service work."""
+
+    id: str
+    type: str
+    params: dict
+    status: str = "queued"
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    error: str | None = None
+    cancel_requested: bool = False
+    #: encoded NDJSON records, appended by the execution thread
+    results: list[dict] = field(default_factory=list)
+    summary: dict | None = None
+    wakeup: asyncio.Event = field(default_factory=asyncio.Event)
+
+    def describe(self) -> dict:
+        """The JSON body of ``GET /jobs/<id>``."""
+        return dict(id=self.id, type=self.type, status=self.status,
+                    params=self.params, created=self.created,
+                    started=self.started, finished=self.finished,
+                    records=len(self.results), error=self.error,
+                    summary=self.summary)
+
+
+class JobManager:
+    """Owns the job table, the queue and the execution thread."""
+
+    def __init__(self, runner: ShardedRunner, metrics: Metrics) -> None:
+        self.runner = runner
+        self.metrics = metrics
+        self.jobs: dict[str, Job] = {}
+        self._counter = 0
+        self._queue: asyncio.Queue[Job] = asyncio.Queue()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._worker: asyncio.Task | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-job")
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._worker = asyncio.create_task(self._drain())
+
+    async def shutdown(self) -> None:
+        """Stop cleanly: drop queued jobs, cancel the running one."""
+        for job in self.jobs.values():
+            if job.status in ("queued", "running"):
+                job.cancel_requested = True
+        if self._worker is not None:
+            self._queue.put_nowait(None)  # type: ignore[arg-type]
+            await self._worker
+            self._worker = None
+        self._executor.shutdown(wait=True)
+        self.runner.close()
+
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for job in self.jobs.values()
+                   if job.status in ("queued", "running"))
+
+    # -- submission / cancellation --------------------------------------
+
+    def submit(self, params: dict) -> Job:
+        """Enqueue a validated job; returns the (queued) job record."""
+        self._counter += 1
+        job = Job(id=f"job-{self._counter:04d}", type=params["type"],
+                  params=params)
+        self.jobs[job.id] = job
+        self.metrics.job_submitted(job.type)
+        self._queue.put_nowait(job)
+        return job
+
+    def cancel(self, job: Job) -> None:
+        job.cancel_requested = True
+        if job.status == "queued":
+            # the worker skips it when it reaches the queue entry
+            self._finish(job, "cancelled")
+
+    # -- streaming -------------------------------------------------------
+
+    async def stream(self, job: Job):
+        """Yield every result record: backlog first, then live."""
+        index = 0
+        while True:
+            job.wakeup.clear()
+            while index < len(job.results):
+                yield job.results[index]
+                index += 1
+            if job.status in TERMINAL:
+                return
+            await job.wakeup.wait()
+
+    # -- execution -------------------------------------------------------
+
+    async def _drain(self) -> None:
+        while True:
+            job = await self._queue.get()
+            if job is None:  # shutdown sentinel
+                return
+            if job.status in TERMINAL:  # cancelled while queued
+                continue
+            if job.cancel_requested:
+                self._finish(job, "cancelled")
+                continue
+            job.status = "running"
+            job.started = time.time()
+            await asyncio.get_running_loop().run_in_executor(
+                self._executor, self._execute, job)
+
+    def _publish(self, job: Job, record: dict) -> None:
+        """Append a record and wake streamers (runs in the job thread)."""
+        job.results.append(record)
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(job.wakeup.set)
+
+    def _finish(self, job: Job, status: str, error: str | None = None
+                ) -> None:
+        job.status = status
+        job.finished = time.time()
+        job.error = error
+        self.metrics.job_finished(status)
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(job.wakeup.set)
+
+    def _execute(self, job: Job) -> None:
+        """Run one job to completion (in the dedicated thread)."""
+        stats_before = dict(self.runner.stats)
+        try:
+            if job.type == "measure":
+                cancelled = self._execute_measure(job)
+            elif job.type == "translate":
+                cancelled = self._execute_translate(job)
+            else:
+                cancelled = self._execute_fuzz(job)
+        except ShardError as exc:
+            self._finish(job, "failed",
+                         error=f"{exc} (spec: {exc.spec.describe()})"
+                         if exc.spec else str(exc))
+            return
+        except Exception as exc:  # job bodies must never kill the worker
+            self._finish(job, "failed", error=f"{type(exc).__name__}: {exc}")
+            return
+        job.summary = self._summarize(job, stats_before)
+        self._publish(job, {"summary": job.summary, "job": job.id})
+        self._finish(job, "cancelled" if cancelled else "done")
+
+    def _summarize(self, job: Job, stats_before: dict) -> dict:
+        """Per-job cache-warmth aggregates, for the final record.
+
+        ``translations_built == 0`` and ``regions_generated == 0``
+        together mean the request ran fully warm: every translation
+        came out of the runner's memo and every region out of a
+        shipped cache.
+        """
+        deltas = {key: self.runner.stats[key] - stats_before.get(key, 0)
+                  for key in self.runner.stats}
+        regions_generated = sum(r.get("regions_generated", 0)
+                                for r in job.results if "seq" in r)
+        regions_from_cache = sum(r.get("regions_from_cache", 0)
+                                 for r in job.results if "seq" in r)
+        return dict(records=len(job.results),
+                    regions_generated=regions_generated,
+                    regions_from_cache=regions_from_cache,
+                    runner_delta=deltas)
+
+    def _execute_measure(self, job: Job) -> bool:
+        params = job.params
+        specs = registry_specs(
+            params["programs"], levels=tuple(params["levels"]),
+            backend=params["backend"], sync_rate=params["sync_rate"],
+            measure_rtl=params["measure_rtl"], cores=params["cores"])
+        seq_of = {spec: index for index, spec in enumerate(specs)}
+        stream = self.runner.run_all(specs, stream=True)
+        try:
+            for outcome in stream:
+                if job.cancel_requested:
+                    return True
+                spec = outcome.spec
+                label = spec.backend if spec.kind == "platform" else spec.kind
+                self.metrics.observe_shard(label, outcome.wall_seconds,
+                                           outcome.regions_generated,
+                                           outcome.regions_from_cache)
+                self._publish(job, encode_outcome(outcome, seq_of[spec]))
+            return job.cancel_requested
+        finally:
+            # closing mid-iteration is the stream-abandon path: the
+            # hardened runner cancels every not-yet-started shard
+            stream.close()
+
+    def _execute_translate(self, job: Job) -> bool:
+        params = job.params
+        seq = 0
+        for name in params["programs"]:
+            for level in params["levels"]:
+                if job.cancel_requested:
+                    return True
+                translation = self.runner.translation(
+                    ShardSpec(program=name, level=level))
+                self._publish(job, dict(
+                    seq=seq, program=name, level=level,
+                    stats=encode_value(vars(translation.stats))))
+                seq += 1
+        return False
+
+    def _execute_fuzz(self, job: Job) -> bool:
+        from repro.fuzz import FuzzConfig, generate
+        from repro.fuzz.oracle import check_generated
+
+        params = job.params
+        config = FuzzConfig(levels=tuple(params["levels"]),
+                            backends=tuple(params["backends"]),
+                            cores=params["cores"])
+        for index in range(params["count"]):
+            if job.cancel_requested:
+                return True
+            verdict = check_generated(generate(params["seed"], index),
+                                      config)
+            self._publish(job, dict(
+                seq=index, index=index, ok=verdict.ok,
+                exit_code=verdict.exit_code, summary=verdict.summary()))
+        return False

@@ -1,0 +1,86 @@
+"""Service metrics: job counters, cache warmth, wall-clock histograms.
+
+Updated from the job-execution thread and read from the asyncio
+handler, so every access takes one lock.  The snapshot folds in the
+runner's own memo counters (``translations_built`` vs
+``translation_hits``) — the pair that proves a repeated request hit
+warm caches — next to the per-shard region counters
+(``regions_generated`` vs ``regions_from_cache``) aggregated across
+every shard the service has executed.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+#: histogram bucket upper bounds, in seconds (an implicit +inf bucket
+#: catches everything slower)
+WALL_BUCKETS = (0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1.0, 3.0, 10.0, 30.0)
+
+
+class Metrics:
+    """Counters and histograms for one server process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._jobs_submitted: dict[str, int] = {}
+        self._jobs_finished: dict[str, int] = {}  # keyed by final status
+        self._shards = 0
+        self._regions_generated = 0
+        self._regions_from_cache = 0
+        self._shard_wall_seconds = 0.0
+        #: backend -> [count per bucket] + one overflow slot
+        self._wall_histograms: dict[str, list[int]] = {}
+
+    def job_submitted(self, job_type: str) -> None:
+        with self._lock:
+            self._jobs_submitted[job_type] = \
+                self._jobs_submitted.get(job_type, 0) + 1
+
+    def job_finished(self, status: str) -> None:
+        with self._lock:
+            self._jobs_finished[status] = \
+                self._jobs_finished.get(status, 0) + 1
+
+    def observe_shard(self, backend: str, wall_seconds: float,
+                      regions_generated: int,
+                      regions_from_cache: int) -> None:
+        with self._lock:
+            self._shards += 1
+            self._regions_generated += regions_generated
+            self._regions_from_cache += regions_from_cache
+            self._shard_wall_seconds += wall_seconds
+            histogram = self._wall_histograms.setdefault(
+                backend, [0] * (len(WALL_BUCKETS) + 1))
+            for index, bound in enumerate(WALL_BUCKETS):
+                if wall_seconds <= bound:
+                    histogram[index] += 1
+                    break
+            else:
+                histogram[-1] += 1
+
+    def snapshot(self, runner=None, jobs_in_flight: int = 0) -> dict:
+        """Everything ``GET /metrics`` reports, as one JSON-safe dict."""
+        with self._lock:
+            out = dict(
+                uptime_seconds=time.time() - self._started,
+                jobs_in_flight=jobs_in_flight,
+                jobs_submitted=dict(self._jobs_submitted),
+                jobs_finished=dict(self._jobs_finished),
+                shards_executed=self._shards,
+                shard_wall_seconds=self._shard_wall_seconds,
+                regions_generated=self._regions_generated,
+                regions_from_cache=self._regions_from_cache,
+                wall_histograms={
+                    backend: dict(
+                        buckets_seconds=list(WALL_BUCKETS),
+                        counts=list(counts))
+                    for backend, counts in self._wall_histograms.items()},
+            )
+        if runner is not None:
+            out["runner"] = dict(runner.stats)
+            out["runner"]["cancelled_shards"] = runner.cancelled_shards
+            out["runner"]["jobs"] = runner.jobs
+        return out

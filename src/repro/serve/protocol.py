@@ -1,0 +1,217 @@
+"""Wire protocol shared by ``repro-serve`` and ``repro-submit``.
+
+Jobs are plain JSON objects; results stream back as NDJSON (one JSON
+object per line).  The encoding layer here is deliberately the *only*
+place simulation results are converted for the wire, and it is used by
+both the server (encoding shard outcomes) and the client's
+``--check-serial`` mode (encoding locally computed serial results), so
+"bit-identical to the serial path" means comparing two outputs of the
+same canonical, injective encoding:
+
+* ``bytes`` become ``{"__bytes__": <base64>}`` — never a lossy string
+* tuples and lists both become JSON arrays (the observables dicts mix
+  them freely; equality of encoded forms therefore means equality of
+  values, which is what the differential contract compares)
+* dict keys become strings via ``str()`` (observables use int keys for
+  block-execution counters)
+
+Job types::
+
+    {"type": "measure", "programs": [...], "levels": [...],
+     "backend": "interp", "sync_rate": 1.0, "cores": 1,
+     "measure_rtl": false}
+    {"type": "translate", "programs": [...], "levels": [...]}
+    {"type": "fuzz", "seed": 42, "count": 10, "levels": [...],
+     "backends": [...], "cores": 2}
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+
+from repro.eval.sharded import ShardOutcome, ShardSpec
+
+JOB_TYPES = ("translate", "measure", "fuzz")
+
+#: sweep parameters accepted by a measure job, with defaults
+MEASURE_DEFAULTS = dict(levels=(0, 1, 2, 3), backend="interp",
+                        sync_rate=1.0, cores=1, measure_rtl=False)
+
+
+class ProtocolError(ValueError):
+    """A malformed job request (maps to HTTP 400)."""
+
+
+# -- canonical encoding ------------------------------------------------------
+
+
+def encode_value(value):
+    """Recursively convert a result value to a canonical JSON form."""
+    if isinstance(value, (bytes, bytearray)):
+        return {"__bytes__": base64.b64encode(bytes(value)).decode("ascii")}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): encode_value(item) for key, item in value.items()}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise ProtocolError(
+        f"cannot encode {type(value).__name__} for the wire")
+
+
+def decode_value(value):
+    """Invert :func:`encode_value` (bytes only; containers stay JSON)."""
+    if isinstance(value, dict):
+        if set(value) == {"__bytes__"}:
+            return base64.b64decode(value["__bytes__"])
+        return {key: decode_value(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    return value
+
+
+def run_result_fields(result) -> dict:
+    """Canonical field dict of a reference-ISS :class:`RunResult`."""
+    return dict(
+        instructions=result.instructions,
+        cycles=result.cycles,
+        regs=list(result.regs),
+        data_image=result.data_image,
+        uart_output=result.uart_output,
+        bus_trace=[(a.cycle, a.kind, a.addr, a.value, a.size)
+                   for a in result.bus_trace],
+        exit_code=result.exit_code,
+        halted=result.halted,
+        branch_stats=vars(result.branch_stats),
+        cache_stats=vars(result.cache_stats),
+    )
+
+
+def spec_fields(spec: ShardSpec) -> dict:
+    """JSON-safe identity of a shard (registry programs only)."""
+    return dict(program=spec.program, kind=spec.kind, level=spec.level,
+                backend=spec.backend, sync_rate=spec.sync_rate,
+                cores=spec.cores)
+
+
+def encode_outcome(outcome: ShardOutcome, seq: int) -> dict:
+    """One NDJSON record: shard identity + measurement payload.
+
+    *seq* is the shard's submission index; streamed records arrive in
+    completion order, and clients sort by ``seq`` to reassemble the
+    deterministic submission-order sweep the serial runner produces.
+    """
+    spec = outcome.spec
+    if spec.kind == "platform":
+        payload = encode_value(outcome.result.observables())
+    elif spec.kind == "reference":
+        payload = encode_value(run_result_fields(outcome.result))
+    else:
+        payload = None
+    return dict(seq=seq, spec=spec_fields(spec),
+                wall_seconds=outcome.wall_seconds, pid=outcome.pid,
+                regions_generated=outcome.regions_generated,
+                regions_from_cache=outcome.regions_from_cache,
+                result=payload)
+
+
+def ndjson_line(record: dict) -> bytes:
+    """Serialize one record as an NDJSON line (sorted keys, canonical)."""
+    return (json.dumps(record, sort_keys=True, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+# -- request validation ------------------------------------------------------
+
+
+def _require(payload: dict, key: str, types, default=None):
+    value = payload.get(key, default)
+    if value is None:
+        raise ProtocolError(f"job is missing required field {key!r}")
+    if not isinstance(value, types):
+        raise ProtocolError(f"field {key!r} has the wrong type")
+    return value
+
+
+def _levels(payload: dict, default=(0, 1, 2, 3)) -> tuple[int, ...]:
+    levels = payload.get("levels", list(default))
+    if (not isinstance(levels, (list, tuple)) or not levels
+            or any(level not in (0, 1, 2, 3) for level in levels)):
+        raise ProtocolError("'levels' must be a non-empty subset of "
+                            "[0, 1, 2, 3]")
+    return tuple(int(level) for level in levels)
+
+
+def validate_job(payload) -> dict:
+    """Check a submitted job body; returns the normalized parameters.
+
+    Raises :class:`ProtocolError` with a client-readable message for
+    anything malformed — the server maps that to HTTP 400 so a bad
+    request never reaches the runner.
+    """
+    if not isinstance(payload, dict):
+        raise ProtocolError("job body must be a JSON object")
+    job_type = payload.get("type")
+    if job_type not in JOB_TYPES:
+        raise ProtocolError(f"unknown job type {job_type!r}; choose from "
+                            f"{', '.join(JOB_TYPES)}")
+    normalized = {"type": job_type}
+    if job_type in ("measure", "translate"):
+        programs = _require(payload, "programs", (list, tuple))
+        if not programs or not all(isinstance(p, str) and p
+                                   for p in programs):
+            raise ProtocolError("'programs' must be a non-empty list of "
+                                "registry program names")
+        from repro.programs.registry import (
+            cluster_program_names,
+            program_names,
+            shared_program_names,
+        )
+
+        known = set(program_names()) | set(shared_program_names()) \
+            | set(cluster_program_names())
+        unknown = [p for p in programs if p not in known]
+        if unknown:
+            raise ProtocolError(
+                f"unknown program(s): {', '.join(sorted(unknown))}")
+        normalized["programs"] = list(programs)
+        normalized["levels"] = list(_levels(payload))
+    if job_type == "measure":
+        from repro.vliw.codegen import backend_names
+
+        backend = payload.get("backend", MEASURE_DEFAULTS["backend"])
+        if backend not in backend_names():
+            raise ProtocolError(f"unknown backend {backend!r}; choose from "
+                                f"{', '.join(backend_names())}")
+        cores = payload.get("cores", 1)
+        if not isinstance(cores, int) or cores < 1:
+            raise ProtocolError("'cores' must be an integer >= 1")
+        sync_rate = payload.get("sync_rate", 1.0)
+        if not isinstance(sync_rate, (int, float)) or sync_rate <= 0:
+            raise ProtocolError("'sync_rate' must be a positive number")
+        normalized.update(backend=backend, cores=cores,
+                          sync_rate=float(sync_rate),
+                          measure_rtl=bool(payload.get("measure_rtl",
+                                                       False)))
+    if job_type == "fuzz":
+        seed = payload.get("seed", 42)
+        count = payload.get("count", 10)
+        cores = payload.get("cores", 2)
+        if (not isinstance(seed, int) or seed < 0
+                or not isinstance(count, int) or count < 1
+                or not isinstance(cores, int) or cores < 1):
+            raise ProtocolError("'seed' must be >= 0 and 'count'/'cores' "
+                                "must be integers >= 1")
+        backends = payload.get("backends", ["interp", "compiled"])
+        from repro.vliw.codegen import backend_names
+
+        if (not isinstance(backends, (list, tuple)) or not backends
+                or any(b not in backend_names() for b in backends)):
+            raise ProtocolError("'backends' must be a non-empty list of "
+                                f"registered backends "
+                                f"({', '.join(backend_names())})")
+        normalized.update(seed=seed, count=count, cores=cores,
+                          backends=list(backends),
+                          levels=list(_levels(payload)))
+    return normalized

@@ -1,0 +1,217 @@
+"""``repro-serve``: a resident simulation service.
+
+A long-lived asyncio HTTP/JSON server that keeps one persistent
+:class:`~repro.eval.sharded.ShardedRunner` — with its region-source,
+IR and native ``.so`` caches — warm across requests, so only the first
+request for a (program, level, backend) pays translation and
+compilation; every later one multiplexes straight onto warm caches.
+The HTTP layer is a deliberately minimal HTTP/1.0-style implementation
+on :func:`asyncio.start_server` (stdlib only, every response
+``Connection: close``), because the protocol surface is five routes:
+
+* ``POST /jobs`` — submit a ``translate``/``measure``/``fuzz`` job
+  (body: JSON, see :mod:`repro.serve.protocol`); responds 202 with the
+  job record
+* ``GET /jobs`` / ``GET /jobs/<id>`` — job table / one job's status
+* ``GET /jobs/<id>/stream`` — NDJSON: replays completed shard records,
+  then streams live completions until the job reaches a terminal state
+* ``POST /jobs/<id>/cancel`` — cooperative cancel (queued jobs drop,
+  running sweeps stop and cancel their pending shards)
+* ``GET /healthz``, ``GET /metrics`` — liveness and counters
+* ``POST /shutdown`` — clean shutdown (used by tests and CI)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.eval.sharded import ShardedRunner, default_jobs
+from repro.serve.jobs import JobManager
+from repro.serve.metrics import Metrics
+from repro.serve.protocol import ProtocolError, ndjson_line, validate_job
+
+#: memo bound the service runs the runner with unless told otherwise —
+#: roomy enough to keep a whole registry sweep warm, bounded so a
+#: resident process cannot grow without limit
+DEFAULT_MAX_CACHED = 256
+
+MAX_BODY = 4 * 1024 * 1024
+
+
+class ReproServe:
+    """The server object: one runner, one job queue, one listener."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 jobs: int | None = None,
+                 max_cached: int | None = DEFAULT_MAX_CACHED) -> None:
+        self.host = host
+        self.port = port  # 0 picks a free port; updated after start()
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.runner = ShardedRunner(jobs=self.jobs, persistent=True,
+                                    max_cached=max_cached)
+        self.metrics = Metrics()
+        self.manager = JobManager(self.runner, self.metrics)
+        self._server: asyncio.AbstractServer | None = None
+        self._shutdown = asyncio.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        await self.manager.shutdown()
+
+    def run_forever(self) -> None:
+        """Blocking entry point for the console script."""
+        async def main() -> None:
+            await self.start()
+            print(f"repro-serve listening on {self.host}:{self.port} "
+                  f"(jobs={self.jobs})", flush=True)
+            await self.serve_until_shutdown()
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:
+            pass
+
+    # -- HTTP plumbing ---------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            method, path, body = await self._read_request(reader)
+            await self._route(method, path, body, writer)
+        except ConnectionError:
+            pass
+        except Exception as exc:  # a broken request must not kill the loop
+            try:
+                await self._respond(writer, 500,
+                                    {"error": f"{type(exc).__name__}: "
+                                              f"{exc}"})
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError:
+                pass
+
+    async def _read_request(self, reader) -> tuple[str, str, bytes]:
+        request_line = (await reader.readline()).decode("latin-1").strip()
+        if not request_line:
+            raise ConnectionError("empty request")
+        try:
+            method, target, _version = request_line.split(" ", 2)
+        except ValueError:
+            raise ConnectionError(f"malformed request line "
+                                  f"{request_line!r}") from None
+        length = 0
+        while True:
+            line = (await reader.readline()).decode("latin-1").strip()
+            if not line:
+                break
+            name, _, value = line.partition(":")
+            if name.lower() == "content-length":
+                length = min(int(value.strip() or 0), MAX_BODY)
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target.split("?", 1)[0], body
+
+    async def _respond(self, writer, status: int, payload: dict,
+                       code_text: str = "") -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        text = code_text or {200: "OK", 202: "Accepted",
+                             400: "Bad Request", 404: "Not Found",
+                             405: "Method Not Allowed",
+                             500: "Internal Server Error"}.get(status, "")
+        writer.write(
+            f"HTTP/1.1 {status} {text}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing ---------------------------------------------------------
+
+    async def _route(self, method: str, path: str, body: bytes,
+                     writer) -> None:
+        if path == "/healthz" and method == "GET":
+            await self._respond(writer, 200, dict(
+                ok=True, jobs_in_flight=self.manager.in_flight,
+                workers=self.jobs))
+            return
+        if path == "/metrics" and method == "GET":
+            await self._respond(writer, 200, self.metrics.snapshot(
+                runner=self.runner,
+                jobs_in_flight=self.manager.in_flight))
+            return
+        if path == "/shutdown" and method == "POST":
+            await self._respond(writer, 200, dict(shutting_down=True))
+            self._shutdown.set()
+            return
+        if path == "/jobs" and method == "POST":
+            await self._submit(body, writer)
+            return
+        if path == "/jobs" and method == "GET":
+            await self._respond(writer, 200, dict(
+                jobs=[job.describe()
+                      for job in self.manager.jobs.values()]))
+            return
+        if path.startswith("/jobs/"):
+            await self._job_route(method, path, writer)
+            return
+        await self._respond(writer, 404, {"error": f"no route {path!r}"})
+
+    async def _submit(self, body: bytes, writer) -> None:
+        try:
+            params = validate_job(json.loads(body.decode("utf-8") or "null"))
+        except (ProtocolError, ValueError) as exc:
+            await self._respond(writer, 400, {"error": str(exc)})
+            return
+        job = self.manager.submit(params)
+        await self._respond(writer, 202, job.describe())
+
+    async def _job_route(self, method: str, path: str, writer) -> None:
+        parts = path.strip("/").split("/")
+        job = self.manager.jobs.get(parts[1]) if len(parts) >= 2 else None
+        if job is None:
+            await self._respond(writer, 404,
+                                {"error": f"no such job {path!r}"})
+            return
+        action = parts[2] if len(parts) == 3 else None
+        if action is None and method == "GET":
+            await self._respond(writer, 200, job.describe())
+        elif action == "cancel" and method == "POST":
+            self.manager.cancel(job)
+            await self._respond(writer, 200, job.describe())
+        elif action == "stream" and method == "GET":
+            await self._stream(job, writer)
+        else:
+            await self._respond(writer, 405,
+                                {"error": f"{method} not allowed here"})
+
+    async def _stream(self, job, writer) -> None:
+        """NDJSON: backlog, then live records until the job finishes.
+
+        No Content-Length and ``Connection: close`` — the client reads
+        lines until EOF.  A consumer that disconnects mid-stream only
+        stops *this* replay; the job itself keeps running (cancel is an
+        explicit ``POST /jobs/<id>/cancel``).
+        """
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/x-ndjson\r\n"
+                     b"Connection: close\r\n\r\n")
+        async for record in self.manager.stream(job):
+            writer.write(ndjson_line(record))
+            await writer.drain()
+        writer.write(ndjson_line({"job": job.id, "status": job.status,
+                                  "error": job.error}))
+        await writer.drain()

@@ -1,0 +1,256 @@
+"""End-to-end tests of the resident simulation service.
+
+A real ``ReproServe`` listens on a free port in a background thread
+and every test talks to it over actual HTTP through the batch client,
+so these cover the full stack: request validation, the job queue,
+NDJSON streaming, cancellation, metrics, and — the service's core
+contract — that a served sweep is bit-identical to the serial
+:func:`measure_program` path and that a repeated request runs fully
+warm (``regions_generated == 0``, no new translations).
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.eval.sharded import registry_specs
+from repro.serve import client
+from repro.serve.client import submit_main
+from repro.serve.protocol import decode_value, encode_value
+from repro.serve.server import ReproServe
+
+HOST = "127.0.0.1"
+
+
+def _start_server(jobs: int):
+    """Run a server on a free port in a daemon thread."""
+    holder: dict = {}
+    ready = threading.Event()
+
+    def run():
+        async def main():
+            server = ReproServe(host=HOST, port=0, jobs=jobs)
+            await server.start()
+            holder["server"] = server
+            ready.set()
+            await server.serve_until_shutdown()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(30), "server failed to start"
+    return holder["server"], thread
+
+
+def _stop_server(server, thread):
+    client.request(HOST, server.port, "POST", "/shutdown")
+    thread.join(60)
+    assert not thread.is_alive(), "server did not shut down cleanly"
+
+
+@pytest.fixture(scope="module")
+def served():
+    """A running service with an inline runner (jobs=1)."""
+    server, thread = _start_server(jobs=1)
+    yield server.port
+    _stop_server(server, thread)
+
+
+@pytest.fixture(scope="module")
+def served_pool():
+    """A running service with a persistent 2-worker pool."""
+    server, thread = _start_server(jobs=2)
+    yield server.port
+    _stop_server(server, thread)
+
+
+def _wait_done(port, job_id, timeout=120.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, body = client.request(HOST, port, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        if body["status"] in ("done", "failed", "cancelled"):
+            return body
+        time.sleep(0.1)
+    raise AssertionError(f"job {job_id} did not finish in {timeout}s")
+
+
+MEASURE = {"type": "measure", "programs": ["gcd"], "levels": [0, 1],
+           "backend": "compiled"}
+
+
+def test_healthz_and_metrics_shape(served):
+    status, body = client.request(HOST, served, "GET", "/healthz")
+    assert status == 200 and body["ok"] is True and body["workers"] == 1
+    status, metrics = client.request(HOST, served, "GET", "/metrics")
+    assert status == 200
+    for key in ("uptime_seconds", "jobs_in_flight", "shards_executed",
+                "regions_generated", "regions_from_cache",
+                "wall_histograms", "runner"):
+        assert key in metrics
+    assert "translations_built" in metrics["runner"]
+
+
+def test_job_lifecycle_and_bit_identity(served):
+    """Submit → status polls → stream replay → serial cross-check."""
+    job = client.submit(HOST, served, MEASURE)
+    assert job["status"] in ("queued", "running")
+    final = _wait_done(served, job["id"])
+    assert final["status"] == "done"
+    assert final["summary"]["records"] == 3  # 1 reference + 2 levels
+
+    records, tail = client.collect(HOST, served, job["id"])
+    assert tail["status"] == "done"
+    # seq-sorted records reproduce the canonical submission order
+    expected = registry_specs(["gcd"], levels=(0, 1), backend="compiled")
+    assert [r["spec"]["kind"] for r in records] \
+        == [s.kind for s in expected]
+    assert [r["spec"]["level"] for r in records if
+            r["spec"]["kind"] == "platform"] == [0, 1]
+    # and the observables are bit-identical to the serial runner
+    assert client.check_serial(records, dict(
+        programs=["gcd"], levels=[0, 1], backend="compiled",
+        cores=1, sync_rate=1.0)) == []
+
+
+def test_second_identical_request_is_fully_warm(served):
+    """The acceptance criterion: request #2 recompiles nothing."""
+    first = client.submit(HOST, served, MEASURE)
+    _wait_done(served, first["id"])
+    second = client.submit(HOST, served, MEASURE)
+    final = _wait_done(served, second["id"])
+    summary = final["summary"]
+    assert summary["regions_generated"] == 0
+    assert summary["regions_from_cache"] > 0
+    delta = summary["runner_delta"]
+    assert delta["translations_built"] == 0
+    assert delta["objects_built"] == 0
+    assert delta["precompiles"] == 0
+    assert delta["translation_hits"] > 0
+
+
+def test_translate_job_reports_translation_stats(served):
+    from repro.programs.registry import build
+    from repro.translator.driver import translate
+
+    job = client.submit(HOST, served, {"type": "translate",
+                                       "programs": ["gcd"], "levels": [2]})
+    _wait_done(served, job["id"])
+    records, tail = client.collect(HOST, served, job["id"])
+    assert tail["status"] == "done"
+    local = translate(build("gcd"), level=2).stats
+    assert records[0]["stats"] == encode_value(vars(local))
+
+
+def test_fuzz_job_streams_verdicts(served):
+    job = client.submit(HOST, served, {
+        "type": "fuzz", "seed": 42, "count": 2, "levels": [0],
+        "backends": ["interp"], "cores": 1})
+    _wait_done(served, job["id"])
+    records, tail = client.collect(HOST, served, job["id"])
+    assert tail["status"] == "done"
+    assert [r["index"] for r in records] == [0, 1]
+    assert all(r["ok"] for r in records)
+
+
+def test_cancel_stops_a_running_job(served):
+    job = client.submit(HOST, served, {
+        "type": "fuzz", "seed": 42, "count": 200, "levels": [0],
+        "backends": ["interp"], "cores": 1})
+    seen = 0
+    for record in client.stream(HOST, served, job["id"]):
+        seen += 1
+        if seen == 1:
+            status, _ = client.request(HOST, served, "POST",
+                                       f"/jobs/{job['id']}/cancel")
+            assert status == 200
+        if "status" in record and "seq" not in record:
+            assert record["status"] == "cancelled"
+    assert seen < 200
+    final = _wait_done(served, job["id"])
+    assert final["status"] == "cancelled"
+
+
+def test_request_validation_and_routing(served):
+    status, body = client.request(HOST, served, "POST", "/jobs",
+                                  body={"type": "nonsense"})
+    assert status == 400 and "unknown job type" in body["error"]
+    status, body = client.request(HOST, served, "POST", "/jobs",
+                                  body={"type": "measure",
+                                        "programs": ["no-such-program"]})
+    assert status == 400 and "unknown program" in body["error"]
+    status, body = client.request(HOST, served, "POST", "/jobs",
+                                  body={"type": "measure",
+                                        "programs": ["gcd"],
+                                        "backend": "warp-drive"})
+    assert status == 400 and "unknown backend" in body["error"]
+    status, _ = client.request(HOST, served, "GET", "/jobs/job-9999")
+    assert status == 404
+    status, _ = client.request(HOST, served, "GET", "/no/such/route")
+    assert status == 404
+    status, _ = client.request(HOST, served, "DELETE", "/jobs/job-0001")
+    assert status == 405
+
+
+def test_encode_decode_round_trip():
+    value = {"a": b"\x00\xff", "b": [1, (2, 3)], "c": {7: "x"},
+             "d": None, "e": 1.5}
+    encoded = encode_value(value)
+    json.dumps(encoded)  # must be JSON-serializable
+    decoded = decode_value(encoded)
+    assert decoded["a"] == b"\x00\xff"
+    assert decoded["b"] == [1, [2, 3]]
+    assert decoded["c"] == {"7": "x"}
+
+
+def test_client_round_trip_with_serial_check(served, tmp_path, capsys):
+    """The repro-submit CLI end to end, including --check-serial."""
+    out = tmp_path / "records.json"
+    rc = submit_main(["--port", str(served), "--programs", "gcd",
+                      "--levels", "0,1", "--backend", "compiled",
+                      "--check-serial", "--json", str(out)])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "bit-identical to the serial runner" in printed
+    records = json.loads(out.read_text())
+    assert [r["seq"] for r in records] == [0, 1, 2]
+
+
+# -- pooled service ---------------------------------------------------------
+
+
+POOL_SWEEP = {"type": "measure", "programs": ["gcd", "fibonacci"],
+              "levels": [0, 1], "backend": "compiled"}
+
+
+def test_pool_stream_reassembles_deterministically(served_pool):
+    """Completion order may be anything; seq order is the serial order."""
+    job = client.submit(HOST, served_pool, POOL_SWEEP)
+    records, tail = client.collect(HOST, served_pool, job["id"])
+    assert tail["status"] == "done"
+    expected = registry_specs(["gcd", "fibonacci"], levels=(0, 1),
+                              backend="compiled")
+    assert [(r["spec"]["program"], r["spec"]["kind"], r["spec"]["level"])
+            for r in records] \
+        == [(s.program, s.kind, s.level) for s in expected]
+    assert client.check_serial(records, dict(
+        programs=["gcd", "fibonacci"], levels=[0, 1], backend="compiled",
+        cores=1, sync_rate=1.0)) == []
+    # shards ran in pool workers, not the server process
+    import os
+
+    assert all(r["pid"] != os.getpid() for r in records)
+
+
+def test_pool_second_request_fully_warm(served_pool):
+    job = client.submit(HOST, served_pool, POOL_SWEEP)
+    _wait_done(served_pool, job["id"])
+    final = _wait_done(served_pool,
+                       client.submit(HOST, served_pool, POOL_SWEEP)["id"])
+    summary = final["summary"]
+    assert summary["regions_generated"] == 0
+    assert summary["runner_delta"]["translations_built"] == 0
