@@ -63,8 +63,16 @@ def test_contention_record():
         program = translate(build(name), level=LEVEL).program
         snapshots = {}
         timings = {}
-        for mix_name, mix in MIXES.items():
-            soc = MultiCoreSoC(program, cores=CORES, backends=mix)
+        # the backend mixes run under the default adaptive quantum; a
+        # compiled quantum=1 row rides along so the sweep also pins the
+        # lockstep scheduling contract (identical shared-device ledger
+        # across quantum modes, not just across backend mixes)
+        runs = [(mix_name, mix, "adaptive")
+                for mix_name, mix in MIXES.items()]
+        runs.append(("compiled_q1", MIXES["compiled"], 1))
+        for mix_name, mix, quantum in runs:
+            soc = MultiCoreSoC(program, cores=CORES, backends=mix,
+                               quantum=quantum)
             start = time.perf_counter()
             multi = soc.run()
             timings[mix_name] = time.perf_counter() - start

@@ -1,0 +1,166 @@
+"""Adaptive lockstep quantum: before/after on communicating workloads.
+
+The quantum=1 lockstep baseline pays one arbitration round per target
+cycle and (pre-inline) bailed every shared-segment access back to the
+interpreter.  The adaptive barrier grants run-ahead windows while every
+core is provably inside private code, and the inline shared-access
+emitter keeps compiled/native regions resident across mailbox traffic.
+This benchmark runs every communicating shared workload under both
+modes, asserts the lockstep differential contract — exits, the
+cycle-stamped shared-segment trace, contention conflicts and per-core
+stall cycles all bit-identical — and records the wall-clock ratio and
+the scheduling profile (rounds, run-ahead windows, inline shared calls
+vs interpreter bails) in ``BENCH_lockstep.json``.
+
+Wall clocks are measured with the two modes interleaved and the median
+taken per mode, because A/B timing on a noisy host otherwise attributes
+machine weather to whichever mode ran second.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the sweep for CI smoke jobs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import time
+
+from repro.programs.registry import (
+    build,
+    expected_shared_exits,
+    shared_program_names,
+)
+from repro.translator.driver import translate
+from repro.vliw.codegen.native import native_available
+from repro.vliw.multicore import MultiCoreSoC
+
+from conftest import write_report
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+RECORD_PATH = os.path.join(REPO_ROOT, "BENCH_lockstep.json")
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+#: every communicating workload: frequent neighbor traffic (pingpong,
+#: producer/consumer, scratch barrier) plus one with long private
+#: compute phases between exchanges (ring all-reduce) — the shape the
+#: run-ahead window exists for
+WORKLOADS = (("mbox_allreduce",) if SMOKE
+             else tuple(shared_program_names()))
+LEVEL = 2
+CORES = (2,) if SMOKE else (2, 4)
+REPS = 2 if SMOKE else 3
+
+
+def _backends() -> tuple[str, ...]:
+    if SMOKE:
+        return ("compiled",)
+    if native_available():
+        return ("compiled", "native", "tiered")
+    return ("compiled",)
+
+
+def _trace_tuples(accesses):
+    return [(a.cycle, a.kind, a.addr, a.value, a.size) for a in accesses]
+
+
+def _snapshot(multi):
+    """Everything the lockstep differential contract compares."""
+    return (
+        [r.exit_code for r in multi.per_core],
+        _trace_tuples(multi.shared_trace()),
+        multi.contention_stall_cycles,
+        multi.contention_conflicts,
+        [r.target_cycles for r in multi.per_core],
+    )
+
+
+def _timed_run(program, cores, backend, quantum):
+    soc = MultiCoreSoC(program, cores=cores, backends=backend,
+                       quantum=quantum)
+    start = time.perf_counter()
+    multi = soc.run()
+    return time.perf_counter() - start, multi
+
+
+def test_lockstep_record():
+    """quantum=1 vs adaptive sweep; writes BENCH_lockstep.json."""
+    backends = _backends()
+    record = {
+        "level": LEVEL,
+        "reps": REPS,
+        "smoke": SMOKE,
+        "native_toolchain": native_available(),
+        "workloads": {},
+    }
+    lines = [f"adaptive lockstep quantum vs quantum=1 (level {LEVEL}, "
+             f"median of {REPS} interleaved reps):"]
+    best = 0.0
+
+    for name in WORKLOADS:
+        program = translate(build(name), level=LEVEL).program
+        for cores in CORES:
+            expected_exits = expected_shared_exits(name, cores)
+            for backend in backends:
+                walls = {1: [], "adaptive": []}
+                snapshots = {}
+                profile = None
+                for _ in range(REPS):
+                    for quantum in (1, "adaptive"):
+                        wall, multi = _timed_run(program, cores, backend,
+                                                 quantum)
+                        walls[quantum].append(wall)
+                        snapshots.setdefault(quantum, _snapshot(multi))
+                        assert _snapshot(multi) == snapshots[quantum]
+                        if quantum == "adaptive":
+                            profile = multi.lockstep
+                # the lockstep differential contract: bit-identical
+                # observables across scheduling modes
+                assert snapshots[1] == snapshots["adaptive"], \
+                    (name, cores, backend)
+                assert snapshots[1][0] == expected_exits, \
+                    (name, cores, backend, snapshots[1][0])
+                base = statistics.median(walls[1])
+                adaptive = statistics.median(walls["adaptive"])
+                speedup = base / adaptive if adaptive else 0.0
+                best = max(best, speedup)
+                key = f"{name}@{cores}c/{backend}"
+                record["workloads"][key] = {
+                    "quantum1_seconds": round(base, 4),
+                    "adaptive_seconds": round(adaptive, 4),
+                    "speedup": round(speedup, 3),
+                    "rounds": profile["rounds"],
+                    "runahead_rounds": profile["runahead_rounds"],
+                    "runahead_window_cycles":
+                        profile["runahead_window_cycles"],
+                    "inline_shared_calls": sum(
+                        c["inline_shared_calls"]
+                        for c in profile["per_core"]),
+                    "interp_bails": sum(
+                        c["interp_bails"] for c in profile["per_core"]),
+                    "exits": snapshots[1][0],
+                    "conflicts": snapshots[1][3],
+                    "stall_cycles_per_core": snapshots[1][2],
+                    "shared_transfers": sum(
+                        1 for a in snapshots[1][1] if a[1] in ("r", "w")),
+                }
+                row = record["workloads"][key]
+                lines.append(
+                    f"  {key:<32s} {base * 1e3:9.1f}ms -> "
+                    f"{adaptive * 1e3:9.1f}ms  {speedup:6.2f}x  "
+                    f"windows {row['runahead_rounds']:4d}  "
+                    f"inline {row['inline_shared_calls']:5d}  "
+                    f"bails {row['interp_bails']:4d}")
+
+    record["best_speedup"] = round(best, 3)
+    with open(RECORD_PATH, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    lines.append(f"  best speedup: {best:.2f}x")
+    write_report("lockstep.txt", "\n".join(lines))
+
+    # the acceptance bar needs translated-code run-ahead to show up;
+    # a smoke host without the native toolchain records its compiled
+    # numbers honestly instead of failing on machine capacity
+    if not SMOKE and native_available():
+        assert best >= 3.0, record

@@ -109,20 +109,32 @@ def test_sharded_sweep_scaling_record():
 
 def test_multicore_lockstep_overhead_smoke():
     """The N-core lockstep scheduler should cost little over N
-    independent runs, and its per-core results must stay identical."""
+    independent runs, and its per-core results must stay identical.
+
+    A non-communicating program is the adaptive quantum's best case
+    (the whole run is one run-ahead window per core), so the record
+    carries both scheduling modes: the quantum=1 baseline's overhead
+    and the adaptive barrier's, plus the round collapse between them.
+    """
     program = translate(build("gcd"), level=2).program
     single = PrototypingPlatform(program, backend=BACKEND)
     start = time.perf_counter()
     expected = single.run().observables()
     single_seconds = time.perf_counter() - start
 
-    soc = MultiCoreSoC(program, cores=2, backends=BACKEND)
-    start = time.perf_counter()
-    multi = soc.run()
-    multi_seconds = time.perf_counter() - start
-    for result in multi.per_core:
-        assert result.observables() == expected
+    timings = {}
+    rounds = {}
+    for quantum in (1, "adaptive"):
+        soc = MultiCoreSoC(program, cores=2, backends=BACKEND,
+                           quantum=quantum)
+        start = time.perf_counter()
+        multi = soc.run()
+        timings[quantum] = time.perf_counter() - start
+        rounds[quantum] = multi.lockstep["rounds"]
+        for result in multi.per_core:
+            assert result.observables() == expected
 
+    multi_seconds = timings["adaptive"]
     if os.path.exists(RECORD_PATH):
         with open(RECORD_PATH) as handle:
             record = json.load(handle)
@@ -131,6 +143,9 @@ def test_multicore_lockstep_overhead_smoke():
     record["lockstep_2core_gcd"] = {
         "single_seconds": round(single_seconds, 4),
         "two_core_seconds": round(multi_seconds, 4),
+        "two_core_quantum1_seconds": round(timings[1], 4),
+        "rounds_quantum1": rounds[1],
+        "rounds_adaptive": rounds["adaptive"],
         "overhead_vs_2x": round(multi_seconds / (2 * single_seconds), 3)
         if single_seconds else None,
     }

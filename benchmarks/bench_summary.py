@@ -3,10 +3,11 @@
 Aggregates every ``BENCH_*.json`` record in the repo root into a
 single ``benchmarks/output/summary.txt``: one section per record, one
 row per headline metric, so the performance trajectory of the repo is
-readable in one file instead of six JSON blobs.  Runs last in any
-benchmark session (plain scalars only — nested structure is flattened
-with dotted keys) and never fails on a missing record: it summarizes
-whatever the checkout has.
+readable in one file instead of six JSON blobs.  Text-only reports
+with no JSON record (the sync-rate ablation) are appended verbatim as
+their own sections.  Runs last in any benchmark session (plain scalars
+only — nested structure is flattened with dotted keys) and never fails
+on a missing record: it summarizes whatever the checkout has.
 """
 
 from __future__ import annotations
@@ -44,7 +45,14 @@ def _flatten(value, prefix="", depth=0):
     return rows
 
 
-def summarize(records: dict[str, dict]) -> str:
+#: text-only reports with no ``BENCH_*.json`` counterpart — the
+#: sync-rate ablation writes a table but records no JSON, so without
+#: this list its result never reached the summary
+ORPHAN_REPORTS = ("ablation_sync_rate.txt",)
+
+
+def summarize(records: dict[str, dict],
+              reports: dict[str, str] | None = None) -> str:
     lines = ["benchmark record summary", "========================"]
     if not records:
         lines.append("(no BENCH_*.json records in the repo root)")
@@ -56,6 +64,12 @@ def summarize(records: dict[str, dict]) -> str:
         width = max(len(key) for key, _ in rows)
         for key, value in rows:
             lines.append(f"  {key:<{width}}  {value}")
+    for filename in sorted(reports or {}):
+        lines.append("")
+        lines.append(filename)
+        lines.append("-" * len(filename))
+        for row in (reports or {})[filename].rstrip().splitlines():
+            lines.append(f"  {row}")
     return "\n".join(lines)
 
 
@@ -67,7 +81,17 @@ def test_write_benchmark_summary():
     for path in sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))):
         with open(path) as handle:
             records[os.path.basename(path)] = json.load(handle)
-    text = summarize(records)
+    reports = {}
+    output_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              "output")
+    for filename in ORPHAN_REPORTS:
+        path = os.path.join(output_dir, filename)
+        if os.path.exists(path):
+            with open(path) as handle:
+                reports[filename] = handle.read()
+    text = summarize(records, reports)
     write_report("summary.txt", text)
     for filename in records:
+        assert filename in text
+    for filename in reports:
         assert filename in text

@@ -118,6 +118,12 @@ def translate_main(argv: list[str] | None = None) -> int:
                              "global timer) activity — per-core "
                              "contention stalls, arbitration conflicts "
                              "and shared-bus transfers")
+    parser.add_argument("--quantum", default="adaptive",
+                        help="for --run --cores N: intra-SoC lockstep "
+                             "scheduling mode — 'adaptive' (default: "
+                             "run-ahead windows between shared "
+                             "accesses) or a fixed integer quantum; "
+                             "observables are identical either way")
     parser.add_argument("--jobs", type=int, default=1,
                         help="for --run: sweep all four detail levels, "
                              "sharded across N worker processes "
@@ -149,6 +155,15 @@ def translate_main(argv: list[str] | None = None) -> int:
         print("error: --cores, --jobs and --nodes must be >= 1",
               file=sys.stderr)
         return 1
+    if args.quantum != "adaptive":
+        try:
+            args.quantum = int(args.quantum)
+        except ValueError:
+            args.quantum = 0
+        if args.quantum < 1:
+            print("error: --quantum must be 'adaptive' or a positive "
+                  "integer", file=sys.stderr)
+            return 1
     if args.shared and (not args.run or args.cores < 2 or args.jobs > 1
                         or args.nodes > 1):
         print("error: --shared requires --run --cores >= 2 and is not "
@@ -188,7 +203,8 @@ def translate_main(argv: list[str] | None = None) -> int:
         from repro.vliw.multicore import MultiCoreSoC
 
         multi = MultiCoreSoC(result.program, cores=args.cores,
-                             backends=args.backend, source_arch=arch).run()
+                             backends=args.backend, source_arch=arch,
+                             quantum=args.quantum).run()
         for index, run in enumerate(multi.per_core):
             print(f"core{index}: exit={run.exit_code} "
                   f"target_cycles={run.target_cycles} "
@@ -208,6 +224,15 @@ def translate_main(argv: list[str] | None = None) -> int:
                   f"{multi.contention_conflicts} arbitration conflicts, "
                   f"{sum(multi.contention_stall_cycles)} total stall "
                   f"cycles")
+            lockstep = multi.lockstep
+            print(f"lockstep: quantum={lockstep['quantum']} "
+                  f"rounds={lockstep['rounds']} "
+                  f"runahead_rounds={lockstep['runahead_rounds']} "
+                  f"runahead_cycles={lockstep['runahead_window_cycles']} "
+                  f"inline_shared_calls="
+                  f"{sum(c['inline_shared_calls'] for c in lockstep['per_core'])} "
+                  f"interp_bails="
+                  f"{sum(c['interp_bails'] for c in lockstep['per_core'])}")
         return 0
     platform = PrototypingPlatform(result.program, source_arch=arch,
                                    backend=args.backend)
@@ -248,6 +273,7 @@ def _run_cluster(program, arch, args) -> int:
         cluster = Cluster(
             program, socs=args.nodes, cores=args.cores,
             backends=args.backend, barrier=args.barrier, source_arch=arch,
+            core_quantum=args.quantum,
             fabric=FabricConfig(latency=args.fabric_latency,
                                 word_cycles=args.fabric_word_cycles,
                                 topology=args.fabric_topology))

@@ -71,7 +71,8 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
                     cores: int = 1,
                     shared: bool = False,
                     nodes: int = 1,
-                    barrier: str = "lockstep") -> ProgramMeasurement:
+                    barrier: str = "lockstep",
+                    quantum: int | str = "adaptive") -> ProgramMeasurement:
     """Run the full measurement battery for one workload.
 
     *backend* selects the platform execution engine (any name
@@ -98,6 +99,11 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
     observables).  The measurement records SoC 0's core 0; pass
     ``shared=True`` for distributed workloads, whose per-SoC results
     legitimately differ.
+
+    *quantum* is the intra-SoC lockstep scheduling mode —
+    ``"adaptive"`` (default) or a fixed integer quantum; observables
+    are identical across modes by the lockstep differential contract,
+    so this knob only trades simulation wall-clock.
     """
     from repro.vliw.codegen import resolve_backend
 
@@ -116,7 +122,8 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
 
             cluster = Cluster(translation.program, socs=nodes, cores=cores,
                               backends=backend, barrier=barrier,
-                              source_arch=arch, sync_rate=sync_rate)
+                              source_arch=arch, sync_rate=sync_rate,
+                              core_quantum=quantum)
             clustered = cluster.run()
             if not shared:
                 expected = clustered.per_soc[0].observables()
@@ -135,7 +142,7 @@ def measure_program(name: str, levels=(0, 1, 2, 3),
 
             soc = MultiCoreSoC(translation.program, cores=cores,
                                backends=backend, source_arch=arch,
-                               sync_rate=sync_rate)
+                               sync_rate=sync_rate, quantum=quantum)
             multi = soc.run()
             if not shared:
                 expected = multi.per_core[0].observables()

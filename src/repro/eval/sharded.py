@@ -82,6 +82,11 @@ class ShardSpec:
     #: >1 runs the program replicated on a MultiCoreSoC; the shard's
     #: result is core 0's (bit-identical to the single-core run)
     cores: int = 1
+    #: intra-SoC lockstep scheduling mode for multi-core shards —
+    #: "adaptive" run-ahead windows or a fixed integer quantum
+    #: (identical observables; hashable, so it keys the precompile
+    #: memo, whose emitter mode depends on it)
+    quantum: int | str = "adaptive"
     #: explicit object file instead of a registry program name
     obj: ObjectFile | None = None
     #: tier-ladder thresholds for ``backend="tiered"`` shards (frozen,
@@ -119,6 +124,10 @@ class ShardOutcome:
     pid: int
     regions_generated: int = 0
     regions_from_cache: int = 0
+    #: lockstep scheduling profile of multi-core shards (run-ahead
+    #: windows, inline shared calls, interpreter bails); None for
+    #: single-core, reference and rtl shards
+    lockstep: dict | None = None
 
 
 def object_content_key(obj: ObjectFile) -> str:
@@ -245,7 +254,7 @@ def _run_payload(payload: tuple) -> dict:
 
         soc = MultiCoreSoC(carrier, cores=spec.cores, backends=spec.backend,
                            source_arch=arch, sync_rate=spec.sync_rate,
-                           tier=spec.tier)
+                           tier=spec.tier, quantum=spec.quantum)
         start = time.perf_counter()
         multi = soc.run()
         wall = time.perf_counter() - start
@@ -253,7 +262,8 @@ def _run_payload(payload: tuple) -> dict:
         return dict(
             result=multi.per_core[0], wall_seconds=wall, pid=pid,
             regions_generated=sum(c.regions_generated for c in compilers),
-            regions_from_cache=sum(c.regions_from_cache for c in compilers))
+            regions_from_cache=sum(c.regions_from_cache for c in compilers),
+            lockstep=multi.lockstep)
     platform = PrototypingPlatform(carrier, source_arch=arch,
                                    sync_rate=spec.sync_rate,
                                    backend=spec.backend, tier=spec.tier)
@@ -442,7 +452,11 @@ class ShardedRunner:
                 del self._precompiled[stale]
         else:
             self.stats["translation_hits"] += 1
-        pre_key = (key, spec.backend, spec.tier)
+        # fixed-quantum multi-core shards run the legacy bail-only
+        # emitter, so the parent must warm that cache, not the
+        # inline-shared one (regions_generated == 0 contract)
+        inline = spec.cores == 1 or spec.quantum == "adaptive"
+        pre_key = (key, spec.backend, spec.tier, inline)
         if (self.precompile and resolve_backend(spec.backend).compiled
                 and self._precompiled.get(pre_key) is None):
             # fills the program's source + IR caches; the native and
@@ -450,7 +464,8 @@ class ShardedRunner:
             # the on-disk cache, so workers dlopen instead of invoking
             # the C compiler
             precompile_program(tr.program, source_arch=self.source_arch,
-                               backend=spec.backend, tier=spec.tier)
+                               backend=spec.backend, tier=spec.tier,
+                               inline_shared=inline)
             self._precompiled[pre_key] = True
             self.stats["precompiles"] += 1
         return tr
@@ -573,7 +588,8 @@ class ShardedRunner:
                          backend: str = "interp", sync_rate: float = 1.0,
                          measure_rtl: bool = False,
                          inline_cache_threshold: int | None = None,
-                         cores: int = 1) -> dict[str, ProgramMeasurement]:
+                         cores: int = 1, quantum: int | str = "adaptive",
+                         ) -> dict[str, ProgramMeasurement]:
         """The sharded equivalent of a serial ``measure_program`` sweep.
 
         Produces the same ``{name: ProgramMeasurement}`` mapping as
@@ -584,7 +600,7 @@ class ShardedRunner:
         specs = registry_specs(programs, levels=levels, backend=backend,
                                sync_rate=sync_rate, measure_rtl=measure_rtl,
                                inline_cache_threshold=inline_cache_threshold,
-                               cores=cores)
+                               cores=cores, quantum=quantum)
         out: dict[str, ProgramMeasurement] = {}
         for outcome in self.run(specs):
             spec = outcome.spec
@@ -603,7 +619,8 @@ class ShardedRunner:
 def registry_specs(programs, levels=(0, 1, 2, 3), backend: str = "interp",
                    sync_rate: float = 1.0, measure_rtl: bool = False,
                    inline_cache_threshold: int | None = None,
-                   cores: int = 1) -> list[ShardSpec]:
+                   cores: int = 1,
+                   quantum: int | str = "adaptive") -> list[ShardSpec]:
     """The canonical shard expansion of a registry measurement sweep.
 
     Shared by :meth:`ShardedRunner.measure_registry` and the serving
@@ -619,6 +636,6 @@ def registry_specs(programs, levels=(0, 1, 2, 3), backend: str = "interp",
         for level in levels:
             specs.append(ShardSpec(
                 program=name, level=level, backend=backend,
-                sync_rate=sync_rate, cores=cores,
+                sync_rate=sync_rate, cores=cores, quantum=quantum,
                 inline_cache_threshold=inline_cache_threshold))
     return specs

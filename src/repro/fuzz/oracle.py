@@ -47,6 +47,9 @@ class FuzzConfig:
     levels: tuple[int, ...] = (0, 1, 2, 3)
     backends: tuple[str, ...] = ("interp", "compiled")
     cores: int = 2
+    #: intra-SoC lockstep scheduling mode for the multi-core sweep
+    #: member ("adaptive" or a fixed integer quantum)
+    quantum: int | str = "adaptive"
     max_instructions: int = 2_000_000
     max_cycles: int = 20_000_000
     #: ladder thresholds for ``tiered`` sweep members; None picks
@@ -190,6 +193,7 @@ def check_source(source: str,
             try:
                 multi = MultiCoreSoC(program, cores=config.cores,
                                      backends=mix,
+                                     quantum=config.quantum,
                                      tier=config.resolved_tier()).run(
                                          max_cycles=config.max_cycles)
             except Exception as exc:

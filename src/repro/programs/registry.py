@@ -366,6 +366,20 @@ def _barrier_exits(cores: int) -> list[int]:
     return [10 * cores * (cores + 1) // 2] + list(range(1, cores))
 
 
+def _allreduce_exits(cores: int) -> list[int]:
+    acc = [me + 1 for me in range(cores)]
+    for r in range(16):
+        sent = []
+        for me in range(cores):
+            v = acc[me]
+            for _ in range(400):
+                v = (v * 3 + r) & 0xFFFF
+            sent.append(v & 0xFF)
+        for me in range(cores):
+            acc[me] = (acc[me] + sent[(me + cores - 1) % cores]) & 0xFF
+    return [a & 0x7F for a in acc]
+
+
 SHARED_PROGRAMS: dict[str, SharedProgramSpec] = {
     spec.name: spec
     for spec in (
@@ -381,6 +395,11 @@ SHARED_PROGRAMS: dict[str, SharedProgramSpec] = {
             "shared_barrier", "shared_barrier.mc",
             "four-round barrier and reduction via shared scratch RAM",
             2, _barrier_exits),
+        SharedProgramSpec(
+            "mbox_allreduce", "mbox_allreduce.mc",
+            "ring all-reduce: private compute rounds between neighbor "
+            "mailbox exchanges",
+            2, _allreduce_exits),
     )
 }
 

@@ -94,7 +94,8 @@ def serial_records(params: dict) -> dict:
         measurement = measure_program(
             name, levels=tuple(params["levels"]),
             backend=params["backend"], sync_rate=params["sync_rate"],
-            cores=params["cores"])
+            cores=params["cores"],
+            quantum=params.get("quantum", "adaptive"))
         expected[(name, "reference", None)] = encode_value(
             run_result_fields(measurement.reference))
         for level in params["levels"]:
@@ -142,8 +143,11 @@ def build_payload(args) -> dict:
         payload["levels"] = [int(level)
                              for level in _parse_list(args.levels)]
     if args.type == "measure":
+        quantum = args.quantum
+        if quantum != "adaptive":
+            quantum = int(quantum)
         payload.update(backend=args.backend, cores=args.cores,
-                       sync_rate=args.sync_rate)
+                       sync_rate=args.sync_rate, quantum=quantum)
     if args.type == "fuzz":
         payload.update(seed=args.seed, count=args.count, cores=args.cores,
                        levels=[int(level)
@@ -187,6 +191,9 @@ def submit_main(argv: list[str] | None = None) -> int:
     parser.add_argument("--backends", default="interp,compiled",
                         help="for fuzz jobs")
     parser.add_argument("--cores", type=int, default=1)
+    parser.add_argument("--quantum", default="adaptive",
+                        help="for measure jobs with --cores N: 'adaptive' "
+                             "or a fixed integer lockstep quantum")
     parser.add_argument("--sync-rate", type=float, default=1.0)
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--count", type=int, default=10)
@@ -244,7 +251,9 @@ def submit_main(argv: list[str] | None = None) -> int:
             programs=_parse_list(args.programs),
             levels=[int(level) for level in _parse_list(args.levels)],
             backend=args.backend, cores=args.cores,
-            sync_rate=args.sync_rate))
+            sync_rate=args.sync_rate,
+            quantum=(args.quantum if args.quantum == "adaptive"
+                     else int(args.quantum))))
         if problems:
             for problem in problems:
                 print(f"MISMATCH: {problem}", file=sys.stderr)

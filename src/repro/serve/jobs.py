@@ -206,7 +206,8 @@ class JobManager:
         specs = registry_specs(
             params["programs"], levels=tuple(params["levels"]),
             backend=params["backend"], sync_rate=params["sync_rate"],
-            measure_rtl=params["measure_rtl"], cores=params["cores"])
+            measure_rtl=params["measure_rtl"], cores=params["cores"],
+            quantum=params.get("quantum", "adaptive"))
         seq_of = {spec: index for index, spec in enumerate(specs)}
         stream = self.runner.run_all(specs, stream=True)
         try:
@@ -217,7 +218,8 @@ class JobManager:
                 label = spec.backend if spec.kind == "platform" else spec.kind
                 self.metrics.observe_shard(label, outcome.wall_seconds,
                                            outcome.regions_generated,
-                                           outcome.regions_from_cache)
+                                           outcome.regions_from_cache,
+                                           lockstep=outcome.lockstep)
                 self._publish(job, encode_outcome(outcome, seq_of[spec]))
             return job.cancel_requested
         finally:

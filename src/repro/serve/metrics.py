@@ -31,6 +31,10 @@ class Metrics:
         self._regions_generated = 0
         self._regions_from_cache = 0
         self._shard_wall_seconds = 0.0
+        #: lockstep scheduling aggregates over every multi-core shard
+        self._lockstep = dict(multicore_shards=0, rounds=0,
+                              runahead_rounds=0, runahead_window_cycles=0,
+                              inline_shared_calls=0, interp_bails=0)
         #: backend -> [count per bucket] + one overflow slot
         self._wall_histograms: dict[str, list[int]] = {}
 
@@ -46,12 +50,24 @@ class Metrics:
 
     def observe_shard(self, backend: str, wall_seconds: float,
                       regions_generated: int,
-                      regions_from_cache: int) -> None:
+                      regions_from_cache: int,
+                      lockstep: dict | None = None) -> None:
         with self._lock:
             self._shards += 1
             self._regions_generated += regions_generated
             self._regions_from_cache += regions_from_cache
             self._shard_wall_seconds += wall_seconds
+            if lockstep is not None:
+                agg = self._lockstep
+                agg["multicore_shards"] += 1
+                agg["rounds"] += lockstep.get("rounds", 0)
+                agg["runahead_rounds"] += lockstep.get("runahead_rounds", 0)
+                agg["runahead_window_cycles"] += \
+                    lockstep.get("runahead_window_cycles", 0)
+                for core in lockstep.get("per_core", ()):
+                    agg["inline_shared_calls"] += \
+                        core.get("inline_shared_calls", 0)
+                    agg["interp_bails"] += core.get("interp_bails", 0)
             histogram = self._wall_histograms.setdefault(
                 backend, [0] * (len(WALL_BUCKETS) + 1))
             for index, bound in enumerate(WALL_BUCKETS):
@@ -73,6 +89,7 @@ class Metrics:
                 shard_wall_seconds=self._shard_wall_seconds,
                 regions_generated=self._regions_generated,
                 regions_from_cache=self._regions_from_cache,
+                lockstep=dict(self._lockstep),
                 wall_histograms={
                     backend: dict(
                         buckets_seconds=list(WALL_BUCKETS),

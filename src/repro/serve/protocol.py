@@ -19,7 +19,7 @@ Job types::
 
     {"type": "measure", "programs": [...], "levels": [...],
      "backend": "interp", "sync_rate": 1.0, "cores": 1,
-     "measure_rtl": false}
+     "quantum": "adaptive", "measure_rtl": false}
     {"type": "translate", "programs": [...], "levels": [...]}
     {"type": "fuzz", "seed": 42, "count": 10, "levels": [...],
      "backends": [...], "cores": 2}
@@ -36,7 +36,8 @@ JOB_TYPES = ("translate", "measure", "fuzz")
 
 #: sweep parameters accepted by a measure job, with defaults
 MEASURE_DEFAULTS = dict(levels=(0, 1, 2, 3), backend="interp",
-                        sync_rate=1.0, cores=1, measure_rtl=False)
+                        sync_rate=1.0, cores=1, quantum="adaptive",
+                        measure_rtl=False)
 
 
 class ProtocolError(ValueError):
@@ -92,7 +93,7 @@ def spec_fields(spec: ShardSpec) -> dict:
     """JSON-safe identity of a shard (registry programs only)."""
     return dict(program=spec.program, kind=spec.kind, level=spec.level,
                 backend=spec.backend, sync_rate=spec.sync_rate,
-                cores=spec.cores)
+                cores=spec.cores, quantum=spec.quantum)
 
 
 def encode_outcome(outcome: ShardOutcome, seq: int) -> dict:
@@ -113,6 +114,8 @@ def encode_outcome(outcome: ShardOutcome, seq: int) -> dict:
                 wall_seconds=outcome.wall_seconds, pid=outcome.pid,
                 regions_generated=outcome.regions_generated,
                 regions_from_cache=outcome.regions_from_cache,
+                lockstep=(None if outcome.lockstep is None
+                          else encode_value(outcome.lockstep)),
                 result=payload)
 
 
@@ -187,10 +190,16 @@ def validate_job(payload) -> dict:
         cores = payload.get("cores", 1)
         if not isinstance(cores, int) or cores < 1:
             raise ProtocolError("'cores' must be an integer >= 1")
+        quantum = payload.get("quantum", MEASURE_DEFAULTS["quantum"])
+        if quantum != "adaptive" and (not isinstance(quantum, int)
+                                      or isinstance(quantum, bool)
+                                      or quantum < 1):
+            raise ProtocolError("'quantum' must be 'adaptive' or an "
+                                "integer >= 1")
         sync_rate = payload.get("sync_rate", 1.0)
         if not isinstance(sync_rate, (int, float)) or sync_rate <= 0:
             raise ProtocolError("'sync_rate' must be a positive number")
-        normalized.update(backend=backend, cores=cores,
+        normalized.update(backend=backend, cores=cores, quantum=quantum,
                           sync_rate=float(sync_rate),
                           measure_rtl=bool(payload.get("measure_rtl",
                                                        False)))

@@ -64,6 +64,7 @@ def _build_soc(payload: dict) -> MultiCoreSoC:
         tier=payload["tier"],
         node=payload["node"],
         nodes=payload["nodes"],
+        quantum=payload["core_quantum"],
     )
 
 
@@ -292,7 +293,14 @@ class Cluster:
     length *cores* (replicated per SoC), or a flattened per-core
     sequence of length ``socs * cores``.  *quantum* defaults to the
     fabric's minimum latency — the largest window the determinism
-    contract allows — and must not exceed it.
+    contract allows — and an explicit value must not exceed it; when
+    the shared-footprint analysis proves every program fully private
+    (no device access at all, hence no fabric traffic), the default
+    stretches far beyond the latency bound, since there are no sends a
+    window could observe.  *core_quantum* is each SoC's **intra-SoC**
+    lockstep mode (``"adaptive"`` or a fixed integer — see
+    :class:`~repro.vliw.multicore.MultiCoreSoC`); observables are
+    identical either way.
 
     With ``barrier="process"`` each SoC runs in a spawned worker;
     programs using compiled backends are precompiled in the parent
@@ -313,7 +321,8 @@ class Cluster:
                  sync_access_stall: int = 4,
                  contention_stall: int = CONTENTION_STALL,
                  strict: bool = True,
-                 tier=None) -> None:
+                 tier=None,
+                 core_quantum: int | str = "adaptive") -> None:
         if isinstance(programs, C6xProgram):
             if socs is None:
                 raise SimulationError(
@@ -340,12 +349,16 @@ class Cluster:
         per_soc_backends = self._split_backends(backends, n, cores)
         self.fabric_config = fabric or FabricConfig()
         min_latency = self.fabric_config.min_latency(n)
-        self.quantum = min_latency if quantum is None else quantum
-        if not 1 <= self.quantum <= min_latency:
-            raise SimulationError(
-                f"lockstep quantum {self.quantum} outside 1..{min_latency} "
-                f"(the fabric's minimum latency bounds the window: a "
-                f"larger quantum would let a window observe its own sends)")
+        if quantum is None:
+            self.quantum = self._derive_quantum(program_list, min_latency)
+        else:
+            self.quantum = quantum
+            if not 1 <= quantum <= min_latency:
+                raise SimulationError(
+                    f"lockstep quantum {quantum} outside 1..{min_latency} "
+                    f"(the fabric's minimum latency bounds the window: a "
+                    f"larger quantum would let a window observe its own "
+                    f"sends)")
         self.barrier_kind = barrier
         self.n_socs = n
         self.cores = cores
@@ -365,6 +378,7 @@ class Cluster:
                 tier=tier,
                 node=node,
                 nodes=n,
+                core_quantum=core_quantum,
             ))
         if barrier == "process":
             self._precompile(payloads)
@@ -379,6 +393,33 @@ class Cluster:
             self.sync_barrier = LockstepBarrier(
                 self.members, quantum=self.quantum,
                 on_round_end=self._exchange)
+
+    @staticmethod
+    def _derive_quantum(program_list: Sequence[C6xProgram],
+                        min_latency: int) -> int:
+        """Largest sound default window for these programs.
+
+        The min-latency bound exists so a window cannot observe its
+        own sends; when the shared-footprint analysis (see
+        :mod:`repro.vliw.codegen.footprint`) proves every program
+        fully private — not one packet carries a device access, so no
+        core can ever reach its SoC's fabric endpoint — there are no
+        sends to observe and the window may stretch far beyond the
+        fabric latency.  Any shared-capable program falls back to the
+        historical ``min_latency`` default.
+        """
+        from repro.arch.model import TargetArch
+        from repro.vliw.codegen.footprint import (
+            PRIVATE_CAP,
+            shared_footprint,
+        )
+
+        bds = TargetArch().branch_delay_slots
+        unique = {id(program): program for program in program_list}
+        if all(shared_footprint(program, bds).fully_private
+               for program in unique.values()):
+            return max(min_latency, PRIVATE_CAP)
+        return min_latency
 
     @staticmethod
     def _split_backends(backends: str | Sequence[str], socs: int,
@@ -423,7 +464,8 @@ class Cluster:
                     bridge_stall=payload["bridge_stall"],
                     sync_access_stall=payload["sync_access_stall"],
                     strict=payload["strict"], backend=backend,
-                    tier=payload["tier"])
+                    tier=payload["tier"],
+                    inline_shared=payload["core_quantum"] == "adaptive")
 
     def _exchange(self, base: int, horizon: int) -> None:
         """Window barrier: drain outboxes, route, deliver."""

@@ -67,20 +67,42 @@ def _addr(base: str, imm: int) -> str:
 
 
 class PythonEmitter:
-    """Renders one :class:`RegionIR` to host-Python source."""
+    """Renders one :class:`RegionIR` to host-Python source.
+
+    *inline_shared* selects how guarded shared-segment accesses render
+    (multi-core SoCs only — single-core regions carry no guards and are
+    unaffected): ``True`` (the default) emits the access **inline** at
+    region entry — the device dispatch below already routes shared
+    addresses through the core's arbitrated bridge port, so arbitration
+    and stall semantics are the interpreter's, but the region resumes
+    in place instead of bouncing every access to the interpreter.
+    Inline entries still bail while the run-ahead flag ``_ra`` is up
+    (no shared access may execute inside an adaptive window), and
+    accesses past the entry packet keep the address-guard bail.
+    ``False`` reproduces the historical bail-everything source byte for
+    byte — the reference baseline of the lockstep differential
+    contract.
+    """
 
     name = "python"
 
+    def __init__(self, inline_shared: bool = True) -> None:
+        self.inline_shared = inline_shared
+
     def emit(self, ir: RegionIR) -> tuple[str, str]:
         """Produce ``(source, function_name)`` for *ir*."""
-        return _RegionRenderer(ir).render()
+        return _RegionRenderer(ir, self.inline_shared).render()
 
 
 class _RegionRenderer:
     """Stateless walk of one region's IR, emitting Python lines."""
 
-    def __init__(self, ir: RegionIR) -> None:
+    def __init__(self, ir: RegionIR, inline_shared: bool = True) -> None:
         self.ir = ir
+        self.inline_shared = inline_shared
+        #: True while rendering a packet whose shared accesses execute
+        #: inline (device dispatch then counts them through ``_ilc``)
+        self._inline_packet = False
         self.out = _Emit()
 
     def render(self) -> tuple[str, str]:
@@ -175,21 +197,31 @@ class _RegionRenderer:
                 add(1, line)
 
         # 2a. shared-segment guard (device packets on a shared SoC)
+        self._inline_packet = False
         if p.guard is not None:
             if not p.guard.checks:
                 self._emit_bail(1, p.guard.bail)
                 return  # the packet unconditionally bails; rest is dead
-            conds = []
-            for check in p.guard.checks:
-                addr = _addr(_operand(check.base), check.imm)
-                cond = (f"{_SHARED_LO} <= ({addr}) - {ir.bridge_base} "
-                        f"< {_SHARED_HI}")
-                if check.pred_reg is not None:
-                    test = "!=" if check.pred_sense else "=="
-                    cond = f"regs[{check.pred_reg}] {test} 0 and ({cond})"
-                conds.append(f"({cond})")
-            add(1, f"if {' or '.join(conds)}:")
-            self._emit_bail(2, p.guard.bail)
+            if self.inline_shared and p.offset == 0:
+                # entry packet, inline mode: perform the shared access
+                # inline through the arbitrated device dispatch below;
+                # bail only while a run-ahead window is active (no
+                # shared access may execute inside a window)
+                self._inline_packet = True
+                add(1, "if _ra[0]:")
+                self._emit_bail(2, p.guard.bail)
+            else:
+                conds = []
+                for check in p.guard.checks:
+                    addr = _addr(_operand(check.base), check.imm)
+                    cond = (f"{_SHARED_LO} <= ({addr}) - {ir.bridge_base} "
+                            f"< {_SHARED_HI}")
+                    if check.pred_reg is not None:
+                        test = "!=" if check.pred_sense else "=="
+                        cond = f"regs[{check.pred_reg}] {test} 0 and ({cond})"
+                    conds.append(f"({cond})")
+                add(1, f"if {' or '.join(conds)}:")
+                self._emit_bail(2, p.guard.bail)
 
         # 2. device packets are tick barriers: flush batched ticks, then
         #    replicate the interpreter's blocking-read stall loop
@@ -374,6 +406,9 @@ class _RegionRenderer:
         add(indent, "else:")
         add(indent + 1, f"b{m} = a{m} - {ir.bridge_base}")
         add(indent + 1, f"if 0 <= b{m} < {_BRIDGE_WINDOW}:")
+        if self._inline_packet:
+            add(indent + 2,
+                f"if {_SHARED_LO} <= b{m} < {_SHARED_HI}: _ilc[0] += 1")
         add(indent + 2, f"{var} = bridge.read(b{m}, {size})")
         add(indent + 2, f"core._stall_cycles += {ir.bridge_stall}")
         add(indent + 2, f"stats.bridge_stall_cycles += {ir.bridge_stall}")
@@ -412,6 +447,9 @@ class _RegionRenderer:
         add(indent, "else:")
         add(indent + 1, f"b{m} = sa{m} - {ir.bridge_base}")
         add(indent + 1, f"if 0 <= b{m} < {_BRIDGE_WINDOW}:")
+        if self._inline_packet:
+            add(indent + 2,
+                f"if {_SHARED_LO} <= b{m} < {_SHARED_HI}: _ilc[0] += 1")
         add(indent + 2, f"bridge.write(b{m}, sv{m}, {size})")
         add(indent + 2, f"core._stall_cycles += {ir.bridge_stall}")
         add(indent + 2, f"stats.bridge_stall_cycles += {ir.bridge_stall}")

@@ -1,0 +1,149 @@
+"""Shared-footprint analysis: how far can a core run provably private?
+
+The multi-core lockstep contract pins every *shared-segment* access to
+the round whose base cycle equals the accessing core's own cycle
+count.  Everything else — ALU packets, plain memory, the per-core
+peripheral partition — is core-local and schedule independent, so a
+core that is provably inside private-only code can be granted a
+**run-ahead window** of many cycles without any observable changing
+(see :class:`~repro.vliw.sync.AdaptiveLockstepBarrier`).
+
+This module computes the window-sizing bound: for every packet index
+``p`` of a translated program, ``dist[p]`` is a conservative lower
+bound on the number of packets (and therefore target cycles — every
+packet costs at least one cycle) that execution starting at ``p`` can
+retire before the *first possibly-shared access* could issue.
+
+Conservatism
+    A packet is *risky* when it carries any device-flagged access: the
+    translator device-flags every IO-region and unknown-region access,
+    so every access that could dynamically land in the shared window
+    is risky (most risky packets are in fact private-partition traffic
+    — UART, per-core timer, exit device — but the bound does not try
+    to distinguish; it only has to be a lower bound).  ``dist`` is the
+    shortest path to a risky packet over *every* statically possible
+    control successor: fall-through, both arms of predicated branches,
+    every indirect-branch landing site.
+
+Safety
+    The bound is a **sizing heuristic, not a soundness requirement**:
+    run-ahead execution additionally enforces "no shared access inside
+    a window" dynamically (compiled regions bail on shared addresses
+    and on the run-ahead flag, interpreter hand-offs are deferred, the
+    interpreter itself only steps packets inside the proven prefix).
+    An overly tight ``dist`` costs speed, never correctness.
+
+Results are cached on the program object (the analysis is pure and the
+packet list is immutable after translation).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.isa.c6x.instructions import TOp
+
+#: bound reported for packets from which no risky packet is statically
+#: reachable (e.g. a pure compute loop): effectively "run freely until
+#: another core's bound, the cycle budget, or completion cuts in".
+PRIVATE_CAP = 1 << 16
+
+
+@dataclass(frozen=True)
+class SharedFootprint:
+    """Per-packet shared-access distance of one translated program."""
+
+    #: ``risky[p]``: packet *p* carries a possibly-shared access
+    risky: tuple
+    #: ``dist[p]``: packets guaranteed retirable from *p* before the
+    #: first possibly-shared access (0 when ``risky[p]``); capped at
+    #: :data:`PRIVATE_CAP`
+    dist: tuple
+
+    @property
+    def fully_private(self) -> bool:
+        """True when no packet of the program is possibly-shared."""
+        return not any(self.risky)
+
+    def bound(self, pc: int) -> int:
+        """The run-ahead bound starting at packet *pc* (0 off-program:
+        the interpreter owns everything past the translated packets)."""
+        if 0 <= pc < len(self.dist):
+            return self.dist[pc]
+        return 0
+
+
+def _successors(program, branch_delay_slots: int) -> list[list[int]]:
+    """Static control successors of every packet.
+
+    Conservative in both directions that matter: a branch issued at
+    packet ``i`` contributes its target as a successor of the
+    *maturation* packet ``i + branch_delay_slots`` (the last packet to
+    retire before the jump), predicated branches keep the fall-through
+    edge, and indirect branches fan out to every translated landing
+    site.  An unpredicated HALT terminates its path.
+    """
+    packets = program.packets
+    n = len(packets)
+    succ: list[list[int]] = [[] for _ in range(n)]
+    indirect_sites = None
+    for i, packet in enumerate(packets):
+        halts = any(ins.op is TOp.HALT and ins.pred is None
+                    for ins in packet.instrs)
+        if not halts and i + 1 < n:
+            succ[i].append(i + 1)
+        for ins in packet.instrs:
+            if ins.op is not TOp.B:
+                continue
+            mature = min(i + branch_delay_slots, n - 1)
+            if ins.target is not None:
+                succ[mature].append(program.label_packet(ins.target))
+            else:
+                if indirect_sites is None:
+                    indirect_sites = sorted(
+                        set(program.addr_to_packet.values()))
+                succ[mature].extend(indirect_sites)
+    return succ
+
+
+def compute_footprint(program, branch_delay_slots: int) -> SharedFootprint:
+    """Analyze *program* (uncached); prefer :func:`shared_footprint`."""
+    packets = program.packets
+    n = len(packets)
+    risky = tuple(any(ins.device for ins in packet.instrs)
+                  for packet in packets)
+    succ = _successors(program, branch_delay_slots)
+    # multi-source BFS on the reversed graph: dist[p] = packets between
+    # p and the nearest risky packet along any static path
+    pred: list[list[int]] = [[] for _ in range(n)]
+    for i, outs in enumerate(succ):
+        for j in outs:
+            pred[j].append(i)
+    dist = [PRIVATE_CAP] * n
+    queue: deque[int] = deque()
+    for i, is_risky in enumerate(risky):
+        if is_risky:
+            dist[i] = 0
+            queue.append(i)
+    while queue:
+        j = queue.popleft()
+        d = dist[j] + 1
+        for i in pred[j]:
+            if d < dist[i]:
+                dist[i] = d
+                queue.append(i)
+    return SharedFootprint(risky=risky, dist=tuple(dist))
+
+
+def shared_footprint(program, branch_delay_slots: int) -> SharedFootprint:
+    """The (cached) shared-footprint analysis of *program*."""
+    cache = getattr(program, "_shared_footprint", None)
+    if cache is None:
+        cache = {}
+        program._shared_footprint = cache
+    fp = cache.get(branch_delay_slots)
+    if fp is None:
+        fp = compute_footprint(program, branch_delay_slots)
+        cache[branch_delay_slots] = fp
+    return fp

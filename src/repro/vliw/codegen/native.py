@@ -643,6 +643,16 @@ class NativeContext:
                 return None
             if kind == KIND_BAIL:
                 context._count_bail(io.sb_pc)
+                if core._pending_branch is None:
+                    # inline shared-access hand-off: chain into the
+                    # Python rendering of the bailing device packet
+                    # (inline arbitration, identical semantics) instead
+                    # of the interpreter — the dispatch loop still
+                    # applies its quantum/run-ahead checks before
+                    # calling it, so deferral behavior is unchanged
+                    handoff = compiler.inline_entry_fn(next_pc)
+                    if handoff is not None:
+                        return handoff
             return INTERP  # KIND_INTERP / KIND_BAIL
 
         region.__name__ = f"_native_superblock_{pc0}"

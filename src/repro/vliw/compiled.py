@@ -136,7 +136,8 @@ class PacketCompiler:
 
     def __init__(self, core: C6xCore, max_region_packets: int = 256,
                  backend: str = "compiled",
-                 tier: TierConfig | None = None) -> None:
+                 tier: TierConfig | None = None,
+                 inline_shared: bool = True) -> None:
         spec = resolve_backend(backend)
         if not spec.compiled:
             raise SimulationError(
@@ -145,14 +146,30 @@ class PacketCompiler:
         self.program = core.program
         self.target = core.target
         self.backend = backend
+        #: inline shared-segment accesses at region entry (the modern
+        #: fast path); False restores the historical emitter that bails
+        #: every shared access to the interpreter — kept as the
+        #: reference baseline of the lockstep differential contract
+        self.inline_shared = inline_shared
         #: tier-ladder thresholds; also supplies the native demotion
         #: threshold when set explicitly (every compiled backend demotes)
         self.tier = tier if tier is not None else TierConfig.from_env()
         self.tiered = spec.tiered
         self.max_region_packets = max_region_packets
         self.exit_device = core.bridge.bus.device("exit")
-        self.emitter = PythonEmitter()
+        self.emitter = PythonEmitter(inline_shared=inline_shared)
         self.params = params_for_core(core)
+        #: run-ahead flag cell (``_ra`` in region namespaces): while a
+        #: provably-private window executes, inline shared-access
+        #: entries bail instead of arbitrating — no shared access may
+        #: ever run inside a window
+        self.runahead: list = [False]
+        #: shared-segment accesses executed inline by compiled regions
+        #: (cell 0; incremented by emitted code)
+        self.inline_calls: list = [0]
+        #: packets handed back to the interpretive core by compiled
+        #: regions (shared bails, uncompilable shapes)
+        self.interp_bails = 0
         #: the active cycle limit native superblocks budget against:
         #: ``run_slice`` keeps cell 0 at ``min(until, max_cycles)`` so
         #: internal chain edges stop at the same lockstep-quantum
@@ -165,6 +182,8 @@ class PacketCompiler:
         #: region entry on the pre-native tiers, promoted callables,
         #: and promotion counters for :meth:`tier_stats`
         self.tier_counts: dict[int, int] = {}
+        #: memo of :meth:`inline_entry_fn` (None entries cached too)
+        self._inline_entry_fns: dict[int, Callable | None] = {}
         self._tier_python_fns: dict[int, Callable] = {}
         self._tier_native_fns: dict[int, Callable] = {}
         self.tier_promoted_python = 0
@@ -186,9 +205,14 @@ class PacketCompiler:
         # keyed by them: platforms with different stall costs never
         # share code.  Code entries are ``(source, name, n_packets)``;
         # ``(None, None, 0)`` marks entries only the interpreter runs
-        # (mirrored by ``None`` in the IR cache).
+        # (mirrored by ``None`` in the IR cache).  The historical
+        # bail-all-shared emitter renders different source, so it gets
+        # its own key — the default (inline) key is the one
+        # ``precompile_program`` fills and workers receive.
         self.cache_params = (core.sync_access_stall,
                              core.bridge.access_stall)
+        if not inline_shared:
+            self.cache_params += ("bail",)
         self._code_cache = self._program_cache("_region_code_cache")
         self._ir_cache = self._program_cache("_region_ir_cache")
         self._native = None
@@ -273,10 +297,77 @@ class PacketCompiler:
                 # pending-branch check resumes a spilled pipeline).
                 if until is not None and core.cycles >= until:
                     return
+                self.interp_bails += 1
             step()
             if core.cycles >= max_cycles:
                 raise SimulationError(
                     f"target cycle limit {max_cycles} exceeded")
+
+    def run_private_slice(self, until: int,
+                          max_cycles: int = 200_000_000) -> None:
+        """Advance through provably-private code only (run-ahead).
+
+        The adaptive lockstep barrier's window executor (see
+        :meth:`~repro.vliw.sync.AdaptiveSyncMember.advance_private`):
+        like :meth:`run_slice`, but **no shared-segment access and no
+        interpreter step may execute** — while the window's ``_ra``
+        flag is up, inline shared-access entries bail, and every INTERP
+        hand-off (shared bails, uncompilable shapes, immature-branch
+        drains) is deferred to the next *normal* lockstep round instead
+        of stepping the core here.  Anything this method does execute
+        is core-local and schedule independent, which is what makes the
+        window invisible to every observable.
+        """
+        core = self.core
+        exit_device = self.exit_device
+        if (core.halted or exit_device.exited or core.cycles >= until
+                or core._pending_branch is not None):
+            return
+        self._limit[0] = min(until, max_cycles)
+        self.runahead[0] = True
+        try:
+            nxt = self._fns.get(core.pc)
+            if nxt is None:
+                nxt = self.function_for(core.pc)
+            while nxt is not None and nxt is not INTERP:
+                nxt = nxt()
+                if core.cycles >= max_cycles:
+                    raise SimulationError(
+                        f"target cycle limit {max_cycles} exceeded")
+                if core.cycles >= until and nxt is not INTERP:
+                    return
+            # nxt is None (halt/exit inside the window) or INTERP
+            # (defer the pending packet to the next normal round)
+        finally:
+            self.runahead[0] = False
+
+    def inline_entry_fn(self, pc0: int):
+        """The Python rendering of the device-entry region at *pc0*.
+
+        Used by the native runtime when a superblock bails at its own
+        entry packet without retiring anything (a shared-access entry
+        under inline mode): the Python rendering performs the access
+        inline — arbitration, stalls and all — instead of bouncing the
+        packet to the interpreter on every poll-loop iteration.
+        Returns None (and the caller keeps the interpreter hand-off)
+        when inline mode is off or the entry is not a device packet.
+        """
+        if pc0 in self._inline_entry_fns:
+            return self._inline_entry_fns[pc0]
+        fn = None
+        if self.inline_shared:
+            cached = self._code_cache.get(pc0)
+            if cached is None:
+                cached = self._generate_entry(pc0)
+                self.regions_generated += 1
+            source, name, n_packets = cached
+            if (source is not None and n_packets
+                    and packet_device_flags(self.program, pc0, 1)[0]):
+                ns = self._namespace()
+                exec(_host_code(source, pc0), ns)
+                fn = ns[name]
+        self._inline_entry_fns[pc0] = fn
+        return fn
 
     def function_for(self, pc: int):
         """The compiled function entering at packet *pc* (cached)."""
@@ -406,8 +497,14 @@ class PacketCompiler:
         counts = self.tier_counts
         promote_python = self.tier.promote_python
         device_flags = packet_device_flags(self.program, pc0, n_packets)
+        ra = self.runahead
 
         def cold():
+            if ra[0]:
+                # the stub steps the interpreter, which may touch the
+                # shared segment: never run it inside a run-ahead
+                # window — defer to the next normal round
+                return INTERP
             n = counts.get(pc0, 0)
             if n >= promote_python:
                 return self._tier_promote_python(pc0)()
@@ -573,6 +670,8 @@ class PacketCompiler:
             _SimulationError=SimulationError,
             _BusError=BusError,
             _INTERP=INTERP,
+            _ra=self.runahead,
+            _ilc=self.inline_calls,
             _link=self._link,
             _goto=self.function_for,
             _ct=[None],
@@ -589,7 +688,8 @@ class PacketCompiler:
 def precompile_program(program, source_arch=None, sync_rate: float = 1.0,
                        bridge_stall: int = 4, sync_access_stall: int = 4,
                        strict: bool = True, backend: str = "compiled",
-                       tier: TierConfig | None = None) -> int:
+                       tier: TierConfig | None = None,
+                       inline_shared: bool = True) -> int:
     """Populate *program*'s region caches without executing it.
 
     Builds a throwaway platform (region code bakes in the core's
@@ -602,6 +702,11 @@ def precompile_program(program, source_arch=None, sync_rate: float = 1.0,
     the program's native module, so workers (sharing the cache
     directory) only ``dlopen`` it.  Returns the number of regions
     generated.
+
+    *inline_shared* must match the emitter mode of the compilers that
+    will consume the cache (the code caches are keyed by it): True for
+    adaptive-quantum SoCs (the default everywhere), False for the
+    historical fixed-quantum bail-all-shared mode.
     """
     from repro.vliw.platform import PrototypingPlatform
 
@@ -609,5 +714,5 @@ def precompile_program(program, source_arch=None, sync_rate: float = 1.0,
         program, source_arch=source_arch, sync_rate=sync_rate,
         bridge_stall=bridge_stall, sync_access_stall=sync_access_stall,
         strict=strict, backend=backend, tier=tier)
-    return PacketCompiler(platform.core, backend=backend,
-                          tier=tier).precompile()
+    return PacketCompiler(platform.core, backend=backend, tier=tier,
+                          inline_shared=inline_shared).precompile()

@@ -37,11 +37,30 @@ Lockstep and arbitration
     so the global transaction trace interleaves fairly and
     deterministically.  Packet-compiled cores advance one compiled
     region per grant (regions are the backend's atomic unit), so their
-    lockstep skew is bounded by the region length cap — except on the
-    shared segment, where compiled regions bail out to the interpreter
-    (see :mod:`repro.vliw.compiled`) so every shared access executes
-    at single-packet granularity while its core sits exactly at the
-    global minimum cycle.
+    lockstep skew is bounded by the region length cap.  Every
+    shared-segment access executes while its core sits exactly at the
+    global minimum cycle: under the default adaptive quantum compiled
+    regions perform the access **inline** through the arbitrated core
+    port at region entry (bailing to the interpreter only for accesses
+    discovered mid-region, which re-enter as region entries on the next
+    round), and under an integer quantum they bail every shared access
+    (see :mod:`repro.vliw.compiled`).
+
+Adaptive run-ahead
+    ``quantum="adaptive"`` (the default) keeps the quantum-1 round
+    structure for every round that could touch the shared segment, but
+    when **every** running core is provably inside private-only code —
+    per the static :mod:`repro.vliw.codegen.footprint` analysis — the
+    :class:`~repro.vliw.sync.AdaptiveLockstepBarrier` grants one
+    run-ahead window spanning the minimum safe bound across cores, and
+    whole compiled/native region chains execute between barrier
+    crossings.  Windows never contain a shared access (enforced
+    dynamically: inline entries bail while the window flag is up,
+    mid-region guards bail on shared addresses, interpreter hand-offs
+    are deferred to the next normal round), and everything that does
+    execute inside a window is core-local and schedule independent —
+    so every observable is bit-identical to ``quantum=1``, which
+    ``tests/test_lockstep_adaptive.py`` locks down.
 
 Contention
     Within one arbitration round, the first core to reach a shared
@@ -66,11 +85,14 @@ Determinism and the differential contract
     registry program, detail level and backend mix.  Sharing programs
     contend, so single-core equality no longer applies to them; their
     contract is instead *backend independence*: because shared accesses
-    always execute interpreter-stepped at the global minimum cycle,
-    the shared-access interleaving — and with it mailbox contents,
-    contention stalls and every observable — is identical across
-    interp/compiled/mixed backend assignments
-    (``tests/test_contention_differential.py``).
+    always execute at the global minimum cycle under the round's
+    rotating arbitration — interpreter-stepped or inline through the
+    same arbitrated port — the shared-access interleaving, and with it
+    mailbox contents, contention stalls and every observable, is
+    identical across interp/compiled/mixed backend assignments
+    (``tests/test_contention_differential.py``) and across
+    ``quantum="adaptive"`` vs ``quantum=1``
+    (``tests/test_lockstep_adaptive.py``).
 """
 
 from __future__ import annotations
@@ -105,7 +127,8 @@ from repro.vliw.platform import (
     PrototypingPlatform,
     collect_platform_result,
 )
-from repro.vliw.sync import LockstepBarrier
+from repro.vliw.codegen.footprint import shared_footprint
+from repro.vliw.sync import AdaptiveLockstepBarrier, LockstepBarrier
 from repro.vliw.syncdev import SyncDevice
 
 #: size of each core's I/O partition on the shared bus.  The standard
@@ -253,6 +276,12 @@ class MultiCorePlatformResult:
     grants: list[int] = field(default_factory=list)
     #: shared-device arbitration conflicts observed SoC-wide
     contention_conflicts: int = 0
+    #: lockstep scheduling profile (:meth:`MultiCoreSoC.lockstep_stats`)
+    #: — run-ahead windows, inline shared calls, interpreter bails.
+    #: Scheduling metadata, deliberately **not** part of
+    #: :meth:`observables`: the differential contract is that
+    #: observables match across quantum modes while this differs.
+    lockstep: dict = field(default_factory=dict)
 
     @property
     def n_cores(self) -> int:
@@ -288,7 +317,7 @@ class _CoreSlot:
                  arbiter: SharedBusArbiter,
                  sync_rate: float, bridge_stall: int,
                  sync_access_stall: int, strict: bool,
-                 tier=None) -> None:
+                 tier=None, inline_shared: bool = True) -> None:
         from repro.vliw.codegen import resolve_backend
 
         try:
@@ -319,11 +348,17 @@ class _CoreSlot:
         self.port.bind(self.core)
         self.exit_device = self.port.device("exit")
         self.grants = 0
+        #: run-ahead observability: windows this core actually advanced
+        #: in, and the cycles it covered inside them
+        self.runahead_windows = 0
+        self.runahead_cycles = 0
+        self._footprint = None
         if spec.compiled:
             from repro.vliw.compiled import PacketCompiler
 
             self._compiler = PacketCompiler(self.core, backend=backend,
-                                            tier=tier)
+                                            tier=tier,
+                                            inline_shared=inline_shared)
         else:
             self._compiler = None
 
@@ -348,6 +383,56 @@ class _CoreSlot:
                 raise SimulationError(
                     f"target cycle limit {max_cycles} exceeded")
 
+    def private_bound(self) -> int:
+        """Cycles this core can provably run without a shared access
+        (the :class:`~repro.vliw.sync.AdaptiveSyncMember` view): the
+        static footprint bound at the current pc, or 0 while a branch
+        is in flight (the analysis bounds paths from packet heads, not
+        from a half-drained pipeline)."""
+        core = self.core
+        if core._pending_branch is not None:
+            return 0
+        fp = self._footprint
+        if fp is None:
+            fp = self._footprint = shared_footprint(
+                core.program, core.target.branch_delay_slots)
+        return fp.bound(core.pc)
+
+    def advance_private(self, until: int, max_cycles: int) -> None:
+        """Advance inside a run-ahead window: private work only.
+
+        Compiled backends delegate to
+        :meth:`~repro.vliw.compiled.PacketCompiler.run_private_slice`
+        (which defers every interpreter hand-off and whose emitted
+        regions bail on shared accesses); the interpreter steps
+        packets directly with a per-packet dynamic stop — it never
+        steps *into* a possibly-shared packet, which is exactly the
+        no-shared-access-inside-a-window invariant.
+        """
+        core = self.core
+        start = core.cycles
+        if self._compiler is not None:
+            self._compiler.run_private_slice(until, max_cycles)
+        else:
+            fp = self._footprint
+            if fp is None:
+                fp = self._footprint = shared_footprint(
+                    core.program, core.target.branch_delay_slots)
+            risky = fp.risky
+            n = len(risky)
+            while not self.finished and core.cycles < until:
+                pc = core.pc
+                if not 0 <= pc < n or risky[pc]:
+                    break  # defer to a normal round at the frontier
+                core.step_packet()
+                if core.cycles >= max_cycles:
+                    raise SimulationError(
+                        f"target cycle limit {max_cycles} exceeded")
+        won = core.cycles - start
+        if won > 0:
+            self.runahead_windows += 1
+            self.runahead_cycles += won
+
 
 class MultiCoreSoC:
     """N translated programs executing in lockstep on one SoC bus.
@@ -371,6 +456,14 @@ class MultiCoreSoC:
     Programs that never touch the segment behave exactly as on the
     partition-only SoC.
 
+    *quantum* selects the lockstep scheduling mode: ``"adaptive"`` (the
+    default) runs quantum-1 rounds with provably-private run-ahead
+    windows and inline shared-access calls in compiled code — the fast
+    path, observable-identical to ``quantum=1``; an integer runs the
+    historical fixed-quantum barrier with the bail-every-shared-access
+    emitter (``quantum=1`` is the reference baseline the lockstep
+    differential contract compares against).
+
     *node*/*nodes* give the SoC its identity inside a
     :class:`~repro.vliw.cluster.Cluster` (the fabric endpoint's node-id
     registers); a standalone SoC is the degenerate single-node cluster
@@ -388,7 +481,15 @@ class MultiCoreSoC:
                  strict: bool = True,
                  tier=None,
                  node: int = 0,
-                 nodes: int = 1) -> None:
+                 nodes: int = 1,
+                 quantum: int | str = "adaptive") -> None:
+        if quantum != "adaptive" and not (
+                isinstance(quantum, int) and not isinstance(quantum, bool)
+                and quantum >= 1):
+            raise SimulationError(
+                f"quantum must be 'adaptive' or an int >= 1, "
+                f"got {quantum!r}")
+        self.quantum = quantum
         if isinstance(programs, C6xProgram):
             if cores is None:
                 raise SimulationError(
@@ -429,14 +530,24 @@ class MultiCoreSoC:
         self.fabric_endpoint = FabricEndpoint(node, nodes)
         self.bus.attach(self.shared_map.addr(self.shared_map.fabric),
                         self.fabric_endpoint, "fabric")
+        # the adaptive quantum pairs with the inline-shared emitter (the
+        # fast path); an integer quantum keeps the historical
+        # bail-every-shared-access emitter, so ``quantum=1`` is the
+        # reference baseline of the lockstep differential contract
+        inline = quantum == "adaptive"
         self.slots = [
             _CoreSlot(i, program_list[i], backend_list[i], self.bus, n,
                       self.arbiter, sync_rate, bridge_stall,
-                      sync_access_stall, strict, tier=tier)
+                      sync_access_stall, strict, tier=tier,
+                      inline_shared=inline)
             for i in range(n)
         ]
-        self.barrier = LockstepBarrier(self.slots, quantum=1,
-                                       on_round=self._begin_round)
+        if inline:
+            self.barrier: LockstepBarrier = AdaptiveLockstepBarrier(
+                self.slots, on_round=self._begin_round)
+        else:
+            self.barrier = LockstepBarrier(self.slots, quantum=quantum,
+                                           on_round=self._begin_round)
 
     @property
     def n_cores(self) -> int:
@@ -489,6 +600,37 @@ class MultiCoreSoC:
         for slot in self.slots:
             slot.sync.flush()
 
+    def lockstep_stats(self) -> dict:
+        """Scheduling profile of this SoC's lockstep execution.
+
+        Observability only (never part of the differential
+        observables): how many rounds ran, how many were adaptive
+        run-ahead windows and how many cycles they covered, and per
+        core how often it advanced inside windows, performed shared
+        accesses inline in compiled code, and handed packets back to
+        the interpreter.
+        """
+        barrier = self.barrier
+        per_core = []
+        for slot in self.slots:
+            compiler = slot._compiler
+            per_core.append({
+                "core": slot.index,
+                "runahead_windows": slot.runahead_windows,
+                "runahead_cycles": slot.runahead_cycles,
+                "inline_shared_calls": (compiler.inline_calls[0]
+                                        if compiler is not None else 0),
+                "interp_bails": (compiler.interp_bails
+                                 if compiler is not None else 0),
+            })
+        return {
+            "quantum": self.quantum,
+            "rounds": barrier.rounds,
+            "runahead_rounds": getattr(barrier, "runahead_rounds", 0),
+            "runahead_window_cycles": getattr(barrier, "runahead_cycles", 0),
+            "per_core": per_core,
+        }
+
     def collect_result(self) -> MultiCorePlatformResult:
         return MultiCorePlatformResult(
             per_core=[collect_platform_result(slot.core, slot.sync,
@@ -497,4 +639,5 @@ class MultiCoreSoC:
             bus_trace=self.bus.monitor.transfers(),
             grants=[slot.grants for slot in self.slots],
             contention_conflicts=self.arbiter.conflicts,
+            lockstep=self.lockstep_stats(),
         )

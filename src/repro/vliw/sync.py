@@ -9,6 +9,13 @@ implementations share one round engine:
 * :class:`LockstepBarrier` advances members serially in-process — it is
   bit-identical to the historical ``MultiCoreSoC.run()`` loop (same
   frontier computation, same rotating grant order, same error strings).
+* :class:`AdaptiveLockstepBarrier` keeps normal rounds bit-identical to
+  a ``quantum=1`` :class:`LockstepBarrier` but inserts *run-ahead
+  rounds* whenever every running member is provably inside private-only
+  code (see :mod:`repro.vliw.codegen.footprint`): the window spans the
+  minimum safe bound across members, so compiled cores execute whole
+  region chains between barrier crossings without any shared-segment
+  observable changing.
 * :class:`ProcessBarrier` drives members that live in worker processes:
   each round it *posts* the advance command to every eligible member,
   then collects replies — members execute their quantum in parallel,
@@ -120,7 +127,8 @@ class SyncBarrier:
             if base >= max_cycles:
                 raise SimulationError(
                     f"target cycle limit {max_cycles} exceeded")
-            horizon = base + self.quantum
+            horizon, runahead = self._plan_round(base, running,
+                                                 until, max_cycles)
             self.rounds += 1
             if self.on_round is not None:
                 self.on_round(base)
@@ -131,20 +139,42 @@ class SyncBarrier:
             for member in granted:
                 member.grants += 1
             before = [(m.cycles, m.finished) for m in granted]
-            self._advance_round(granted, horizon, max_cycles)
+            self._advance_round(granted, horizon, max_cycles, runahead)
             progressed = any(
                 m.cycles > cyc or m.finished != fin
                 for m, (cyc, fin) in zip(granted, before))
             if self.on_round_end is not None:
                 self.on_round_end(base, horizon)
             if not progressed:
-                raise SimulationError(
-                    f"lockstep scheduler livelock: no core advanced past "
-                    f"cycle {base} in a full arbitration round")
+                if runahead:
+                    # a run-ahead window everyone deferred out of (all
+                    # granted members needed the interpreter) is not a
+                    # livelock: fall back to a normal round at the same
+                    # base, which is guaranteed to step somebody
+                    self._runahead_stalled(base)
+                else:
+                    raise SimulationError(
+                        f"lockstep scheduler livelock: no core advanced "
+                        f"past cycle {base} in a full arbitration round")
             running = [m for m in members if not m.finished]
 
+    def _plan_round(self, base: int, running: Sequence[SyncMember],
+                    until: int | None, max_cycles: int
+                    ) -> tuple[int, bool]:
+        """Pick this round's ``(horizon, is_run_ahead)``.
+
+        The base implementation is the fixed-quantum window the round
+        contract documents; :class:`AdaptiveLockstepBarrier` overrides
+        it to grant provably-private run-ahead windows.
+        """
+        return base + self.quantum, False
+
+    def _runahead_stalled(self, base: int) -> None:
+        """Hook: a run-ahead round made no progress (adaptive only)."""
+
     def _advance_round(self, granted: Sequence[SyncMember],
-                       horizon: int, max_cycles: int) -> None:
+                       horizon: int, max_cycles: int,
+                       runahead: bool = False) -> None:
         raise NotImplementedError
 
 
@@ -158,9 +188,136 @@ class LockstepBarrier(SyncBarrier):
     """
 
     def _advance_round(self, granted: Sequence[SyncMember],
-                       horizon: int, max_cycles: int) -> None:
+                       horizon: int, max_cycles: int,
+                       runahead: bool = False) -> None:
         for member in granted:
             member.advance(horizon, max_cycles)
+
+
+@runtime_checkable
+class AdaptiveSyncMember(SyncMember, Protocol):
+    """A member that can participate in adaptive run-ahead windows.
+
+    ``private_bound`` returns a conservative lower bound, in target
+    cycles, on how far the member can advance from its current state
+    before its first *possibly-shared* access (0 when the very next
+    packet may touch the shared segment — or whenever the member cannot
+    prove anything, e.g. mid-branch).  ``advance_private`` advances the
+    member like ``advance`` but must never execute a shared access:
+    the member stops early — at its own first possibly-shared access,
+    at work only the interpreter can run, or wherever its dynamic
+    checks cut in — and the deferred work executes in a later normal
+    round once the frontier catches up.
+    """
+
+    def private_bound(self) -> int: ...
+
+    def advance_private(self, until: int, max_cycles: int) -> None: ...
+
+
+class AdaptiveLockstepBarrier(LockstepBarrier):
+    """Lockstep barrier with provably-private run-ahead windows.
+
+    Round planning: unless some member sitting exactly at the round
+    base reports a private bound of zero (its very next packet may
+    touch the shared segment), the round becomes a **run-ahead
+    round**: every member advances through ``advance_private`` with
+    the horizon thrown wide open (the ``until``/``max_cycles`` cap),
+    each stopping *dynamically* at its own first possibly-shared
+    access — whole compiled/native region chains, even whole compute
+    loops, execute inside one window.  The static bounds only gate
+    window *initiation* (so a window always makes progress); safety is
+    dynamic, which is what lets the window exceed the static
+    shortest-path bound — important, because the static bound is tiny
+    inside any loop whose exit path leads to a shared access.
+    Otherwise the round is a **normal round**, bit-identical to a
+    ``quantum=1`` :class:`LockstepBarrier` round: same frontier, same
+    rotating grant order, same arbitration round identity — and since
+    a member whose next access may be shared always reports bound 0,
+    every shared-segment access still executes in a normal round at a
+    base equal to the accessing core's own cycle count, exactly as
+    under ``quantum=1``.  Private execution is core-local and schedule
+    independent, so how far a member ran ahead is unobservable.
+
+    A run-ahead round in which nobody progresses (every granted member
+    deferred to the interpreter) forces the next round to be a normal
+    round at the same base instead of raising the livelock error; the
+    livelock guard keeps firing for normal rounds.
+    """
+
+    def __init__(self, members: Sequence[SyncMember],
+                 on_round: Callable[[int], None] | None = None,
+                 on_round_end: Callable[[int, int], None] | None = None,
+                 ) -> None:
+        super().__init__(members, quantum=1, on_round=on_round,
+                         on_round_end=on_round_end)
+        self.runahead_rounds = 0
+        self.runahead_cycles = 0
+        self._force_normal = False
+        # the plan gate runs once per round: resolve the bound methods
+        # up front (None disables run-ahead entirely — every member
+        # must be adaptive for a window to be sound)
+        bound_fns = [getattr(m, "private_bound", None) for m in members]
+        self._bound_fns: dict[int, Callable[[], int]] | None
+        if any(fn is None for fn in bound_fns):
+            self._bound_fns = None
+        else:
+            self._bound_fns = {id(m): fn
+                               for m, fn in zip(members, bound_fns)}
+        # gate back-off: during long all-at-the-frontier phases (cores
+        # trading shared-device polls) the gate fails every round, and
+        # its cost — one bound computation per frontier member — adds
+        # up; after a failure the gate sleeps until the frontier moves
+        # a doubling number of *cycles* (normal rounds are always safe,
+        # so re-checking late only delays a window by a bounded number
+        # of cycles, it never breaks one)
+        self._gate_resume = 0
+        self._gate_backoff = 1
+
+    def _plan_round(self, base: int, running: Sequence[SyncMember],
+                    until: int | None, max_cycles: int
+                    ) -> tuple[int, bool]:
+        bounds = self._bound_fns
+        if bounds is None:
+            return base + 1, False
+        if self._force_normal:
+            self._force_normal = False
+            return base + 1, False
+        if base < self._gate_resume:
+            return base + 1, False
+        for member in running:
+            # the gate only has to guarantee progress (safety inside
+            # the window is dynamic): it fails exactly when a member
+            # sitting at the frontier may touch the shared segment with
+            # its very next packet — members past the base pass
+            # whatever their bound is, and only frontier members pay
+            # for a bound computation
+            if member.cycles == base and bounds[id(member)]() == 0:
+                self._gate_resume = base + self._gate_backoff
+                self._gate_backoff = min(self._gate_backoff * 2, 8)
+                return base + 1, False
+        self._gate_backoff = 1
+        # no frontier member can issue a shared access with its very
+        # next packet: open the window wide — each member stops
+        # dynamically at its own first possibly-shared access, and the
+        # frontier bounds guarantee the window makes progress
+        self.runahead_rounds += 1
+        horizon = max_cycles if until is None else min(until, max_cycles)
+        return horizon, True
+
+    def _runahead_stalled(self, base: int) -> None:
+        self._force_normal = True
+
+    def _advance_round(self, granted: Sequence[SyncMember],
+                       horizon: int, max_cycles: int,
+                       runahead: bool = False) -> None:
+        if not runahead:
+            super()._advance_round(granted, horizon, max_cycles)
+            return
+        for member in granted:
+            before = member.cycles
+            member.advance_private(horizon, max_cycles)
+            self.runahead_cycles += member.cycles - before
 
 
 @runtime_checkable
@@ -189,7 +346,8 @@ class ProcessBarrier(SyncBarrier):
     """
 
     def _advance_round(self, granted: Sequence[SyncMember],
-                       horizon: int, max_cycles: int) -> None:
+                       horizon: int, max_cycles: int,
+                       runahead: bool = False) -> None:
         for member in granted:
             member.post_advance(horizon, max_cycles)
         for member in granted:

@@ -37,8 +37,9 @@ from repro.programs.registry import (
 from repro.translator.driver import translate
 from repro.vliw.cluster import Cluster
 from repro.vliw.codegen.native import native_available
+from repro.soc.bus import SharedIoMap
 from repro.vliw.fabric import MAX_NODES, FabricConfig
-from repro.vliw.multicore import MultiCoreSoC
+from repro.vliw.multicore import CORE_IO_STRIDE, MultiCoreSoC
 from repro.vliw.platform import PrototypingPlatform
 
 LEVEL = 2
@@ -89,10 +90,31 @@ class TestDegenerateClusterIdentity:
                                 backends=backends).run()
             inner = clustered.per_soc[0]
             assert inner.observables() == alone.observables()
-            assert _trace_tuples(inner.bus_trace) == \
-                _trace_tuples(alone.bus_trace)
-            assert inner.grants == alone.grants
+            # the shared-segment (arbitrated) slice of the global trace
+            # is schedule-invariant; partition-local traffic may
+            # interleave differently (docs/multicore.md) because the
+            # cluster cuts the adaptive quantum's run-ahead windows at
+            # its window boundaries while a standalone run opens them
+            # wide — each partition's own subsequence is still identical
+            assert _trace_tuples(inner.shared_trace()) == \
+                _trace_tuples(alone.shared_trace())
+            for inner_part, alone_part in zip(_partitioned(inner.bus_trace),
+                                              _partitioned(alone.bus_trace)):
+                assert inner_part == alone_part
             assert inner.contention_conflicts == alone.contention_conflicts
+            # under a fixed quantum the schedules coincide exactly, so
+            # the historical bit-for-bit identity — raw global trace
+            # order and grant counts included — still holds
+            fixed = MultiCoreSoC(program, cores=N_CORES,
+                                 backends=backends, quantum=1).run()
+            fixed_clustered = Cluster(program, socs=1, cores=N_CORES,
+                                      backends=backends,
+                                      core_quantum=1).run()
+            assert fixed_clustered.per_soc[0].observables() == \
+                fixed.observables()
+            assert _trace_tuples(fixed_clustered.per_soc[0].bus_trace) == \
+                _trace_tuples(fixed.bus_trace)
+            assert fixed_clustered.per_soc[0].grants == fixed.grants
         # nothing ever crossed the (1-node) fabric
         assert clustered.fabric["words_routed"] == 0
         assert clustered.per_soc_fabric[0]["sent"] == 0
@@ -120,6 +142,19 @@ class TestDegenerateClusterIdentity:
 
 def _trace_tuples(trace):
     return [(a.cycle, a.kind, a.addr, a.value, a.size) for a in trace]
+
+
+def _partitioned(trace):
+    """Per-core-partition subsequences of a SoC's global bus trace
+    (plus the shared segment as the final slot), in trace order."""
+    shared = SharedIoMap()
+    parts = [[] for _ in range(N_CORES + 1)]
+    for access in trace:
+        if access.addr >= shared.base:
+            parts[N_CORES].append(access)
+        else:
+            parts[access.addr // CORE_IO_STRIDE].append(access)
+    return [_trace_tuples(part) for part in parts]
 
 
 class TestDistributedWorkloads:
@@ -256,14 +291,19 @@ class TestClusterRoundSafety:
         with pytest.raises(SimulationError, match="quantum"):
             Cluster(program, socs=2, fabric=config, quantum=5)
         # a smaller window is allowed; it multiplies the cluster-level
-        # round bookkeeping but leaves every simulation observable
-        # (per-SoC results, traces, fabric timing) untouched
+        # round bookkeeping (and, under the adaptive core quantum, cuts
+        # the intra-SoC run-ahead windows into more grants) but leaves
+        # every simulation observable (per-SoC results, traces, fabric
+        # timing) untouched
         small = Cluster(program, socs=2, fabric=config, quantum=1).run()
         full = Cluster(program, socs=2, fabric=config).run()
         small_obs, full_obs = small.observables(), full.observables()
         for window_counter in ("grants", "rounds"):
             assert small_obs.pop(window_counter) > \
                 full_obs.pop(window_counter)
+        for soc_small, soc_full in zip(small_obs.pop("soc_grants"),
+                                       full_obs.pop("soc_grants")):
+            assert sum(soc_small) >= sum(soc_full)  # scheduling profile
         assert small_obs == full_obs
 
 
